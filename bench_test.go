@@ -1,0 +1,426 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md), plus ablation
+// and micro benchmarks. Each experiment benchmark regenerates its full
+// artifact per iteration; run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+package heteropart_test
+
+import (
+	"strconv"
+	"testing"
+
+	"heteropart/internal/apps/lu"
+	"heteropart/internal/apps/mm"
+	"heteropart/internal/apps/stencil"
+	"heteropart/internal/core"
+	"heteropart/internal/dlt"
+	"heteropart/internal/experiments"
+	"heteropart/internal/grid"
+	"heteropart/internal/kernels"
+	"heteropart/internal/machine"
+	"heteropart/internal/matrix"
+	"heteropart/internal/measure"
+	"heteropart/internal/speed"
+)
+
+// --- Paper artifacts -----------------------------------------------------
+
+func BenchmarkFig1SpeedCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2PerformanceBands(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ShapeInvariance(b *testing.B) {
+	b.Run("model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Table3Model(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("real", func(b *testing.B) {
+		cfg := measure.Config{Repeats: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Table3Real(128, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTable4ShapeInvariance(b *testing.B) {
+	b.Run("model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Table4Model(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("real", func(b *testing.B) {
+		cfg := measure.Config{Repeats: 1}
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.Table4Real(128, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig21PartitionerCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig21([]int{270, 540, 810, 1080},
+			[]int64{250_000_000, 1_000_000_000, 2_000_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig22aMMSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig22a([]int{15000, 19000, 23000, 27000, 31000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig22bLUSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig22b([]int{16000, 24000, 32000}, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAlgorithms(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationAngleVsTangent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationAngleVsTangent(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFineTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFineTuning(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBuilderBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBuilderBudget(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCommunication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCommunication(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStepModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationStepModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHeterogeneity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation2DPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablation2DPartitioning(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridPartition2D(b *testing.B) {
+	fns, err := experiments.FlopRates(machine.Table2(), machine.MatrixMult)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grid.Partition2D(6000, 6000, fns, grid.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core micro benchmarks -----------------------------------------------
+
+func benchCluster(b *testing.B, p int) []speed.Function {
+	b.Helper()
+	fns, err := experiments.SyntheticCluster(p, machine.MatrixMult)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fns
+}
+
+func BenchmarkPartitionBasic(b *testing.B) {
+	for _, p := range []int{12, 128, 1024} {
+		fns := benchCluster(b, p)
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Basic(1_000_000_000, fns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionModified(b *testing.B) {
+	for _, p := range []int{12, 128, 1024} {
+		fns := benchCluster(b, p)
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Modified(1_000_000_000, fns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionCombined(b *testing.B) {
+	for _, p := range []int{12, 128, 1024} {
+		fns := benchCluster(b, p)
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Combined(1_000_000_000, fns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSingleNumber(b *testing.B) {
+	speeds := make([]float64, 1024)
+	for i := range speeds {
+		speeds[i] = float64(1 + i%97)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SingleNumber(1_000_000_000, speeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeedBuilder(b *testing.B) {
+	m, _ := machine.ByName(machine.Table2(), "X5")
+	truth, err := m.FlopRate(machine.MatrixMult)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := func(x float64) (float64, error) { return truth.Eval(x), nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := speed.Builder{LogDomain: true}
+		if _, _, err := builder.Build(oracle, 1e4, truth.Max); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPWLIntersect(b *testing.B) {
+	m, _ := machine.ByName(machine.Table2(), "X5")
+	truth, err := m.FlopRate(machine.MatrixMult)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := func(x float64) (float64, error) { return truth.Eval(x), nil }
+	builder := speed.Builder{LogDomain: true}
+	fn, _, err := builder.Build(oracle, 1e4, truth.Max)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.IntersectRay(1e-3 / float64(1+i%1000))
+	}
+}
+
+// --- Application and kernel benchmarks -----------------------------------
+
+func BenchmarkMMPartitionTable2(b *testing.B) {
+	fns, err := experiments.FlopRates(machine.Table2(), machine.MatrixMult)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mm.PartitionFPM(25000, fns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUVariableGroupBlock(b *testing.B) {
+	fns, err := experiments.FlopRates(machine.Table2(), machine.LUFact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lu.VariableGroupBlock(16000, 64, fns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelMatMulNaive(b *testing.B) {
+	benchMatMul(b, func(c, x, y *matrix.Dense) error { return kernels.MatMulNaive(c, x, y) })
+}
+
+func BenchmarkKernelMatMulBlocked(b *testing.B) {
+	benchMatMul(b, func(c, x, y *matrix.Dense) error { return kernels.MatMulBlocked(c, x, y, 64) })
+}
+
+func benchMatMul(b *testing.B, mul func(c, x, y *matrix.Dense) error) {
+	b.Helper()
+	const n = 128
+	x := matrix.MustNew(n, n)
+	y := matrix.MustNew(n, n)
+	c := matrix.MustNew(n, n)
+	x.FillRandom(1)
+	y.FillRandom(2)
+	b.SetBytes(int64(3 * n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mul(c, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelLU(b *testing.B) {
+	const n = 128
+	base := matrix.MustNew(n, n)
+	base.FillRandom(3)
+	for i := 0; i < n; i++ {
+		base.Set(i, i, base.At(i, i)+float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := base.Clone()
+		if _, err := kernels.LUFactorize(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + strconv.Itoa(v)
+}
+
+func BenchmarkPartitionExact(b *testing.B) {
+	for _, p := range []int{12, 128} {
+		fns := benchCluster(b, p)
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Exact(1_000_000_000, fns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDLTDistribute(b *testing.B) {
+	workers := make([]dlt.Worker, 32)
+	for i := range workers {
+		workers[i] = dlt.Worker{
+			Rate: []dlt.RatePiece{
+				{Units: 1e4, SecPerUnit: 1e-6 * float64(1+i%7)},
+				{Units: 1e18, SecPerUnit: 2e-5 * float64(1+i%7)},
+			},
+			Latency:        1e-4,
+			SecPerUnitComm: 1e-8,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dlt.Distribute(1e6, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStencilExecute(b *testing.B) {
+	fns := []speed.Function{
+		speed.MustConstant(3e8, 1e10),
+		speed.MustConstant(1e8, 1e10),
+		speed.MustConstant(2e8, 1e10),
+	}
+	plan, err := stencil.Partition(200_000, fns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]float64, 200_000)
+	for i := range src {
+		src[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stencil.Execute(plan, src, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGroupBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGroupBlock(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationOverlap(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

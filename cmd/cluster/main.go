@@ -1,0 +1,114 @@
+// Command cluster inspects and exports the modelled testbeds of the paper.
+//
+// Usage:
+//
+//	cluster -testbed table2 -kernel MatrixMult -table   # speed table
+//	cluster -testbed table2 -kernel MatrixMult -chart   # ASCII speed chart
+//	cluster -testbed table1 -export > table1.json       # hetpart cluster file
+//
+// The exported JSON can be fed to hetpart -machines and edited to describe
+// your own network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"heteropart/internal/clusterio"
+	"heteropart/internal/machine"
+	"heteropart/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		testbed = flag.String("testbed", "table2", "testbed: table1 or table2")
+		kernel  = flag.String("kernel", "MatrixMult", "kernel: MatrixMult, MatrixMultATLAS, ArrayOpsF, LUFact")
+		export  = flag.Bool("export", false, "write the testbed as a hetpart cluster file to stdout")
+		chart   = flag.Bool("chart", false, "render the speed functions as an ASCII chart")
+	)
+	flag.Parse()
+
+	var ms []machine.Machine
+	switch *testbed {
+	case "table1":
+		ms = machine.Table1()
+	case "table2":
+		ms = machine.Table2()
+	default:
+		return fmt.Errorf("unknown testbed %q", *testbed)
+	}
+	k, err := machine.KernelByName(*kernel)
+	if err != nil {
+		return err
+	}
+
+	if *export {
+		c, err := clusterio.FromTestbed(ms, k.Name)
+		if err != nil {
+			return err
+		}
+		return c.Save(os.Stdout)
+	}
+
+	if *chart {
+		c := report.NewChart(
+			fmt.Sprintf("%s — %s speed functions", *testbed, k.Name),
+			"working set (elements)", "MFlops")
+		c.LogX, c.LogY = true, true
+		for _, m := range ms {
+			f, err := m.FlopRate(k)
+			if err != nil {
+				return err
+			}
+			var xs, ys []float64
+			for x := f.Max * 1e-4; x <= f.Max; x *= 1.3 {
+				xs = append(xs, x)
+				ys = append(ys, f.Eval(x)/1e6)
+			}
+			if err := c.AddSeries(m.Name, xs, ys); err != nil {
+				return err
+			}
+		}
+		fmt.Println(c)
+		return nil
+	}
+
+	t := report.New(
+		fmt.Sprintf("%s — %s model", *testbed, k.Name),
+		"machine", "MHz", "mem (MB)", "cache (KB)", "integration",
+		"peak (MFlops)", "paging at (elements)", "speed@paging/2", "speed@2·paging")
+	for _, m := range ms {
+		f, err := m.FlopRate(k)
+		if err != nil {
+			return err
+		}
+		t.AddRow(m.Name, m.MHz, m.MainMemKB/1024, m.CacheKB, m.Integration.String(),
+			peakOf(f)/1e6, f.PagingPoint,
+			f.Eval(f.PagingPoint/2)/1e6, f.Eval(2*f.PagingPoint)/1e6)
+	}
+	fmt.Print(t)
+	return nil
+}
+
+// peakOf samples the curve's maximum on a log grid.
+func peakOf(f interface {
+	Eval(float64) float64
+	MaxSize() float64
+}) float64 {
+	var peak float64
+	maxX := f.MaxSize()
+	for i := 0; i <= 128; i++ {
+		x := maxX * math.Pow(1e-6, 1-float64(i)/128)
+		peak = math.Max(peak, f.Eval(x))
+	}
+	return peak
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations listed in DESIGN.md, and prints them as
+// aligned ASCII tables (or CSV).
+//
+// Usage:
+//
+//	experiments [-quick] [-skip-real] [-csv]
+//
+// -quick trims the sweeps so the suite finishes in seconds; the default
+// regenerates the full paper-sized rows (the real-host Tables 3–4 halves
+// then take a few minutes of serial matrix arithmetic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heteropart/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "trimmed sweeps (seconds instead of minutes)")
+		skipReal = flag.Bool("skip-real", false, "skip the real-host measurements of Tables 3-4")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		markdown = flag.Bool("markdown", false, "emit Markdown tables")
+		charts   = flag.Bool("charts", false, "render the Figure 1 and Figure 22 series as ASCII charts and exit")
+		only     = flag.String("only", "", "run only artifacts whose name contains this substring (e.g. fig22, ablation)")
+	)
+	flag.Parse()
+	opt := experiments.Options{Quick: *quick, SkipReal: *skipReal, Only: *only}
+	if *charts {
+		f1, err := experiments.Fig1Charts()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		var mmNs, luNs []int
+		if *quick {
+			mmNs = []int{15000, 19000, 23000, 27000, 31000}
+			luNs = []int{16000, 20000, 24000, 28000, 32000}
+		}
+		f22, err := experiments.Fig22Charts(mmNs, luNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, c := range append(f1, f22...) {
+			fmt.Println(c)
+		}
+		return
+	}
+	if *csv || *markdown {
+		tables, err := experiments.RunAll(nil, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *markdown {
+				fmt.Printf("%s\n", t.Markdown())
+			} else {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			}
+		}
+		return
+	}
+	if _, err := experiments.RunAll(os.Stdout, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

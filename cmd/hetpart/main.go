@@ -1,0 +1,173 @@
+// Command hetpart partitions an n-element set over heterogeneous
+// processors described by a JSON cluster file (see internal/clusterio for
+// the format), using the paper's functional-model algorithms.
+//
+// Usage:
+//
+//	hetpart -n 100000000 -machines cluster.json [-algo combined] [-csv]
+//	hetpart -n 100000000 -machines cluster.json -limits 1e7,5e8,...   # bounded
+//	hetpart -grid 8000x8000 -machines cluster.json                    # 2D rectangles
+//
+// The cluster file holds a list of processors, each with a piecewise
+// linear speed function ("points"), a constant speed ("speed"/"max"), a
+// step function ("levels"), or a modelled machine spec ("spec") expanded
+// for the cluster's kernel. Speeds are per-element; sizes in elements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heteropart/internal/clusterio"
+	"heteropart/internal/core"
+	"heteropart/internal/grid"
+	"heteropart/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hetpart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n        = flag.Int64("n", 0, "number of elements to distribute")
+		machines = flag.String("machines", "", "JSON cluster file (see internal/clusterio)")
+		algo     = flag.String("algo", "combined", "partitioning algorithm: basic, modified, combined, even")
+		limits   = flag.String("limits", "", "comma-separated per-processor element limits (bounded variant)")
+		gridDims = flag.String("grid", "", "WxH: partition a 2D grid into rectangles instead of a set")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+	if *machines == "" {
+		return fmt.Errorf("-machines is required")
+	}
+	cluster, err := clusterio.LoadFile(*machines)
+	if err != nil {
+		return err
+	}
+	if *gridDims != "" {
+		return runGrid(cluster, *gridDims, *csv)
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive")
+	}
+	fns, names, err := cluster.Functions(float64(*n))
+	if err != nil {
+		return err
+	}
+
+	var res core.Result
+	switch {
+	case *limits != "":
+		lims, err := parseLimits(*limits, len(fns))
+		if err != nil {
+			return err
+		}
+		alloc, stats, err := core.Bounded(*n, fns, lims)
+		if err != nil {
+			return err
+		}
+		res = core.Result{Alloc: alloc, Stats: stats}
+	default:
+		var err error
+		switch *algo {
+		case "basic":
+			res, err = core.Basic(*n, fns)
+		case "modified":
+			res, err = core.Modified(*n, fns)
+		case "combined":
+			res, err = core.Combined(*n, fns)
+		case "even":
+			alloc, e := core.Even(*n, len(fns))
+			res, err = core.Result{Alloc: alloc, Stats: core.Stats{Algorithm: "even"}}, e
+		default:
+			return fmt.Errorf("unknown algorithm %q", *algo)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	t := report.New(
+		fmt.Sprintf("Distribution of %d elements (%s algorithm, %d steps, %d intersections)",
+			*n, res.Stats.Algorithm, res.Stats.Steps, res.Stats.Intersections),
+		"processor", "elements", "share %", "speed (el/s)", "time (s)")
+	for i, x := range res.Alloc {
+		sp := fns[i].Eval(float64(x))
+		tm := 0.0
+		if x > 0 && sp > 0 {
+			tm = float64(x) / sp
+		}
+		t.AddRow(names[i], float64(x), 100*float64(x)/float64(*n), sp, tm)
+	}
+	t.AddNote("makespan: %s s", report.FormatFloat(core.Makespan(res.Alloc, fns)))
+	return emit(t, *csv)
+}
+
+func runGrid(cluster *clusterio.Cluster, dims string, csv bool) error {
+	parts := strings.SplitN(dims, "x", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("-grid wants WxH, got %q", dims)
+	}
+	w, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("-grid width: %w", err)
+	}
+	h, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("-grid height: %w", err)
+	}
+	fns, names, err := cluster.Functions(float64(w) * float64(h))
+	if err != nil {
+		return err
+	}
+	res, err := grid.Partition2D(w, h, fns, grid.Options{})
+	if err != nil {
+		return err
+	}
+	t := report.New(
+		fmt.Sprintf("2D partition of a %d×%d grid (%d columns, makespan %s s)",
+			w, h, res.Columns, report.FormatFloat(res.Makespan)),
+		"processor", "rectangle", "cells", "share %", "time (s)")
+	total := float64(w) * float64(h)
+	for i, r := range res.Rects {
+		tm := 0.0
+		if a := float64(r.Area()); a > 0 {
+			tm = a / fns[i].Eval(a)
+		}
+		t.AddRow(names[i], r.String(), float64(r.Area()), 100*float64(r.Area())/total, tm)
+	}
+	t.AddNote("total semi-perimeter (communication proxy): %d", grid.TotalSemiPerimeter(res.Rects))
+	return emit(t, csv)
+}
+
+func emit(t *report.Table, csv bool) error {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t)
+	}
+	return nil
+}
+
+func parseLimits(s string, p int) ([]int64, error) {
+	fields := strings.Split(s, ",")
+	if len(fields) != p {
+		return nil, fmt.Errorf("-limits has %d entries for %d processors", len(fields), p)
+	}
+	out := make([]int64, p)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-limits entry %d: %w", i, err)
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}

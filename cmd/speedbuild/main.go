@@ -1,0 +1,89 @@
+// Command speedbuild constructs a piecewise linear speed function for this
+// host by really measuring one of the serial kernels across problem sizes,
+// using the recursive trisection procedure of §3.1. The result is printed
+// as JSON compatible with hetpart's machines file.
+//
+// Usage:
+//
+//	speedbuild -kernel naive -min 12288 -max 3e6 [-eps 0.05] [-repeats 3]
+//
+// Kernels: naive and blocked matrix multiplication (sizes are total
+// elements of the three matrices, 3n²), lu (elements of the factorized
+// matrix, n²), arrayops (array length).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"heteropart/internal/measure"
+	"heteropart/internal/speed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "speedbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kernel  = flag.String("kernel", "naive", "kernel to measure: naive, blocked, lu, cholesky, arrayops")
+		minSize = flag.Float64("min", 3*64*64, "smallest problem size (elements)")
+		maxSize = flag.Float64("max", 3*512*512, "largest problem size (elements)")
+		eps     = flag.Float64("eps", 0.05, "relative acceptance band of the §3.1 procedure")
+		repeats = flag.Int("repeats", 3, "timed repetitions per measurement (median)")
+		budget  = flag.Int("budget", 64, "maximum number of measurements")
+		name    = flag.String("name", "", "processor name in the emitted JSON (default: kernel name)")
+	)
+	flag.Parse()
+	cfg := measure.Config{Repeats: *repeats}
+	var oracle speed.Oracle
+	switch *kernel {
+	case "naive":
+		oracle = measure.MatMulOracle(cfg, measure.Naive)
+	case "blocked":
+		oracle = measure.MatMulOracle(cfg, measure.Blocked)
+	case "lu":
+		oracle = measure.LUOracle(cfg)
+	case "cholesky":
+		oracle = measure.CholeskyOracle(cfg)
+	case "arrayops":
+		oracle = measure.ArrayOpsOracle(cfg)
+	default:
+		return fmt.Errorf("unknown kernel %q", *kernel)
+	}
+	if !(*minSize > 0) || !(*maxSize > *minSize) {
+		return fmt.Errorf("invalid size interval [%v, %v]", *minSize, *maxSize)
+	}
+	b := speed.Builder{Eps: *eps, MaxMeasurements: *budget, LogDomain: true}
+	fn, stats, err := b.Build(oracle, *minSize, *maxSize)
+	if err != nil && fn == nil {
+		return err
+	}
+	label := *name
+	if label == "" {
+		label = *kernel
+	}
+	out := struct {
+		Name         string        `json:"name"`
+		Points       []speed.Point `json:"points"`
+		Measurements int           `json:"measurements"`
+		Repaired     bool          `json:"repaired"`
+		Note         string        `json:"note,omitempty"`
+	}{
+		Name:         label,
+		Points:       fn.Points(),
+		Measurements: stats.Measurements,
+		Repaired:     stats.Repaired,
+	}
+	if err != nil {
+		out.Note = err.Error()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,13 @@
+// Package heteropart is a Go reproduction of "Data Partitioning with a
+// Realistic Performance Model of Networks of Heterogeneous Computers"
+// (Lastovetsky & Reddy, IPDPS 2004): the functional performance model —
+// processor speed as a continuous function of problem size — and the
+// geometric set-partitioning algorithms built on it, together with the
+// paper's two applications (striped matrix multiplication and LU
+// factorization with the Variable Group Block distribution), a modelled
+// version of its two testbeds, and a benchmark harness regenerating every
+// table and figure of its evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package heteropart

@@ -1,0 +1,87 @@
+// adaptive: maintaining the functional model in production — the workflow
+// the paper's §4 names as follow-up work. A cluster runs a sequence of
+// workloads; after each run the observed speeds are folded into the
+// piecewise linear models (speed.Observe), and the allocation is adjusted
+// with minimal data migration (core.Repartition). Midway, one machine
+// "degrades" (a daemon steals 60 % of it); the model notices within a few
+// observations and the repartitioner shifts load away while moving only a
+// fraction of the data a full redistribution would.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/core"
+	"heteropart/internal/report"
+	"heteropart/internal/speed"
+)
+
+const n = 60_000_000
+
+func main() {
+	// Ground truth: three machines, one of which will degrade at round 6.
+	truth := []*speed.Analytic{
+		{Peak: 3e8, HalfRise: 1e4, Max: 1e9},
+		{Peak: 2e8, HalfRise: 1e4, PagingPoint: 3e7, PagingWidth: 6e6, PagingFloor: 0.1, Max: 1e9},
+		{Peak: 1e8, HalfRise: 1e4, Max: 1e9},
+	}
+	degrade := func(round int, i int, s float64) float64 {
+		if round >= 6 && i == 0 {
+			return s * 0.4 // machine 0 loses 60 % of its speed
+		}
+		return s
+	}
+
+	// Initial models: two knots each, deliberately crude.
+	models := make([]*speed.PiecewiseLinear, len(truth))
+	fns := make([]speed.Function, len(truth))
+	for i, tf := range truth {
+		models[i] = speed.MustPiecewiseLinear([]speed.Point{
+			{X: 1e4, Y: tf.Eval(1e4)}, {X: 1e9, Y: tf.Eval(1e9)},
+		})
+		fns[i] = models[i]
+	}
+	alloc, err := core.Even(n, len(truth))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.New("Adaptive rounds: observe → update model → repartition",
+		"round", "alloc m0", "alloc m1", "alloc m2", "true makespan (s)")
+	for round := 1; round <= 12; round++ {
+		// "Run" the workload: observe the true per-machine speeds at the
+		// sizes actually executed, with the round-6 degradation.
+		worst := 0.0
+		for i := range truth {
+			x := float64(alloc[i])
+			if x == 0 {
+				continue
+			}
+			s := degrade(round, i, truth[i].Eval(x))
+			if tm := x / s; tm > worst {
+				worst = tm
+			}
+			m, err := speed.Observe(models[i], x, s, 0.6, x/50)
+			if err != nil {
+				log.Fatal(err)
+			}
+			models[i] = m
+			fns[i] = m
+		}
+		t.AddRow(round, float64(alloc[0]), float64(alloc[1]), float64(alloc[2]), worst)
+		// Repartition with minimal migration under the updated models.
+		next, moved, err := core.Repartition(alloc, fns, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alloc = next
+		if moved > 0 {
+			t.AddNote("round %d: migrated %d elements (%.1f%% of the data)",
+				round, moved, 100*float64(moved)/float64(n))
+		}
+	}
+	fmt.Print(t)
+}

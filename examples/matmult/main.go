@@ -1,0 +1,222 @@
+// matmult: a real end-to-end run of the paper's pipeline on this host.
+//
+// Heterogeneity is emulated with handicapped workers: each worker computes
+// its stripe of C = A×Bᵀ for real, but repeats every row a fixed number of
+// times (a slower CPU) and, past a per-worker "memory budget" of rows,
+// with an extra penalty factor (paging). The speed of each worker is
+// therefore a genuine, measured, size-dependent function.
+//
+// The pipeline is exactly §3 of the paper:
+//
+//  1. benchmark each worker at a few stripe sizes and build its piecewise
+//     linear speed function with the §3.1 trisection procedure;
+//  2. partition the matrix rows with the functional-model algorithm;
+//  3. run the real multiplication and compare the worker finish times
+//     against an even distribution and a single-number distribution.
+//
+// Run with: go run ./examples/matmult [-n 768]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"heteropart/internal/core"
+	"heteropart/internal/kernels"
+	"heteropart/internal/matrix"
+	"heteropart/internal/report"
+	"heteropart/internal/speed"
+)
+
+// worker is a handicapped processor: repeat each row `slow` times, and
+// `slow*pagePenalty` times past `memRows` rows.
+type worker struct {
+	name        string
+	slow        int
+	memRows     int
+	pagePenalty int
+}
+
+// multiply computes dst = src×bᵀ with the worker's handicap.
+func (w worker) multiply(dst, src, b *matrix.Dense) error {
+	for i := 0; i < src.Rows; i++ {
+		reps := w.slow
+		if i >= w.memRows {
+			reps *= w.pagePenalty
+		}
+		row, err := src.RowStripe(i, i+1)
+		if err != nil {
+			return err
+		}
+		out, err := dst.RowStripe(i, i+1)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < reps; r++ {
+			if err := kernels.MatMulABT(out, row, b); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	n := flag.Int("n", 512, "matrix size")
+	concurrent := flag.Bool("goroutines", false, "run workers concurrently (needs one core per worker to be meaningful)")
+	flag.Parse()
+
+	workers := []worker{
+		{name: "w0 (fast)", slow: 1, memRows: *n, pagePenalty: 1},
+		{name: "w1 (2x slow)", slow: 2, memRows: *n, pagePenalty: 1},
+		{name: "w2 (pages)", slow: 1, memRows: *n / 6, pagePenalty: 4},
+	}
+
+	a := matrix.MustNew(*n, *n)
+	b := matrix.MustNew(*n, *n)
+	a.FillRandom(1)
+	b.FillRandom(2)
+
+	// Step 1: build a measured speed function (rows/second as a function
+	// of stripe rows) per worker with the §3.1 procedure.
+	fmt.Println("building measured speed functions (§3.1 trisection)…")
+	fns := make([]speed.Function, len(workers))
+	for i, w := range workers {
+		oracle := func(rows float64) (float64, error) {
+			r := int(rows)
+			if r < 1 {
+				r = 1
+			}
+			src, err := a.RowStripe(0, r)
+			if err != nil {
+				return 0, err
+			}
+			dst := matrix.MustNew(r, *n)
+			start := time.Now()
+			if err := w.multiply(dst, src, b); err != nil {
+				return 0, err
+			}
+			return float64(r) / time.Since(start).Seconds(), nil
+		}
+		builder := speed.Builder{Eps: 0.1, MaxMeasurements: 24, MinInterval: float64(*n) / 48}
+		fn, stats, err := builder.Build(oracle, 4, float64(*n))
+		if err != nil && fn == nil {
+			log.Fatalf("building %s: %v", w.name, err)
+		}
+		fmt.Printf("  %-14s %2d measurements, %2d knots\n", w.name, stats.Measurements, fn.NumPoints())
+		fns[i] = fn
+	}
+
+	// Step 2: the three distributions.
+	fpm, err := core.Combined(int64(*n), fns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleSpeeds := make([]float64, len(fns))
+	for i, f := range fns {
+		singleSpeeds[i] = f.Eval(float64(*n) / float64(len(fns)))
+	}
+	sn, err := core.SingleNumber(int64(*n), singleSpeeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	even, err := core.Even(int64(*n), len(fns))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: run each distribution for real.
+	want := matrix.MustNew(*n, *n)
+	if err := kernels.MatMulABT(want, a, b); err != nil {
+		log.Fatal(err)
+	}
+	for _, run := range []struct {
+		label string
+		rows  core.Allocation
+	}{
+		{"functional model", fpm.Alloc},
+		{"single-number @ n/p", sn},
+		{"even", even},
+	} {
+		c, times, err := execute(run.rows, workers, a, b, *concurrent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d := matrix.MaxAbsDiff(c, want); d > 1e-9 {
+			log.Fatalf("%s: result deviates by %v", run.label, d)
+		}
+		t := report.New(fmt.Sprintf("%s — measured worker times (result verified)", run.label),
+			"worker", "rows", "time (s)")
+		worst := 0.0
+		for i, w := range workers {
+			t.AddRow(w.name, float64(run.rows[i]), times[i])
+			if times[i] > worst {
+				worst = times[i]
+			}
+		}
+		t.AddNote("parallel time (slowest worker): %s s", report.FormatFloat(worst))
+		fmt.Println()
+		fmt.Print(t)
+	}
+}
+
+// execute runs the distribution. Each worker's stripe is computed and
+// timed in isolation (one worker at a time): with every "machine" of the
+// emulated network owning its CPU exclusively, the parallel execution
+// time is the maximum of the dedicated per-worker times. Running the
+// stripes concurrently on this host would only measure scheduler
+// contention, not the distribution quality. Set -goroutines to run them
+// concurrently anyway when enough cores are available.
+func execute(rows core.Allocation, workers []worker, a, b *matrix.Dense, concurrent bool) (*matrix.Dense, []float64, error) {
+	stripes, err := matrix.Stripes(rows, a.Rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := matrix.MustNew(a.Rows, a.Cols)
+	times := make([]float64, len(workers))
+	errs := make([]error, len(workers))
+	runOne := func(i, lo, hi int) {
+		src, err := a.RowStripe(lo, hi)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		dst, err := c.RowStripe(lo, hi)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		start := time.Now()
+		errs[i] = workers[i].multiply(dst, src, b)
+		times[i] = time.Since(start).Seconds()
+	}
+	if concurrent {
+		var wg sync.WaitGroup
+		for i, s := range stripes {
+			if s[0] == s[1] {
+				continue
+			}
+			wg.Add(1)
+			go func(i, lo, hi int) {
+				defer wg.Done()
+				runOne(i, lo, hi)
+			}(i, s[0], s[1])
+		}
+		wg.Wait()
+	} else {
+		for i, s := range stripes {
+			if s[0] != s[1] {
+				runOne(i, s[0], s[1])
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return c, times, nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: partition 100 million elements over five heterogeneous
+// processors whose speeds depend on problem size, and compare the
+// functional performance model against the classical single-number model
+// and the even distribution.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/core"
+	"heteropart/internal/report"
+	"heteropart/internal/speed"
+)
+
+func main() {
+	// Five processors. Three are healthy across the whole range; one is
+	// fast but starts paging at 20M elements; one is slow but steady.
+	cluster := []speed.Function{
+		&speed.Analytic{Peak: 4e8, HalfRise: 1e4, Max: 4e8},
+		&speed.Analytic{Peak: 2.5e8, HalfRise: 2e4, Max: 4e8},
+		&speed.Analytic{Peak: 3e8, HalfRise: 1e4, CacheEdge: 1e6, CacheDecay: 0.8,
+			PagingPoint: 2e7, PagingWidth: 5e6, PagingFloor: 0.05, Max: 4e8},
+		speed.MustConstant(6e7, 4e8),
+		&speed.Analytic{Peak: 1.2e8, HalfRise: 5e3, Max: 4e8},
+	}
+	names := []string{"alpha", "beta", "gamma(pages@20M)", "delta", "epsilon"}
+	const n = 100_000_000
+
+	// Functional model: the combined algorithm of the paper.
+	res, err := core.Combined(n, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Single-number baseline: speeds measured once at n/p elements.
+	single := make([]float64, len(cluster))
+	for i, f := range cluster {
+		single[i] = f.Eval(n / float64(len(cluster)))
+	}
+	snAlloc, err := core.SingleNumber(n, single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	evenAlloc, err := core.Even(n, len(cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.New("Functional-model distribution of 100M elements",
+		"processor", "elements", "share %", "time (s)")
+	for i, x := range res.Alloc {
+		tm := float64(x) / cluster[i].Eval(float64(x))
+		t.AddRow(names[i], float64(x), 100*float64(x)/n, tm)
+	}
+	fmt.Print(t)
+	fmt.Println()
+
+	c := report.New("Makespan comparison", "model", "makespan (s)", "vs functional")
+	mFPM := core.Makespan(res.Alloc, cluster)
+	mSN := core.Makespan(snAlloc, cluster)
+	mEven := core.Makespan(evenAlloc, cluster)
+	c.AddRow("functional (combined)", mFPM, 1.0)
+	c.AddRow("single-number @ n/p", mSN, mSN/mFPM)
+	c.AddRow("even", mEven, mEven/mFPM)
+	c.AddNote("partitioning took %d bisection steps and %d ray–graph intersections",
+		res.Stats.Steps, res.Stats.Intersections)
+	fmt.Print(c)
+}

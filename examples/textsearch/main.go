@@ -1,0 +1,138 @@
+// textsearch: data-parallel pattern search — one of the workload classes
+// the paper's introduction motivates ("search for patterns in text, audio,
+// graphical files"). A large synthetic corpus is split into chunks whose
+// sizes are proportional to the (size-dependent) speeds of the workers,
+// the workers count pattern occurrences in their chunks for real, and the
+// result is verified against a serial scan.
+//
+// One worker has a small memory budget: past it, its modelled speed
+// collapses (paging). The functional model routes the bulk of the corpus
+// away from it; a single-number model measured on a small sample cannot.
+//
+// Run with: go run ./examples/textsearch [-mb 8]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"sync"
+
+	"heteropart/internal/core"
+	"heteropart/internal/report"
+	"heteropart/internal/speed"
+)
+
+const pattern = "needle"
+
+func main() {
+	mb := flag.Int("mb", 8, "corpus size in MiB")
+	flag.Parse()
+	corpus := makeCorpus(*mb << 20)
+	serial := bytes.Count(corpus, []byte(pattern))
+
+	// Modelled scan speeds in bytes/second: two healthy workers and one
+	// that pages beyond 1 MiB of chunk.
+	cluster := []speed.Function{
+		&speed.Analytic{Peak: 4e8, HalfRise: 1 << 12, Max: 1 << 34},
+		&speed.Analytic{Peak: 2e8, HalfRise: 1 << 12, Max: 1 << 34},
+		&speed.Analytic{Peak: 3e8, HalfRise: 1 << 12,
+			PagingPoint: 1 << 20, PagingWidth: 1 << 19, PagingFloor: 0.03, Max: 1 << 34},
+	}
+	names := []string{"scan0", "scan1", "scan2(pages@1MiB)"}
+
+	res, err := core.Combined(int64(len(corpus)), cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Single-number baseline measured on a 64 KiB sample.
+	speeds := make([]float64, len(cluster))
+	for i, f := range cluster {
+		speeds[i] = f.Eval(64 << 10)
+	}
+	sn, err := core.SingleNumber(int64(len(corpus)), speeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, run := range []struct {
+		label string
+		alloc core.Allocation
+	}{
+		{"functional model", res.Alloc},
+		{"single-number @ 64KiB sample", sn},
+	} {
+		total, counts := parallelCount(corpus, run.alloc)
+		if total != serial {
+			log.Fatalf("%s: parallel count %d != serial %d", run.label, total, serial)
+		}
+		t := report.New(fmt.Sprintf("%s — corpus split (counts verified: %d matches)", run.label, serial),
+			"worker", "bytes", "share %", "matches", "modelled time (s)")
+		for i, x := range run.alloc {
+			tm := 0.0
+			if x > 0 {
+				tm = float64(x) / cluster[i].Eval(float64(x))
+			}
+			t.AddRow(names[i], float64(x), 100*float64(x)/float64(len(corpus)), counts[i], tm)
+		}
+		t.AddNote("modelled makespan: %s s", report.FormatFloat(core.Makespan(run.alloc, cluster)))
+		fmt.Print(t)
+		fmt.Println()
+	}
+}
+
+// makeCorpus builds a deterministic pseudo-text with embedded needles.
+func makeCorpus(size int) []byte {
+	rng := rand.New(rand.NewPCG(42, 1))
+	buf := make([]byte, 0, size+16)
+	words := []string{"lorem", "ipsum", "dolor", "sit", "amet", pattern, "haystack"}
+	for len(buf) < size {
+		buf = append(buf, words[rng.IntN(len(words))]...)
+		buf = append(buf, ' ')
+	}
+	return buf[:size]
+}
+
+// parallelCount splits the corpus per the allocation (extending each chunk
+// by the pattern length to catch matches straddling boundaries, counting
+// straddlers exactly once) and counts in parallel.
+func parallelCount(corpus []byte, alloc core.Allocation) (int, []int) {
+	counts := make([]int, len(alloc))
+	var wg sync.WaitGroup
+	at := 0
+	for i, x := range alloc {
+		lo, hi := at, at+int(x)
+		at = hi
+		if x == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			end := hi + len(pattern) - 1
+			if end > len(corpus) {
+				end = len(corpus)
+			}
+			// Matches starting in [lo, hi).
+			chunk := corpus[lo:end]
+			n := 0
+			for idx := bytes.Index(chunk, []byte(pattern)); idx >= 0 && lo+idx < hi; {
+				n++
+				next := bytes.Index(chunk[idx+1:], []byte(pattern))
+				if next < 0 {
+					break
+				}
+				idx += 1 + next
+			}
+			counts[i] = n
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, counts
+}

@@ -1,0 +1,3 @@
+module heteropart
+
+go 1.22

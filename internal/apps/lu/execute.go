@@ -1,0 +1,157 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"heteropart/internal/matrix"
+)
+
+// Execute really factorizes a copy of the n×n matrix a in parallel under
+// the distribution: a right-looking blocked LU with partial pivoting where
+// the owner of each block column factorizes its panel and every processor
+// updates its own trailing block columns concurrently (one goroutine per
+// participating processor per step). It returns the packed LU factors, the
+// row permutation, and the per-processor accumulated update times.
+//
+// The numerical behaviour matches kernels.LUFactorize: panel pivoting over
+// fully updated columns produces the same pivot sequence as the unblocked
+// algorithm, so kernels.LUReconstruct verifies the result.
+func Execute(d Distribution, a *matrix.Dense, p int) (*matrix.Dense, []int, []float64, error) {
+	n := d.N
+	if a.Rows != n || a.Cols != n {
+		return nil, nil, nil, fmt.Errorf("lu: distribution is for %d×%d, matrix is %d×%d",
+			n, n, a.Rows, a.Cols)
+	}
+	if p <= 0 {
+		return nil, nil, nil, fmt.Errorf("lu: invalid processor count %d", p)
+	}
+	for k, o := range d.Owners {
+		if o < 0 || o >= p {
+			return nil, nil, nil, fmt.Errorf("lu: owner[%d] = %d out of range", k, o)
+		}
+	}
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	times := make([]float64, p)
+	b := d.B
+	for k := 0; k < d.Blocks(); k++ {
+		k0 := k * b
+		w := min(b, n-k0)
+		owner := d.Owners[k]
+		start := time.Now()
+		if err := panelFactor(lu, perm, k0, w); err != nil {
+			return nil, nil, nil, err
+		}
+		times[owner] += time.Since(start).Seconds()
+		if k0+w >= n {
+			break
+		}
+		// Group the trailing block columns by owner and update in
+		// parallel, one goroutine per participating processor.
+		cols := make([][][2]int, p)
+		for j := k + 1; j < d.Blocks(); j++ {
+			j0 := j * b
+			j1 := min(j0+b, n)
+			o := d.Owners[j]
+			cols[o] = append(cols[o], [2]int{j0, j1})
+		}
+		var wg sync.WaitGroup
+		for o := 0; o < p; o++ {
+			if len(cols[o]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(o int) {
+				defer wg.Done()
+				st := time.Now()
+				for _, c := range cols[o] {
+					updateBlock(lu, k0, w, c[0], c[1])
+				}
+				times[o] += time.Since(st).Seconds()
+			}(o)
+		}
+		wg.Wait()
+	}
+	return lu, perm, times, nil
+}
+
+// panelFactor factorizes the panel of width w starting at diagonal k0 with
+// partial pivoting over the full trailing rows; row swaps apply to the
+// whole matrix and are recorded in perm.
+func panelFactor(lu *matrix.Dense, perm []int, k0, w int) error {
+	n := lu.Rows
+	for j := k0; j < k0+w; j++ {
+		p, best := j, math.Abs(lu.At(j, j))
+		for i := j + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, j)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return fmt.Errorf("lu: singular matrix at column %d", j)
+		}
+		if p != j {
+			rj, rp := lu.Row(j), lu.Row(p)
+			for c := range rj {
+				rj[c], rp[c] = rp[c], rj[c]
+			}
+			perm[j], perm[p] = perm[p], perm[j]
+		}
+		pivot := lu.At(j, j)
+		for i := j + 1; i < n; i++ {
+			l := lu.At(i, j) / pivot
+			lu.Set(i, j, l)
+			if l == 0 {
+				continue
+			}
+			// Update only the remaining panel columns; the trailing
+			// matrix is updated in the blocked step.
+			ri, rj := lu.Row(i), lu.Row(j)
+			for c := j + 1; c < k0+w; c++ {
+				ri[c] -= l * rj[c]
+			}
+		}
+	}
+	return nil
+}
+
+// updateBlock applies the step-k transformation to the block column
+// [j0, j1): the triangular solve U_kj = L_kk⁻¹·A_kj followed by the Schur
+// update A_ij -= L_ik·U_kj.
+func updateBlock(lu *matrix.Dense, k0, w, j0, j1 int) {
+	n := lu.Rows
+	// Triangular solve with the unit lower triangle at (k0, k0).
+	for i := k0 + 1; i < k0+w; i++ {
+		ri := lu.Row(i)
+		for t := k0; t < i; t++ {
+			l := lu.At(i, t)
+			if l == 0 {
+				continue
+			}
+			rt := lu.Row(t)
+			for c := j0; c < j1; c++ {
+				ri[c] -= l * rt[c]
+			}
+		}
+	}
+	// Schur complement of the trailing rows.
+	for i := k0 + w; i < n; i++ {
+		ri := lu.Row(i)
+		for t := k0; t < k0+w; t++ {
+			l := lu.At(i, t)
+			if l == 0 {
+				continue
+			}
+			rt := lu.Row(t)
+			for c := j0; c < j1; c++ {
+				ri[c] -= l * rt[c]
+			}
+		}
+	}
+}

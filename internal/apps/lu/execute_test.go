@@ -1,0 +1,155 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/kernels"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+func wellConditioned(n int, seed uint64) *matrix.Dense {
+	a := matrix.MustNew(n, n)
+	a.FillRandom(seed)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestExecuteMatchesUnblocked(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(300, 1e9),
+		speed.MustConstant(200, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	for _, n := range []int{32, 96, 100} { // 100 exercises a partial block
+		d, err := VariableGroupBlock(n, 16, fns)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a := wellConditioned(n, uint64(n))
+		lu, perm, times, err := Execute(d, a, len(fns))
+		if err != nil {
+			t.Fatalf("n=%d: Execute: %v", n, err)
+		}
+		if len(times) != len(fns) {
+			t.Errorf("n=%d: %d worker times", n, len(times))
+		}
+		// The blocked parallel factors must agree with the serial
+		// unblocked kernel (same pivot sequence).
+		ref := a.Clone()
+		refPerm, err := kernels.LUFactorize(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range perm {
+			if perm[i] != refPerm[i] {
+				t.Fatalf("n=%d: pivot sequences differ at %d: %v vs %v",
+					n, i, perm[:i+1], refPerm[:i+1])
+			}
+		}
+		if diff := matrix.MaxAbsDiff(lu, ref); diff > 1e-8*float64(n) {
+			t.Errorf("n=%d: factors differ from unblocked by %v", n, diff)
+		}
+		// And reconstruct the original matrix.
+		back, err := kernels.LUReconstruct(lu, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := matrix.MaxAbsDiff(back, a); diff > 1e-8*float64(n) {
+			t.Errorf("n=%d: reconstruction error %v", n, diff)
+		}
+	}
+}
+
+func TestExecuteSingularMatrix(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	d, err := VariableGroupBlock(8, 4, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Execute(d, matrix.MustNew(8, 8), 1); err == nil {
+		t.Error("all-zero matrix: want error")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	d, err := VariableGroupBlock(8, 4, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Execute(d, matrix.MustNew(4, 8), 1); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+	if _, _, _, err := Execute(d, wellConditioned(8, 1), 0); err == nil {
+		t.Error("p=0: want error")
+	}
+	bad := d
+	bad.Owners = []int{0, 7}
+	if _, _, _, err := Execute(bad, wellConditioned(8, 1), 1); err == nil {
+		t.Error("owner out of range: want error")
+	}
+}
+
+func TestExecuteDistributesWork(t *testing.T) {
+	// With a 4:1 speed ratio the fast processor owns more blocks; its
+	// accumulated wall time must not be an order of magnitude below its
+	// share (coarse sanity that the parallel path really ran).
+	fns := []speed.Function{
+		speed.MustConstant(400, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	d, err := VariableGroupBlock(128, 16, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, 2)
+	for _, o := range d.Owners {
+		owned[o]++
+	}
+	if owned[0] <= owned[1] {
+		t.Fatalf("fast processor owns %d of %d blocks", owned[0], d.Blocks())
+	}
+	_, _, times, err := Execute(d, wellConditioned(128, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0] <= 0 {
+		t.Error("fast processor recorded no time")
+	}
+}
+
+func TestSimTimeDetailedAgreesWithSimTime(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(1e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+	}
+	d, err := VariableGroupBlock(512, 32, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := SimTime(d, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := SimTimeDetailed(d, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != d.Blocks() {
+		t.Fatalf("%d steps for %d blocks", len(steps), d.Blocks())
+	}
+	var sum float64
+	for _, s := range steps {
+		if s.Panel < 0 || s.Update < 0 {
+			t.Fatalf("negative step time %+v", s)
+		}
+		sum += s.Panel + s.Update
+	}
+	if math.Abs(sum-total) > 1e-9*total {
+		t.Errorf("detailed sum %v vs SimTime %v", sum, total)
+	}
+}

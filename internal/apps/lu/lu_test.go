@@ -1,0 +1,324 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/machine"
+	"heteropart/internal/speed"
+)
+
+func table2LURates(t *testing.T) []speed.Function {
+	t.Helper()
+	ms := machine.Table2()
+	fns := make([]speed.Function, len(ms))
+	for i, m := range ms {
+		f, err := m.FlopRate(machine.LUFact)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		fns[i] = f
+	}
+	return fns
+}
+
+func checkDistribution(t *testing.T, d Distribution, p int) {
+	t.Helper()
+	wantBlocks := (d.N + d.B - 1) / d.B
+	if d.Blocks() != wantBlocks {
+		t.Fatalf("Blocks() = %d, want %d", d.Blocks(), wantBlocks)
+	}
+	var groupSum int
+	for _, g := range d.GroupSizes {
+		if g <= 0 {
+			t.Fatalf("non-positive group size in %v", d.GroupSizes)
+		}
+		groupSum += g
+	}
+	if groupSum != wantBlocks {
+		t.Fatalf("groups sum to %d, want %d", groupSum, wantBlocks)
+	}
+	for k, o := range d.Owners {
+		if o < 0 || o >= p {
+			t.Fatalf("owner[%d] = %d out of range", k, o)
+		}
+	}
+}
+
+func TestVariableGroupBlockPaperExample(t *testing.T) {
+	// The paper's illustration: n=576, b=32, p=3 — 18 blocks across
+	// groups of sizes {6, 5, 7} for speeds about 3:2:1.
+	fns := []speed.Function{
+		speed.MustConstant(300, 1e9),
+		speed.MustConstant(200, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	d, err := VariableGroupBlock(576, 32, fns)
+	if err != nil {
+		t.Fatalf("VariableGroupBlock: %v", err)
+	}
+	checkDistribution(t, d, 3)
+	// g = Σs/min = 600/100 = 6 ≥ 2p: first group has 6 blocks with
+	// shares proportional to 3:2:1 → {0,0,0,1,1,2}.
+	if d.GroupSizes[0] != 6 {
+		t.Errorf("g1 = %d, want 6", d.GroupSizes[0])
+	}
+	want := []int{0, 0, 0, 1, 1, 2}
+	for i, w := range want {
+		if d.Owners[i] != w {
+			t.Errorf("first group owners = %v, want %v", d.Owners[:6], want)
+			break
+		}
+	}
+	// Last group starts with the slowest processor and ends with the
+	// fastest (paper: fastest kept last).
+	lastStart := d.Blocks() - d.GroupSizes[len(d.GroupSizes)-1]
+	lastOwners := d.Owners[lastStart:]
+	if lastOwners[len(lastOwners)-1] != 0 {
+		t.Errorf("last group %v does not keep the fastest processor last", lastOwners)
+	}
+	if lastOwners[0] != 2 {
+		t.Errorf("last group %v does not start with the slowest processor", lastOwners)
+	}
+}
+
+func TestVariableGroupBlockSmallGroupDoubling(t *testing.T) {
+	// Nearly equal speeds: Σs/min ≈ p < 2p, so the group size must be
+	// doubled to give every processor at least two blocks.
+	fns := []speed.Function{
+		speed.MustConstant(100, 1e9),
+		speed.MustConstant(101, 1e9),
+		speed.MustConstant(102, 1e9),
+	}
+	d, err := VariableGroupBlock(640, 32, fns)
+	if err != nil {
+		t.Fatalf("VariableGroupBlock: %v", err)
+	}
+	checkDistribution(t, d, 3)
+	if d.GroupSizes[0] < 6 {
+		t.Errorf("g1 = %d, want ≥ 2p = 6", d.GroupSizes[0])
+	}
+}
+
+func TestVariableGroupBlockOnTable2(t *testing.T) {
+	fns := table2LURates(t)
+	// 256 blocks: with a heterogeneity ratio around 10 across 12 machines,
+	// Σs/min ≈ 50–100 blocks per group, so several groups must emerge.
+	d, err := VariableGroupBlock(8192, 32, fns)
+	if err != nil {
+		t.Fatalf("VariableGroupBlock: %v", err)
+	}
+	checkDistribution(t, d, len(fns))
+	if len(d.GroupSizes) < 2 {
+		t.Errorf("only %d groups; expected several for n=8192", len(d.GroupSizes))
+	}
+}
+
+func TestVariableGroupBlockValidation(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	if _, err := VariableGroupBlock(0, 32, fns); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := VariableGroupBlock(100, 0, fns); err == nil {
+		t.Error("b=0: want error")
+	}
+	if _, err := VariableGroupBlock(10, 32, fns); err == nil {
+		t.Error("b>n: want error")
+	}
+	if _, err := VariableGroupBlock(100, 10, nil); err == nil {
+		t.Error("no processors: want error")
+	}
+}
+
+func TestPartialLastBlock(t *testing.T) {
+	// n not a multiple of b: the last block is narrower but still owned.
+	fns := []speed.Function{
+		speed.MustConstant(10, 1e9),
+		speed.MustConstant(20, 1e9),
+	}
+	d, err := VariableGroupBlock(100, 32, fns) // 4 blocks, last 4 cols wide
+	if err != nil {
+		t.Fatalf("VariableGroupBlock: %v", err)
+	}
+	checkDistribution(t, d, 2)
+}
+
+func TestSimTimeSanity(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(1e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+	}
+	d, err := VariableGroupBlock(512, 32, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := SimTime(d, fns)
+	if err != nil {
+		t.Fatalf("SimTime: %v", err)
+	}
+	// Serial flops ≈ (2/3)·512³ ≈ 8.9e7; with ~3e9 flops/s aggregate the
+	// parallel time must be well under a second and above zero.
+	if !(tm > 0) || tm > 1 {
+		t.Errorf("SimTime = %v, want small positive", tm)
+	}
+}
+
+func TestSimTimeScalesWithMatrixSize(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(1e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+	}
+	small, err := VariableGroupBlock(256, 32, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := VariableGroupBlock(512, 32, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := SimTime(small, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := SimTime(large, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(n³) work: doubling n must increase time by well over 4×.
+	if tl < 4*ts {
+		t.Errorf("time did not scale: %v → %v", ts, tl)
+	}
+}
+
+func TestSimTimeRejectsBadOwners(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	d := Distribution{N: 64, B: 32, GroupSizes: []int{2}, Owners: []int{0, 5}}
+	if _, err := SimTime(d, fns); err == nil {
+		t.Error("owner out of range: want error")
+	}
+	if _, err := SimTime(Distribution{}, nil); err == nil {
+		t.Error("no processors: want error")
+	}
+}
+
+func TestFPMBeatsSingleNumberLU(t *testing.T) {
+	// Figure 22(b)'s claim at a size where several machines page.
+	fns := table2LURates(t)
+	const n, b = 20000, 32
+	fpm, err := VariableGroupBlock(n, b, fns)
+	if err != nil {
+		t.Fatalf("VariableGroupBlock: %v", err)
+	}
+	tFPM, err := SimTime(fpm, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, refN := range []int{2000, 5000} {
+		snd, err := SingleNumberDistribution(n, b, refN, fns)
+		if err != nil {
+			t.Fatalf("SingleNumberDistribution(%d): %v", refN, err)
+		}
+		tSN, err := SimTime(snd, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tFPM >= tSN {
+			t.Errorf("refN=%d: FPM %.1fs not faster than single-number %.1fs", refN, tFPM, tSN)
+		}
+	}
+}
+
+func TestSingleNumberDistributionValidation(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	if _, err := SingleNumberDistribution(100, 10, 0, fns); err == nil {
+		t.Error("refN=0: want error")
+	}
+	if _, err := SingleNumberDistribution(100, 10, 10, []speed.Function{nil}); err == nil {
+		t.Error("nil fn: want error")
+	}
+}
+
+func TestBlocksOwnedAfter(t *testing.T) {
+	d := Distribution{N: 128, B: 32, Owners: []int{0, 1, 0, 1}}
+	counts := d.BlocksOwnedAfter(0, 2)
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Errorf("counts after 0 = %v, want [1 2]", counts)
+	}
+	counts = d.BlocksOwnedAfter(3, 2)
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Errorf("counts after last = %v, want zeros", counts)
+	}
+}
+
+func TestGroupSizeDegenerate(t *testing.T) {
+	if g := groupSize([]float64{0, 0}, 2); g != 4 {
+		t.Errorf("degenerate group size = %d, want 2p = 4", g)
+	}
+	// Heterogeneous: Σ/min = (300+100)/100 = 4 ≥ 2p = 4 → g = 4.
+	if g := groupSize([]float64{300, 100}, 2); g != 4 {
+		t.Errorf("group size = %d, want 4", g)
+	}
+	if g := groupSize([]float64{math.Inf(1), 1}, 2); g < 1 {
+		t.Errorf("inf speed gave %d", g)
+	}
+}
+
+func TestGroupBlockUniformGroups(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(300, 1e9),
+		speed.MustConstant(200, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	d, err := GroupBlock(576, 32, fns)
+	if err != nil {
+		t.Fatalf("GroupBlock: %v", err)
+	}
+	checkDistribution(t, d, 3)
+	// All groups but possibly the last share the same size.
+	for i := 0; i < len(d.GroupSizes)-1; i++ {
+		if d.GroupSizes[i] != d.GroupSizes[0] {
+			t.Errorf("group %d has size %d, want uniform %d", i, d.GroupSizes[i], d.GroupSizes[0])
+		}
+	}
+}
+
+func TestGroupBlockValidation(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	if _, err := GroupBlock(0, 32, fns); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := GroupBlock(100, 10, nil); err == nil {
+		t.Error("no processors: want error")
+	}
+}
+
+func TestVariableGroupBlockTracksGroupBlock(t *testing.T) {
+	// VGB adapts the per-group shares to the shrinking problem size; GB
+	// freezes them at the full matrix. Under the synchronous per-step cost
+	// model the two must stay close (a block column allocated for a late
+	// group still participates in every earlier update, so adaptation
+	// cannot help the dominant early steps — see the group-block ablation
+	// for the measured trade-off across sizes). Both must crush the
+	// single-number distribution taken at a small reference size.
+	fns := table2LURates(t)
+	const n, b = 24000, 64
+	vgb, err := VariableGroupBlock(n, b, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := GroupBlock(n, b, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tV, err := SimTime(vgb, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tG, err := SimTime(gb, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := tV / tG; ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("VGB %.1fs and GB %.1fs diverge beyond the expected band", tV, tG)
+	}
+}

@@ -1,0 +1,233 @@
+package mm
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/core"
+	"heteropart/internal/grid"
+	"heteropart/internal/kernels"
+	"heteropart/internal/machine"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+// table2Rates returns the Table 2 cluster's MatrixMult flop rates.
+func table2Rates(t *testing.T) []speed.Function {
+	t.Helper()
+	ms := machine.Table2()
+	fns := make([]speed.Function, len(ms))
+	for i, m := range ms {
+		f, err := m.FlopRate(machine.MatrixMult)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		fns[i] = f
+	}
+	return fns
+}
+
+func TestRowFunctionsUnits(t *testing.T) {
+	// One processor with constant rate 2e9 flops/s; at n=1000 a row costs
+	// 2·n² = 2e6 flops, so the row speed must be 1000 rows/s.
+	fns := []speed.Function{speed.MustConstant(2e9, 1e12)}
+	rowFns, err := RowFunctions(1000, fns)
+	if err != nil {
+		t.Fatalf("RowFunctions: %v", err)
+	}
+	if got := rowFns[0].Eval(10); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("row speed = %v, want 1000", got)
+	}
+}
+
+func TestRowFunctionsErrors(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1)}
+	if _, err := RowFunctions(0, fns); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := RowFunctions(10, []speed.Function{nil}); err == nil {
+		t.Error("nil fn: want error")
+	}
+}
+
+func TestPartitionFPMBalances(t *testing.T) {
+	fns := table2Rates(t)
+	const n = 20000
+	plan, err := PartitionFPM(n, fns)
+	if err != nil {
+		t.Fatalf("PartitionFPM: %v", err)
+	}
+	if plan.Rows.Sum() != n {
+		t.Fatalf("rows sum to %d", plan.Rows.Sum())
+	}
+	// Per-processor times within a tight spread.
+	rowFns, err := RowFunctions(n, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), 0.0
+	for i, r := range plan.Rows {
+		if r == 0 {
+			continue
+		}
+		tm := float64(r) / rowFns[i].Eval(float64(r))
+		lo, hi = math.Min(lo, tm), math.Max(hi, tm)
+	}
+	if hi/lo > 1.05 {
+		t.Errorf("time spread %.3f", hi/lo)
+	}
+}
+
+func TestFPMBeatsSingleNumberInPagingRegime(t *testing.T) {
+	// The headline claim of Figure 22(a): for n large enough that some
+	// machines page, the functional model beats the single-number model
+	// regardless of the reference point.
+	fns := table2Rates(t)
+	const n = 25000
+	fpm, err := PartitionFPM(n, fns)
+	if err != nil {
+		t.Fatalf("PartitionFPM: %v", err)
+	}
+	tFPM, err := SimTime(fpm, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, refN := range []int{500, 4000} {
+		sn, err := PartitionSingleNumber(n, refN, fns)
+		if err != nil {
+			t.Fatalf("PartitionSingleNumber(%d): %v", refN, err)
+		}
+		tSN, err := SimTime(sn, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tFPM >= tSN {
+			t.Errorf("refN=%d: FPM %.1fs not faster than single-number %.1fs", refN, tFPM, tSN)
+		}
+	}
+}
+
+func TestSimTimeMatchesManualComputation(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1e9, 1e12), speed.MustConstant(2e9, 1e12)}
+	plan := Plan{N: 300, Rows: core.Allocation{100, 200}}
+	got, err := SimTime(plan, fns)
+	if err != nil {
+		t.Fatalf("SimTime: %v", err)
+	}
+	// 2·100·300²/1e9 = 0.018 s on both processors.
+	if math.Abs(got-0.018) > 1e-9 {
+		t.Errorf("SimTime = %v, want 0.018", got)
+	}
+}
+
+func TestSimTimeErrors(t *testing.T) {
+	plan := Plan{N: 10, Rows: core.Allocation{10}}
+	if _, err := SimTime(plan, nil); err == nil {
+		t.Error("mismatched functions: want error")
+	}
+}
+
+func TestExecuteComputesCorrectProduct(t *testing.T) {
+	const n = 48
+	fns := []speed.Function{
+		speed.MustConstant(3e9, 1e12),
+		speed.MustConstant(1e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+	}
+	plan, err := PartitionFPM(n, fns)
+	if err != nil {
+		t.Fatalf("PartitionFPM: %v", err)
+	}
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	a.FillRandom(1)
+	b.FillRandom(2)
+	c, times, err := Execute(plan, a, b)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(times) != len(plan.Rows) {
+		t.Errorf("times for %d workers, want %d", len(times), len(plan.Rows))
+	}
+	want := matrix.MustNew(n, n)
+	if err := kernels.MatMulABT(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c, want); d > 1e-9 {
+		t.Errorf("parallel product deviates by %v", d)
+	}
+}
+
+func TestExecuteShapeErrors(t *testing.T) {
+	plan := Plan{N: 4, Rows: core.Allocation{4}}
+	if _, _, err := Execute(plan, matrix.MustNew(3, 4), matrix.MustNew(4, 4)); err == nil {
+		t.Error("wrong A shape: want error")
+	}
+	bad := Plan{N: 4, Rows: core.Allocation{3}} // does not sum to N
+	if _, _, err := Execute(bad, matrix.MustNew(4, 4), matrix.MustNew(4, 4)); err == nil {
+		t.Error("bad stripes: want error")
+	}
+}
+
+func TestPartitionSingleNumberValidation(t *testing.T) {
+	fns := table2Rates(t)
+	if _, err := PartitionSingleNumber(0, 500, fns); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := PartitionSingleNumber(100, 0, fns); err == nil {
+		t.Error("refN=0: want error")
+	}
+	if _, err := PartitionSingleNumber(100, 10, []speed.Function{nil}); err == nil {
+		t.Error("nil fn: want error")
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Error("Workers() < 1")
+	}
+}
+
+func TestExecute2DComputesCorrectProduct(t *testing.T) {
+	const n = 40
+	fns := []speed.Function{
+		speed.MustConstant(3e9, 1e12),
+		speed.MustConstant(1e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+		speed.MustConstant(1e9, 1e12),
+	}
+	res, err := grid.Partition2D(n, n, fns, grid.Options{})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	a.FillRandom(5)
+	b.FillRandom(6)
+	c, times, err := Execute2D(n, res.Rects, a, b)
+	if err != nil {
+		t.Fatalf("Execute2D: %v", err)
+	}
+	if len(times) != len(res.Rects) {
+		t.Errorf("times for %d workers", len(times))
+	}
+	want := matrix.MustNew(n, n)
+	if err := kernels.MatMulABT(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c, want); d > 1e-9 {
+		t.Errorf("2D parallel product deviates by %v", d)
+	}
+}
+
+func TestExecute2DValidation(t *testing.T) {
+	a := matrix.MustNew(4, 4)
+	b := matrix.MustNew(4, 4)
+	if _, _, err := Execute2D(5, nil, a, b); err == nil {
+		t.Error("shape mismatch: want error")
+	}
+	oob := []grid.Rect{{X0: 0, Y0: 0, X1: 9, Y1: 4}}
+	if _, _, err := Execute2D(4, oob, a, b); err == nil {
+		t.Error("out-of-bounds rectangle: want error")
+	}
+}

@@ -1,0 +1,179 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/core"
+	"heteropart/internal/sim"
+	"heteropart/internal/speed"
+)
+
+func cluster3() []speed.Function {
+	return []speed.Function{
+		speed.MustConstant(3e8, 1e10),
+		speed.MustConstant(1e8, 1e10),
+		&speed.Analytic{Peak: 2e8, HalfRise: 100, PagingPoint: 1e6,
+			PagingWidth: 2e5, PagingFloor: 0.05, Max: 1e10},
+	}
+}
+
+func TestPartitionSumsAndBalances(t *testing.T) {
+	fns := cluster3()
+	p, err := Partition(10_000_000, fns)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	if p.Cells.Sum() != 10_000_000 {
+		t.Fatalf("sum = %d", p.Cells.Sum())
+	}
+	lo, hi := math.Inf(1), 0.0
+	for i, c := range p.Cells {
+		if c == 0 {
+			continue
+		}
+		tm := float64(c) / fns[i].Eval(float64(c))
+		lo, hi = math.Min(lo, tm), math.Max(hi, tm)
+	}
+	if hi/lo > 1.01 {
+		t.Errorf("time spread %.3f", hi/lo)
+	}
+	// The paging processor gets fewer cells than the fast healthy one.
+	if p.Cells[2] >= p.Cells[0] {
+		t.Errorf("paging processor got %d ≥ %d", p.Cells[2], p.Cells[0])
+	}
+}
+
+func TestSerialSmoothing(t *testing.T) {
+	src := []float64{0, 0, 4, 0, 0}
+	got := Serial(src, 1)
+	want := []float64{0, 1, 2, 1, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Boundaries stay fixed over many iterations.
+	got = Serial(src, 50)
+	if got[0] != 0 || got[len(got)-1] != 0 {
+		t.Errorf("boundaries moved: %v", got)
+	}
+	// Zero iterations: unchanged copy.
+	same := Serial(src, 0)
+	for i := range src {
+		if same[i] != src[i] {
+			t.Fatalf("0 iterations changed data")
+		}
+	}
+}
+
+func TestExecuteMatchesSerial(t *testing.T) {
+	fns := cluster3()
+	const n, iters = 10_000, 25
+	plan, err := Partition(n, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = math.Sin(float64(i) / 100)
+	}
+	got, err := Execute(plan, src, iters)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	want := Serial(src, iters)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parallel result differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	plan := Plan{Cells: core.Allocation{5, 5}}
+	if _, err := Execute(plan, make([]float64, 7), 1); err == nil {
+		t.Error("size mismatch: want error")
+	}
+	if _, err := Execute(plan, make([]float64, 10), -1); err == nil {
+		t.Error("negative iterations: want error")
+	}
+}
+
+func TestSimTime(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(100, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	plan := Plan{Cells: core.Allocation{100, 100}}
+	// No network: 10 iterations × (100/100) = 10 s.
+	tm, err := SimTime(plan, fns, 10, nil)
+	if err != nil {
+		t.Fatalf("SimTime: %v", err)
+	}
+	if math.Abs(tm-10) > 1e-9 {
+		t.Errorf("SimTime = %v, want 10", tm)
+	}
+	// With a network, halo exchange adds per-iteration cost.
+	net := &sim.Network{LatencySec: 0.01, BytesPerSec: 1e6, Serialized: true}
+	tm2, err := SimTime(plan, fns, 10, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm2 <= tm {
+		t.Errorf("network added nothing: %v vs %v", tm2, tm)
+	}
+	// Single active processor: no communication.
+	solo := Plan{Cells: core.Allocation{200, 0}}
+	tm3, err := SimTime(solo, fns, 10, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm3-20) > 1e-9 {
+		t.Errorf("solo SimTime = %v, want 20 (no comm)", tm3)
+	}
+}
+
+func TestSimTimeErrors(t *testing.T) {
+	plan := Plan{Cells: core.Allocation{1}}
+	fns := []speed.Function{speed.MustConstant(1, 1e9)}
+	if _, err := SimTime(plan, fns, -1, nil); err == nil {
+		t.Error("negative iters: want error")
+	}
+	bad := &sim.Network{LatencySec: -1, BytesPerSec: 0}
+	two := Plan{Cells: core.Allocation{1, 1}}
+	fns2 := []speed.Function{speed.MustConstant(1, 1e9), speed.MustConstant(1, 1e9)}
+	if _, err := SimTime(two, fns2, 1, bad); err == nil {
+		t.Error("bad network: want error")
+	}
+}
+
+// Property: parallel execution is bit-identical to serial for arbitrary
+// splits and small arrays.
+func TestExecuteProperty(t *testing.T) {
+	check := func(aSeed, bSeed uint8, itersSeed uint8) bool {
+		a, b := int64(aSeed), int64(bSeed)
+		n := a + b + 2 // ≥ 2 cells
+		plan := Plan{Cells: core.Allocation{a + 1, b + 1}}
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = float64((i*37)%11) / 3
+		}
+		iters := int(itersSeed % 8)
+		got, err := Execute(plan, src, iters)
+		if err != nil {
+			return false
+		}
+		want := Serial(src, iters)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package clusterio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heteropart/internal/machine"
+	"heteropart/internal/speed"
+)
+
+const sampleDoc = `{
+  "processors": [
+    {"name": "pwl", "points": [{"size": 100, "speed": 1000}, {"size": 10000, "speed": 10}]},
+    {"name": "const", "speed": 500, "max": 1e9},
+    {"name": "steps", "levels": [{"upTo": 100, "speed": 50}, {"upTo": 1000, "speed": 5}]},
+    {"name": "modelled", "spec": {
+      "mhz": 1977, "mainMemKB": 1030508, "freeMemKB": 415904, "cacheKB": 512,
+      "pagingMM": 6000, "pagingLU": 8500, "integration": "low"
+    }}
+  ]
+}`
+
+func TestLoadAndFunctions(t *testing.T) {
+	c, err := Load(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	fns, names, err := c.Functions(1e6)
+	if err != nil {
+		t.Fatalf("Functions: %v", err)
+	}
+	if len(fns) != 4 {
+		t.Fatalf("%d functions", len(fns))
+	}
+	want := []string{"pwl", "const", "steps", "modelled"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+		if fns[i] == nil || !(fns[i].MaxSize() > 0) {
+			t.Errorf("function %d invalid", i)
+		}
+	}
+	// Representation checks.
+	if _, ok := fns[0].(*speed.PiecewiseLinear); !ok {
+		t.Errorf("fns[0] = %T, want piecewise linear", fns[0])
+	}
+	if fns[1].Eval(123) != 500 {
+		t.Errorf("constant = %v", fns[1].Eval(123))
+	}
+	if _, ok := fns[2].(*speed.Step); !ok {
+		t.Errorf("fns[2] = %T, want step", fns[2])
+	}
+	// Modelled machine expands through the default MatrixMult kernel.
+	if fns[3].Eval(1e6) <= 0 {
+		t.Error("modelled machine has zero speed")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"processors": [{"name":"x","speed":1}], "bogus": 1}`,
+		"no processors": `{"processors": []}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestFunctionsValidation(t *testing.T) {
+	cases := map[string]Cluster{
+		"none set": {Processors: []Processor{{Name: "x"}}},
+		"two set": {Processors: []Processor{{
+			Name: "x", Speed: 5, Points: []speed.Point{{X: 1, Y: 1}, {X: 2, Y: 1}},
+		}}},
+		"bad pwl": {Processors: []Processor{{
+			Name: "x", Points: []speed.Point{{X: 1, Y: 1}},
+		}}},
+		"bad levels": {Processors: []Processor{{
+			Name: "x", Levels: []speed.Level{{UpTo: -1, Y: 1}},
+		}}},
+		"bad spec": {Processors: []Processor{{
+			Name: "x", Spec: &MachineSpec{},
+		}}},
+		"bad integration": {Processors: []Processor{{
+			Name: "x", Spec: &MachineSpec{MHz: 100, MainMemKB: 100, FreeMemKB: 10,
+				CacheKB: 10, PagingMM: 10, PagingLU: 10, Integration: "medium"},
+		}}},
+		"bad kernel": {Kernel: "Nope", Processors: []Processor{{
+			Name: "x", Spec: &MachineSpec{MHz: 100, MainMemKB: 100, FreeMemKB: 10,
+				CacheKB: 10, PagingMM: 10, PagingLU: 10},
+		}}},
+	}
+	for name, c := range cases {
+		if _, _, err := c.Functions(1e6); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestConstantDefaultMax(t *testing.T) {
+	c := Cluster{Processors: []Processor{{Name: "c", Speed: 10}}}
+	fns, _, err := c.Functions(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fns[0].MaxSize() != 4242 {
+		t.Errorf("default max = %v, want 4242", fns[0].MaxSize())
+	}
+}
+
+func TestRoundTripTestbed(t *testing.T) {
+	c, err := FromTestbed(machine.Table2(), "LUFact")
+	if err != nil {
+		t.Fatalf("FromTestbed: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load(saved): %v", err)
+	}
+	fns, names, err := back.Functions(0)
+	if err != nil {
+		t.Fatalf("Functions: %v", err)
+	}
+	if len(fns) != 12 || names[0] != "X1" {
+		t.Fatalf("round trip lost processors: %d, %v", len(fns), names[:1])
+	}
+	// The expanded functions must match a direct expansion.
+	direct, err := machine.Table2()[0].FlopRate(machine.LUFact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1e5, 1e7, 1e9} {
+		if got, want := fns[0].Eval(x), direct.Eval(x); got != want {
+			t.Errorf("X1 at %v: %v vs direct %v", x, got, want)
+		}
+	}
+}
+
+func TestFromTestbedErrors(t *testing.T) {
+	if _, err := FromTestbed(nil, ""); err == nil {
+		t.Error("empty testbed: want error")
+	}
+	if _, err := FromTestbed(machine.Table1(), "Bogus"); err == nil {
+		t.Error("unknown kernel: want error")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/cluster.json"); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestExampleClusterFile(t *testing.T) {
+	// The file shipped in testdata doubles as the format's documentation;
+	// it must load and expand with all four representations.
+	c, err := LoadFile("../../testdata/cluster.example.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	fns, names, err := c.Functions(1e9)
+	if err != nil {
+		t.Fatalf("Functions: %v", err)
+	}
+	if len(fns) != 4 {
+		t.Fatalf("%d processors", len(fns))
+	}
+	want := []string{"measured-pwl", "legacy-constant", "dlt-staircase", "modelled-xeon"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q", i, names[i])
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleNumberProportional(t *testing.T) {
+	alloc, err := SingleNumber(1000, []float64{1, 3})
+	if err != nil {
+		t.Fatalf("SingleNumber: %v", err)
+	}
+	if alloc[0] != 250 || alloc[1] != 750 {
+		t.Errorf("alloc = %v, want [250 750]", alloc)
+	}
+}
+
+func TestSingleNumberRemainderGoesToFastFinisher(t *testing.T) {
+	// n=10, speeds 1 and 2: floors are 3 and 6; the remaining unit goes to
+	// the processor with the smaller (x+1)/s.
+	alloc, err := SingleNumber(10, []float64{1, 2})
+	if err != nil {
+		t.Fatalf("SingleNumber: %v", err)
+	}
+	if alloc.Sum() != 10 {
+		t.Fatalf("sum = %d", alloc.Sum())
+	}
+	// (4/1=4) vs (7/2=3.5): the unit goes to processor 1.
+	if alloc[0] != 3 || alloc[1] != 7 {
+		t.Errorf("alloc = %v, want [3 7]", alloc)
+	}
+}
+
+func TestSingleNumberZeroSpeedProcessor(t *testing.T) {
+	alloc, err := SingleNumber(100, []float64{0, 5})
+	if err != nil {
+		t.Fatalf("SingleNumber: %v", err)
+	}
+	if alloc[0] != 0 || alloc[1] != 100 {
+		t.Errorf("alloc = %v, want [0 100]", alloc)
+	}
+}
+
+func TestSingleNumberErrors(t *testing.T) {
+	if _, err := SingleNumber(10, nil); !errors.Is(err, ErrNoProcessors) {
+		t.Errorf("nil speeds: %v", err)
+	}
+	if _, err := SingleNumber(-1, []float64{1}); !errors.Is(err, ErrBadN) {
+		t.Errorf("negative n: %v", err)
+	}
+	if _, err := SingleNumber(10, []float64{0, 0}); !errors.Is(err, ErrZeroSpeed) {
+		t.Errorf("all-zero speeds: %v", err)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := SingleNumber(10, []float64{bad}); err == nil {
+			t.Errorf("speed %v: want error", bad)
+		}
+	}
+}
+
+// Property: naive O(p²) and heap O(p·log p) single-number partitioners
+// agree on the makespan (ties may be broken differently).
+func TestSingleNumberNaiveEquivalence(t *testing.T) {
+	check := func(nSeed uint32, s1, s2, s3 uint16) bool {
+		n := int64(nSeed % 1_000_000)
+		speeds := []float64{float64(s1) + 1, float64(s2) + 1, float64(s3) + 1}
+		a, err := SingleNumber(n, speeds)
+		if err != nil {
+			return false
+		}
+		b, err := SingleNumberNaive(n, speeds)
+		if err != nil {
+			return false
+		}
+		if a.Sum() != n || b.Sum() != n {
+			return false
+		}
+		ta := singleNumberMakespan(a, speeds)
+		tb := singleNumberMakespan(b, speeds)
+		return math.Abs(ta-tb) <= 1e-9*math.Max(ta, tb)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func singleNumberMakespan(alloc Allocation, speeds []float64) float64 {
+	var worst float64
+	for i, x := range alloc {
+		if x == 0 {
+			continue
+		}
+		worst = math.Max(worst, float64(x)/speeds[i])
+	}
+	return worst
+}
+
+func TestSingleNumberNaiveErrors(t *testing.T) {
+	if _, err := SingleNumberNaive(10, nil); !errors.Is(err, ErrNoProcessors) {
+		t.Errorf("nil speeds: %v", err)
+	}
+	if _, err := SingleNumberNaive(-2, []float64{1}); !errors.Is(err, ErrBadN) {
+		t.Errorf("negative n: %v", err)
+	}
+}
+
+func TestEven(t *testing.T) {
+	alloc, err := Even(10, 3)
+	if err != nil {
+		t.Fatalf("Even: %v", err)
+	}
+	want := Allocation{4, 3, 3}
+	for i := range want {
+		if alloc[i] != want[i] {
+			t.Fatalf("alloc = %v, want %v", alloc, want)
+		}
+	}
+	if _, err := Even(10, 0); !errors.Is(err, ErrNoProcessors) {
+		t.Errorf("p=0: %v", err)
+	}
+	if _, err := Even(-1, 2); !errors.Is(err, ErrBadN) {
+		t.Errorf("n<0: %v", err)
+	}
+}
+
+// Property: Even always sums to n with shares differing by at most 1.
+func TestEvenProperty(t *testing.T) {
+	check := func(nSeed uint32, pSeed uint8) bool {
+		n := int64(nSeed % 10_000_000)
+		p := 1 + int(pSeed%32)
+		alloc, err := Even(n, p)
+		if err != nil || alloc.Sum() != n {
+			return false
+		}
+		lo, hi := alloc[0], alloc[0]
+		for _, x := range alloc {
+			lo, hi = min(lo, x), max(hi, x)
+		}
+		return hi-lo <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"heteropart/internal/geometry"
+	"heteropart/internal/speed"
+)
+
+// Basic partitions n elements over the processors described by fns using
+// the paper's simplest algorithm (Figures 7–8): bisection of the region
+// between two rays through the origin. At every step the region between
+// the under-allocating (steep) and over-allocating (shallow) ray is halved
+// by a ray at the mean slope; the half containing the optimum is kept.
+// The search stops when no processor's candidate interval contains a whole
+// element (the paper's stopping criterion), after which fine-tuning picks
+// the integer allocation.
+//
+// When the slope of the optimal line is a polynomial function of n the
+// algorithm needs O(log₂ n) steps of O(p) intersections each; for graphs
+// flattening exponentially it can degrade (the motivation for Modified).
+func Basic(n int64, fns []speed.Function, opts ...Option) (Result, error) {
+	st, err := newState(n, fns, "basic", opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if res, done := st.trivial(); done {
+		return res, nil
+	}
+	b, err := st.openBounds()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := st.runBasic(b); err != nil {
+		return Result{}, err
+	}
+	return st.finalize(b), nil
+}
+
+// bounds tracks the current search region between two rays.
+type bounds struct {
+	steep, shallow   geometry.Ray // steep under-allocates, shallow over-allocates
+	xSteep, xShallow []float64    // cached intersections of the two rays
+}
+
+// trivial handles n == 0 and p == 1 without any geometry.
+func (s *state) trivial() (Result, bool) {
+	p := len(s.fns)
+	if s.n == 0 {
+		return Result{Alloc: make(Allocation, p), Stats: s.stats}, true
+	}
+	if p == 1 {
+		alloc := Allocation{int64(s.n)}
+		slope := 0.0
+		if sp := s.fns[0].Eval(s.n); sp > 0 {
+			slope = sp / s.n
+		}
+		return Result{Alloc: alloc, Slope: slope, Stats: s.stats}, true
+	}
+	return Result{}, false
+}
+
+// openBounds establishes the initial rays of Figure 18 and their cached
+// intersections.
+func (s *state) openBounds() (*bounds, error) {
+	steep, shallow, err := s.initialRays()
+	if err != nil {
+		return nil, err
+	}
+	b := &bounds{
+		steep:    steep,
+		shallow:  shallow,
+		xSteep:   make([]float64, len(s.fns)),
+		xShallow: make([]float64, len(s.fns)),
+	}
+	if _, err := s.intersect(steep, b.xSteep); err != nil {
+		return nil, err
+	}
+	if _, err := s.intersect(shallow, b.xShallow); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// replace installs the mid ray as the new steep or shallow bound depending
+// on the allocation sum at mid.
+func (b *bounds) replace(mid geometry.Ray, xs []float64, sum, n float64) {
+	if sum < n {
+		b.steep = mid
+		copy(b.xSteep, xs)
+	} else {
+		b.shallow = mid
+		copy(b.xShallow, xs)
+	}
+}
+
+// runBasic executes ray bisection until the stopping criterion is met or
+// the slope interval is numerically exhausted.
+func (s *state) runBasic(b *bounds) error {
+	for s.stats.Steps < s.cfg.maxSteps {
+		if converged(b.xSteep, b.xShallow) {
+			return nil
+		}
+		mid := s.cfg.rule.Bisect(b.shallow, b.steep)
+		if !(mid.Slope() > b.shallow.Slope()) || !(mid.Slope() < b.steep.Slope()) {
+			// The slope interval has collapsed to adjacent floats; the
+			// remaining per-processor gaps cannot be narrowed by geometry.
+			return nil
+		}
+		sum, err := s.intersect(mid, s.xs)
+		if err != nil {
+			return err
+		}
+		s.stats.Steps++
+		b.replace(mid, s.xs, sum, s.n)
+	}
+	return nil
+}
+
+// finalize converts the final region into the integer result.
+func (s *state) finalize(b *bounds) Result {
+	var alloc Allocation
+	if s.cfg.fineTune {
+		alloc = s.fineTune(b.xSteep)
+	} else {
+		alloc = s.roundLargestRemainder(b.xShallow)
+	}
+	return Result{
+		Alloc: alloc,
+		Slope: (b.steep.Slope() + b.shallow.Slope()) / 2,
+		Stats: s.stats,
+	}
+}
+
+// mustSum panics when an allocation does not sum to n; used in internal
+// consistency checks during testing.
+func mustSum(alloc Allocation, n int64) {
+	if alloc.Sum() != n {
+		panic(fmt.Sprintf("core: allocation sums to %d, want %d", alloc.Sum(), n))
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/speed"
+)
+
+func TestBoundedUnconstrainedWhenLimitsLoose(t *testing.T) {
+	fns := testCluster(4, 5)
+	limits := []int64{1 << 40, 1 << 40, 1 << 40, 1 << 40}
+	alloc, _, err := Bounded(10_000_000, fns, limits)
+	if err != nil {
+		t.Fatalf("Bounded: %v", err)
+	}
+	free, err := Combined(10_000_000, fns)
+	if err != nil {
+		t.Fatalf("Combined: %v", err)
+	}
+	if Makespan(alloc, fns) > Makespan(free.Alloc, fns)*1.001 {
+		t.Errorf("loose bounds changed the solution: %v vs %v", alloc, free.Alloc)
+	}
+}
+
+func TestBoundedClampsViolators(t *testing.T) {
+	// Fast processor capped tightly: it must saturate its bound and the
+	// rest must absorb the remainder.
+	fns := constants([]float64{1000, 10, 10}, 1e9)
+	limits := []int64{100, 1 << 30, 1 << 30}
+	alloc, _, err := Bounded(10_000, fns, limits)
+	if err != nil {
+		t.Fatalf("Bounded: %v", err)
+	}
+	if alloc[0] != 100 {
+		t.Errorf("capped processor got %d, want its bound 100", alloc[0])
+	}
+	if alloc.Sum() != 10_000 {
+		t.Errorf("sum = %d", alloc.Sum())
+	}
+	// The two slow processors split the rest evenly (equal speeds).
+	if diff := alloc[1] - alloc[2]; diff < -1 || diff > 1 {
+		t.Errorf("uneven split among equals: %v", alloc)
+	}
+}
+
+func TestBoundedExactFit(t *testing.T) {
+	fns := constants([]float64{5, 5}, 1e9)
+	alloc, _, err := Bounded(200, fns, []int64{100, 100})
+	if err != nil {
+		t.Fatalf("Bounded: %v", err)
+	}
+	if alloc[0] != 100 || alloc[1] != 100 {
+		t.Errorf("alloc = %v, want [100 100]", alloc)
+	}
+}
+
+func TestBoundedErrors(t *testing.T) {
+	fns := constants([]float64{1, 1}, 1e9)
+	if _, _, err := Bounded(10, nil, nil); !errors.Is(err, ErrNoProcessors) {
+		t.Errorf("no processors: %v", err)
+	}
+	if _, _, err := Bounded(10, fns, []int64{5}); err == nil {
+		t.Error("mismatched limits: want error")
+	}
+	if _, _, err := Bounded(-1, fns, []int64{5, 5}); !errors.Is(err, ErrBadN) {
+		t.Errorf("negative n: %v", err)
+	}
+	if _, _, err := Bounded(10, fns, []int64{-1, 20}); err == nil {
+		t.Error("negative limit: want error")
+	}
+	if _, _, err := Bounded(100, fns, []int64{10, 20}); !errors.Is(err, ErrBounds) {
+		t.Errorf("insufficient capacity: %v", err)
+	}
+}
+
+// Property: bounds are always respected and the allocation always sums to n.
+func TestBoundedProperty(t *testing.T) {
+	check := func(seed uint32, nSeed uint32) bool {
+		fns := testCluster(4, seed)
+		n := int64(1000 + nSeed%5_000_000)
+		limits := []int64{n / 4, n, n / 2, n}
+		alloc, _, err := Bounded(n, fns, limits)
+		if err != nil {
+			return false
+		}
+		if alloc.Sum() != n {
+			return false
+		}
+		for i, x := range alloc {
+			if x < 0 || x > limits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedAssignsEverything(t *testing.T) {
+	items := []WeightedItem{
+		{Weight: 10, Index: 0}, {Weight: 3, Index: 1}, {Weight: 7, Index: 2},
+		{Weight: 1, Index: 3}, {Weight: 5, Index: 4},
+	}
+	fns := constants([]float64{10, 5}, 1e6)
+	assign, err := Weighted(items, fns)
+	if err != nil {
+		t.Fatalf("Weighted: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, idxs := range assign {
+		for _, idx := range idxs {
+			if seen[idx] {
+				t.Fatalf("element %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != len(items) {
+		t.Errorf("assigned %d of %d elements", len(seen), len(items))
+	}
+}
+
+func TestWeightedBalancesByLoad(t *testing.T) {
+	// 2:1 speeds and many equal items: loads should split roughly 2:1.
+	items := make([]WeightedItem, 300)
+	for i := range items {
+		items[i] = WeightedItem{Weight: 1, Index: i}
+	}
+	fns := constants([]float64{20, 10}, 1e6)
+	assign, err := Weighted(items, fns)
+	if err != nil {
+		t.Fatalf("Weighted: %v", err)
+	}
+	if got := len(assign[0]); got < 190 || got > 210 {
+		t.Errorf("fast processor got %d of 300, want ≈ 200", got)
+	}
+}
+
+func TestWeightedRespectsCapacity(t *testing.T) {
+	items := []WeightedItem{{Weight: 50, Index: 0}, {Weight: 50, Index: 1}}
+	// First processor can hold only 60 units of load.
+	fns := []speed.Function{
+		speed.MustConstant(100, 60),
+		speed.MustConstant(1, 1000),
+	}
+	assign, err := Weighted(items, fns)
+	if err != nil {
+		t.Fatalf("Weighted: %v", err)
+	}
+	if len(assign[0]) != 1 || len(assign[1]) != 1 {
+		t.Errorf("assign = %v, want one heavy item each", assign)
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	if _, err := Weighted(nil, nil); !errors.Is(err, ErrNoProcessors) {
+		t.Errorf("no processors: %v", err)
+	}
+	fns := constants([]float64{1}, 10)
+	if _, err := Weighted([]WeightedItem{{Weight: -1}}, fns); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := Weighted([]WeightedItem{{Weight: 100, Index: 0}}, fns); !errors.Is(err, ErrBounds) {
+		t.Errorf("oversized element: %v", err)
+	}
+}

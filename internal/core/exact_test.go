@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/speed"
+)
+
+func TestExactSumsToN(t *testing.T) {
+	fns := testCluster(5, 42)
+	for _, n := range []int64{0, 1, 7, 1000, 50_000_000} {
+		res, err := Exact(n, fns)
+		if err != nil {
+			t.Fatalf("Exact(%d): %v", n, err)
+		}
+		if res.Alloc.Sum() != n {
+			t.Errorf("Exact(%d) sums to %d", n, res.Alloc.Sum())
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	// p = 2 brute force, including a paging curve.
+	fns := []speed.Function{
+		&speed.Analytic{Peak: 5e3, HalfRise: 50, CacheEdge: 500, CacheDecay: 0.6,
+			PagingPoint: 1500, PagingWidth: 300, PagingFloor: 0.05, Max: 1e5},
+		&speed.Analytic{Peak: 2e3, HalfRise: 20, Max: 1e5},
+	}
+	const n = 2000
+	best := math.Inf(1)
+	for x := int64(0); x <= n; x++ {
+		if m := Makespan(Allocation{x, n - x}, fns); m < best {
+			best = m
+		}
+	}
+	res, err := Exact(n, fns)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	got := Makespan(res.Alloc, fns)
+	if got > best*(1+1e-9) {
+		t.Errorf("Exact makespan %.9g vs brute force %.9g", got, best)
+	}
+}
+
+// The paper's geometric algorithms must track the exact integer optimum.
+func TestGeometricAlgorithmsNearExact(t *testing.T) {
+	for seed := uint32(1); seed <= 8; seed++ {
+		fns := testCluster(5, seed)
+		const n = 10_000_000
+		exact, err := Exact(n, fns)
+		if err != nil {
+			t.Fatalf("Exact: %v", err)
+		}
+		ref := Makespan(exact.Alloc, fns)
+		for name, part := range partitioners {
+			res, err := part(n, fns)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := Makespan(res.Alloc, fns); got > ref*1.01 {
+				t.Errorf("seed %d: %s makespan %.6g vs exact %.6g", seed, name, got, ref)
+			}
+		}
+	}
+}
+
+func TestExactRespectsCapacity(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(100, 600), // can hold at most 600 elements
+		speed.MustConstant(10, 1e9),
+	}
+	res, err := Exact(1000, fns)
+	if err != nil {
+		t.Fatalf("Exact: %v", err)
+	}
+	if res.Alloc[0] > 600 {
+		t.Errorf("capacity violated: %v", res.Alloc)
+	}
+	if res.Alloc.Sum() != 1000 {
+		t.Errorf("sum = %d", res.Alloc.Sum())
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	if _, err := Exact(10, nil); err == nil {
+		t.Error("no processors: want error")
+	}
+	if _, err := Exact(-1, testCluster(2, 1)); err == nil {
+		t.Error("negative n: want error")
+	}
+	small := constants([]float64{1, 1}, 100)
+	if _, err := Exact(1000, small); err == nil {
+		t.Error("infeasible: want error")
+	}
+}
+
+// Property: Exact is never worse than any geometric algorithm (it is the
+// optimum) on random clusters and sizes, within bisection tolerance.
+func TestExactDominatesProperty(t *testing.T) {
+	check := func(seed uint32, nSeed uint32) bool {
+		fns := testCluster(4, seed)
+		n := int64(100 + nSeed%20_000_000)
+		exact, err := Exact(n, fns)
+		if err != nil {
+			return false
+		}
+		if exact.Alloc.Sum() != n {
+			return false
+		}
+		ref := Makespan(exact.Alloc, fns)
+		res, err := Combined(n, fns)
+		if err != nil {
+			return false
+		}
+		return ref <= Makespan(res.Alloc, fns)*(1+1e-6)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+// The basic workflow: describe each processor's speed as a function of
+// problem size and partition so that every processor finishes at the same
+// time. The third processor pages at 2×10⁷ elements, so it receives far
+// less than its peak speed alone would suggest.
+func ExampleCombined() {
+	fns := []speed.Function{
+		speed.MustConstant(2e8, 1e9),
+		speed.MustConstant(1e8, 1e9),
+		&speed.Analytic{Peak: 2e8, HalfRise: 1e3,
+			PagingPoint: 2e7, PagingWidth: 4e6, PagingFloor: 0.02, Max: 1e9},
+	}
+	res, err := core.Combined(100_000_000, fns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("total:", res.Alloc.Sum())
+	fmt.Println("pager got less than half of processor 0:", res.Alloc[2] < res.Alloc[0]/2)
+	// Output:
+	// total: 100000000
+	// pager got less than half of processor 0: true
+}
+
+// With constant speeds the functional model reduces to the classical
+// single-number model.
+func ExampleSingleNumber() {
+	alloc, err := core.SingleNumber(1000, []float64{1, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(alloc)
+	// Output:
+	// [250 750]
+}
+
+// Per-processor storage limits: the fast processor saturates its bound and
+// the remainder spills to the slower ones.
+func ExampleBounded() {
+	fns := []speed.Function{
+		speed.MustConstant(1000, 1e9),
+		speed.MustConstant(10, 1e9),
+		speed.MustConstant(10, 1e9),
+	}
+	alloc, _, err := core.Bounded(10_000, fns, []int64{100, 1 << 30, 1 << 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fast processor clamped to:", alloc[0])
+	fmt.Println("total:", alloc.Sum())
+	// Output:
+	// fast processor clamped to: 100
+	// total: 10000
+}
+
+// Ordered workloads: contiguous segments of a weighted sequence.
+func ExampleContiguousWeighted() {
+	weights := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	fns := []speed.Function{
+		speed.MustConstant(1, 1e9),
+		speed.MustConstant(3, 1e9),
+	}
+	segs, err := core.ContiguousWeighted(weights, fns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(segs)
+	// Output:
+	// [[0 2] [2 8]]
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// fineTune converts the non-integer geometric optimum into an integer
+// allocation summing exactly to n. It starts from the floor of the
+// under-allocating (steep-ray) intersections and hands out the remaining
+// units one by one, each time to the processor whose execution time grows
+// the least — the O(p·log₂ p) counterpart of the paper's "sort the 2p
+// candidate execution times and keep the p best" (see DESIGN.md for why
+// this reading is used).
+func (s *state) fineTune(xSteep []float64) Allocation {
+	p := len(s.fns)
+	alloc := make(Allocation, p)
+	caps := make([]int64, p)
+	var total int64
+	for i, f := range s.fns {
+		caps[i] = int64(math.Floor(f.MaxSize()))
+		x := int64(math.Floor(xSteep[i]))
+		if x < 0 {
+			x = 0
+		}
+		if x > caps[i] {
+			x = caps[i]
+		}
+		alloc[i] = x
+		total += x
+	}
+	deficit := int64(s.n) - total
+	if deficit <= 0 {
+		// Flooring an under-allocation cannot overshoot, but guard against
+		// callers with degenerate inputs: shave from the slowest.
+		s.shave(alloc, -deficit)
+		return alloc
+	}
+	h := make(incrementHeap, 0, p)
+	for i := range s.fns {
+		if alloc[i] < caps[i] {
+			h = append(h, incrementCandidate{idx: i, time: s.timeAt(i, alloc[i]+1)})
+		}
+	}
+	heap.Init(&h)
+	for deficit > 0 && h.Len() > 0 {
+		c := h[0]
+		i := c.idx
+		alloc[i]++
+		deficit--
+		s.stats.FineTuneMoves++
+		if alloc[i] < caps[i] {
+			h[0].time = s.timeAt(i, alloc[i]+1)
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return alloc
+}
+
+// timeAt is the execution time of processor i at allocation x.
+func (s *state) timeAt(i int, x int64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	sp := s.fns[i].Eval(float64(x))
+	if sp <= 0 {
+		return math.Inf(1)
+	}
+	return float64(x) / sp
+}
+
+// shave removes units from the processors with the largest current
+// execution time, used only on degenerate inputs.
+func (s *state) shave(alloc Allocation, excess int64) {
+	for ; excess > 0; excess-- {
+		worst, worstTime := -1, math.Inf(-1)
+		for i, x := range alloc {
+			if x == 0 {
+				continue
+			}
+			if t := s.timeAt(i, x); t > worstTime {
+				worst, worstTime = i, t
+			}
+		}
+		if worst < 0 {
+			return
+		}
+		alloc[worst]--
+		s.stats.FineTuneMoves++
+	}
+}
+
+type incrementCandidate struct {
+	idx  int
+	time float64
+}
+
+// incrementHeap is a min-heap over the time a processor would exhibit
+// after receiving one more element.
+type incrementHeap []incrementCandidate
+
+func (h incrementHeap) Len() int           { return len(h) }
+func (h incrementHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h incrementHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *incrementHeap) Push(x any)        { *h = append(*h, x.(incrementCandidate)) }
+func (h *incrementHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// roundLargestRemainder converts a continuous solution xs (whose sum may
+// deviate slightly from n) into an integer allocation summing to n by
+// proportional scaling and largest-remainder rounding, respecting domain
+// capacities. It is used when fine-tuning is disabled.
+func (s *state) roundLargestRemainder(xs []float64) Allocation {
+	p := len(xs)
+	alloc := make(Allocation, p)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	n := int64(s.n)
+	if sum <= 0 {
+		// No information in the continuous solution; fall back to even.
+		return evenAllocation(n, p)
+	}
+	type frac struct {
+		idx int
+		f   float64
+	}
+	fracs := make([]frac, p)
+	var total int64
+	caps := make([]int64, p)
+	for i, x := range xs {
+		caps[i] = int64(math.Floor(s.fns[i].MaxSize()))
+		t := x * s.n / sum
+		fl := int64(math.Floor(t))
+		if fl > caps[i] {
+			fl = caps[i]
+		}
+		alloc[i] = fl
+		total += fl
+		fracs[i] = frac{idx: i, f: t - float64(fl)}
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for d := n - total; d > 0; {
+		progressed := false
+		for _, fr := range fracs {
+			if d == 0 {
+				break
+			}
+			if alloc[fr.idx] < caps[fr.idx] {
+				alloc[fr.idx]++
+				d--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return alloc
+}
+
+// evenAllocation distributes n as evenly as possible over p processors.
+func evenAllocation(n int64, p int) Allocation {
+	alloc := make(Allocation, p)
+	base := n / int64(p)
+	rem := n % int64(p)
+	for i := range alloc {
+		alloc[i] = base
+		if int64(i) < rem {
+			alloc[i]++
+		}
+	}
+	return alloc
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"heteropart/internal/speed"
+)
+
+// FuzzPartitionersAgainstExact differentially tests the paper's geometric
+// algorithms against the Exact integer-optimal oracle on seed-generated
+// clusters: every algorithm must return an allocation summing to n with a
+// makespan within 2 % of the optimum.
+func FuzzPartitionersAgainstExact(f *testing.F) {
+	f.Add(uint32(1), uint32(1_000_000), uint8(3))
+	f.Add(uint32(42), uint32(500_000_000), uint8(6))
+	f.Add(uint32(99), uint32(123), uint8(2))
+	f.Fuzz(func(t *testing.T, seed, nSeed uint32, pSeed uint8) {
+		p := 2 + int(pSeed%6)
+		n := int64(nSeed % 1_000_000_000)
+		fns := testCluster(p, seed)
+		exact, err := Exact(n, fns)
+		if err != nil {
+			t.Skip() // infeasible seeds are legitimate skips
+		}
+		ref := Makespan(exact.Alloc, fns)
+		for name, part := range map[string]partitioner{
+			"basic": Basic, "modified": Modified, "combined": Combined,
+		} {
+			res, err := part(n, fns)
+			if err != nil {
+				t.Fatalf("%s(n=%d, p=%d, seed=%d): %v", name, n, p, seed, err)
+			}
+			if res.Alloc.Sum() != n {
+				t.Fatalf("%s: sum %d != %d", name, res.Alloc.Sum(), n)
+			}
+			if got := Makespan(res.Alloc, fns); got > ref*1.02 && got-ref > 1e-9 {
+				t.Fatalf("%s: makespan %.6g vs exact %.6g (n=%d, p=%d, seed=%d)",
+					name, got, ref, n, p, seed)
+			}
+		}
+	})
+}
+
+// FuzzFineTuneInvariants checks that fine-tuning preserves the sum for
+// arbitrary constant-speed clusters.
+func FuzzFineTuneInvariants(f *testing.F) {
+	f.Add(uint32(77), uint16(100), uint16(250), uint16(50))
+	f.Fuzz(func(t *testing.T, nSeed uint32, s1, s2, s3 uint16) {
+		n := int64(nSeed % 10_000_000)
+		speeds := []float64{1 + float64(s1), 1 + float64(s2), 1 + float64(s3)}
+		fns := constants(speeds, 1e12)
+		res, err := Combined(n, fns)
+		if err != nil {
+			t.Fatalf("Combined: %v", err)
+		}
+		if res.Alloc.Sum() != n {
+			t.Fatalf("sum %d != %d", res.Alloc.Sum(), n)
+		}
+		for i, x := range res.Alloc {
+			if x < 0 {
+				t.Fatalf("negative share %d at %d", x, i)
+			}
+		}
+		_ = speed.Function(fns[0])
+	})
+}

@@ -1,0 +1,273 @@
+// Package core implements the paper's primary contribution: algorithms that
+// partition an n-element set over p heterogeneous processors whose speeds
+// are continuous functions of problem size (the functional performance
+// model), so that the number of elements assigned to each processor is
+// proportional to its speed at that allocation — equivalently, all
+// processors finish at the same time.
+//
+// The geometric idea (Figure 4): a proportional distribution corresponds to
+// a straight line through the origin of the (problem size, absolute speed)
+// plane intersecting every processor's speed graph; the partitioning
+// problem is the search for the line whose intersection abscissas sum to n.
+//
+// Three searching algorithms are provided:
+//
+//   - Basic — bisection of the region between two rays (Figures 7–8);
+//     best-case O(p·log₂ n), but sensitive to the shape of the graphs.
+//   - Modified — bisection of the space of solutions, drawing each new ray
+//     through an integer point of the graph carrying the most candidate
+//     solutions (Figures 10–12); worst-case O(p²·log₂ n), insensitive to
+//     shape.
+//   - Combined — the paper's practical recipe (Figure 15): probe with the
+//     basic rule and fall back to the modified algorithm when the curves
+//     are locally too flat for slope bisection to make progress.
+//
+// All three finish with the fine-tuning step that converts the non-integer
+// geometric optimum into an integer allocation in O(p·log₂ p).
+//
+// The package also ships the baselines the paper compares against (the
+// single-number model and the even distribution) and two extensions of the
+// general partitioning problem from the paper's reference [20]: allocations
+// with per-processor upper bounds, and weighted element sets.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"heteropart/internal/geometry"
+	"heteropart/internal/speed"
+)
+
+// Allocation is the number of elements assigned to each processor.
+type Allocation []int64
+
+// Sum returns the total number of allocated elements.
+func (a Allocation) Sum() int64 {
+	var s int64
+	for _, x := range a {
+		s += x
+	}
+	return s
+}
+
+// Stats reports the work done by a partitioning run.
+type Stats struct {
+	// Algorithm is the name of the algorithm that produced the result.
+	Algorithm string
+	// Steps is the number of bisection steps (rays drawn).
+	Steps int
+	// Intersections is the number of ray–graph intersections computed.
+	Intersections int
+	// FineTuneMoves is the number of unit adjustments made to convert the
+	// geometric optimum into an integer allocation.
+	FineTuneMoves int
+	// UsedModified is set by Combined when it delegated to the modified
+	// algorithm.
+	UsedModified bool
+}
+
+// Result is the outcome of a partitioning run.
+type Result struct {
+	// Alloc sums exactly to the requested n.
+	Alloc Allocation
+	// Slope is the slope of the final ray (the geometric optimum).
+	Slope float64
+	// Stats describes the search effort.
+	Stats Stats
+}
+
+// Errors returned by the partitioners.
+var (
+	// ErrNoProcessors reports an empty processor list.
+	ErrNoProcessors = errors.New("core: no processors")
+	// ErrBadN reports a negative problem size.
+	ErrBadN = errors.New("core: negative problem size")
+	// ErrInfeasible reports that the problem does not fit the combined
+	// capacity of the processors (Σ MaxSize < n).
+	ErrInfeasible = errors.New("core: problem exceeds total processor capacity")
+	// ErrZeroSpeed reports that every processor has zero speed at the
+	// probed size, so no proportional distribution exists.
+	ErrZeroSpeed = errors.New("core: all processors have zero speed")
+)
+
+// Option configures a partitioning run.
+type Option func(*config)
+
+type config struct {
+	rule       geometry.BisectionRule
+	fineTune   bool
+	maxSteps   int
+	elasticity float64 // Combined's flatness threshold
+}
+
+func defaultConfig() config {
+	return config{
+		rule:       geometry.BisectTangents,
+		fineTune:   true,
+		maxSteps:   256,
+		elasticity: 50,
+	}
+}
+
+// WithBisection selects the ray bisection rule (tangent mean by default;
+// the paper's formal description uses the angle mean).
+func WithBisection(rule geometry.BisectionRule) Option {
+	return func(c *config) { c.rule = rule }
+}
+
+// WithoutFineTune skips the fine-tuning step; the geometric solution is
+// rounded to integers by largest remainder instead. The paper suggests this
+// relaxation when problem sizes are in the millions and all sub-optimal
+// solutions are practically indistinguishable.
+func WithoutFineTune() Option {
+	return func(c *config) { c.fineTune = false }
+}
+
+// WithMaxSteps caps the number of bisection steps (default 256).
+func WithMaxSteps(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxSteps = n
+		}
+	}
+}
+
+// WithElasticityThreshold tunes Combined's switch-over point: when the
+// largest local elasticity |d ln s / d ln x| at the probe ray's
+// intersections exceeds the threshold, the curves are considered too steep
+// for plain slope bisection and the modified algorithm takes over.
+func WithElasticityThreshold(e float64) Option {
+	return func(c *config) {
+		if e > 0 {
+			c.elasticity = e
+		}
+	}
+}
+
+// state carries one partitioning run.
+type state struct {
+	n     float64
+	fns   []speed.Function
+	cfg   config
+	stats Stats
+	// xs is a scratch buffer for intersection abscissas.
+	xs []float64
+}
+
+// newState validates inputs and prepares a run.
+func newState(n int64, fns []speed.Function, algorithm string, opts []Option) (*state, error) {
+	if len(fns) == 0 {
+		return nil, ErrNoProcessors
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadN, n)
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var capacity float64
+	for i, f := range fns {
+		if f == nil {
+			return nil, fmt.Errorf("core: nil speed function for processor %d", i)
+		}
+		if !(f.MaxSize() > 0) {
+			return nil, fmt.Errorf("core: processor %d has non-positive MaxSize %v", i, f.MaxSize())
+		}
+		capacity += math.Floor(f.MaxSize())
+	}
+	if float64(n) > capacity {
+		return nil, fmt.Errorf("%w: n=%d, capacity=%.0f", ErrInfeasible, n, capacity)
+	}
+	return &state{
+		n:   float64(n),
+		fns: fns,
+		cfg: cfg,
+		stats: Stats{
+			Algorithm: algorithm,
+		},
+		xs: make([]float64, len(fns)),
+	}, nil
+}
+
+// intersect fills dst with the intersection abscissas of the ray with
+// every speed graph, clamped to each graph's domain, and returns their sum.
+func (s *state) intersect(ray geometry.Ray, dst []float64) (float64, error) {
+	var sum float64
+	for i, f := range s.fns {
+		x, err := geometry.Intersect(f, ray, f.MaxSize())
+		if err != nil {
+			return 0, fmt.Errorf("core: intersecting processor %d: %w", i, err)
+		}
+		s.stats.Intersections++
+		dst[i] = x
+		sum += x
+	}
+	return sum, nil
+}
+
+// initialRays computes the two starting rays of Figure 18: both pass
+// through the origin and through the points (n/p, s_max) and (n/p, s_min),
+// where s_max and s_min are the highest and lowest speeds at the even
+// allocation n/p. The steep ray under-allocates (Σx ≤ n) and the shallow
+// ray over-allocates (Σx ≥ n, up to domain clamping).
+func (s *state) initialRays() (steep, shallow geometry.Ray, err error) {
+	p := float64(len(s.fns))
+	x0 := s.n / p
+	sMax, sMin := math.Inf(-1), math.Inf(1)
+	for _, f := range s.fns {
+		// Probe inside each processor's own domain.
+		probe := math.Min(x0, f.MaxSize())
+		v := f.Eval(probe)
+		sMax = math.Max(sMax, v)
+		sMin = math.Min(sMin, v)
+	}
+	if !(sMax > 0) {
+		return steep, shallow, ErrZeroSpeed
+	}
+	steep, err = geometry.RayThrough(x0, sMax)
+	if err != nil {
+		return steep, shallow, err
+	}
+	// A zero minimum speed yields the flat ray, which over-allocates by
+	// construction (every intersection clamps to the domain maximum).
+	shallow, err = geometry.RayThrough(x0, math.Max(sMin, 0))
+	if err != nil {
+		return steep, shallow, err
+	}
+	return steep, shallow, nil
+}
+
+// converged reports the paper's stopping criterion: the region between the
+// two rays contains no processor interval of width ≥ 1 element, i.e. for
+// every processor the abscissas of its intersections with the bounding
+// rays differ by less than one.
+func converged(xSteep, xShallow []float64) bool {
+	for i := range xSteep {
+		if xShallow[i]-xSteep[i] >= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Makespan returns the parallel execution time of an allocation under the
+// given speed functions: max over processors of x_i / s_i(x_i). Processors
+// with zero allocation contribute zero time. A processor with a positive
+// allocation but zero speed yields +Inf.
+func Makespan(alloc Allocation, fns []speed.Function) float64 {
+	var worst float64
+	for i, x := range alloc {
+		if x == 0 {
+			continue
+		}
+		s := fns[i].Eval(float64(x))
+		if s <= 0 {
+			return math.Inf(1)
+		}
+		worst = math.Max(worst, float64(x)/s)
+	}
+	return worst
+}

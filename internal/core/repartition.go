@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"heteropart/internal/speed"
+)
+
+// Repartition adapts an existing allocation to updated speed functions
+// while moving as few elements as possible — the operational counterpart
+// of maintaining the functional model (§4): when the observed speeds
+// drift, a full redistribution is rarely worth the data migration.
+//
+// It computes the optimal allocation for the new model and, when the old
+// allocation's makespan is already within (1+slack) of the optimum,
+// returns the old allocation untouched. Otherwise it migrates elements
+// one batch at a time from the processor with the largest execution time
+// to the one whose time grows least, stopping as soon as the makespan
+// enters the slack band (or no migration helps). The result always sums
+// to the same total as the input.
+func Repartition(old Allocation, fns []speed.Function, slack float64, opts ...Option) (Allocation, int64, error) {
+	if len(old) != len(fns) {
+		return nil, 0, fmt.Errorf("core: %d shares for %d processors", len(old), len(fns))
+	}
+	if slack < 0 {
+		return nil, 0, fmt.Errorf("core: negative slack %v", slack)
+	}
+	n := old.Sum()
+	if n < 0 {
+		return nil, 0, fmt.Errorf("%w: allocation sums to %d", ErrBadN, n)
+	}
+	opt, err := Combined(n, fns, opts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	target := Makespan(opt.Alloc, fns) * (1 + slack)
+	if Makespan(old, fns) <= target {
+		out := make(Allocation, len(old))
+		copy(out, old)
+		return out, 0, nil
+	}
+	cur := make(Allocation, len(old))
+	copy(cur, old)
+	var moved int64
+	// Batch size: move 1/16 of the worst processor's excess at a time,
+	// at least one element, so convergence is O(p·log(excess)) moves.
+	for Makespan(cur, fns) > target {
+		worst, worstTime := -1, 0.0
+		for i, x := range cur {
+			if x == 0 {
+				continue
+			}
+			if t := timeOf(cur[i], fns[i]); t > worstTime {
+				worst, worstTime = i, t
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		// The worst processor's surplus relative to the optimal share.
+		surplus := cur[worst] - opt.Alloc[worst]
+		if surplus <= 0 {
+			// The worst processor is not over-allocated relative to the
+			// optimum; migration cannot reach the target. Fall back to
+			// the optimal allocation outright.
+			var diff int64
+			for i := range cur {
+				d := opt.Alloc[i] - cur[i]
+				if d > 0 {
+					diff += d
+				}
+			}
+			return opt.Alloc, moved + diff, nil
+		}
+		batch := surplus / 16
+		if batch < 1 {
+			batch = surplus
+		}
+		// Receiver: the processor below its optimal share whose time
+		// stays smallest after receiving the batch.
+		recv, recvTime := -1, 0.0
+		for i := range cur {
+			if i == worst || cur[i] >= opt.Alloc[i] {
+				continue
+			}
+			room := opt.Alloc[i] - cur[i]
+			take := min(batch, room)
+			if t := timeOf(cur[i]+take, fns[i]); recv < 0 || t < recvTime {
+				recv, recvTime = i, t
+			}
+		}
+		if recv < 0 {
+			return opt.Alloc, moved + totalDiff(cur, opt.Alloc), nil
+		}
+		take := min(batch, opt.Alloc[recv]-cur[recv])
+		cur[worst] -= take
+		cur[recv] += take
+		moved += take
+	}
+	return cur, moved, nil
+}
+
+func timeOf(x int64, f speed.Function) float64 {
+	if x <= 0 {
+		return 0
+	}
+	s := f.Eval(float64(x))
+	if s <= 0 {
+		return inf()
+	}
+	return float64(x) / s
+}
+
+func totalDiff(a, b Allocation) int64 {
+	var d int64
+	for i := range a {
+		if v := b[i] - a[i]; v > 0 {
+			d += v
+		}
+	}
+	return d
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// ContiguousWeighted partitions a sequence of element weights into
+// exactly p contiguous segments, assigning segment i to processor i, so
+// that the largest segment execution time is minimized. Execution time of
+// a segment is its total weight divided by the processor's speed at that
+// weight (the functional model applied to the ordered variant of the
+// general partitioning problem of reference [20] — contiguity matters for
+// workloads like striped signal processing where segments must stay
+// in order).
+//
+// The algorithm is a parametric search on the makespan T with a greedy
+// feasibility check: scanning left to right, each processor takes
+// elements while its time stays within T. Segment time is non-decreasing
+// as elements are added (shape assumption), so the greedy check is exact
+// and the optimum is found to within binary-search precision.
+//
+// It returns the p segment boundaries as [start, end) index pairs;
+// segments may be empty.
+func ContiguousWeighted(weights []float64, fns []speed.Function) ([][2]int, error) {
+	p := len(fns)
+	if p == 0 {
+		return nil, ErrNoProcessors
+	}
+	var total float64
+	for i, w := range weights {
+		if !(w >= 0) {
+			return nil, fmt.Errorf("core: invalid weight %v at %d", w, i)
+		}
+		total += w
+	}
+	if len(weights) == 0 {
+		return make([][2]int, p), nil
+	}
+	// Bounds on T: lower — everything spread at the best speeds; upper —
+	// the whole load on the fastest single processor.
+	lo, hi := 0.0, inf()
+	for i := range fns {
+		if t := segTime(total, fns[i]); t < hi {
+			hi = t
+		}
+	}
+	if hi >= inf() {
+		return nil, ErrZeroSpeed
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-12*hi; iter++ {
+		mid := 0.5 * (lo + hi)
+		if feasible(weights, fns, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	segs, ok := cut(weights, fns, hi)
+	if !ok {
+		return nil, fmt.Errorf("core: contiguous partition infeasible at T=%v", hi)
+	}
+	return segs, nil
+}
+
+// segTime is the execution time of a segment of the given total weight on
+// a processor.
+func segTime(w float64, f speed.Function) float64 {
+	if w == 0 {
+		return 0
+	}
+	s := f.Eval(w)
+	if s <= 0 {
+		return inf()
+	}
+	return w / s
+}
+
+// feasible reports whether the weights fit p contiguous segments with
+// every segment time at most T.
+func feasible(weights []float64, fns []speed.Function, t float64) bool {
+	_, ok := cut(weights, fns, t)
+	return ok
+}
+
+// cut greedily builds the segments for target time T.
+func cut(weights []float64, fns []speed.Function, t float64) ([][2]int, bool) {
+	p := len(fns)
+	segs := make([][2]int, p)
+	at := 0
+	for i := 0; i < p; i++ {
+		start := at
+		var w float64
+		for at < len(weights) {
+			nw := w + weights[at]
+			if segTime(nw, fns[i]) > t {
+				break
+			}
+			w = nw
+			at++
+		}
+		segs[i] = [2]int{start, at}
+	}
+	return segs, at == len(weights)
+}

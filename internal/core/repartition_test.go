@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/speed"
+)
+
+func TestRepartitionNoChangeWithinSlack(t *testing.T) {
+	fns := constants([]float64{100, 200, 300}, 1e9)
+	opt, err := Combined(60000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, moved, err := Repartition(opt.Alloc, fns, 0.05)
+	if err != nil {
+		t.Fatalf("Repartition: %v", err)
+	}
+	if moved != 0 {
+		t.Errorf("moved %d elements from an already-optimal allocation", moved)
+	}
+	for i := range got {
+		if got[i] != opt.Alloc[i] {
+			t.Errorf("allocation changed: %v → %v", opt.Alloc, got)
+			break
+		}
+	}
+}
+
+func TestRepartitionMigratesAfterDrift(t *testing.T) {
+	// Old allocation was optimal for equal speeds; processor 0 then slowed
+	// to a tenth. Repartition must shift elements away and land within the
+	// slack band of the new optimum, moving fewer elements than a full
+	// redistribution from scratch would represent.
+	newFns := constants([]float64{10, 100, 100}, 1e9)
+	old := Allocation{20000, 20000, 20000}
+	got, moved, err := Repartition(old, newFns, 0.05)
+	if err != nil {
+		t.Fatalf("Repartition: %v", err)
+	}
+	if got.Sum() != 60000 {
+		t.Fatalf("sum = %d", got.Sum())
+	}
+	if moved == 0 {
+		t.Fatal("no elements moved despite drift")
+	}
+	opt, err := Combined(60000, newFns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, target := Makespan(got, newFns), Makespan(opt.Alloc, newFns)*1.05; m > target+1e-9 {
+		t.Errorf("makespan %v exceeds slack band %v", m, target)
+	}
+}
+
+func TestRepartitionValidation(t *testing.T) {
+	fns := constants([]float64{1}, 1e9)
+	if _, _, err := Repartition(Allocation{1, 2}, fns, 0.1); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, _, err := Repartition(Allocation{1}, fns, -0.1); err == nil {
+		t.Error("negative slack: want error")
+	}
+}
+
+// Property: repartitioning preserves the total and never exceeds the slack
+// band around the optimum.
+func TestRepartitionProperty(t *testing.T) {
+	check := func(seed uint32, skew uint8) bool {
+		fns := testCluster(4, seed)
+		n := int64(1_000_000)
+		// A deliberately skewed old allocation.
+		old := Allocation{n / 2, n / 4, n / 8, n - n/2 - n/4 - n/8}
+		_ = skew
+		got, _, err := Repartition(old, fns, 0.1)
+		if err != nil {
+			return false
+		}
+		if got.Sum() != n {
+			return false
+		}
+		opt, err := Combined(n, fns)
+		if err != nil {
+			return false
+		}
+		return Makespan(got, fns) <= Makespan(opt.Alloc, fns)*1.1+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContiguousWeightedEqualSpeeds(t *testing.T) {
+	weights := []float64{1, 1, 1, 1, 1, 1}
+	fns := constants([]float64{1, 1, 1}, 1e9)
+	segs, err := ContiguousWeighted(weights, fns)
+	if err != nil {
+		t.Fatalf("ContiguousWeighted: %v", err)
+	}
+	checkSegments(t, segs, len(weights))
+	// Perfectly balanced: 2 elements each.
+	for i, s := range segs {
+		if s[1]-s[0] != 2 {
+			t.Errorf("segment %d = %v, want length 2", i, s)
+		}
+	}
+}
+
+func TestContiguousWeightedHeterogeneous(t *testing.T) {
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = 1
+	}
+	fns := constants([]float64{10, 30, 60}, 1e9)
+	segs, err := ContiguousWeighted(weights, fns)
+	if err != nil {
+		t.Fatalf("ContiguousWeighted: %v", err)
+	}
+	checkSegments(t, segs, 100)
+	// Shares approximately 10/30/60.
+	if l := segs[2][1] - segs[2][0]; l < 50 || l > 70 {
+		t.Errorf("fastest processor got %d of 100", l)
+	}
+	// Makespan no worse than the proportional continuous bound by much.
+	worst := 0.0
+	for i, s := range segs {
+		w := float64(s[1] - s[0])
+		if w == 0 {
+			continue
+		}
+		worst = math.Max(worst, w/fns[i].Eval(w))
+	}
+	if worst > 1.1 { // ideal = 100/100 = 1.0 seconds
+		t.Errorf("makespan %v, ideal 1.0", worst)
+	}
+}
+
+func TestContiguousWeightedUnevenWeights(t *testing.T) {
+	weights := []float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	fns := constants([]float64{1, 1}, 1e9)
+	segs, err := ContiguousWeighted(weights, fns)
+	if err != nil {
+		t.Fatalf("ContiguousWeighted: %v", err)
+	}
+	checkSegments(t, segs, len(weights))
+	// The heavy head forces a short first segment.
+	if l := segs[0][1] - segs[0][0]; l > 2 {
+		t.Errorf("first segment %v too long given the heavy element", segs[0])
+	}
+}
+
+func TestContiguousWeightedSizeDependentSpeeds(t *testing.T) {
+	weights := make([]float64, 50)
+	for i := range weights {
+		weights[i] = 100
+	}
+	fns := []speed.Function{
+		// Pages beyond 1000 units of load.
+		&speed.Analytic{Peak: 1e3, HalfRise: 1, PagingPoint: 1000,
+			PagingWidth: 200, PagingFloor: 0.01, Max: 1e6},
+		speed.MustConstant(1e3, 1e6),
+	}
+	segs, err := ContiguousWeighted(weights, fns)
+	if err != nil {
+		t.Fatalf("ContiguousWeighted: %v", err)
+	}
+	checkSegments(t, segs, 50)
+	// The paging processor must stay near its cliff (≤ ~14 elements of
+	// 100 units), the healthy one takes the rest.
+	if l := segs[0][1] - segs[0][0]; l > 16 {
+		t.Errorf("paging processor took %d heavy elements", l)
+	}
+}
+
+func TestContiguousWeightedErrors(t *testing.T) {
+	if _, err := ContiguousWeighted([]float64{1}, nil); err != ErrNoProcessors {
+		t.Errorf("no processors: %v", err)
+	}
+	fns := constants([]float64{1}, 1e9)
+	if _, err := ContiguousWeighted([]float64{-1}, fns); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := ContiguousWeighted([]float64{math.NaN()}, fns); err == nil {
+		t.Error("NaN weight: want error")
+	}
+	zero := constants([]float64{0}, 1e9)
+	if _, err := ContiguousWeighted([]float64{1}, zero); err != ErrZeroSpeed {
+		t.Errorf("zero speeds: %v", err)
+	}
+	// Empty weights: all segments empty.
+	segs, err := ContiguousWeighted(nil, fns)
+	if err != nil || len(segs) != 1 || segs[0] != [2]int{0, 0} {
+		t.Errorf("empty weights: %v, %v", segs, err)
+	}
+}
+
+// checkSegments asserts contiguity and full coverage.
+func checkSegments(t *testing.T, segs [][2]int, n int) {
+	t.Helper()
+	at := 0
+	for i, s := range segs {
+		if s[0] != at || s[1] < s[0] {
+			t.Fatalf("segment %d = %v not contiguous at %d", i, s, at)
+		}
+		at = s[1]
+	}
+	if at != n {
+		t.Fatalf("segments cover %d of %d", at, n)
+	}
+}
+
+// Property: ContiguousWeighted always tiles the index range and its
+// makespan is within 2× of the no-contiguity lower bound Σw/Σs for
+// constant speeds and unit weights.
+func TestContiguousWeightedProperty(t *testing.T) {
+	check := func(nSeed uint8, s1, s2, s3 uint8) bool {
+		n := 1 + int(nSeed%100)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+		speeds := []float64{1 + float64(s1), 1 + float64(s2), 1 + float64(s3)}
+		fns := constants(speeds, 1e9)
+		segs, err := ContiguousWeighted(weights, fns)
+		if err != nil {
+			return false
+		}
+		at := 0
+		for _, s := range segs {
+			if s[0] != at {
+				return false
+			}
+			at = s[1]
+		}
+		if at != n {
+			return false
+		}
+		worst := 0.0
+		for i, s := range segs {
+			w := float64(s[1] - s[0])
+			if w > 0 {
+				worst = math.Max(worst, w/speeds[i])
+			}
+		}
+		lower := float64(n) / (speeds[0] + speeds[1] + speeds[2])
+		// Integer granularity: one extra unit element on the slowest.
+		bound := lower + 1/minOf(speeds)
+		return worst <= bound+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		m = math.Min(m, x)
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+// Package des is a small discrete-event simulation engine used to study
+// the temporal structure the closed-form makespan model cannot express:
+// serialized communication on a shared medium, compute/communication
+// overlap, and per-processor busy timelines (Gantt data). The paper's
+// model deliberately ignores communication; this engine powers the
+// ablations that check when that is justified.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a sequential discrete-event scheduler. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   int
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn at the given absolute time, which must not lie in the
+// past. Events at equal times run in scheduling order (FIFO).
+func (e *Engine) Schedule(at float64, fn func()) error {
+	if fn == nil {
+		return fmt.Errorf("des: nil event")
+	}
+	if at < e.now || math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("des: event at %v scheduled from %v", at, e.now)
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After runs fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("des: negative delay %v", delay)
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Run processes events until the queue is empty and returns the final
+// simulation time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+type event struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Resource is a first-come-first-served exclusively-held resource — the
+// shared Ethernet segment of the paper's discussion, where it is desirable
+// that only one processor sends at a time.
+type Resource struct {
+	e      *Engine
+	freeAt float64
+	spans  []Span
+	name   string
+}
+
+// NewResource attaches a named FCFS resource to the engine.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{e: e, name: name}
+}
+
+// Acquire requests the resource now for the given duration; done runs at
+// the moment the use completes, receiving the interval it occupied.
+func (r *Resource) Acquire(duration float64, label string, done func(start, end float64)) error {
+	if duration < 0 || math.IsNaN(duration) || math.IsInf(duration, 0) {
+		return fmt.Errorf("des: invalid duration %v", duration)
+	}
+	start := math.Max(r.e.Now(), r.freeAt)
+	end := start + duration
+	r.freeAt = end
+	r.spans = append(r.spans, Span{Start: start, End: end, Label: label})
+	return r.e.Schedule(end, func() {
+		if done != nil {
+			done(start, end)
+		}
+	})
+}
+
+// Utilization returns the fraction of [0, horizon] the resource was busy.
+func (r *Resource) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, s := range r.spans {
+		busy += math.Min(s.End, horizon) - math.Min(s.Start, horizon)
+	}
+	return busy / horizon
+}
+
+// Spans returns a copy of the resource's busy intervals.
+func (r *Resource) Spans() []Span {
+	return append([]Span(nil), r.spans...)
+}
+
+// Span is one busy interval of a timeline.
+type Span struct {
+	Start, End float64
+	Label      string
+}
+
+// Timeline records the busy intervals of one processor (Gantt data).
+type Timeline struct {
+	Name  string
+	Spans []Span
+}
+
+// Add appends a busy interval.
+func (t *Timeline) Add(start, end float64, label string) {
+	t.Spans = append(t.Spans, Span{Start: start, End: end, Label: label})
+}
+
+// Busy returns the total busy time.
+func (t *Timeline) Busy() float64 {
+	var b float64
+	for _, s := range t.Spans {
+		b += s.End - s.Start
+	}
+	return b
+}

@@ -1,0 +1,233 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/speed"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	if err := e.Schedule(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(3, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("end time = %v, want 3", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.Schedule(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	if err := e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		if err := e.After(2, func() { hits = append(hits, e.Now()) }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if end := e.Run(); end != 3 {
+		t.Errorf("end = %v, want 3", end)
+	}
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 3 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEngineRejectsBadEvents(t *testing.T) {
+	e := NewEngine()
+	if err := e.Schedule(1, nil); err == nil {
+		t.Error("nil fn: want error")
+	}
+	if err := e.Schedule(math.NaN(), func() {}); err == nil {
+		t.Error("NaN time: want error")
+	}
+	if err := e.After(-1, func() {}); err == nil {
+		t.Error("negative delay: want error")
+	}
+	if err := e.Schedule(5, func() {
+		if err := e.Schedule(1, func() {}); err == nil {
+			t.Error("past event: want error")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	var intervals [][2]float64
+	for i := 0; i < 3; i++ {
+		if err := r.Acquire(10, "x", func(s, d float64) {
+			intervals = append(intervals, [2]float64{s, d})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end = %v, want 30 (serialized)", end)
+	}
+	want := [][2]float64{{0, 10}, {10, 20}, {20, 30}}
+	for i := range want {
+		if intervals[i] != want[i] {
+			t.Fatalf("intervals = %v", intervals)
+		}
+	}
+	if u := r.Utilization(30); math.Abs(u-1) > 1e-12 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+	if len(r.Spans()) != 3 {
+		t.Errorf("spans = %v", r.Spans())
+	}
+	if err := r.Acquire(-1, "bad", nil); err == nil {
+		t.Error("negative duration: want error")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.Add(1, 3, "a")
+	tl.Add(5, 6, "b")
+	if tl.Busy() != 3 {
+		t.Errorf("Busy = %v, want 3", tl.Busy())
+	}
+}
+
+func TestScatterGatherOverlapBeatsNoOverlap(t *testing.T) {
+	p := 4
+	sg := &ScatterGather{
+		SendBytes:   []float64{8e6, 8e6, 8e6, 8e6},
+		ReturnBytes: []float64{2e6, 2e6, 2e6, 2e6},
+		Work:        []float64{1e9, 1e9, 1e9, 1e9},
+		Size:        []float64{1e6, 1e6, 1e6, 1e6},
+		Speeds: []speed.Function{
+			speed.MustConstant(1e9, 1e12), speed.MustConstant(1e9, 1e12),
+			speed.MustConstant(1e9, 1e12), speed.MustConstant(1e9, 1e12),
+		},
+		LatencySec:  1e-4,
+		BytesPerSec: 100e6 / 8,
+	}
+	res, err := sg.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	noOverlap, err := sg.NoOverlapMakespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Makespan < noOverlap) {
+		t.Errorf("overlap %v not better than no-overlap %v", res.Makespan, noOverlap)
+	}
+	// Lower bound: the slowest single chain send+compute+return.
+	lower := (8e6+2e6)/(100e6/8) + 2e-4 + 1.0
+	if res.Makespan < lower-1e-9 {
+		t.Errorf("makespan %v below the single-chain lower bound %v", res.Makespan, lower)
+	}
+	if len(res.Timelines) != p {
+		t.Fatalf("%d timelines", len(res.Timelines))
+	}
+	// Computes start strictly later for later workers (serialized scatter).
+	prev := -1.0
+	for i, tl := range res.Timelines {
+		if len(tl.Spans) != 1 {
+			t.Fatalf("worker %d has %d spans", i, len(tl.Spans))
+		}
+		if tl.Spans[0].Start <= prev {
+			t.Errorf("worker %d compute starts at %v, not after %v", i, tl.Spans[0].Start, prev)
+		}
+		prev = tl.Spans[0].Start
+	}
+	if res.LinkUtilization <= 0 || res.LinkUtilization > 1 {
+		t.Errorf("link utilization = %v", res.LinkUtilization)
+	}
+}
+
+func TestScatterGatherZeroWorkWorker(t *testing.T) {
+	sg := &ScatterGather{
+		SendBytes:   []float64{1e6, 1e6},
+		ReturnBytes: []float64{1e6, 1e6},
+		Work:        []float64{0, 1e6},
+		Size:        []float64{1, 1},
+		Speeds:      []speed.Function{speed.MustConstant(1e6, 1e9), speed.MustConstant(1e6, 1e9)},
+		LatencySec:  0,
+		BytesPerSec: 1e6,
+	}
+	res, err := sg.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Timelines[0].Spans) != 0 {
+		t.Errorf("idle worker has compute spans: %v", res.Timelines[0].Spans)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestScatterGatherValidation(t *testing.T) {
+	if _, err := (&ScatterGather{}).Run(); err == nil {
+		t.Error("no workers: want error")
+	}
+	bad := &ScatterGather{
+		SendBytes:   []float64{1},
+		ReturnBytes: []float64{1},
+		Work:        []float64{1},
+		Size:        []float64{1},
+		Speeds:      []speed.Function{speed.MustConstant(0, 1)},
+		BytesPerSec: 1,
+	}
+	if _, err := bad.Run(); err == nil {
+		t.Error("zero speed: want error")
+	}
+	bad.Speeds = []speed.Function{speed.MustConstant(1, 1)}
+	bad.BytesPerSec = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("zero bandwidth: want error")
+	}
+	short := &ScatterGather{
+		SendBytes: []float64{1}, ReturnBytes: []float64{1}, Work: []float64{1},
+		Size:   []float64{1, 2},
+		Speeds: []speed.Function{speed.MustConstant(1, 1)}, BytesPerSec: 1,
+	}
+	if _, err := short.Run(); err == nil {
+		t.Error("mismatched slices: want error")
+	}
+	if _, err := (&ScatterGather{}).NoOverlapMakespan(); err == nil {
+		t.Error("no workers (closed form): want error")
+	}
+}

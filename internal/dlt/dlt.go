@@ -1,0 +1,264 @@
+// Package dlt implements single-round divisible load scheduling — the
+// theory (references [17]–[19] of the paper) whose models the functional
+// performance model generalizes. A master holds n divisible load units and
+// distributes fractions to p workers over a shared link, one worker at a
+// time; each worker starts computing once its fraction has fully arrived,
+// and the optimal schedule makes all workers finish simultaneously.
+//
+// Two computation models are provided, matching the related work:
+//
+//   - the classical linear model (constant seconds-per-unit rate), and
+//   - the piecewise-constant rate model of Drozdowski & Wolniewicz's
+//     out-of-core processing, where the rate degrades at memory-hierarchy
+//     thresholds.
+//
+// The solver is a parametric search on the common finish time T: for a
+// candidate T the load of each worker in distribution order is the unique
+// x with commTime(x) + computeTime(x) = T − (start of its transmission);
+// both terms are strictly increasing in x, and the total assigned load is
+// non-decreasing in T.
+package dlt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RatePiece is one region of a piecewise-constant computation rate: the
+// first Units load units beyond the previous pieces cost SecPerUnit each.
+type RatePiece struct {
+	Units      float64
+	SecPerUnit float64
+}
+
+// Worker is one processing node of the star network.
+type Worker struct {
+	// Rate is the computation cost model, in distribution order of load.
+	// A single piece with Units = +Inf is the classical linear model.
+	Rate []RatePiece
+	// Latency is the per-message communication start-up time (seconds).
+	Latency float64
+	// SecPerUnitComm is the transmission time per load unit; zero models
+	// a negligible-communication setting.
+	SecPerUnitComm float64
+}
+
+// Linear returns a classical linear-model worker.
+func Linear(secPerUnit, latency, secPerUnitComm float64) Worker {
+	return Worker{
+		Rate:           []RatePiece{{Units: math.Inf(1), SecPerUnit: secPerUnit}},
+		Latency:        latency,
+		SecPerUnitComm: secPerUnitComm,
+	}
+}
+
+// Validate checks a worker's parameters.
+func (w Worker) Validate() error {
+	if len(w.Rate) == 0 {
+		return errors.New("dlt: worker without rate pieces")
+	}
+	for i, p := range w.Rate {
+		if !(p.Units > 0) {
+			return fmt.Errorf("dlt: rate piece %d has non-positive units %v", i, p.Units)
+		}
+		if !(p.SecPerUnit > 0) || math.IsInf(p.SecPerUnit, 0) {
+			return fmt.Errorf("dlt: rate piece %d has invalid rate %v", i, p.SecPerUnit)
+		}
+	}
+	if w.Latency < 0 || w.SecPerUnitComm < 0 {
+		return fmt.Errorf("dlt: negative communication parameters (%v, %v)", w.Latency, w.SecPerUnitComm)
+	}
+	return nil
+}
+
+// computeTime is the time to process x load units.
+func (w Worker) computeTime(x float64) float64 {
+	var t float64
+	for _, p := range w.Rate {
+		if x <= 0 {
+			break
+		}
+		u := math.Min(x, p.Units)
+		t += u * p.SecPerUnit
+		x -= u
+	}
+	if x > 0 {
+		// Beyond the last piece the final rate continues.
+		t += x * w.Rate[len(w.Rate)-1].SecPerUnit
+	}
+	return t
+}
+
+// commTime is the time to transmit x load units (zero for x = 0: nothing
+// is sent, so no latency either).
+func (w Worker) commTime(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return w.Latency + x*w.SecPerUnitComm
+}
+
+// maxLoadBy returns the largest load the worker can receive and finish
+// within budget seconds (transmission plus computation), by bisection.
+func (w Worker) maxLoadBy(budget float64) float64 {
+	if budget <= w.Latency {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for w.commTime(hi)+w.computeTime(hi) < budget && hi < 1e18 {
+		hi *= 2
+	}
+	for i := 0; i < 100 && hi-lo > 1e-9*math.Max(1, hi); i++ {
+		mid := 0.5 * (lo + hi)
+		if w.commTime(mid)+w.computeTime(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Schedule is the outcome of a distribution.
+type Schedule struct {
+	// Loads per worker, in the given order; sums to n.
+	Loads []float64
+	// Finish is the common completion time.
+	Finish float64
+	// Starts[i] is when worker i's transmission begins.
+	Starts []float64
+}
+
+// Distribute computes the optimal single-round schedule of n load units
+// over the workers in the given (fixed) distribution order.
+func Distribute(n float64, workers []Worker) (Schedule, error) {
+	if len(workers) == 0 {
+		return Schedule{}, errors.New("dlt: no workers")
+	}
+	if !(n >= 0) || math.IsInf(n, 0) {
+		return Schedule{}, fmt.Errorf("dlt: invalid load %v", n)
+	}
+	for i, w := range workers {
+		if err := w.Validate(); err != nil {
+			return Schedule{}, fmt.Errorf("dlt: worker %d: %w", i, err)
+		}
+	}
+	if n == 0 {
+		return Schedule{
+			Loads:  make([]float64, len(workers)),
+			Starts: make([]float64, len(workers)),
+		}, nil
+	}
+	assign := func(t float64) (loads, starts []float64, total float64) {
+		loads = make([]float64, len(workers))
+		starts = make([]float64, len(workers))
+		clock := 0.0
+		for i, w := range workers {
+			starts[i] = clock
+			x := w.maxLoadBy(t - clock)
+			loads[i] = x
+			clock += w.commTime(x)
+			total += x
+		}
+		return loads, starts, total
+	}
+	// Bracket the finish time.
+	lo, hi := 0.0, 1.0
+	for i := 0; ; i++ {
+		if _, _, total := assign(hi); total >= n {
+			break
+		}
+		hi *= 2
+		if i > 200 {
+			return Schedule{}, fmt.Errorf("dlt: cannot place %v units", n)
+		}
+	}
+	for i := 0; i < 100 && hi-lo > 1e-12*hi; i++ {
+		mid := 0.5 * (lo + hi)
+		if _, _, total := assign(mid); total >= n {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	loads, starts, total := assign(hi)
+	// Normalize the residual rounding error onto the workers
+	// proportionally, keeping the sum exact.
+	if total > 0 {
+		scale := n / total
+		for i := range loads {
+			loads[i] *= scale
+		}
+	}
+	return Schedule{Loads: loads, Finish: hi, Starts: starts}, nil
+}
+
+// SequentialTime is the time the whole load would take on worker w alone
+// (no communication), the baseline for DLT speedup accounting.
+func SequentialTime(n float64, w Worker) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	return w.computeTime(n), nil
+}
+
+// DistributeRounds schedules the load in several installments (the
+// multi-round extension of divisible load theory): each round distributes
+// a share of the remaining load with Distribute, and a worker's next
+// installment is only sent after the previous round's transfers. Smaller
+// early installments get every worker computing sooner, shrinking the idle
+// ramp-in that a single large round pays on a slow link; the trade-off is
+// the extra per-message latency.
+//
+// Rounds are sized geometrically: round r of R carries a share
+// proportional to ratio^r (ratio > 1 puts more load in later rounds, the
+// classical shape). The returned schedule aggregates per-worker loads and
+// reports the overall finish time.
+func DistributeRounds(n float64, workers []Worker, rounds int, ratio float64) (Schedule, error) {
+	if rounds < 1 {
+		return Schedule{}, fmt.Errorf("dlt: invalid round count %d", rounds)
+	}
+	if !(ratio > 0) || math.IsInf(ratio, 0) {
+		return Schedule{}, fmt.Errorf("dlt: invalid round ratio %v", ratio)
+	}
+	if rounds == 1 {
+		return Distribute(n, workers)
+	}
+	if len(workers) == 0 {
+		return Schedule{}, errors.New("dlt: no workers")
+	}
+	if !(n >= 0) || math.IsInf(n, 0) {
+		return Schedule{}, fmt.Errorf("dlt: invalid load %v", n)
+	}
+	// Geometric round shares.
+	var norm float64
+	for r := 0; r < rounds; r++ {
+		norm += math.Pow(ratio, float64(r))
+	}
+	total := Schedule{
+		Loads:  make([]float64, len(workers)),
+		Starts: make([]float64, len(workers)),
+	}
+	clock := 0.0
+	for r := 0; r < rounds; r++ {
+		share := n * math.Pow(ratio, float64(r)) / norm
+		s, err := Distribute(share, workers)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("dlt: round %d: %w", r, err)
+		}
+		for i := range workers {
+			total.Loads[i] += s.Loads[i]
+			if r == 0 {
+				total.Starts[i] = s.Starts[i]
+			}
+		}
+		// Conservative composition: the next round begins when the
+		// previous one finishes (no cross-round pipelining), so the total
+		// is an upper bound; the single-round schedule is the lower
+		// baseline the caller compares against.
+		clock += s.Finish
+	}
+	total.Finish = clock
+	return total, nil
+}

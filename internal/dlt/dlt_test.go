@@ -1,0 +1,252 @@
+package dlt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearWorkerValidate(t *testing.T) {
+	if err := Linear(0.5, 0.01, 0.001).Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := []Worker{
+		{},
+		{Rate: []RatePiece{{Units: 0, SecPerUnit: 1}}},
+		{Rate: []RatePiece{{Units: 1, SecPerUnit: 0}}},
+		{Rate: []RatePiece{{Units: 1, SecPerUnit: math.Inf(1)}}},
+		{Rate: []RatePiece{{Units: 1, SecPerUnit: 1}}, Latency: -1},
+		{Rate: []RatePiece{{Units: 1, SecPerUnit: 1}}, SecPerUnitComm: -1},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("worker %d: want error", i)
+		}
+	}
+}
+
+func TestComputeTimePiecewise(t *testing.T) {
+	w := Worker{Rate: []RatePiece{
+		{Units: 10, SecPerUnit: 1}, // in-core
+		{Units: 10, SecPerUnit: 5}, // out-of-core
+	}}
+	if got := w.computeTime(5); got != 5 {
+		t.Errorf("computeTime(5) = %v, want 5", got)
+	}
+	if got := w.computeTime(15); got != 10+25 {
+		t.Errorf("computeTime(15) = %v, want 35", got)
+	}
+	// Beyond the declared pieces the last rate continues.
+	if got := w.computeTime(25); got != 10+50+25 {
+		t.Errorf("computeTime(25) = %v, want 85", got)
+	}
+	if got := w.computeTime(0); got != 0 {
+		t.Errorf("computeTime(0) = %v", got)
+	}
+}
+
+func TestDistributeTwoEqualLinearNoComm(t *testing.T) {
+	// Two identical workers, no communication: an even split and finish
+	// time n/2 · rate.
+	w := Linear(2, 0, 0)
+	s, err := Distribute(100, []Worker{w, w})
+	if err != nil {
+		t.Fatalf("Distribute: %v", err)
+	}
+	if math.Abs(s.Loads[0]-50) > 1e-6 || math.Abs(s.Loads[1]-50) > 1e-6 {
+		t.Errorf("loads = %v, want [50 50]", s.Loads)
+	}
+	if math.Abs(s.Finish-100) > 1e-6 {
+		t.Errorf("finish = %v, want 100", s.Finish)
+	}
+}
+
+func TestDistributeProportionalToSpeed(t *testing.T) {
+	// Rates 1 and 3 s/unit, no comm: loads 3:1.
+	s, err := Distribute(400, []Worker{Linear(1, 0, 0), Linear(3, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Loads[0]-300) > 1e-4 || math.Abs(s.Loads[1]-100) > 1e-4 {
+		t.Errorf("loads = %v, want [300 100]", s.Loads)
+	}
+}
+
+func TestDistributeSequentialCommunication(t *testing.T) {
+	// With communication, the classical DLT result: later workers receive
+	// less because their transmission starts later.
+	w := Linear(1, 0, 0.5)
+	s, err := Distribute(100, []Worker{w, w, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Loads[0] > s.Loads[1] && s.Loads[1] > s.Loads[2]) {
+		t.Errorf("loads not decreasing along the chain: %v", s.Loads)
+	}
+	// Starts are the cumulative communication times.
+	if s.Starts[0] != 0 {
+		t.Errorf("first start = %v", s.Starts[0])
+	}
+	if !(s.Starts[1] > 0 && s.Starts[2] > s.Starts[1]) {
+		t.Errorf("starts not increasing: %v", s.Starts)
+	}
+	var total float64
+	for _, l := range s.Loads {
+		total += l
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Errorf("loads sum to %v", total)
+	}
+}
+
+func TestDistributeAllFinishTogether(t *testing.T) {
+	workers := []Worker{
+		Linear(1, 0.01, 0.002),
+		Linear(2, 0.02, 0.001),
+		{Rate: []RatePiece{{Units: 30, SecPerUnit: 0.5}, {Units: 1e18, SecPerUnit: 4}},
+			Latency: 0.01, SecPerUnitComm: 0.003},
+	}
+	s, err := Distribute(500, []Worker{workers[0], workers[1], workers[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range workers {
+		if s.Loads[i] == 0 {
+			continue
+		}
+		finish := s.Starts[i] + w.commTime(s.Loads[i]) + w.computeTime(s.Loads[i])
+		if math.Abs(finish-s.Finish) > 1e-5*s.Finish {
+			t.Errorf("worker %d finishes at %v, schedule says %v", i, finish, s.Finish)
+		}
+	}
+}
+
+func TestDistributeOutOfCorePenalty(t *testing.T) {
+	// A worker whose rate collapses after 50 units receives barely more
+	// than 50, while its linear twin would have taken half the load.
+	core50 := Worker{Rate: []RatePiece{
+		{Units: 50, SecPerUnit: 1}, {Units: 1e18, SecPerUnit: 20},
+	}}
+	linear := Linear(1, 0, 0)
+	s, err := Distribute(200, []Worker{core50, linear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Loads[0] > 70 {
+		t.Errorf("out-of-core worker got %v of 200", s.Loads[0])
+	}
+}
+
+func TestDistributeEdgeCases(t *testing.T) {
+	if _, err := Distribute(10, nil); err == nil {
+		t.Error("no workers: want error")
+	}
+	if _, err := Distribute(-1, []Worker{Linear(1, 0, 0)}); err == nil {
+		t.Error("negative load: want error")
+	}
+	if _, err := Distribute(math.Inf(1), []Worker{Linear(1, 0, 0)}); err == nil {
+		t.Error("infinite load: want error")
+	}
+	s, err := Distribute(0, []Worker{Linear(1, 0, 0)})
+	if err != nil || s.Loads[0] != 0 || s.Finish != 0 {
+		t.Errorf("zero load: %+v, %v", s, err)
+	}
+	bad := []Worker{{Rate: []RatePiece{{Units: -1, SecPerUnit: 1}}}}
+	if _, err := Distribute(10, bad); err == nil {
+		t.Error("invalid worker: want error")
+	}
+}
+
+func TestSequentialTime(t *testing.T) {
+	got, err := SequentialTime(100, Linear(2, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 200 {
+		t.Errorf("SequentialTime = %v, want 200 (communication excluded)", got)
+	}
+	if _, err := SequentialTime(10, Worker{}); err == nil {
+		t.Error("invalid worker: want error")
+	}
+}
+
+// Property: loads sum to n, all are non-negative, and the parallel finish
+// time never exceeds the best single worker's sequential time (with zero
+// communication).
+func TestDistributeProperty(t *testing.T) {
+	check := func(nSeed uint16, r1, r2, r3 uint8) bool {
+		n := 1 + float64(nSeed%5000)
+		ws := []Worker{
+			Linear(0.1+float64(r1)/50, 0, 0),
+			Linear(0.1+float64(r2)/50, 0, 0),
+			Linear(0.1+float64(r3)/50, 0, 0),
+		}
+		s, err := Distribute(n, ws)
+		if err != nil {
+			return false
+		}
+		var total float64
+		best := math.Inf(1)
+		for i, l := range s.Loads {
+			if l < -1e-9 {
+				return false
+			}
+			total += l
+			seq, _ := SequentialTime(n, ws[i])
+			best = math.Min(best, seq)
+		}
+		return math.Abs(total-n) < 1e-6*n && s.Finish <= best*(1+1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributeRoundsConservation(t *testing.T) {
+	ws := []Worker{Linear(1, 0.01, 0.001), Linear(2, 0.01, 0.001)}
+	s, err := DistributeRounds(1000, ws, 4, 1.5)
+	if err != nil {
+		t.Fatalf("DistributeRounds: %v", err)
+	}
+	var total float64
+	for _, l := range s.Loads {
+		total += l
+	}
+	if math.Abs(total-1000) > 1e-6*1000 {
+		t.Errorf("loads sum to %v", total)
+	}
+	if !(s.Finish > 0) {
+		t.Errorf("finish = %v", s.Finish)
+	}
+}
+
+func TestDistributeRoundsSingleRoundEquivalence(t *testing.T) {
+	ws := []Worker{Linear(1, 0, 0.01), Linear(3, 0, 0.01)}
+	one, err := Distribute(500, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRounds, err := DistributeRounds(500, ws, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.Finish-viaRounds.Finish) > 1e-9 {
+		t.Errorf("rounds=1 finish %v vs Distribute %v", viaRounds.Finish, one.Finish)
+	}
+}
+
+func TestDistributeRoundsValidation(t *testing.T) {
+	ws := []Worker{Linear(1, 0, 0)}
+	if _, err := DistributeRounds(10, ws, 0, 2); err == nil {
+		t.Error("rounds=0: want error")
+	}
+	if _, err := DistributeRounds(10, ws, 2, 0); err == nil {
+		t.Error("ratio=0: want error")
+	}
+	if _, err := DistributeRounds(10, nil, 2, 2); err == nil {
+		t.Error("no workers: want error")
+	}
+	if _, err := DistributeRounds(math.Inf(1), ws, 2, 2); err == nil {
+		t.Error("infinite load: want error")
+	}
+}

@@ -1,0 +1,41 @@
+package dlt_test
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/dlt"
+)
+
+// Classic single-round divisible load scheduling over a star network: two
+// workers with rates 1 and 3 seconds per unit and no communication cost
+// split the load 3:1, finishing together.
+func ExampleDistribute() {
+	s, err := dlt.Distribute(400, []dlt.Worker{
+		dlt.Linear(1, 0, 0),
+		dlt.Linear(3, 0, 0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loads: %.0f %.0f, finish: %.0f s\n", s.Loads[0], s.Loads[1], s.Finish)
+	// Output:
+	// loads: 300 100, finish: 300 s
+}
+
+// The out-of-core model of Drozdowski & Wolniewicz: a worker whose rate
+// degrades 20× past its 50-unit memory receives barely more than fits
+// in core, even though its in-core rate equals its partner's.
+func ExampleDistribute_outOfCore() {
+	outOfCore := dlt.Worker{Rate: []dlt.RatePiece{
+		{Units: 50, SecPerUnit: 1},
+		{Units: 1e18, SecPerUnit: 20},
+	}}
+	s, err := dlt.Distribute(200, []dlt.Worker{outOfCore, dlt.Linear(1, 0, 0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("out-of-core worker: %.0f of 200 units\n", s.Loads[0])
+	// Output:
+	// out-of-core worker: 55 of 200 units
+}

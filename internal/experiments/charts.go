@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"heteropart/internal/machine"
+	"heteropart/internal/report"
+)
+
+// Fig1Charts renders the Figure 1 speed curves as ASCII charts, one per
+// application, matching the layout of the paper's plots (speed in MFlops
+// against problem size, log-scaled speed so the paging collapse is
+// visible).
+func Fig1Charts() ([]*report.Chart, error) {
+	ms := machine.Table1()
+	var out []*report.Chart
+	for _, k := range []machine.Kernel{machine.ArrayOpsF, machine.MatrixMultATLAS, machine.MatrixMult} {
+		c := report.NewChart(
+			fmt.Sprintf("Figure 1 — %s: absolute speed vs problem size", k.Name),
+			"problem size", "MFlops")
+		c.LogY = true
+		// The ArrayOpsF sweep doubles the size each step.
+		c.LogX = k.Name == machine.ArrayOpsF.Name
+		sizes := fig1Sizes(k)
+		for _, m := range ms {
+			f, err := m.FlopRate(k)
+			if err != nil {
+				return nil, err
+			}
+			xs := make([]float64, len(sizes))
+			ys := make([]float64, len(sizes))
+			for i, n := range sizes {
+				xs[i] = float64(n)
+				ys[i] = f.Eval(k.Elements(n)) / 1e6
+			}
+			if err := c.AddSeries(m.Name, xs, ys); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Fig22Charts renders the Figure 22 speedup series as ASCII charts, one
+// for matrix multiplication and one for LU factorization, from the already
+// computed tables.
+func Fig22Charts(mmNs, luNs []int) ([]*report.Chart, error) {
+	a, err := Fig22a(mmNs)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Fig22b(luNs, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []*report.Chart
+	for _, src := range []struct {
+		table  *report.Table
+		title  string
+		labels [2]string
+	}{
+		{a, "Figure 22(a) — matrix multiplication speedup over single-number model",
+			[2]string{"single-number @ 500", "single-number @ 4000"}},
+		{b, "Figure 22(b) — LU factorization speedup over single-number model",
+			[2]string{"single-number @ 2000", "single-number @ 5000"}},
+	} {
+		c := report.NewChart(src.title, "matrix size n", "speedup")
+		var xs, s1, s2 []float64
+		for _, row := range src.table.Rows() {
+			x, err := strconv.ParseFloat(row[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad n cell %q", row[0])
+			}
+			v1, err := strconv.ParseFloat(row[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad speedup cell %q", row[3])
+			}
+			v2, err := strconv.ParseFloat(row[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bad speedup cell %q", row[5])
+			}
+			xs = append(xs, x)
+			s1 = append(s1, v1)
+			s2 = append(s2, v2)
+		}
+		if err := c.AddSeries(src.labels[0], xs, s1); err != nil {
+			return nil, err
+		}
+		if err := c.AddSeries(src.labels[1], xs, s2); err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

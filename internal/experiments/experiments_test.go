@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"heteropart/internal/machine"
+	"heteropart/internal/measure"
+	"heteropart/internal/speed"
+)
+
+func TestFlopRates(t *testing.T) {
+	fns, err := FlopRates(machine.Table2(), machine.MatrixMult)
+	if err != nil {
+		t.Fatalf("FlopRates: %v", err)
+	}
+	if len(fns) != 12 {
+		t.Fatalf("%d functions, want 12", len(fns))
+	}
+	for i, f := range fns {
+		if f == nil || !(f.MaxSize() > 0) {
+			t.Errorf("function %d invalid", i)
+		}
+	}
+}
+
+func TestBuiltModelsApproximateTruth(t *testing.T) {
+	ms := machine.Table2()[:4]
+	built, stats, err := BuiltModels(ms, machine.MatrixMult, 0.05, 7)
+	if err != nil {
+		t.Fatalf("BuiltModels: %v", err)
+	}
+	if stats.Measurements == 0 || stats.MaxPerMachine == 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+	for i, m := range ms {
+		truth, err := m.FlopRate(machine.MatrixMult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sample mid-domain points; built model within a loose band of
+		// truth (fluctuation noise plus pwl interpolation error).
+		for _, frac := range []float64{0.05, 0.2, 0.5, 0.8} {
+			x := truth.Max * frac
+			got, want := built[i].Eval(x), truth.Eval(x)
+			if want <= 0 {
+				continue
+			}
+			rel := got/want - 1
+			if rel < -0.5 || rel > 0.5 {
+				t.Errorf("%s: model at %.3g off by %.0f%%", m.Name, x, rel*100)
+			}
+		}
+		if err := speed.CheckShape(built[i], 64); err != nil {
+			t.Errorf("%s: built model shape: %v", m.Name, err)
+		}
+	}
+}
+
+func TestFig1Tables(t *testing.T) {
+	tables, err := Fig1()
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables, want 3 (one per application)", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.NumRows() == 0 {
+			t.Errorf("%s: empty", tb.Title)
+		}
+		// 4 machines + size column.
+		if len(tb.Headers) != 5 {
+			t.Errorf("%s: %d columns", tb.Title, len(tb.Headers))
+		}
+	}
+}
+
+func TestFig2BandsDecline(t *testing.T) {
+	tables, err := Fig2()
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("%d tables, want 3", len(tables))
+	}
+	// All Figure 2 machines are highly integrated: the width column must
+	// strictly decline down each table.
+	for _, tb := range tables {
+		rows := tb.Rows()
+		prev := 1e9
+		for _, r := range rows {
+			w, err := strconv.ParseFloat(r[len(r)-1], 64)
+			if err != nil {
+				t.Fatalf("%s: bad width cell %q", tb.Title, r[len(r)-1])
+			}
+			if w > prev {
+				t.Errorf("%s: width rises (%v after %v)", tb.Title, w, prev)
+			}
+			prev = w
+		}
+		if prev > 10 {
+			t.Errorf("%s: final width %.1f%%, want single digits", tb.Title, prev)
+		}
+	}
+}
+
+func TestTable3ModelInvariance(t *testing.T) {
+	tb, err := Table3Model()
+	if err != nil {
+		t.Fatalf("Table3Model: %v", err)
+	}
+	// Within each 4-row family the speed cells must be identical (the
+	// model's speed is a function of the element count alone).
+	rows := tb.Rows()
+	if len(rows)%4 != 0 {
+		t.Fatalf("row count %d not a multiple of 4", len(rows))
+	}
+	for f := 0; f < len(rows); f += 4 {
+		for i := 1; i < 4; i++ {
+			if rows[f+i][2] != rows[f][2] {
+				t.Errorf("family at row %d: speed differs across shapes: %v vs %v",
+					f, rows[f+i][2], rows[f][2])
+			}
+		}
+	}
+}
+
+func TestTable4ModelInvariance(t *testing.T) {
+	tb, err := Table4Model()
+	if err != nil {
+		t.Fatalf("Table4Model: %v", err)
+	}
+	if tb.NumRows() != 16 {
+		t.Errorf("rows = %d, want 16", tb.NumRows())
+	}
+}
+
+func TestTables34Real(t *testing.T) {
+	cfg := measure.Config{Repeats: 1}
+	t3, err := Table3Real(128, cfg)
+	if err != nil {
+		t.Fatalf("Table3Real: %v", err)
+	}
+	if t3.NumRows() == 0 {
+		t.Error("Table3Real: empty")
+	}
+	t4, err := Table4Real(128, cfg)
+	if err != nil {
+		t.Fatalf("Table4Real: %v", err)
+	}
+	if t4.NumRows() == 0 {
+		t.Error("Table4Real: empty")
+	}
+}
+
+func TestFig21Negligible(t *testing.T) {
+	tb, err := Fig21([]int{270}, []int64{250_000_000})
+	if err != nil {
+		t.Fatalf("Fig21: %v", err)
+	}
+	cost, err := strconv.ParseFloat(tb.Rows()[0][1], 64)
+	if err != nil {
+		t.Fatalf("bad cost cell: %v", err)
+	}
+	// The paper's claim: negligible next to minutes-to-hours run times.
+	if cost > 1.0 {
+		t.Errorf("partitioning cost %.3fs, expected well under a second", cost)
+	}
+}
+
+func TestFig22aSpeedupAboveOne(t *testing.T) {
+	tb, err := Fig22a([]int{15000, 25000, 31000})
+	if err != nil {
+		t.Fatalf("Fig22a: %v", err)
+	}
+	assertSpeedupColumns(t, tb, []int{3, 5})
+}
+
+func TestFig22bSpeedupAboveOne(t *testing.T) {
+	tb, err := Fig22b([]int{16000, 24000, 32000}, 64)
+	if err != nil {
+		t.Fatalf("Fig22b: %v", err)
+	}
+	assertSpeedupColumns(t, tb, []int{3, 5})
+}
+
+// assertSpeedupColumns checks that every speedup cell is ≥ ~1: the paper
+// argues the single-number distribution cannot in principle beat the
+// functional one; a small tolerance absorbs model-building noise.
+func assertSpeedupColumns(t *testing.T, tb interface {
+	Rows() [][]string
+	String() string
+}, cols []int) {
+	t.Helper()
+	for _, row := range tb.Rows() {
+		for _, c := range cols {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				t.Fatalf("bad speedup cell %q", row[c])
+			}
+			if v < 0.97 {
+				t.Errorf("speedup %v < 1 in row %v\n%s", v, row, tb)
+			}
+		}
+	}
+}
+
+func TestSyntheticCluster(t *testing.T) {
+	fns, err := SyntheticCluster(50, machine.MatrixMult)
+	if err != nil {
+		t.Fatalf("SyntheticCluster: %v", err)
+	}
+	if len(fns) != 50 {
+		t.Fatalf("%d functions", len(fns))
+	}
+	// Perturbation must make cycled copies distinct.
+	if fns[0].Eval(1e6) == fns[12].Eval(1e6) {
+		t.Error("cycled machines identical despite perturbation")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	for name, run := range map[string]func() (interface{ NumRows() int }, error){
+		"algorithms": func() (interface{ NumRows() int }, error) { return AblationAlgorithms() },
+		"bisection":  func() (interface{ NumRows() int }, error) { return AblationAngleVsTangent() },
+		"finetune":   func() (interface{ NumRows() int }, error) { return AblationFineTuning() },
+		"comm":       func() (interface{ NumRows() int }, error) { return AblationCommunication() },
+		"grid2d":     func() (interface{ NumRows() int }, error) { return Ablation2DPartitioning() },
+		"step-model": func() (interface{ NumRows() int }, error) { return AblationStepModel() },
+		"heterog":    func() (interface{ NumRows() int }, error) { return AblationHeterogeneity() },
+		"groupblock": func() (interface{ NumRows() int }, error) { return AblationGroupBlock() },
+		"overlap":    func() (interface{ NumRows() int }, error) { return AblationOverlap() },
+	} {
+		tb, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tb.NumRows() == 0 {
+			t.Errorf("%s: empty table", name)
+		}
+	}
+}
+
+func TestAblationBuilderBudget(t *testing.T) {
+	tb, err := AblationBuilderBudget()
+	if err != nil {
+		t.Fatalf("AblationBuilderBudget: %v", err)
+	}
+	rows := tb.Rows()
+	if len(rows) < 3 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	// The largest budget must be at least as good (≤ ratio) as the
+	// smallest, modulo a little noise.
+	first, err := strconv.ParseFloat(rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last > first*1.1 {
+		t.Errorf("more measurements made balance worse: %.3f → %.3f", first, last)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	var sb strings.Builder
+	tables, err := RunAll(&sb, Options{Quick: true})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(tables) < 12 {
+		t.Errorf("only %d tables", len(tables))
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Table 3", "Table 4", "Figure 21", "Figure 22(a)", "Figure 22(b)", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteropart/internal/machine"
+	"heteropart/internal/report"
+)
+
+// Fig1 regenerates Figure 1: the absolute speed of each of the Table 1
+// computers as a function of problem size, for the three applications
+// (ArrayOpsF, MatrixMultATLAS, MatrixMult), with the paging point P of
+// each machine annotated. One table per application; speeds in MFlops.
+func Fig1() ([]*report.Table, error) {
+	ms := machine.Table1()
+	var out []*report.Table
+
+	// Matrix kernels: sweep the matrix size n.
+	for _, k := range []machine.Kernel{machine.ArrayOpsF, machine.MatrixMultATLAS, machine.MatrixMult} {
+		headers := []string{"size"}
+		for _, m := range ms {
+			headers = append(headers, m.Name+" (MFlops)")
+		}
+		t := report.New(fmt.Sprintf("Figure 1 — %s: absolute speed vs problem size", k.Name), headers...)
+		sizes := fig1Sizes(k)
+		for _, n := range sizes {
+			row := []any{n}
+			for _, m := range ms {
+				f, err := m.FlopRate(k)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f.Eval(k.Elements(n))/1e6)
+			}
+			t.AddRow(row...)
+		}
+		for _, m := range ms {
+			f, err := m.FlopRate(k)
+			if err != nil {
+				return nil, err
+			}
+			t.AddNote("%s paging point P at %s elements", m.Name, report.FormatFloat(f.PagingPoint))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig1Sizes returns the swept problem sizes per kernel (array lengths for
+// ArrayOpsF, matrix sizes for the multiplication kernels).
+func fig1Sizes(k machine.Kernel) []int {
+	if k.Name == machine.ArrayOpsF.Name {
+		sizes := make([]int, 0, 16)
+		for n := 1 << 14; n <= 1<<28; n *= 2 {
+			sizes = append(sizes, n)
+		}
+		return sizes
+	}
+	var sizes []int
+	for n := 500; n <= 10000; n += 500 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteropart/internal/machine"
+	"heteropart/internal/report"
+)
+
+// Fig2 regenerates Figure 2: the performance bands of MatrixMultATLAS on
+// Comp1, Comp2 and Comp4 from Table 1. For each machine the table sweeps
+// the matrix size and reports the band's lower and upper speed and its
+// relative width — around 30–40 % at small sizes declining towards 5–8 %
+// at the largest solvable size for the highly integrated machines.
+func Fig2() ([]*report.Table, error) {
+	k := machine.MatrixMultATLAS
+	var out []*report.Table
+	for _, name := range []string{"Comp1", "Comp2", "Comp4"} {
+		m, ok := machine.ByName(machine.Table1(), name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: missing machine %s", name)
+		}
+		band, err := m.Band(k)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New(
+			fmt.Sprintf("Figure 2 — performance band of MatrixMultATLAS on %s (integration: %s)", m.Name, m.Integration),
+			"size", "lower (MFlops)", "mid (MFlops)", "upper (MFlops)", "width %")
+		maxN := fig2MaxSize(m, k)
+		for n := maxN / 10; n <= maxN; n += maxN / 10 {
+			x := k.Elements(n)
+			t.AddRow(n,
+				band.Lower(x)/1e6,
+				band.Mid().Eval(x)/1e6,
+				band.Upper(x)/1e6,
+				band.Width(x)*100,
+			)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// fig2MaxSize returns the largest matrix size solvable on the machine for
+// the kernel (the domain limit converted back to a matrix size).
+func fig2MaxSize(m machine.Machine, k machine.Kernel) int {
+	f, err := m.FlopRate(k)
+	if err != nil {
+		return 1000
+	}
+	// elements = 3n² → n = √(max/3)
+	n := 1
+	for k.Elements(n*2) <= f.Max {
+		n *= 2
+	}
+	for k.Elements(n+100) <= f.Max {
+		n += 100
+	}
+	return n
+}

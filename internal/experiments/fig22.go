@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"heteropart/internal/apps/lu"
+	"heteropart/internal/apps/mm"
+	"heteropart/internal/machine"
+	"heteropart/internal/report"
+)
+
+// Fig22a regenerates Figure 22(a): the speedup of the matrix
+// multiplication C = A×Bᵀ on the Table 2 network using the functional
+// model over the same application using the single-number model, for
+// n = 15000…31000. Two baselines, as in the paper: single-number speeds
+// measured at 500×500 and at 4000×4000 matrices.
+//
+// The functional model's speed functions are built through the §3.1
+// procedure from noisy simulated measurements (the honest pipeline); the
+// resulting distributions are evaluated against the ground-truth machine
+// models.
+func Fig22a(ns []int) (*report.Table, error) {
+	if len(ns) == 0 {
+		for n := 15000; n <= 31000; n += 2000 {
+			ns = append(ns, n)
+		}
+	}
+	ms := machine.Table2()
+	truth, err := FlopRates(ms, machine.MatrixMult)
+	if err != nil {
+		return nil, err
+	}
+	built, bstats, err := BuiltModels(ms, machine.MatrixMult, 0.05, 2004)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Figure 22(a) — matrix multiplication speedup: functional model over single-number model",
+		"n", "T functional (s)", "T single(500) (s)", "speedup(500)", "T single(4000) (s)", "speedup(4000)")
+	for _, n := range ns {
+		fpm, err := mm.PartitionFPM(n, built)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig22a n=%d: %w", n, err)
+		}
+		tFPM, err := mm.SimTime(fpm, truth)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{n, tFPM}
+		for _, refN := range []int{500, 4000} {
+			sn, err := mm.PartitionSingleNumber(n, refN, truth)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig22a single(%d): %w", refN, err)
+			}
+			tSN, err := mm.SimTime(sn, truth)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, tSN, tSN/tFPM)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("speed functions built from %d simulated measurements (max %d per machine, ε = 5%%)",
+		bstats.Measurements, bstats.MaxPerMachine)
+	t.AddNote("paper shape: speedup > 1 throughout, growing once machines page; the 500-reference baseline suffers more at large n")
+	return t, nil
+}
+
+// Fig22b regenerates Figure 22(b): the speedup of LU factorization with
+// the Variable Group Block distribution under the functional model over
+// the single-number model with reference factorizations of 2000×2000 and
+// 5000×5000 matrices, for n = 16000…32000.
+func Fig22b(ns []int, b int) (*report.Table, error) {
+	if len(ns) == 0 {
+		for n := 16000; n <= 32000; n += 4000 {
+			ns = append(ns, n)
+		}
+	}
+	if b <= 0 {
+		b = 64
+	}
+	ms := machine.Table2()
+	truth, err := FlopRates(ms, machine.LUFact)
+	if err != nil {
+		return nil, err
+	}
+	built, bstats, err := BuiltModels(ms, machine.LUFact, 0.05, 1974)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Figure 22(b) — LU factorization speedup: functional model over single-number model",
+		"n", "T functional (s)", "T single(2000) (s)", "speedup(2000)", "T single(5000) (s)", "speedup(5000)")
+	for _, n := range ns {
+		fpm, err := lu.VariableGroupBlock(n, b, built)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig22b n=%d: %w", n, err)
+		}
+		tFPM, err := lu.SimTime(fpm, truth)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{n, tFPM}
+		for _, refN := range []int{2000, 5000} {
+			snd, err := lu.SingleNumberDistribution(n, b, refN, truth)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig22b single(%d): %w", refN, err)
+			}
+			tSN, err := lu.SimTime(snd, truth)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, tSN, tSN/tFPM)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("block size b = %d", b)
+	t.AddNote("speed functions built from %d simulated measurements (max %d per machine, ε = 5%%)",
+		bstats.Measurements, bstats.MaxPerMachine)
+	t.AddNote("paper shape: speedup ≈ 1–2, growing with n, functional model never loses")
+	return t, nil
+}

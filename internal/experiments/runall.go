@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"heteropart/internal/measure"
+	"heteropart/internal/report"
+)
+
+// Options scales RunAll between test-sized and full paper-sized sweeps.
+type Options struct {
+	// Quick trims sweeps (fewer sizes, smaller real kernels) so the whole
+	// suite finishes in seconds; the full run regenerates every row of the
+	// paper artifacts.
+	Quick bool
+	// SkipReal skips the real-host measurements (Tables 3–4 real halves).
+	SkipReal bool
+	// Only restricts the run to artifacts whose name contains this
+	// substring (case-insensitive), e.g. "fig22" or "ablation".
+	Only string
+}
+
+// names of the artifacts, in run order, for Options.Only matching.
+var artifactNames = []string{
+	"fig1", "fig2", "table3-model", "table4-model", "table3-real",
+	"table4-real", "fig21", "fig22a", "fig22b",
+	"ablation-algorithms", "ablation-bisection", "ablation-finetune",
+	"ablation-builder", "ablation-communication", "ablation-2d",
+	"ablation-step-model", "ablation-heterogeneity", "ablation-group-block", "ablation-overlap",
+}
+
+// Artifacts lists the artifact names accepted by Options.Only.
+func Artifacts() []string {
+	return append([]string(nil), artifactNames...)
+}
+
+// RunAll regenerates every table and figure plus the ablations, writing
+// the rendered tables to w. It returns the tables for programmatic use.
+func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
+	one := func(t *report.Table, err error) ([]*report.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{t}, nil
+	}
+	maxBase := 512
+	cfg := measure.Config{Repeats: 3}
+	ps, sizes := []int(nil), []int64(nil)
+	var mmNs, luNs []int
+	if opt.Quick {
+		maxBase = 128
+		cfg.Repeats = 1
+		ps = []int{270, 540}
+		sizes = []int64{250_000_000, 1_000_000_000}
+		mmNs = []int{15000, 23000, 31000}
+		luNs = []int{16000, 24000, 32000}
+	}
+	runners := map[string]func() ([]*report.Table, error){
+		"fig1":                   Fig1,
+		"fig2":                   Fig2,
+		"table3-model":           func() ([]*report.Table, error) { return one(Table3Model()) },
+		"table4-model":           func() ([]*report.Table, error) { return one(Table4Model()) },
+		"table3-real":            func() ([]*report.Table, error) { return one(Table3Real(maxBase, cfg)) },
+		"table4-real":            func() ([]*report.Table, error) { return one(Table4Real(maxBase, cfg)) },
+		"fig21":                  func() ([]*report.Table, error) { return one(Fig21(ps, sizes)) },
+		"fig22a":                 func() ([]*report.Table, error) { return one(Fig22a(mmNs)) },
+		"fig22b":                 func() ([]*report.Table, error) { return one(Fig22b(luNs, 64)) },
+		"ablation-algorithms":    func() ([]*report.Table, error) { return one(AblationAlgorithms()) },
+		"ablation-bisection":     func() ([]*report.Table, error) { return one(AblationAngleVsTangent()) },
+		"ablation-finetune":      func() ([]*report.Table, error) { return one(AblationFineTuning()) },
+		"ablation-builder":       func() ([]*report.Table, error) { return one(AblationBuilderBudget()) },
+		"ablation-communication": func() ([]*report.Table, error) { return one(AblationCommunication()) },
+		"ablation-2d":            func() ([]*report.Table, error) { return one(Ablation2DPartitioning()) },
+		"ablation-step-model":    func() ([]*report.Table, error) { return one(AblationStepModel()) },
+		"ablation-heterogeneity": func() ([]*report.Table, error) { return one(AblationHeterogeneity()) },
+		"ablation-group-block":   func() ([]*report.Table, error) { return one(AblationGroupBlock()) },
+		"ablation-overlap":       func() ([]*report.Table, error) { return one(AblationOverlap()) },
+	}
+	only := strings.ToLower(opt.Only)
+	var all []*report.Table
+	matched := false
+	for _, name := range artifactNames {
+		if only != "" && !strings.Contains(name, only) {
+			continue
+		}
+		if opt.SkipReal && strings.HasSuffix(name, "-real") {
+			continue
+		}
+		matched = true
+		ts, err := runners[name]()
+		if err != nil {
+			return all, fmt.Errorf("%s: %w", name, err)
+		}
+		for _, t := range ts {
+			all = append(all, t)
+			if w != nil {
+				fmt.Fprintln(w, t)
+			}
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("experiments: -only %q matches no artifact (have %v)", opt.Only, artifactNames)
+	}
+	return all, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"heteropart/internal/kernels"
+	"heteropart/internal/machine"
+	"heteropart/internal/matrix"
+	"heteropart/internal/measure"
+	"heteropart/internal/report"
+)
+
+// shapeFamily lists the matrix shapes of one column group of Tables 3–4:
+// a base square size and reshapes with the same number of elements.
+func shapeFamily(base int) [][2]int {
+	return [][2]int{
+		{base, base},
+		{base / 2, base * 2},
+		{base / 4, base * 4},
+		{base / 8, base * 8},
+	}
+}
+
+// Table3Model regenerates Table 3 under the machine model for X8: the
+// absolute speed of serial matrix multiplication at equal element counts
+// across shapes. Under the functional model speed is a function of the
+// element count by construction, so each family shows one value — the
+// property the paper established empirically and the model encodes.
+func Table3Model() (*report.Table, error) {
+	m, ok := machine.ByName(machine.Table2(), "X8")
+	if !ok {
+		return nil, fmt.Errorf("experiments: missing X8")
+	}
+	f, err := m.FlopRate(machine.MatrixMult)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Table 3 (model) — serial matrix multiplication on X8, speed vs shape at equal elements",
+		"shape", "elements", "speed (MFlops)")
+	for _, base := range []int{256, 1024, 2304, 4096} {
+		for _, s := range shapeFamily(base) {
+			elems := 3 * float64(s[0]) * float64(s[1])
+			t.AddRow(fmt.Sprintf("%d×%d", s[0], s[1]), elems, f.Eval(elems)/1e6)
+		}
+	}
+	t.AddNote("paper values for X8: ≈67 MFlops for all shapes up to 2304², ≈59–60 past paging")
+	return t, nil
+}
+
+// Table3Real measures the shape invariance on the host with the real
+// naive multiplication kernel: A(n1×n2)·B(n2×n1) for shapes of equal
+// element count. maxBase bounds the square size (keep ≤ 256 in tests).
+func Table3Real(maxBase int, cfg measure.Config) (*report.Table, error) {
+	t := report.New("Table 3 (real, this host) — serial matrix multiplication speed vs shape",
+		"shape", "elements", "speed (MFlops)", "family spread")
+	for base := 64; base <= maxBase; base *= 2 {
+		rates := make([]float64, 0, 4)
+		rows := make([][2]int, 0, 4)
+		for _, s := range shapeFamily(base) {
+			if s[0] < 1 {
+				continue
+			}
+			n1, n2 := s[0], s[1]
+			a := matrix.MustNew(n1, n2)
+			b := matrix.MustNew(n2, n1)
+			c := matrix.MustNew(n1, n1)
+			a.FillRandom(uint64(n1))
+			b.FillRandom(uint64(n2))
+			flops := kernels.FlopsMatMulRect(n1, n2, n1)
+			rate, err := cfg.FlopRate(flops, func() error {
+				return kernels.MatMulNaive(c, a, b)
+			})
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, rate)
+			rows = append(rows, s)
+		}
+		spread := spreadOf(rates)
+		for i, s := range rows {
+			note := ""
+			if i == 0 {
+				note = report.FormatFloat(spread)
+			}
+			t.AddRow(fmt.Sprintf("%d×%d", s[0], s[1]),
+				3*float64(s[0])*float64(s[1]), rates[i]/1e6, note)
+		}
+	}
+	t.AddNote("spread = max/min speed within a family; the paper observes ≈1.0 (shape invariance)")
+	return t, nil
+}
+
+// Table4Model regenerates Table 4 under the machine model for X8 (serial
+// LU factorization).
+func Table4Model() (*report.Table, error) {
+	m, ok := machine.ByName(machine.Table2(), "X8")
+	if !ok {
+		return nil, fmt.Errorf("experiments: missing X8")
+	}
+	f, err := m.FlopRate(machine.LUFact)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Table 4 (model) — serial LU factorization on X8, speed vs shape at equal elements",
+		"shape", "elements", "speed (MFlops)")
+	for _, base := range []int{1024, 2304, 4096, 6400} {
+		for _, s := range shapeFamily(base) {
+			elems := float64(s[0]) * float64(s[1])
+			t.AddRow(fmt.Sprintf("%d×%d", s[0], s[1]), elems, f.Eval(elems)/1e6)
+		}
+	}
+	t.AddNote("paper values for X8: ≈115–132 MFlops across all shapes and families")
+	return t, nil
+}
+
+// Table4Real measures the LU shape invariance on the host with the real
+// rectangular factorization kernel.
+func Table4Real(maxBase int, cfg measure.Config) (*report.Table, error) {
+	t := report.New("Table 4 (real, this host) — serial LU factorization speed vs shape",
+		"shape", "elements", "speed (MFlops)", "family spread")
+	for base := 64; base <= maxBase; base *= 2 {
+		rates := make([]float64, 0, 4)
+		rows := make([][2]int, 0, 4)
+		for _, s := range shapeFamily(base) {
+			if s[0] < 1 {
+				continue
+			}
+			n1, n2 := s[0], s[1]
+			orig := matrix.MustNew(n1, n2)
+			orig.FillRandom(uint64(n1 + n2))
+			for i := 0; i < min(n1, n2); i++ {
+				orig.Set(i, i, orig.At(i, i)+float64(n1+n2))
+			}
+			flops := kernels.FlopsLURect(n1, n2)
+			rate, err := cfg.FlopRate(flops, func() error {
+				work := orig.Clone()
+				_, err := kernels.LUFactorizeRect(work)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rates = append(rates, rate)
+			rows = append(rows, s)
+		}
+		spread := spreadOf(rates)
+		for i, s := range rows {
+			note := ""
+			if i == 0 {
+				note = report.FormatFloat(spread)
+			}
+			t.AddRow(fmt.Sprintf("%d×%d", s[0], s[1]),
+				float64(s[0])*float64(s[1]), rates[i]/1e6, note)
+		}
+	}
+	t.AddNote("spread = max/min speed within a family; the paper observes ≈1.0 (shape invariance)")
+	return t, nil
+}
+
+// spreadOf returns max/min of positive rates (1 for degenerate input).
+func spreadOf(rates []float64) float64 {
+	lo, hi := math.Inf(1), 0.0
+	for _, r := range rates {
+		if r <= 0 {
+			continue
+		}
+		lo, hi = math.Min(lo, r), math.Max(hi, r)
+	}
+	if !(hi > 0) || math.IsInf(lo, 1) {
+		return 1
+	}
+	return hi / lo
+}

@@ -1,0 +1,265 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewRay(t *testing.T) {
+	r, err := NewRay(2.5)
+	if err != nil {
+		t.Fatalf("NewRay(2.5): %v", err)
+	}
+	if r.Slope() != 2.5 {
+		t.Errorf("Slope() = %v, want 2.5", r.Slope())
+	}
+	if got := r.Y(4); got != 10 {
+		t.Errorf("Y(4) = %v, want 10", got)
+	}
+}
+
+func TestNewRayRejectsInvalid(t *testing.T) {
+	for _, slope := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewRay(slope); err == nil {
+			t.Errorf("NewRay(%v): want error, got nil", slope)
+		}
+	}
+}
+
+func TestRayFromAngle(t *testing.T) {
+	r, err := RayFromAngle(math.Pi / 4)
+	if err != nil {
+		t.Fatalf("RayFromAngle: %v", err)
+	}
+	if !almostEqual(r.Slope(), 1, 1e-12) {
+		t.Errorf("slope of 45° ray = %v, want 1", r.Slope())
+	}
+	if !almostEqual(r.Angle(), math.Pi/4, 1e-12) {
+		t.Errorf("Angle() = %v, want π/4", r.Angle())
+	}
+}
+
+func TestRayFromAngleRejectsInvalid(t *testing.T) {
+	for _, th := range []float64{-0.1, math.Pi / 2, math.Pi, math.NaN()} {
+		if _, err := RayFromAngle(th); err == nil {
+			t.Errorf("RayFromAngle(%v): want error, got nil", th)
+		}
+	}
+}
+
+func TestRayThrough(t *testing.T) {
+	r, err := RayThrough(4, 2)
+	if err != nil {
+		t.Fatalf("RayThrough: %v", err)
+	}
+	if r.Slope() != 0.5 {
+		t.Errorf("slope = %v, want 0.5", r.Slope())
+	}
+}
+
+func TestRayThroughRejectsInvalid(t *testing.T) {
+	cases := []struct{ x, y float64 }{
+		{0, 1}, {-1, 1}, {1, -1}, {1, math.NaN()}, {1, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := RayThrough(c.x, c.y); err == nil {
+			t.Errorf("RayThrough(%v, %v): want error, got nil", c.x, c.y)
+		}
+	}
+}
+
+func TestMustRayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRay(-1) did not panic")
+		}
+	}()
+	MustRay(-1)
+}
+
+func TestSteeper(t *testing.T) {
+	a, b := MustRay(2), MustRay(1)
+	if !a.Steeper(b) {
+		t.Error("Steeper: 2 should be steeper than 1")
+	}
+	if b.Steeper(a) || a.Steeper(a) {
+		t.Error("Steeper must be strict")
+	}
+}
+
+func TestBisectTangents(t *testing.T) {
+	mid := BisectTangents.Bisect(MustRay(1), MustRay(3))
+	if mid.Slope() != 2 {
+		t.Errorf("tangent bisection slope = %v, want 2", mid.Slope())
+	}
+}
+
+func TestBisectAngles(t *testing.T) {
+	lo, hi := MustRay(0), MustRay(1) // 0° and 45°
+	mid := BisectAngles.Bisect(lo, hi)
+	want := math.Tan(math.Pi / 8)
+	if !almostEqual(mid.Slope(), want, 1e-12) {
+		t.Errorf("angle bisection slope = %v, want %v", mid.Slope(), want)
+	}
+}
+
+func TestBisectionRuleString(t *testing.T) {
+	if BisectTangents.String() != "tangents" || BisectAngles.String() != "angles" {
+		t.Errorf("unexpected String(): %q, %q", BisectTangents, BisectAngles)
+	}
+	if BisectionRule(42).String() == "" {
+		t.Error("unknown rule String() must be non-empty")
+	}
+}
+
+// curveFunc adapts a plain function to Curve for testing the numeric path.
+type curveFunc func(float64) float64
+
+func (f curveFunc) Eval(x float64) float64 { return f(x) }
+
+func TestIntersectConstantCurve(t *testing.T) {
+	// s(x) = 10; ray slope 2 → intersection at x = 5.
+	c := curveFunc(func(x float64) float64 { return 10 })
+	x, err := Intersect(c, MustRay(2), 1e6)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if !almostEqual(x, 5, 1e-9) {
+		t.Errorf("x = %v, want 5", x)
+	}
+}
+
+func TestIntersectDecreasingCurve(t *testing.T) {
+	// s(x) = 100/(1+x); slope 1 → x(1+x) = 100 → x = (−1+√401)/2.
+	c := curveFunc(func(x float64) float64 { return 100 / (1 + x) })
+	x, err := Intersect(c, MustRay(1), 1e6)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	want := (-1 + math.Sqrt(401)) / 2
+	if !almostEqual(x, want, 1e-9) {
+		t.Errorf("x = %v, want %v", x, want)
+	}
+}
+
+func TestIntersectClampsAtDomainEnd(t *testing.T) {
+	// Very shallow ray never rises above the curve inside [0, 10].
+	c := curveFunc(func(x float64) float64 { return 100 })
+	x, err := Intersect(c, MustRay(1e-9), 10)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if x != 10 {
+		t.Errorf("x = %v, want clamp at 10", x)
+	}
+}
+
+func TestIntersectRejectsBadBound(t *testing.T) {
+	c := curveFunc(func(x float64) float64 { return 1 })
+	for _, hi := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		if _, err := Intersect(c, MustRay(1), hi); err == nil {
+			t.Errorf("Intersect with hi=%v: want error", hi)
+		}
+	}
+}
+
+// fakeIntersector exercises the analytic fast path.
+type fakeIntersector struct{ x float64 }
+
+func (f fakeIntersector) Eval(x float64) float64               { return 1 }
+func (f fakeIntersector) IntersectRay(float64) (float64, bool) { return f.x, true }
+
+func TestIntersectUsesFastPath(t *testing.T) {
+	x, err := Intersect(fakeIntersector{x: 7}, MustRay(1), 100)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if x != 7 {
+		t.Errorf("x = %v, want fast-path 7", x)
+	}
+	// Fast-path result must still be clamped to the domain bound.
+	x, err = Intersect(fakeIntersector{x: 7}, MustRay(1), 3)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if x != 3 {
+		t.Errorf("x = %v, want clamped 3", x)
+	}
+}
+
+// Property: for any positive peak S and slope c, the intersection of the ray
+// with the hyperbolic curve S/(1+x) satisfies the defining equation.
+func TestIntersectPropertySatisfiesEquation(t *testing.T) {
+	f := func(peakSeed, slopeSeed uint16) bool {
+		peak := 1 + float64(peakSeed)         // [1, 65536)
+		slope := 1e-3 + float64(slopeSeed)/64 // positive
+		c := curveFunc(func(x float64) float64 { return peak / (1 + x) })
+		r := MustRay(slope)
+		x, err := Intersect(c, r, 1e9)
+		if err != nil {
+			return false
+		}
+		if x >= 1e9 { // clamped; valid outcome for shallow rays
+			return c.Eval(1e9) >= r.Y(1e9)
+		}
+		return almostEqual(c.Eval(x), r.Y(x), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: angle bisection and tangent bisection both land strictly between
+// the bounding slopes for distinct bounds.
+func TestBisectionPropertyBetween(t *testing.T) {
+	f := func(aSeed, bSeed uint16) bool {
+		a := float64(aSeed) / 256
+		b := float64(bSeed)/256 + 1e-6
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if hi-lo < 1e-9 {
+			return true
+		}
+		rl, rh := MustRay(lo), MustRay(hi)
+		for _, rule := range []BisectionRule{BisectTangents, BisectAngles} {
+			m := rule.Bisect(rl, rh).Slope()
+			if !(m > lo && m < hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// discontinuous is a step-like curve exercising the numeric bisection path
+// across a jump: the root bracket logic must still terminate at the drop.
+type discontinuous struct{}
+
+func (discontinuous) Eval(x float64) float64 {
+	if x <= 100 {
+		return 50
+	}
+	return 5
+}
+
+func TestIntersectNumericAcrossDiscontinuity(t *testing.T) {
+	// Slope 0.3: 50/0.3 = 166 > 100 but 5/0.3 = 16.7 < 100 — the crossing
+	// is the vertical drop at x = 100; bisection must converge there.
+	x, err := Intersect(discontinuous{}, MustRay(0.3), 1e4)
+	if err != nil {
+		t.Fatalf("Intersect: %v", err)
+	}
+	if math.Abs(x-100) > 1e-6*100 {
+		t.Errorf("x = %v, want ≈ 100 (the drop)", x)
+	}
+}

@@ -1,0 +1,36 @@
+package grid_test
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/grid"
+	"heteropart/internal/speed"
+)
+
+// Partition a 60×60 element grid over three processors with 1:2:3 speeds:
+// areas come out proportional and the rectangles tile the grid exactly.
+func ExamplePartition2D() {
+	fns := []speed.Function{
+		speed.MustConstant(100, 1e9),
+		speed.MustConstant(200, 1e9),
+		speed.MustConstant(300, 1e9),
+	}
+	res, err := grid.Partition2D(60, 60, fns, grid.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := grid.Validate(60, 60, res.Rects); err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	for _, r := range res.Rects {
+		total += r.Area()
+	}
+	fmt.Println("cells covered:", total)
+	fmt.Println("fastest got the largest share:",
+		res.Rects[2].Area() > res.Rects[1].Area() && res.Rects[1].Area() > res.Rects[0].Area())
+	// Output:
+	// cells covered: 3600
+	// fastest got the largest share: true
+}

@@ -1,0 +1,312 @@
+// Package grid implements the multi-dimensional extension of the
+// set-partitioning problem that §3.1 of the paper sketches: when the
+// problem size has two parameters and neither is fixed, the speed
+// functions become surfaces and the optimal geometric solution divides an
+// N1×N2 element grid into p rectangles whose areas are proportional to the
+// processor speeds at those areas.
+//
+// Because the paper's own experiments reduce the surface to a line by
+// fixing one parameter, the speed argument here is the rectangle's area in
+// elements — the same one-parameter functional model — and the package
+// contributes the second half of the problem: arranging the proportional
+// areas into an exact rectangular tiling of the grid.
+//
+// The arrangement uses the column heuristic of the heterogeneous-ScaLAPACK
+// line of work the paper builds on (reference [6]): processors are packed
+// into ⌈√p⌉ columns balanced by area, each column becomes a vertical strip
+// whose width is proportional to its area, and every strip is cut
+// horizontally in proportion to its processors' areas. Optionally the
+// area→speed→area assignment is iterated to a fixed point, since a
+// processor's speed depends on the area it finally receives.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+// Rect is a half-open rectangle of grid cells: columns [X0, X1), rows
+// [Y0, Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Area returns the number of cells in the rectangle.
+func (r Rect) Area() int64 {
+	return int64(r.X1-r.X0) * int64(r.Y1-r.Y0)
+}
+
+// SemiPerimeter returns width + height, the per-processor communication
+// proxy of the heterogeneous matrix-multiplication literature (a processor
+// owning a w×h block exchanges O(w+h) boundary data per iteration).
+func (r Rect) SemiPerimeter() int64 {
+	return int64(r.X1-r.X0) + int64(r.Y1-r.Y0)
+}
+
+// Empty reports whether the rectangle contains no cells.
+func (r Rect) Empty() bool { return r.X0 >= r.X1 || r.Y0 >= r.Y1 }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)×[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}
+
+// Result is a 2D partitioning outcome.
+type Result struct {
+	// Rects[i] is processor i's rectangle; empty rectangles are allowed
+	// for processors whose proportional share rounded to zero.
+	Rects []Rect
+	// Stats carries the underlying 1D partitioning statistics.
+	Stats core.Stats
+	// Columns is the number of vertical strips of the chosen arrangement.
+	Columns int
+	// Makespan is the realized parallel time of the chosen arrangement:
+	// max over processors of area / speed(area).
+	Makespan float64
+}
+
+// Options configures Partition2D.
+type Options struct {
+	// Columns forces the number of vertical strips; 0 evaluates all
+	// candidate counts from 1 to ⌈√p⌉+2 and keeps the arrangement with
+	// the smallest realized makespan (integer rounding of widths and
+	// heights distorts each arrangement differently — near a paging
+	// cliff, a few cells swing a processor's time substantially — so the
+	// realized times, not the target areas, decide).
+	Columns int
+	// Core options are forwarded to the 1D partitioner.
+	Core []core.Option
+}
+
+// Partition2D tiles an n1-column × n2-row grid over the processors so
+// that rectangle areas are proportional to the speed functions evaluated
+// at those areas.
+func Partition2D(n1, n2 int, fns []speed.Function, opt Options) (Result, error) {
+	if n1 <= 0 || n2 <= 0 {
+		return Result{}, fmt.Errorf("grid: invalid grid %d×%d", n1, n2)
+	}
+	p := len(fns)
+	if p == 0 {
+		return Result{}, core.ErrNoProcessors
+	}
+	total := int64(n1) * int64(n2)
+
+	// Proportional areas from the functional model.
+	res, err := core.Combined(total, fns, opt.Core...)
+	if err != nil {
+		return Result{}, fmt.Errorf("grid: partitioning %d cells: %w", total, err)
+	}
+	candidates := []int{opt.Columns}
+	if opt.Columns <= 0 {
+		max := int(math.Ceil(math.Sqrt(float64(p)))) + 2
+		if max > p {
+			max = p
+		}
+		candidates = candidates[:0]
+		for c := 1; c <= max; c++ {
+			candidates = append(candidates, c)
+		}
+	}
+	out := Result{Stats: res.Stats, Makespan: math.Inf(1)}
+	for _, c := range candidates {
+		rects, err := arrange(n1, n2, res.Alloc, c)
+		if err != nil {
+			return Result{}, err
+		}
+		ms := realizedMakespan(rects, fns)
+		better := ms < out.Makespan ||
+			(ms == out.Makespan && out.Rects != nil &&
+				TotalSemiPerimeter(rects) < TotalSemiPerimeter(out.Rects))
+		if out.Rects == nil || better {
+			out.Rects, out.Columns, out.Makespan = rects, c, ms
+		}
+	}
+	return out, nil
+}
+
+// realizedMakespan evaluates the parallel time of an arrangement under
+// the true speed functions.
+func realizedMakespan(rects []Rect, fns []speed.Function) float64 {
+	var worst float64
+	for i, r := range rects {
+		a := float64(r.Area())
+		if a == 0 {
+			continue
+		}
+		s := fns[i].Eval(a)
+		if s <= 0 {
+			return math.Inf(1)
+		}
+		worst = math.Max(worst, a/s)
+	}
+	return worst
+}
+
+// arrange turns target areas into an exact tiling: processors are packed
+// into columns balanced by area (LPT), column widths are proportional to
+// column areas, and each column is sliced horizontally.
+func arrange(n1, n2 int, areas core.Allocation, columns int) ([]Rect, error) {
+	p := len(areas)
+	if columns <= 0 {
+		columns = int(math.Ceil(math.Sqrt(float64(p))))
+	}
+	if columns > p {
+		columns = p
+	}
+	// LPT packing of processors into columns by target area.
+	order := make([]int, p)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return areas[order[a]] > areas[order[b]] })
+	colMembers := make([][]int, columns)
+	colArea := make([]int64, columns)
+	for _, i := range order {
+		best := 0
+		for c := 1; c < columns; c++ {
+			if colArea[c] < colArea[best] {
+				best = c
+			}
+		}
+		colMembers[best] = append(colMembers[best], i)
+		colArea[best] += areas[i]
+	}
+	// Zero-area processors can leave trailing columns without members
+	// (LPT's strict tie-break never reaches them); such columns get no
+	// width, so drop them before apportioning.
+	live := colMembers[:0]
+	liveArea := colArea[:0]
+	for c := range colMembers {
+		if len(colMembers[c]) > 0 {
+			live = append(live, colMembers[c])
+			liveArea = append(liveArea, colArea[c])
+		}
+	}
+	// Column widths by largest remainder over n1.
+	widths, err := proportional(liveArea, n1)
+	if err != nil {
+		return nil, err
+	}
+	rects := make([]Rect, p)
+	x := 0
+	for c := range live {
+		w := widths[c]
+		memberAreas := make([]int64, len(live[c]))
+		for j, i := range live[c] {
+			memberAreas[j] = areas[i]
+		}
+		heights, err := proportional(memberAreas, n2)
+		if err != nil {
+			return nil, err
+		}
+		y := 0
+		for j, i := range live[c] {
+			h := heights[j]
+			rects[i] = Rect{X0: x, Y0: y, X1: x + w, Y1: y + h}
+			y += h
+		}
+		// Zero-width columns leave their members with empty rectangles.
+		if w == 0 {
+			for _, i := range live[c] {
+				rects[i] = Rect{}
+			}
+		}
+		x += w
+	}
+	return rects, nil
+}
+
+// proportional splits total into len(weights) non-negative integers
+// proportional to the weights (largest remainder), summing exactly to
+// total. All-zero weights split evenly.
+func proportional(weights []int64, total int) ([]int, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("grid: negative total %d", total)
+	}
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("grid: no weights")
+	}
+	var sum int64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("grid: negative weight %d", w)
+		}
+		sum += w
+	}
+	out := make([]int, n)
+	if sum == 0 {
+		alloc, err := core.Even(int64(total), n)
+		if err != nil {
+			return nil, err
+		}
+		for i, a := range alloc {
+			out[i] = int(a)
+		}
+		return out, nil
+	}
+	type frac struct {
+		idx int
+		f   float64
+	}
+	fracs := make([]frac, n)
+	used := 0
+	for i, w := range weights {
+		exact := float64(total) * float64(w) / float64(sum)
+		fl := int(math.Floor(exact))
+		out[i] = fl
+		used += fl
+		fracs[i] = frac{idx: i, f: exact - float64(fl)}
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for d := total - used; d > 0; d-- {
+		out[fracs[(total-used-d)%n].idx]++
+	}
+	return out, nil
+}
+
+// Validate checks that the rectangles exactly tile the n1×n2 grid: no
+// overlaps, full coverage. It is O(total cells) and intended for tests
+// and debugging.
+func Validate(n1, n2 int, rects []Rect) error {
+	covered := make([]bool, n1*n2)
+	for i, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		if r.X0 < 0 || r.Y0 < 0 || r.X1 > n1 || r.Y1 > n2 {
+			return fmt.Errorf("grid: rectangle %d (%v) exceeds grid %d×%d", i, r, n1, n2)
+		}
+		for x := r.X0; x < r.X1; x++ {
+			for y := r.Y0; y < r.Y1; y++ {
+				at := y*n1 + x
+				if covered[at] {
+					return fmt.Errorf("grid: cell (%d,%d) covered twice (rectangle %d)", x, y, i)
+				}
+				covered[at] = true
+			}
+		}
+	}
+	for at, c := range covered {
+		if !c {
+			return fmt.Errorf("grid: cell (%d,%d) uncovered", at%n1, at/n1)
+		}
+	}
+	return nil
+}
+
+// TotalSemiPerimeter sums the communication proxy over non-empty
+// rectangles.
+func TotalSemiPerimeter(rects []Rect) int64 {
+	var s int64
+	for _, r := range rects {
+		if !r.Empty() {
+			s += r.SemiPerimeter()
+		}
+	}
+	return s
+}

@@ -1,0 +1,311 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+func constFns(speeds ...float64) []speed.Function {
+	fns := make([]speed.Function, len(speeds))
+	for i, s := range speeds {
+		fns[i] = speed.MustConstant(s, 1e12)
+	}
+	return fns
+}
+
+func TestRectHelpers(t *testing.T) {
+	r := Rect{X0: 1, Y0: 2, X1: 4, Y1: 7}
+	if r.Area() != 15 {
+		t.Errorf("Area = %d, want 15", r.Area())
+	}
+	if r.SemiPerimeter() != 8 {
+		t.Errorf("SemiPerimeter = %d, want 8", r.SemiPerimeter())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Error("zero rect must be empty")
+	}
+	if r.String() == "" {
+		t.Error("String must be non-empty")
+	}
+}
+
+func TestPartition2DTilesExactly(t *testing.T) {
+	fns := constFns(100, 250, 50, 400, 200)
+	res, err := Partition2D(60, 40, fns, Options{})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	if err := Validate(60, 40, res.Rects); err != nil {
+		t.Fatalf("tiling invalid: %v", err)
+	}
+}
+
+func TestPartition2DProportionalAreas(t *testing.T) {
+	fns := constFns(100, 300) // 1:3
+	res, err := Partition2D(40, 40, fns, Options{})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	a0, a1 := res.Rects[0].Area(), res.Rects[1].Area()
+	if a0+a1 != 1600 {
+		t.Fatalf("areas %d+%d ≠ 1600", a0, a1)
+	}
+	ratio := float64(a1) / float64(a0)
+	if ratio < 2.3 || ratio > 3.8 {
+		t.Errorf("area ratio %.2f, want ≈ 3 (rounding slack allowed)", ratio)
+	}
+}
+
+func TestPartition2DSingleProcessor(t *testing.T) {
+	res, err := Partition2D(7, 5, constFns(10), Options{})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	want := Rect{X0: 0, Y0: 0, X1: 7, Y1: 5}
+	if res.Rects[0] != want {
+		t.Errorf("rect = %v, want %v", res.Rects[0], want)
+	}
+}
+
+func TestPartition2DForcedColumns(t *testing.T) {
+	fns := constFns(1, 1, 1, 1)
+	res, err := Partition2D(20, 20, fns, Options{Columns: 1})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	if err := Validate(20, 20, res.Rects); err != nil {
+		t.Fatalf("tiling invalid: %v", err)
+	}
+	// One column: every rectangle spans the full width.
+	for i, r := range res.Rects {
+		if r.X0 != 0 || r.X1 != 20 {
+			t.Errorf("rect %d = %v, want full width", i, r)
+		}
+	}
+}
+
+func TestPartition2DSizeDependentSpeeds(t *testing.T) {
+	// A processor that pages at 300 cells must receive a small rectangle
+	// despite the same peak as its partner.
+	fns := []speed.Function{
+		&speed.Analytic{Peak: 1e6, HalfRise: 1, Max: 1e7},
+		&speed.Analytic{Peak: 1e6, HalfRise: 1,
+			PagingPoint: 300, PagingWidth: 50, PagingFloor: 0.01, Max: 1e7},
+	}
+	res, err := Partition2D(40, 40, fns, Options{})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	if err := Validate(40, 40, res.Rects); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rects[1].Area() >= res.Rects[0].Area() {
+		t.Errorf("paging processor got %d ≥ %d cells", res.Rects[1].Area(), res.Rects[0].Area())
+	}
+}
+
+func TestPartition2DErrors(t *testing.T) {
+	if _, err := Partition2D(0, 5, constFns(1), Options{}); err == nil {
+		t.Error("n1=0: want error")
+	}
+	if _, err := Partition2D(5, -1, constFns(1), Options{}); err == nil {
+		t.Error("n2<0: want error")
+	}
+	if _, err := Partition2D(5, 5, nil, Options{}); err == nil {
+		t.Error("no processors: want error")
+	}
+}
+
+func TestProportional(t *testing.T) {
+	out, err := proportional([]int64{1, 3}, 8)
+	if err != nil {
+		t.Fatalf("proportional: %v", err)
+	}
+	if out[0] != 2 || out[1] != 6 {
+		t.Errorf("out = %v, want [2 6]", out)
+	}
+	// All-zero weights: even split.
+	out, err = proportional([]int64{0, 0, 0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]+out[1]+out[2] != 7 {
+		t.Errorf("zero weights split = %v", out)
+	}
+	if _, err := proportional([]int64{-1}, 5); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := proportional(nil, 5); err == nil {
+		t.Error("no weights: want error")
+	}
+	if _, err := proportional([]int64{1}, -1); err == nil {
+		t.Error("negative total: want error")
+	}
+}
+
+func TestValidateDetectsBadTilings(t *testing.T) {
+	// Overlap.
+	over := []Rect{{0, 0, 2, 2}, {1, 1, 3, 3}}
+	if err := Validate(3, 3, over); err == nil {
+		t.Error("overlap undetected")
+	}
+	// Gap.
+	gap := []Rect{{0, 0, 2, 3}}
+	if err := Validate(3, 3, gap); err == nil {
+		t.Error("gap undetected")
+	}
+	// Out of bounds.
+	oob := []Rect{{0, 0, 4, 3}}
+	if err := Validate(3, 3, oob); err == nil {
+		t.Error("out of bounds undetected")
+	}
+}
+
+func TestTotalSemiPerimeter(t *testing.T) {
+	rects := []Rect{{0, 0, 2, 3}, {}, {2, 0, 4, 3}}
+	if got := TotalSemiPerimeter(rects); got != 10 {
+		t.Errorf("TotalSemiPerimeter = %d, want 10", got)
+	}
+}
+
+func TestMoreColumnsRaisePerimeter(t *testing.T) {
+	// For equal processors on a square grid, a single column (p slices)
+	// has a worse total semi-perimeter than the √p×√p arrangement.
+	fns := constFns(1, 1, 1, 1, 1, 1, 1, 1, 1)
+	sliced, err := Partition2D(90, 90, fns, Options{Columns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	squarish, err := Partition2D(90, 90, fns, Options{Columns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalSemiPerimeter(squarish.Rects) >= TotalSemiPerimeter(sliced.Rects) {
+		t.Errorf("3 columns %d ≥ 1 column %d",
+			TotalSemiPerimeter(squarish.Rects), TotalSemiPerimeter(sliced.Rects))
+	}
+}
+
+// Property: Partition2D always produces an exact tiling with areas within
+// integer-rounding distance of proportionality.
+func TestPartition2DProperty(t *testing.T) {
+	check := func(w8, h8, pSeed uint8, s1, s2, s3 uint16) bool {
+		n1 := 1 + int(w8%50)
+		n2 := 1 + int(h8%50)
+		speeds := []float64{1 + float64(s1), 1 + float64(s2), 1 + float64(s3)}
+		p := 1 + int(pSeed%3)
+		fns := constFns(speeds[:p]...)
+		res, err := Partition2D(n1, n2, fns, Options{})
+		if err != nil {
+			return false
+		}
+		if Validate(n1, n2, res.Rects) != nil {
+			return false
+		}
+		var sum int64
+		for _, r := range res.Rects {
+			sum += r.Area()
+		}
+		return sum == int64(n1)*int64(n2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a single processor the whole grid is one rectangle.
+func TestPartition2DWholeGridProperty(t *testing.T) {
+	check := func(w8, h8 uint8) bool {
+		n1, n2 := 1+int(w8%64), 1+int(h8%64)
+		res, err := Partition2D(n1, n2, constFns(5), Options{})
+		if err != nil {
+			return false
+		}
+		return res.Rects[0] == Rect{X0: 0, Y0: 0, X1: n1, Y1: n2}
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartition2DNearPagingCliff(t *testing.T) {
+	// A processor whose speed cliff sits inside its share: rounding a few
+	// cells swings its time strongly; the arrangement search must still
+	// return a tiling whose realized makespan matches Result.Makespan and
+	// stays within a modest factor of the other processor's time.
+	fns := []speed.Function{
+		&speed.Analytic{Peak: 1e6, HalfRise: 10, PagingPoint: 500,
+			PagingWidth: 100, PagingFloor: 0.05, Max: 1e7},
+		speed.MustConstant(5e5, 1e7),
+	}
+	res, err := Partition2D(50, 50, fns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(50, 50, res.Rects); err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns < 1 {
+		t.Errorf("Columns = %d", res.Columns)
+	}
+	var worst float64
+	for i, r := range res.Rects {
+		if r.Empty() {
+			continue
+		}
+		worst = math.Max(worst, float64(r.Area())/fns[i].Eval(float64(r.Area())))
+	}
+	if math.Abs(worst-res.Makespan) > 1e-12*worst {
+		t.Errorf("Makespan %v does not match realized %v", res.Makespan, worst)
+	}
+	// Sanity: no worse than giving everything to the constant processor.
+	allConst := 2500.0 / 5e5
+	if res.Makespan > allConst {
+		t.Errorf("makespan %v worse than trivial bound %v", res.Makespan, allConst)
+	}
+}
+
+func TestArrangeRespectsAllocation(t *testing.T) {
+	areas := core.Allocation{100, 300, 0, 200}
+	rects, err := arrange(30, 20, areas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(30, 20, rects); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-target processor may end up empty.
+	var sum int64
+	for _, r := range rects {
+		sum += r.Area()
+	}
+	if sum != 600 {
+		t.Errorf("areas sum to %d, want 600", sum)
+	}
+}
+
+func TestArrangeZeroAreaProcessors(t *testing.T) {
+	// Regression: zero-area processors used to leave LPT columns without
+	// members, failing the width apportioning ("grid: no weights").
+	rects, err := arrange(1, 3, core.Allocation{0, 0, 3}, 3)
+	if err != nil {
+		t.Fatalf("arrange: %v", err)
+	}
+	if err := Validate(1, 3, rects); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Partition2D(1, 3, constFns(3380, 4537, 19384), Options{})
+	if err != nil {
+		t.Fatalf("Partition2D: %v", err)
+	}
+	if err := Validate(1, 3, res.Rects); err != nil {
+		t.Fatal(err)
+	}
+}

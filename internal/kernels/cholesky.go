@@ -1,0 +1,92 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"heteropart/internal/matrix"
+)
+
+// Cholesky overwrites the lower triangle of the symmetric positive
+// definite matrix a with its Cholesky factor L (A = L·Lᵀ) and zeroes the
+// strict upper triangle. It extends the linear-algebra kernel set beyond
+// the paper's two applications with the third classic dense factorization,
+// usable as another measurement oracle for the §3.1 builder.
+func Cholesky(a *matrix.Dense) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("%w: Cholesky of %d×%d", ErrShape, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		// Diagonal element.
+		d := a.At(j, j)
+		rj := a.Row(j)
+		for k := 0; k < j; k++ {
+			d -= rj[k] * rj[k]
+		}
+		if d <= 0 {
+			return fmt.Errorf("kernels: matrix not positive definite at column %d", j)
+		}
+		ljj := math.Sqrt(d)
+		a.Set(j, j, ljj)
+		// Column below the diagonal.
+		for i := j + 1; i < n; i++ {
+			ri := a.Row(i)
+			s := ri[j]
+			for k := 0; k < j; k++ {
+				s -= ri[k] * rj[k]
+			}
+			ri[j] = s / ljj
+		}
+		// Zero the strict upper triangle of row j.
+		for c := j + 1; c < n; c++ {
+			rj[c] = 0
+		}
+	}
+	return nil
+}
+
+// CholeskyReconstruct returns L·Lᵀ for a lower-triangular factor.
+func CholeskyReconstruct(l *matrix.Dense) (*matrix.Dense, error) {
+	if l.Rows != l.Cols {
+		return nil, fmt.Errorf("%w: reconstruct %d×%d", ErrShape, l.Rows, l.Cols)
+	}
+	n := l.Rows
+	out := matrix.MustNew(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(i, j); k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out, nil
+}
+
+// FlopsCholesky is n³/3 for an n×n factorization.
+func FlopsCholesky(n int) float64 {
+	return float64(n) * float64(n) * float64(n) / 3
+}
+
+// SPDMatrix builds a deterministic symmetric positive definite test matrix
+// (AᵀA + n·I of a random A).
+func SPDMatrix(n int, seed uint64) (*matrix.Dense, error) {
+	a := matrix.MustNew(n, n)
+	a.FillRandom(seed)
+	out := matrix.MustNew(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a.At(k, i) * a.At(k, j)
+			}
+			if i == j {
+				s += float64(n)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out, nil
+}

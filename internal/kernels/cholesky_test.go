@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/matrix"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 40} {
+		a, err := SPDMatrix(n, uint64(n)*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := a.Clone()
+		if err := Cholesky(l); err != nil {
+			t.Fatalf("n=%d: Cholesky: %v", n, err)
+		}
+		back, err := CholeskyReconstruct(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tolerance scales with the matrix magnitude (entries ≈ n).
+		if d := matrix.MaxAbsDiff(back, a); d > 1e-9*float64(n*n) {
+			t.Errorf("n=%d: reconstruction error %v", n, d)
+		}
+	}
+}
+
+func TestCholeskyLowerTriangular(t *testing.T) {
+	a, err := SPDMatrix(6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if a.At(i, i) <= 0 {
+			t.Errorf("diagonal %d not positive: %v", i, a.At(i, i))
+		}
+		for j := i + 1; j < 6; j++ {
+			if a.At(i, j) != 0 {
+				t.Errorf("upper triangle (%d,%d) = %v, want 0", i, j, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyRejects(t *testing.T) {
+	if err := Cholesky(matrix.MustNew(2, 3)); err == nil {
+		t.Error("non-square: want error")
+	}
+	// Negative definite.
+	bad := matrix.MustNew(2, 2)
+	copy(bad.Data, []float64{-1, 0, 0, -1})
+	if err := Cholesky(bad); err == nil {
+		t.Error("negative definite: want error")
+	}
+	if _, err := CholeskyReconstruct(matrix.MustNew(2, 3)); err == nil {
+		t.Error("non-square reconstruct: want error")
+	}
+}
+
+func TestFlopsCholesky(t *testing.T) {
+	if got := FlopsCholesky(3); math.Abs(got-9) > 1e-12 {
+		t.Errorf("FlopsCholesky(3) = %v, want 9", got)
+	}
+}
+
+// Property: Cholesky of SPD matrices always reconstructs.
+func TestCholeskyProperty(t *testing.T) {
+	check := func(nSeed, seed uint8) bool {
+		n := 1 + int(nSeed%8)
+		a, err := SPDMatrix(n, uint64(seed))
+		if err != nil {
+			return false
+		}
+		l := a.Clone()
+		if err := Cholesky(l); err != nil {
+			return false
+		}
+		back, err := CholeskyReconstruct(l)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxAbsDiff(back, a) < 1e-8*float64(n*n+1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

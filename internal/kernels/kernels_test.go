@@ -1,0 +1,248 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/matrix"
+)
+
+func randomMatrix(r, c int, seed uint64) *matrix.Dense {
+	m := matrix.MustNew(r, c)
+	m.FillRandom(seed)
+	return m
+}
+
+func TestMatMulNaiveSmall(t *testing.T) {
+	a := matrix.MustNew(2, 3)
+	b := matrix.MustNew(3, 2)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := matrix.MustNew(2, 2)
+	if err := MatMulNaive(c, a, b); err != nil {
+		t.Fatalf("MatMulNaive: %v", err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Fatalf("c = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := randomMatrix(5, 5, 3)
+	id := matrix.MustNew(5, 5)
+	if err := id.FillIdentity(); err != nil {
+		t.Fatal(err)
+	}
+	c := matrix.MustNew(5, 5)
+	if err := MatMulNaive(c, a, id); err != nil {
+		t.Fatalf("MatMulNaive: %v", err)
+	}
+	if !matrix.Equalish(c, a, 1e-12) {
+		t.Error("A×I ≠ A")
+	}
+}
+
+func TestMatMulBlockedMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 7, 32, 65} {
+		a := randomMatrix(n, n, uint64(n))
+		b := randomMatrix(n, n, uint64(n)+100)
+		c1 := matrix.MustNew(n, n)
+		c2 := matrix.MustNew(n, n)
+		if err := MatMulNaive(c1, a, b); err != nil {
+			t.Fatalf("naive n=%d: %v", n, err)
+		}
+		if err := MatMulBlocked(c2, a, b, 16); err != nil {
+			t.Fatalf("blocked n=%d: %v", n, err)
+		}
+		if d := matrix.MaxAbsDiff(c1, c2); d > 1e-9 {
+			t.Errorf("n=%d: blocked deviates by %v", n, d)
+		}
+	}
+}
+
+func TestMatMulBlockedDefaultBlock(t *testing.T) {
+	a := randomMatrix(10, 10, 1)
+	b := randomMatrix(10, 10, 2)
+	c1 := matrix.MustNew(10, 10)
+	c2 := matrix.MustNew(10, 10)
+	if err := MatMulBlocked(c1, a, b, 0); err != nil {
+		t.Fatalf("block 0: %v", err)
+	}
+	if err := MatMulNaive(c2, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c1, c2); d > 1e-9 {
+		t.Errorf("default block deviates by %v", d)
+	}
+}
+
+func TestMatMulABTMatchesNaive(t *testing.T) {
+	// c = a×bᵀ must equal naive multiplication by the explicit transpose.
+	a := randomMatrix(4, 6, 11)
+	b := randomMatrix(5, 6, 12)
+	bt := matrix.MustNew(6, 5)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	c1 := matrix.MustNew(4, 5)
+	c2 := matrix.MustNew(4, 5)
+	if err := MatMulABT(c1, a, b); err != nil {
+		t.Fatalf("MatMulABT: %v", err)
+	}
+	if err := MatMulNaive(c2, a, bt); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c1, c2); d > 1e-9 {
+		t.Errorf("ABT deviates by %v", d)
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := matrix.MustNew(2, 3)
+	b := matrix.MustNew(4, 2) // inner mismatch
+	c := matrix.MustNew(2, 2)
+	if err := MatMulNaive(c, a, b); err == nil {
+		t.Error("naive shape mismatch: want error")
+	}
+	if err := MatMulBlocked(c, a, b, 8); err == nil {
+		t.Error("blocked shape mismatch: want error")
+	}
+	if err := MatMulABT(c, a, matrix.MustNew(2, 4)); err == nil {
+		t.Error("ABT shape mismatch: want error")
+	}
+}
+
+func TestLUFactorizeReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		orig := randomMatrix(n, n, uint64(n)*7)
+		// Diagonal dominance for numerical stability of the check.
+		for i := 0; i < n; i++ {
+			orig.Set(i, i, orig.At(i, i)+float64(n))
+		}
+		lu := orig.Clone()
+		perm, err := LUFactorize(lu)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		back, err := LUReconstruct(lu, perm)
+		if err != nil {
+			t.Fatalf("n=%d reconstruct: %v", n, err)
+		}
+		if d := matrix.MaxAbsDiff(back, orig); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: reconstruction error %v", n, d)
+		}
+	}
+}
+
+func TestLUFactorizePivots(t *testing.T) {
+	// Zero on the initial diagonal forces a pivot swap.
+	a := matrix.MustNew(2, 2)
+	copy(a.Data, []float64{0, 1, 2, 3})
+	orig := a.Clone()
+	perm, err := LUFactorize(a)
+	if err != nil {
+		t.Fatalf("LUFactorize: %v", err)
+	}
+	back, err := LUReconstruct(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(back, orig); d > 1e-12 {
+		t.Errorf("pivoted reconstruction error %v", d)
+	}
+}
+
+func TestLUFactorizeSingular(t *testing.T) {
+	a := matrix.MustNew(3, 3) // all zeros
+	if _, err := LUFactorize(a); err == nil {
+		t.Error("singular matrix: want error")
+	}
+	if _, err := LUFactorize(matrix.MustNew(2, 3)); err == nil {
+		t.Error("non-square: want error")
+	}
+}
+
+func TestLUReconstructErrors(t *testing.T) {
+	if _, err := LUReconstruct(matrix.MustNew(2, 3), []int{0, 1}); err == nil {
+		t.Error("non-square reconstruct: want error")
+	}
+	if _, err := LUReconstruct(matrix.MustNew(2, 2), []int{0}); err == nil {
+		t.Error("bad perm length: want error")
+	}
+}
+
+func TestArrayOps(t *testing.T) {
+	src := make([]float64, 100)
+	dst := make([]float64, 100)
+	for i := range src {
+		src[i] = float64(i) / 10
+	}
+	flops, err := ArrayOps(dst, src)
+	if err != nil {
+		t.Fatalf("ArrayOps: %v", err)
+	}
+	if flops != 1000 {
+		t.Errorf("flops = %v, want 1000", flops)
+	}
+	// The operation must be a pure function of the input element.
+	dst2 := make([]float64, 100)
+	if _, err := ArrayOps(dst2, src); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != dst2[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	if _, err := ArrayOps(dst[:5], src); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if got := FlopsMatMul(10); got != 2000 {
+		t.Errorf("FlopsMatMul(10) = %v", got)
+	}
+	if got := FlopsMatMulRect(2, 3, 4); got != 48 {
+		t.Errorf("FlopsMatMulRect = %v", got)
+	}
+	if got := FlopsLU(3); math.Abs(got-18) > 1e-12 {
+		t.Errorf("FlopsLU(3) = %v", got)
+	}
+}
+
+// Property: (A×B)ᵀ = Bᵀ×Aᵀ checked through MatMulABT on random shapes.
+func TestMatMulProperty(t *testing.T) {
+	check := func(rs, cs, ks, seed uint8) bool {
+		r, c, k := 1+int(rs%6), 1+int(cs%6), 1+int(ks%6)
+		a := randomMatrix(r, k, uint64(seed))
+		b := randomMatrix(k, c, uint64(seed)+1)
+		ab := matrix.MustNew(r, c)
+		if err := MatMulNaive(ab, a, b); err != nil {
+			return false
+		}
+		// Compute Bᵀ×Aᵀ via ABT: (Bᵀ)×(Aᵀ) = (bᵀ as dense)×(a)ᵀ…
+		// Transpose both explicitly and compare element-wise.
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				var s float64
+				for kk := 0; kk < k; kk++ {
+					s += a.At(i, kk) * b.At(kk, j)
+				}
+				if math.Abs(s-ab.At(i, j)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"heteropart/internal/matrix"
+)
+
+// LUFactorizeRect overwrites the r×c matrix a with its rectangular LU
+// factorization using partial pivoting, eliminating min(r, c) columns:
+// P·A = L·U with L unit-lower-trapezoidal and U upper-trapezoidal. It
+// returns the row permutation. This is the serial kernel behind Table 4's
+// observation that LU speed depends on the element count rather than the
+// matrix shape (Figure 17(c) uses it to estimate processor speeds).
+func LUFactorizeRect(a *matrix.Dense) ([]int, error) {
+	r, c := a.Rows, a.Cols
+	if r == 0 || c == 0 {
+		return nil, fmt.Errorf("%w: LU of %d×%d", ErrShape, r, c)
+	}
+	m := min(r, c)
+	perm := make([]int, r)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < m; k++ {
+		p, best := k, math.Abs(a.At(k, k))
+		for i := k + 1; i < r; i++ {
+			if v := math.Abs(a.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("kernels: rank-deficient at column %d", k)
+		}
+		if p != k {
+			rk, rp := a.Row(k), a.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		pivot := a.At(k, k)
+		for i := k + 1; i < r; i++ {
+			l := a.At(i, k) / pivot
+			a.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := a.Row(i), a.Row(k)
+			for j := k + 1; j < c; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return perm, nil
+}
+
+// LURectReconstruct multiplies the trapezoidal factors of an r×c
+// rectangular LU back together and undoes the permutation.
+func LURectReconstruct(lu *matrix.Dense, perm []int) (*matrix.Dense, error) {
+	r, c := lu.Rows, lu.Cols
+	if len(perm) != r {
+		return nil, fmt.Errorf("%w: reconstruct %d×%d with %d permutations", ErrShape, r, c, len(perm))
+	}
+	m := min(r, c)
+	prod := matrix.MustNew(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var s float64
+			kMax := min(i, j)
+			if kMax > m-1 {
+				kMax = m - 1
+			}
+			for k := 0; k <= kMax; k++ {
+				l := lu.At(i, k)
+				if k == i {
+					l = 1
+				}
+				s += l * lu.At(k, j)
+			}
+			prod.Set(i, j, s)
+		}
+	}
+	out := matrix.MustNew(r, c)
+	for i := 0; i < r; i++ {
+		copy(out.Row(perm[i]), prod.Row(i))
+	}
+	return out, nil
+}
+
+// FlopsLURect returns the floating point operations of the rectangular LU
+// of an r×c matrix with partial pivoting (divisions plus the rank-1
+// trailing updates), computed exactly from the elimination loop.
+func FlopsLURect(r, c int) float64 {
+	m := min(r, c)
+	var flops float64
+	for k := 0; k < m; k++ {
+		rows := float64(r - k - 1)
+		cols := float64(c - k - 1)
+		flops += rows + 2*rows*cols
+	}
+	return flops
+}

@@ -1,0 +1,121 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/matrix"
+)
+
+func dominant(r, c int, seed uint64) *matrix.Dense {
+	m := matrix.MustNew(r, c)
+	m.FillRandom(seed)
+	for i := 0; i < min(r, c); i++ {
+		m.Set(i, i, m.At(i, i)+float64(r+c))
+	}
+	return m
+}
+
+func TestLURectTall(t *testing.T) {
+	orig := dominant(8, 3, 1)
+	lu := orig.Clone()
+	perm, err := LUFactorizeRect(lu)
+	if err != nil {
+		t.Fatalf("LUFactorizeRect: %v", err)
+	}
+	back, err := LURectReconstruct(lu, perm)
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if d := matrix.MaxAbsDiff(back, orig); d > 1e-9 {
+		t.Errorf("tall reconstruction error %v", d)
+	}
+}
+
+func TestLURectWide(t *testing.T) {
+	orig := dominant(3, 8, 2)
+	lu := orig.Clone()
+	perm, err := LUFactorizeRect(lu)
+	if err != nil {
+		t.Fatalf("LUFactorizeRect: %v", err)
+	}
+	back, err := LURectReconstruct(lu, perm)
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if d := matrix.MaxAbsDiff(back, orig); d > 1e-9 {
+		t.Errorf("wide reconstruction error %v", d)
+	}
+}
+
+func TestLURectMatchesSquare(t *testing.T) {
+	// On square inputs the rectangular kernel must agree with LUFactorize.
+	orig := dominant(6, 6, 3)
+	a, b := orig.Clone(), orig.Clone()
+	pa, err := LUFactorizeRect(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := LUFactorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(a, b) > 1e-12 {
+		t.Error("factors differ between square and rectangular kernels")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Errorf("permutations differ: %v vs %v", pa, pb)
+			break
+		}
+	}
+}
+
+func TestLURectErrors(t *testing.T) {
+	if _, err := LUFactorizeRect(matrix.MustNew(0, 3)); err == nil {
+		t.Error("empty matrix: want error")
+	}
+	if _, err := LUFactorizeRect(matrix.MustNew(3, 3)); err == nil {
+		t.Error("zero (rank-deficient) matrix: want error")
+	}
+	if _, err := LURectReconstruct(matrix.MustNew(2, 3), []int{0}); err == nil {
+		t.Error("bad perm: want error")
+	}
+}
+
+func TestFlopsLURect(t *testing.T) {
+	// Square case must be close to the classical (2/3)n³ asymptotic.
+	n := 200
+	exact := FlopsLURect(n, n)
+	asym := FlopsLU(n)
+	if math.Abs(exact-asym)/asym > 0.02 {
+		t.Errorf("square rect flops %v vs asymptotic %v", exact, asym)
+	}
+	// Symmetric in an element-count sense: tall vs wide of the same shape
+	// transpose perform identical updates.
+	if a, b := FlopsLURect(512, 128), FlopsLURect(128, 512); a <= 0 || b <= 0 {
+		t.Errorf("non-positive flop counts %v %v", a, b)
+	}
+}
+
+// Property: reconstruction holds on random well-conditioned rectangles.
+func TestLURectProperty(t *testing.T) {
+	check := func(rs, cs, seed uint8) bool {
+		r, c := 1+int(rs%7), 1+int(cs%7)
+		orig := dominant(r, c, uint64(seed)+10)
+		lu := orig.Clone()
+		perm, err := LUFactorizeRect(lu)
+		if err != nil {
+			return false
+		}
+		back, err := LURectReconstruct(lu, perm)
+		if err != nil {
+			return false
+		}
+		return matrix.MaxAbsDiff(back, orig) < 1e-8
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package machine_test
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/machine"
+)
+
+// The modelled testbeds expose an application-centric speed function per
+// kernel: the same machine is fast for the cache-tuned multiplication and
+// much slower for the naive one, and both collapse past the paging point.
+func ExampleMachine_FlopRate() {
+	m, ok := machine.ByName(machine.Table2(), "X5")
+	if !ok {
+		log.Fatal("missing machine")
+	}
+	naive, err := m.FlopRate(machine.MatrixMult)
+	if err != nil {
+		log.Fatal(err)
+	}
+	atPlateau := naive.Eval(naive.PagingPoint / 2)
+	deepPaging := naive.Eval(naive.Max)
+	fmt.Println("plateau faster than deep paging:", atPlateau > 5*deepPaging)
+	// Output:
+	// plateau faster than deep paging: true
+}

@@ -1,0 +1,155 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel describes an application kernel's interaction with a machine: how
+// its problem size maps to stored elements and computation volume, how
+// efficiently it uses the memory hierarchy, and where paging sets in. The
+// model is application-centric, as in the paper: the same machine exposes
+// a different speed function for every kernel.
+type Kernel struct {
+	// Name identifies the kernel ("MatrixMult", "MatrixMultATLAS",
+	// "ArrayOpsF", "LUFact").
+	Name string
+	// FlopsPerCycle is the default in-cache efficiency used when a machine
+	// does not pin the peak rate explicitly.
+	FlopsPerCycle float64
+	// RiseFraction controls the smoothness of the speed curve: the rise
+	// half-point as a fraction of the cache size. Small values give the
+	// sharp, step-like curves of cache-tuned kernels (Figure 1(a,b));
+	// values ≫ 1 give the smooth curves of kernels with poor memory
+	// reference patterns (Figure 1(c)).
+	RiseFraction float64
+	// CacheDecay is the relative speed retained between leaving cache and
+	// reaching the paging point.
+	CacheDecay float64
+	// PagingSharpness scales the width of the paging collapse relative to
+	// the paging point.
+	PagingSharpness float64
+	// PagingFloor is the relative speed deep in paging.
+	PagingFloor float64
+	// Elements maps the kernel's size parameter n to the number of stored
+	// elements — the paper's definition of problem size (3n² for C=A×Bᵀ,
+	// n² for LU factorization of A, n for array operations).
+	Elements func(n int) float64
+	// Flops maps n to the computation volume (MF·n³ with MF = 2 for
+	// matrix multiplication, 2/3 for LU; K·n for array operations).
+	Flops func(n int) float64
+	// PagingElements maps a machine spec to the working-set size in
+	// elements at which paging begins for this kernel.
+	PagingElements func(Spec) float64
+}
+
+func (k Kernel) validate() error {
+	switch {
+	case k.Name == "":
+		return fmt.Errorf("machine: kernel with empty name")
+	case !(k.FlopsPerCycle > 0):
+		return fmt.Errorf("machine: kernel %s: FlopsPerCycle = %v", k.Name, k.FlopsPerCycle)
+	case k.Elements == nil || k.Flops == nil || k.PagingElements == nil:
+		return fmt.Errorf("machine: kernel %s: missing size mappings", k.Name)
+	}
+	return nil
+}
+
+// FlopsPerElement returns the computation volume per stored element at
+// size n — the constant that converts a flop-rate speed function into an
+// elements/second speed function once the application fixes n.
+func (k Kernel) FlopsPerElement(n int) float64 {
+	e := k.Elements(n)
+	if e <= 0 {
+		return math.Inf(1)
+	}
+	return k.Flops(n) / e
+}
+
+// MFlops converts an execution time for size n into the paper's absolute
+// speed in MFlops: volume of computations divided by time (§3.1).
+func (k Kernel) MFlops(n int, seconds float64) float64 {
+	if seconds <= 0 {
+		return math.Inf(1)
+	}
+	return k.Flops(n) / seconds / 1e6
+}
+
+// The four kernels the paper experiments with.
+
+// MatrixMult is the straightforward serial multiplication of two dense
+// square matrices with inefficient memory reference patterns: a smooth,
+// almost strictly decreasing speed curve (Figure 1(c)).
+var MatrixMult = Kernel{
+	Name:            "MatrixMult",
+	FlopsPerCycle:   0.12,
+	RiseFraction:    1.5, // reaches speed quickly, then declines smoothly
+	CacheDecay:      0.35,
+	PagingSharpness: 0.5,
+	PagingFloor:     0.10,
+	Elements:        func(n int) float64 { return 3 * float64(n) * float64(n) },
+	Flops:           func(n int) float64 { return 2 * math.Pow(float64(n), 3) },
+	PagingElements:  func(s Spec) float64 { return 3 * float64(s.PagingMM) * float64(s.PagingMM) },
+}
+
+// MatrixMultATLAS is the cache-tuned dgemm-based multiplication: sharp
+// rise, long plateau, and a distinct paging cliff (Figure 1(b)).
+var MatrixMultATLAS = Kernel{
+	Name:            "MatrixMultATLAS",
+	FlopsPerCycle:   0.9,
+	RiseFraction:    0.05,
+	CacheDecay:      0.85,
+	PagingSharpness: 0.25,
+	PagingFloor:     0.08,
+	Elements:        func(n int) float64 { return 3 * float64(n) * float64(n) },
+	Flops:           func(n int) float64 { return 2 * math.Pow(float64(n), 3) },
+	PagingElements:  func(s Spec) float64 { return 3 * float64(s.PagingMM) * float64(s.PagingMM) },
+}
+
+// ArrayOpsF is the streaming array-operation benchmark: memory-bound with
+// a step-wise curve (Figure 1(a)). Its problem size is the array length
+// and its volume is proportional to it.
+var ArrayOpsF = Kernel{
+	Name:            "ArrayOpsF",
+	FlopsPerCycle:   0.08,
+	RiseFraction:    0.05,
+	CacheDecay:      0.6,
+	PagingSharpness: 0.2,
+	PagingFloor:     0.05,
+	Elements:        func(n int) float64 { return float64(n) },
+	Flops:           func(n int) float64 { return 10 * float64(n) },
+	PagingElements: func(s Spec) float64 {
+		// No dedicated column in the tables; the array pages when it
+		// exhausts free memory.
+		return float64(s.FreeMemKB) * elementsPerKB
+	},
+}
+
+// LUFact is the serial LU factorization of a dense square matrix
+// (MF = 2/3 per §3.1).
+var LUFact = Kernel{
+	Name:            "LUFact",
+	FlopsPerCycle:   0.066,
+	RiseFraction:    1.5,
+	CacheDecay:      0.55,
+	PagingSharpness: 0.5,
+	PagingFloor:     0.10,
+	Elements:        func(n int) float64 { return float64(n) * float64(n) },
+	Flops:           func(n int) float64 { return 2.0 / 3.0 * math.Pow(float64(n), 3) },
+	PagingElements:  func(s Spec) float64 { return float64(s.PagingLU) * float64(s.PagingLU) },
+}
+
+// Kernels lists the built-in kernels.
+func Kernels() []Kernel {
+	return []Kernel{MatrixMult, MatrixMultATLAS, ArrayOpsF, LUFact}
+}
+
+// KernelByName returns the built-in kernel with the given name.
+func KernelByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("machine: unknown kernel %q", name)
+}

@@ -1,0 +1,186 @@
+// Package machine models the heterogeneous computers of the paper's
+// testbeds. The paper measured real workstations (Tables 1 and 2); this
+// package substitutes a parametric machine model that generates speed
+// functions with the experimentally observed shapes — a rise while the
+// problem grows into the reusable memory hierarchy, a plateau, a gradual
+// out-of-cache decline, and a collapse at the paging point — calibrated to
+// the specifications and paging sizes printed in the paper.
+//
+// The model is application-centric exactly as the paper's: the same
+// machine exposes a different speed function for every kernel, and the
+// per-kernel peak rates are calibrated to the absolute MFlops the paper
+// reports (e.g. 250 MFlops for serial matrix multiplication on X5 and
+// 31 MFlops on the SPARC X10).
+package machine
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"heteropart/internal/speed"
+)
+
+// Integration is the machine's level of network integration, which the
+// paper correlates with the magnitude of workload fluctuations: highly
+// integrated computers show bands of about 40 % at small problem sizes
+// declining to about 6 % at the largest, while barely integrated ones stay
+// within 5–7 %.
+type Integration int
+
+const (
+	// LowIntegration: nearly dedicated computer, narrow constant band.
+	LowIntegration Integration = iota
+	// HighIntegration: desktop fully integrated into the network, wide
+	// band at small problem sizes.
+	HighIntegration
+)
+
+// String implements fmt.Stringer.
+func (i Integration) String() string {
+	switch i {
+	case LowIntegration:
+		return "low"
+	case HighIntegration:
+		return "high"
+	default:
+		return fmt.Sprintf("Integration(%d)", int(i))
+	}
+}
+
+// Spec mirrors one row of the paper's Tables 1–2.
+type Spec struct {
+	Name      string
+	OS        string
+	CPU       string
+	MHz       int
+	MainMemKB int
+	FreeMemKB int
+	CacheKB   int
+	// PagingMM and PagingLU are the matrix sizes n beyond which paging
+	// starts for matrix multiplication and LU factorization (Table 2).
+	PagingMM int
+	PagingLU int
+}
+
+// Machine is a modelled computer: a spec plus behavioural knobs.
+type Machine struct {
+	Spec
+	Integration Integration
+	// PeakMFlops optionally pins the in-cache peak rate for a kernel by
+	// name, overriding the MHz-derived default. The paper reports several
+	// of these directly (§3.1).
+	PeakMFlops map[string]float64
+}
+
+// elementsPerKB is the number of float64 elements per kilobyte.
+const elementsPerKB = 128
+
+// FlopRate returns the machine's speed function for the kernel, in flops
+// per second as a function of the working-set size in elements. Convert to
+// elements/second with speed.ScaleSpeed(f, 1/flopsPerElement) for the
+// application at hand.
+func (m Machine) FlopRate(k Kernel) (*speed.Analytic, error) {
+	if err := k.validate(); err != nil {
+		return nil, err
+	}
+	peak := m.peakFlops(k)
+	cacheElems := float64(m.CacheKB) * elementsPerKB
+	pagingElems := k.PagingElements(m.Spec)
+	maxElems := m.maxElements(k)
+	f := &speed.Analytic{
+		Peak: peak,
+		// HalfRise expresses how quickly the kernel reaches its peak: a
+		// cache-friendly kernel saturates within a small fraction of the
+		// cache, a memory-bound one keeps "rising" (i.e. declining in
+		// s(x)/x only) across a wide range, producing the smooth curves of
+		// Figure 1(c).
+		HalfRise:    math.Max(1, k.RiseFraction*cacheElems),
+		CacheEdge:   cacheElems,
+		CacheDecay:  k.CacheDecay,
+		PagingPoint: pagingElems,
+		PagingWidth: k.PagingSharpness * pagingElems,
+		PagingFloor: k.PagingFloor,
+		Max:         maxElems,
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("machine %s, kernel %s: %w", m.Name, k.Name, err)
+	}
+	return f, nil
+}
+
+// maxElements is the domain limit of the machine's speed functions. It is
+// set far beyond the paging point (the machine keeps crawling at the
+// paging floor) so that the domain never acts as a hard capacity bound:
+// the paper's model has no such bound — a single-number distribution may
+// overload a machine arbitrarily and simply pays the collapsed speed.
+func (m Machine) maxElements(k Kernel) float64 {
+	return math.Max(8*float64(m.MainMemKB)*elementsPerKB, 3*k.PagingElements(m.Spec))
+}
+
+// peakFlops resolves the kernel's in-cache peak rate on this machine.
+func (m Machine) peakFlops(k Kernel) float64 {
+	if v, ok := m.PeakMFlops[k.Name]; ok {
+		return v * 1e6
+	}
+	return float64(m.MHz) * 1e6 * k.FlopsPerCycle
+}
+
+// WidthModel returns the fluctuation band width model matching the
+// machine's integration level, over the domain of the kernel's speed
+// function.
+func (m Machine) WidthModel(k Kernel) speed.WidthModel {
+	if m.Integration == HighIntegration {
+		return speed.DecliningWidth(0.40, 0.06, m.maxElements(k))
+	}
+	return speed.ConstantWidth(0.06)
+}
+
+// Band returns the machine's performance band for the kernel (Figure 2):
+// the FlopRate mid curve wrapped with the integration-dependent width.
+func (m Machine) Band(k Kernel) (*speed.Band, error) {
+	mid, err := m.FlopRate(k)
+	if err != nil {
+		return nil, err
+	}
+	return speed.NewBand(mid, m.WidthModel(k))
+}
+
+// Oracle returns a measurement oracle for the kernel on this machine:
+// each call reports the model speed perturbed by a deterministic sample
+// drawn uniformly inside the machine's fluctuation band, emulating the
+// run-to-run variation of a real benchmark. Distinct seeds give distinct
+// measurement histories.
+func (m Machine) Oracle(k Kernel, seed uint64) (speed.Oracle, error) {
+	band, err := m.Band(k)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	mid := band.Mid()
+	return func(x float64) (float64, error) {
+		w := band.Width(x)
+		// Uniform in [1−w/2, 1+w/2].
+		factor := 1 + w*(rng.Float64()-0.5)
+		return mid.Eval(x) * factor, nil
+	}, nil
+}
+
+// Validate checks the spec for obviously broken values.
+func (m Machine) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("machine: empty name")
+	case m.MHz <= 0:
+		return fmt.Errorf("machine %s: MHz = %d", m.Name, m.MHz)
+	case m.MainMemKB <= 0:
+		return fmt.Errorf("machine %s: MainMemKB = %d", m.Name, m.MainMemKB)
+	case m.FreeMemKB < 0 || m.FreeMemKB > m.MainMemKB:
+		return fmt.Errorf("machine %s: FreeMemKB = %d of %d", m.Name, m.FreeMemKB, m.MainMemKB)
+	case m.CacheKB <= 0:
+		return fmt.Errorf("machine %s: CacheKB = %d", m.Name, m.CacheKB)
+	case m.PagingMM <= 0 || m.PagingLU <= 0:
+		return fmt.Errorf("machine %s: paging sizes %d/%d", m.Name, m.PagingMM, m.PagingLU)
+	}
+	return nil
+}

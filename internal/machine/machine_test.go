@@ -1,0 +1,295 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/speed"
+)
+
+func TestTestbedsValidate(t *testing.T) {
+	for _, tb := range [][]Machine{Table1(), Table2()} {
+		for _, m := range tb {
+			if err := m.Validate(); err != nil {
+				t.Errorf("%s: %v", m.Name, err)
+			}
+		}
+	}
+}
+
+func TestTable2Size(t *testing.T) {
+	tb := Table2()
+	if len(tb) != 12 {
+		t.Fatalf("Table2 has %d machines, want 12", len(tb))
+	}
+	names := map[string]bool{}
+	for _, m := range tb {
+		if names[m.Name] {
+			t.Errorf("duplicate machine %s", m.Name)
+		}
+		names[m.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	tb := Table2()
+	m, ok := ByName(tb, "X5")
+	if !ok || m.Name != "X5" {
+		t.Fatalf("ByName(X5) = %v, %v", m.Name, ok)
+	}
+	if _, ok := ByName(tb, "nope"); ok {
+		t.Error("ByName(nope) found a machine")
+	}
+}
+
+func TestFlopRateShapesValid(t *testing.T) {
+	// Every machine × kernel combination must produce a valid Analytic
+	// satisfying the single-ray-intersection shape assumption.
+	for _, tb := range [][]Machine{Table1(), Table2()} {
+		for _, m := range tb {
+			for _, k := range Kernels() {
+				f, err := m.FlopRate(k)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", m.Name, k.Name, err)
+				}
+				if err := speed.CheckShape(f, 128); err != nil {
+					t.Errorf("%s/%s: %v", m.Name, k.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCalibratedPeaks(t *testing.T) {
+	tb := Table2()
+	cases := []struct {
+		machine string
+		kernel  Kernel
+		mflops  float64
+	}{
+		{"X5", MatrixMult, 250}, // §3.1: fastest MM machine
+		{"X10", MatrixMult, 31}, // §3.1: slowest MM machine
+		{"X6", LUFact, 130},     // §3.1: fastest LU machine
+		{"X8", MatrixMult, 67},  // Table 3
+	}
+	for _, c := range cases {
+		m, ok := ByName(tb, c.machine)
+		if !ok {
+			t.Fatalf("missing machine %s", c.machine)
+		}
+		f, err := m.FlopRate(c.kernel)
+		if err != nil {
+			t.Fatalf("%s: %v", c.machine, err)
+		}
+		// The plateau speed (just before paging) must be within 20 % of
+		// the reported figure — the rise and cache-decay terms discount
+		// the pinned peak somewhat.
+		at := f.PagingPoint * 0.5
+		got := f.Eval(at) / 1e6
+		if got < 0.6*c.mflops || got > 1.05*c.mflops {
+			t.Errorf("%s/%s: plateau %.1f MFlops, want ≈ %.0f", c.machine, c.kernel.Name, got, c.mflops)
+		}
+	}
+}
+
+func TestPagingCollapse(t *testing.T) {
+	// Past the paging point every speed function must collapse
+	// substantially, reproducing the P markers of Figure 1.
+	for _, m := range Table2() {
+		for _, k := range []Kernel{MatrixMult, MatrixMultATLAS, LUFact} {
+			f, err := m.FlopRate(k)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", m.Name, k.Name, err)
+			}
+			before := f.Eval(f.PagingPoint * 0.8)
+			after := f.Eval(math.Min(f.PagingPoint*2, f.Max))
+			if after > 0.5*before {
+				t.Errorf("%s/%s: paging reduces speed only from %.3g to %.3g",
+					m.Name, k.Name, before, after)
+			}
+		}
+	}
+}
+
+func TestHeterogeneityRatio(t *testing.T) {
+	// §3.1: the MM speed ratio between the fastest and slowest machine is
+	// about 8, LU about 6.8 — check the modelled cluster reproduces that
+	// order of heterogeneity.
+	check := func(k Kernel, sizeN int, wantLo, wantHi float64) {
+		lo, hi := math.Inf(1), 0.0
+		for _, m := range Table2() {
+			f, err := m.FlopRate(k)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name, err)
+			}
+			v := f.Eval(k.Elements(sizeN))
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if r := hi / lo; r < wantLo || r > wantHi {
+			t.Errorf("%s heterogeneity ratio %.1f, want in [%.1f, %.1f]", k.Name, r, wantLo, wantHi)
+		}
+	}
+	check(MatrixMult, 4000, 4, 20)
+	check(LUFact, 4000, 3, 16)
+}
+
+func TestWidthModels(t *testing.T) {
+	hi, _ := ByName(Table2(), "X1") // high integration
+	lo, _ := ByName(Table2(), "X5") // low integration
+	wHi := hi.WidthModel(MatrixMult)
+	wLo := lo.WidthModel(MatrixMult)
+	if got := wHi(0); math.Abs(got-0.40) > 1e-9 {
+		t.Errorf("high integration width at 0 = %v, want 0.40", got)
+	}
+	f, _ := hi.FlopRate(MatrixMult)
+	if got := wHi(f.Max); math.Abs(got-0.06) > 1e-9 {
+		t.Errorf("high integration width at max = %v, want 0.06", got)
+	}
+	for _, x := range []float64{0, 1e6, 1e9} {
+		if got := wLo(x); math.Abs(got-0.06) > 1e-9 {
+			t.Errorf("low integration width(%v) = %v, want 0.06", x, got)
+		}
+	}
+}
+
+func TestOracleDeterministicAndInBand(t *testing.T) {
+	m, _ := ByName(Table2(), "X1")
+	band, err := m.Band(MatrixMult)
+	if err != nil {
+		t.Fatalf("Band: %v", err)
+	}
+	o1, err := m.Oracle(MatrixMult, 7)
+	if err != nil {
+		t.Fatalf("Oracle: %v", err)
+	}
+	o2, _ := m.Oracle(MatrixMult, 7)
+	o3, _ := m.Oracle(MatrixMult, 8)
+	sawDifferent := false
+	for _, x := range []float64{1e5, 1e6, 1e7, 4e7} {
+		v1, err := o1(x)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		v2, _ := o2(x)
+		v3, _ := o3(x)
+		if v1 != v2 {
+			t.Errorf("same seed diverges at %v: %v vs %v", x, v1, v2)
+		}
+		if v1 != v3 {
+			sawDifferent = true
+		}
+		lo, hi := band.Lower(x), band.Upper(x)
+		if v1 < lo-1e-9 || v1 > hi+1e-9 {
+			t.Errorf("oracle sample %v outside band [%v, %v] at %v", v1, lo, hi, x)
+		}
+	}
+	if !sawDifferent {
+		t.Error("different seeds produced identical histories")
+	}
+}
+
+func TestKernelHelpers(t *testing.T) {
+	if got := MatrixMult.Elements(100); got != 30000 {
+		t.Errorf("MM Elements(100) = %v, want 3·100²", got)
+	}
+	if got := MatrixMult.Flops(100); got != 2e6 {
+		t.Errorf("MM Flops(100) = %v, want 2·100³", got)
+	}
+	if got := LUFact.Flops(300); math.Abs(got-2.0/3.0*27e6) > 1 {
+		t.Errorf("LU Flops(300) = %v", got)
+	}
+	// MFlops: volume/time/1e6.
+	if got := MatrixMult.MFlops(100, 2); got != 1 {
+		t.Errorf("MFlops = %v, want 1", got)
+	}
+	if got := MatrixMult.MFlops(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("MFlops(0 time) = %v, want +Inf", got)
+	}
+	// FlopsPerElement for MM at n: 2n³/3n² = 2n/3.
+	if got := MatrixMult.FlopsPerElement(300); math.Abs(got-200) > 1e-9 {
+		t.Errorf("FlopsPerElement(300) = %v, want 200", got)
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	for _, k := range Kernels() {
+		got, err := KernelByName(k.Name)
+		if err != nil || got.Name != k.Name {
+			t.Errorf("KernelByName(%s): %v, %v", k.Name, got.Name, err)
+		}
+	}
+	if _, err := KernelByName("bogus"); err == nil {
+		t.Error("KernelByName(bogus): want error")
+	}
+}
+
+func TestValidateCatchesBrokenSpecs(t *testing.T) {
+	good := Table2()[0]
+	mutations := []func(*Machine){
+		func(m *Machine) { m.Name = "" },
+		func(m *Machine) { m.MHz = 0 },
+		func(m *Machine) { m.MainMemKB = 0 },
+		func(m *Machine) { m.FreeMemKB = -1 },
+		func(m *Machine) { m.FreeMemKB = m.MainMemKB + 1 },
+		func(m *Machine) { m.CacheKB = 0 },
+		func(m *Machine) { m.PagingMM = 0 },
+		func(m *Machine) { m.PagingLU = -2 },
+	}
+	for i, mut := range mutations {
+		m := good
+		mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d: want error", i)
+		}
+	}
+}
+
+func TestIntegrationString(t *testing.T) {
+	if LowIntegration.String() != "low" || HighIntegration.String() != "high" {
+		t.Error("unexpected Integration strings")
+	}
+	if Integration(9).String() == "" {
+		t.Error("unknown Integration must stringify")
+	}
+}
+
+func TestFlopRateRejectsBrokenKernel(t *testing.T) {
+	m := Table2()[0]
+	if _, err := m.FlopRate(Kernel{}); err == nil {
+		t.Error("empty kernel: want error")
+	}
+	k := MatrixMult
+	k.FlopsPerCycle = 0
+	if _, err := m.FlopRate(k); err == nil {
+		t.Error("zero efficiency: want error")
+	}
+}
+
+func TestEstimateBandMatchesConfiguredModel(t *testing.T) {
+	// Empirically estimating the band from a machine's noisy oracle must
+	// recover the configured integration-level widths within sampling
+	// error (the range of a uniform sample underestimates the full width;
+	// with 60 repeats the expected range is ≈ 97% of it).
+	m, _ := ByName(Table2(), "X1") // high integration: 40% → 6%
+	k := MatrixMult
+	oracle, err := m.Oracle(k, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.FlopRate(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []float64{f.Max * 0.01, f.Max * 0.5, f.Max * 0.99}
+	widths, _, err := speed.EstimateBand(oracle, sizes, 60)
+	if err != nil {
+		t.Fatalf("EstimateBand: %v", err)
+	}
+	wm := m.WidthModel(k)
+	for i, x := range sizes {
+		want := wm(x)
+		if widths[i] < 0.6*want || widths[i] > 1.2*want {
+			t.Errorf("size %.3g: estimated width %.3f vs configured %.3f", x, widths[i], want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package machine
+
+// This file defines the paper's two testbeds as modelled machines.
+//
+// Table 1 is the four-computer network used for the motivating speed-curve
+// experiments (Figures 1–2); the paper does not print its paging sizes, so
+// they are derived from the memory specifications (a dense working set
+// pages when it outgrows the free part of main memory).
+//
+// Table 2 is the twelve-computer Solaris/Linux network the applications
+// ran on; its paging sizes are taken verbatim from the table. Where §3.1
+// reports absolute speeds for specific machines (X5 at 250 MFlops and the
+// SPARCs at 31 MFlops for matrix multiplication, X6 at 130 MFlops and X1
+// at ~19–22 MFlops for LU factorization, X8/X9 at 67 MFlops in Table 3),
+// the per-kernel peaks are pinned to those values.
+
+// Table1 returns the four heterogeneous computers of Table 1.
+func Table1() []Machine {
+	return []Machine{
+		{
+			Spec: Spec{
+				Name: "Comp1", OS: "Linux 2.4.20-8", CPU: "Intel Pentium 4",
+				MHz: 2793, MainMemKB: 513304, FreeMemKB: 360000, CacheKB: 512,
+				PagingMM: 4000, PagingLU: 6500,
+			},
+			Integration: HighIntegration,
+		},
+		{
+			Spec: Spec{
+				Name: "Comp2", OS: "SunOS 5.8", CPU: "SUNW UltraSPARC-IIi",
+				MHz: 440, MainMemKB: 524288, FreeMemKB: 400000, CacheKB: 2048,
+				PagingMM: 4200, PagingLU: 6800,
+			},
+			Integration: HighIntegration,
+			PeakMFlops:  map[string]float64{"MatrixMult": 31, "MatrixMultATLAS": 310},
+		},
+		{
+			Spec: Spec{
+				Name: "Comp3", OS: "Windows XP", CPU: "Intel Pentium 4",
+				MHz: 3000, MainMemKB: 1030388, FreeMemKB: 700000, CacheKB: 512,
+				PagingMM: 5500, PagingLU: 9000,
+			},
+			Integration: LowIntegration,
+		},
+		{
+			Spec: Spec{
+				Name: "Comp4", OS: "Linux 2.4.7-10", CPU: "Intel Pentium III",
+				MHz: 730, MainMemKB: 254524, FreeMemKB: 180000, CacheKB: 256,
+				PagingMM: 2800, PagingLU: 4600,
+			},
+			Integration: HighIntegration,
+		},
+	}
+}
+
+// Table2 returns the twelve-computer network of Table 2, paging sizes
+// verbatim from the paper.
+func Table2() []Machine {
+	xeonSMP := func(name string, freeKB, pagingMM, pagingLU int, peaks map[string]float64) Machine {
+		return Machine{
+			Spec: Spec{
+				Name: name, OS: "Linux 2.4.18-10smp", CPU: "Intel Xeon",
+				MHz: 1977, MainMemKB: 1030508, FreeMemKB: freeKB, CacheKB: 512,
+				PagingMM: pagingMM, PagingLU: pagingLU,
+			},
+			Integration: LowIntegration,
+			PeakMFlops:  peaks,
+		}
+	}
+	sparc := func(name string, freeKB int) Machine {
+		return Machine{
+			Spec: Spec{
+				Name: name, OS: "SunOS 5.8", CPU: "SUNW UltraSPARC-IIi",
+				MHz: 440, MainMemKB: 524288, FreeMemKB: freeKB, CacheKB: 2048,
+				PagingMM: 4500, PagingLU: 5000,
+			},
+			Integration: HighIntegration,
+			PeakMFlops:  map[string]float64{"MatrixMult": 31, "MatrixMultATLAS": 310, "LUFact": 25},
+		}
+	}
+	return []Machine{
+		{
+			Spec: Spec{
+				Name: "X1", OS: "Linux 2.4.20-20.9", CPU: "Intel Pentium III",
+				MHz: 997, MainMemKB: 513304, FreeMemKB: 363264, CacheKB: 256,
+				PagingMM: 4500, PagingLU: 6000,
+			},
+			Integration: HighIntegration,
+			PeakMFlops:  map[string]float64{"LUFact": 22},
+		},
+		{
+			Spec: Spec{
+				Name: "X2", OS: "Linux 2.4.18-3", CPU: "Intel Pentium III",
+				MHz: 997, MainMemKB: 254576, FreeMemKB: 65692, CacheKB: 256,
+				PagingMM: 4000, PagingLU: 5000,
+			},
+			Integration: HighIntegration,
+		},
+		{
+			Spec: Spec{
+				Name: "X3", OS: "Linux 2.4.20-20.9bigmem", CPU: "Intel Xeon",
+				MHz: 2783, MainMemKB: 7933500, FreeMemKB: 2221436, CacheKB: 512,
+				PagingMM: 6400, PagingLU: 11000,
+			},
+			Integration: LowIntegration,
+		},
+		{
+			Spec: Spec{
+				Name: "X4", OS: "Linux 2.4.20-20.9bigmem", CPU: "Intel Xeon",
+				MHz: 2783, MainMemKB: 7933500, FreeMemKB: 3073628, CacheKB: 512,
+				PagingMM: 6400, PagingLU: 11000,
+			},
+			Integration: LowIntegration,
+		},
+		xeonSMP("X5", 415904, 6000, 8500, map[string]float64{"MatrixMult": 250}),
+		xeonSMP("X6", 364120, 6000, 8500, map[string]float64{"LUFact": 130}),
+		xeonSMP("X7", 215752, 6000, 8000, nil),
+		xeonSMP("X8", 134400, 5500, 6500, map[string]float64{"MatrixMult": 67, "LUFact": 131}),
+		xeonSMP("X9", 134400, 5500, 6500, map[string]float64{"MatrixMult": 67, "LUFact": 131}),
+		sparc("X10", 409600),
+		sparc("X11", 418816),
+		sparc("X12", 395264),
+	}
+}
+
+// ByName returns the machine with the given name from a testbed.
+func ByName(machines []Machine, name string) (Machine, bool) {
+	for _, m := range machines {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Machine{}, false
+}

@@ -1,0 +1,185 @@
+// Package measure is the timing harness that turns the real kernels into
+// speed points and speed-function oracles, the experimental procedure of
+// §3.1: run a serial kernel at a given problem size, repeat a few times,
+// take the median time, and report the absolute speed.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"heteropart/internal/kernels"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+// Config controls a measurement.
+type Config struct {
+	// Repeats is the number of timed runs; the median is reported.
+	// Defaults to 3.
+	Repeats int
+}
+
+func (c Config) repeats() int {
+	if c.Repeats <= 0 {
+		return 3
+	}
+	return c.Repeats
+}
+
+// Time runs fn Repeats times and returns the median wall-clock duration.
+func (c Config) Time(fn func() error) (time.Duration, error) {
+	n := c.repeats()
+	times := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+// FlopRate runs fn and returns the absolute speed in flops per second for
+// the given computation volume, following the paper's definition
+// (volume of computations / time of execution).
+func (c Config) FlopRate(flops float64, fn func() error) (float64, error) {
+	if !(flops > 0) {
+		return 0, fmt.Errorf("measure: non-positive flop count %v", flops)
+	}
+	d, err := c.Time(fn)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		// Sub-resolution timings: clamp to one nanosecond.
+		d = time.Nanosecond
+	}
+	return flops / d.Seconds(), nil
+}
+
+// MatMulKind selects the real multiplication kernel to measure.
+type MatMulKind int
+
+const (
+	// Naive is the straightforward i-j-k kernel (the paper's MatrixMult).
+	Naive MatMulKind = iota
+	// Blocked is the cache-tiled kernel (standing in for ATLAS dgemm).
+	Blocked
+)
+
+// MatMulOracle returns a speed.Oracle measuring the selected real kernel
+// on the host. The oracle's abscissa is the paper's problem size for
+// matrix multiplication — the total number of elements of A, B and C, so a
+// measurement at x multiplies two dense √(x/3)×√(x/3) matrices — and the
+// reported speed is in flops per second.
+//
+// §3.1 observes (Tables 3–4) that the speed depends on the element count,
+// not the matrix shape, which is what makes this square-matrix oracle
+// valid for the non-square subproblems of the striped application.
+func MatMulOracle(cfg Config, kind MatMulKind) speed.Oracle {
+	return func(x float64) (float64, error) {
+		n := int(math.Round(math.Sqrt(x / 3)))
+		if n < 1 {
+			n = 1
+		}
+		a := matrix.MustNew(n, n)
+		b := matrix.MustNew(n, n)
+		c := matrix.MustNew(n, n)
+		a.FillRandom(uint64(n))
+		b.FillRandom(uint64(n) + 1)
+		run := func() error {
+			switch kind {
+			case Blocked:
+				return kernels.MatMulBlocked(c, a, b, 64)
+			default:
+				return kernels.MatMulNaive(c, a, b)
+			}
+		}
+		return cfg.FlopRate(kernels.FlopsMatMul(n), run)
+	}
+}
+
+// LUOracle returns a speed.Oracle measuring real LU factorization on the
+// host: a measurement at x elements factorizes a dense √x×√x matrix.
+func LUOracle(cfg Config) speed.Oracle {
+	return func(x float64) (float64, error) {
+		n := int(math.Round(math.Sqrt(x)))
+		if n < 1 {
+			n = 1
+		}
+		base := matrix.MustNew(n, n)
+		base.FillRandom(uint64(n))
+		for i := 0; i < n; i++ {
+			base.Set(i, i, base.At(i, i)+float64(n))
+		}
+		run := func() error {
+			work := base.Clone()
+			_, err := kernels.LUFactorize(work)
+			return err
+		}
+		return cfg.FlopRate(kernels.FlopsLU(n), run)
+	}
+}
+
+// ArrayOpsOracle returns a speed.Oracle measuring the streaming array
+// kernel: a measurement at x elements processes a float64 slice of that
+// length.
+func ArrayOpsOracle(cfg Config) speed.Oracle {
+	return func(x float64) (float64, error) {
+		n := int(math.Round(x))
+		if n < 1 {
+			n = 1
+		}
+		src := make([]float64, n)
+		dst := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i%97) / 97
+		}
+		var flops float64
+		run := func() error {
+			f, err := kernels.ArrayOps(dst, src)
+			flops = f
+			return err
+		}
+		// Prime flops before timing (ArrayOps reports it).
+		if err := run(); err != nil {
+			return 0, err
+		}
+		return cfg.FlopRate(flops, run)
+	}
+}
+
+// SpeedPoint measures one (size, speed) pair with the given oracle.
+func SpeedPoint(oracle speed.Oracle, x float64) (speed.Point, error) {
+	s, err := oracle(x)
+	if err != nil {
+		return speed.Point{}, err
+	}
+	return speed.Point{X: x, Y: s}, nil
+}
+
+// CholeskyOracle returns a speed.Oracle measuring real Cholesky
+// factorization on the host: a measurement at x elements factorizes a
+// dense symmetric positive definite √x×√x matrix.
+func CholeskyOracle(cfg Config) speed.Oracle {
+	return func(x float64) (float64, error) {
+		n := int(math.Round(math.Sqrt(x)))
+		if n < 1 {
+			n = 1
+		}
+		base, err := kernels.SPDMatrix(n, uint64(n))
+		if err != nil {
+			return 0, err
+		}
+		run := func() error {
+			work := base.Clone()
+			return kernels.Cholesky(work)
+		}
+		return cfg.FlopRate(kernels.FlopsCholesky(n), run)
+	}
+}

@@ -1,0 +1,133 @@
+package measure
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTimeMedian(t *testing.T) {
+	cfg := Config{Repeats: 3}
+	calls := 0
+	d, err := cfg.Time(func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Time: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+	if d < 500*time.Microsecond {
+		t.Errorf("median %v implausibly small", d)
+	}
+}
+
+func TestTimePropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	cfg := Config{}
+	if _, err := cfg.Time(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestFlopRate(t *testing.T) {
+	cfg := Config{Repeats: 1}
+	rate, err := cfg.FlopRate(1e6, func() error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("FlopRate: %v", err)
+	}
+	// ~1e6 flops in ~1ms ⇒ ~1e9 flops/s, allow a broad band.
+	if rate < 1e7 || rate > 1e10 {
+		t.Errorf("rate = %v, want around 1e9", rate)
+	}
+	if _, err := cfg.FlopRate(0, func() error { return nil }); err == nil {
+		t.Error("zero flops: want error")
+	}
+}
+
+func TestMatMulOracleRealMeasurement(t *testing.T) {
+	cfg := Config{Repeats: 1}
+	for _, kind := range []MatMulKind{Naive, Blocked} {
+		oracle := MatMulOracle(cfg, kind)
+		// x = 3·64² elements → a 64×64 multiplication.
+		s, err := oracle(3 * 64 * 64)
+		if err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+		if !(s > 1e6) {
+			t.Errorf("kind %v: measured %v flops/s, implausibly slow", kind, s)
+		}
+	}
+}
+
+func TestMatMulOracleTinySize(t *testing.T) {
+	oracle := MatMulOracle(Config{Repeats: 1}, Naive)
+	if _, err := oracle(0.5); err != nil {
+		t.Errorf("tiny size: %v", err)
+	}
+}
+
+func TestLUOracleRealMeasurement(t *testing.T) {
+	oracle := LUOracle(Config{Repeats: 1})
+	s, err := oracle(64 * 64)
+	if err != nil {
+		t.Fatalf("LUOracle: %v", err)
+	}
+	if !(s > 1e5) {
+		t.Errorf("measured %v flops/s, implausibly slow", s)
+	}
+}
+
+func TestArrayOpsOracleRealMeasurement(t *testing.T) {
+	oracle := ArrayOpsOracle(Config{Repeats: 1})
+	s, err := oracle(100_000)
+	if err != nil {
+		t.Fatalf("ArrayOpsOracle: %v", err)
+	}
+	if !(s > 1e6) {
+		t.Errorf("measured %v flops/s, implausibly slow", s)
+	}
+}
+
+func TestSpeedPoint(t *testing.T) {
+	oracle := ArrayOpsOracle(Config{Repeats: 1})
+	p, err := SpeedPoint(oracle, 1000)
+	if err != nil {
+		t.Fatalf("SpeedPoint: %v", err)
+	}
+	if p.X != 1000 || !(p.Y > 0) {
+		t.Errorf("point = %+v", p)
+	}
+	bad := func(x float64) (float64, error) { return 0, errors.New("nope") }
+	if _, err := SpeedPoint(bad, 1); err == nil {
+		t.Error("failing oracle: want error")
+	}
+}
+
+func TestDefaultRepeats(t *testing.T) {
+	calls := 0
+	_, err := Config{}.Time(func() error { calls++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("default repeats = %d, want 3", calls)
+	}
+}
+
+func TestCholeskyOracleRealMeasurement(t *testing.T) {
+	oracle := CholeskyOracle(Config{Repeats: 1})
+	s, err := oracle(48 * 48)
+	if err != nil {
+		t.Fatalf("CholeskyOracle: %v", err)
+	}
+	if !(s > 1e5) {
+		t.Errorf("measured %v flops/s, implausibly slow", s)
+	}
+}

@@ -1,0 +1,179 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more (x, y) series as an ASCII line chart, so the
+// regenerated paper figures can be eyeballed in a terminal next to the
+// originals. Series are overlaid with distinct glyphs.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area in characters (defaults 72×20).
+	Width, Height int
+	// LogY plots the y axis logarithmically (speed curves span decades).
+	LogY bool
+	// LogX plots the x axis logarithmically (for power-of-two sweeps).
+	LogX   bool
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// seriesGlyphs are assigned to series in order.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '~'}
+
+// NewChart creates an empty chart.
+func NewChart(title, xLabel, yLabel string) *Chart {
+	return &Chart{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// AddSeries appends a named series. xs and ys must have equal, non-zero
+// length; non-finite values are skipped at render time.
+func (c *Chart) AddSeries(name string, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("report: series %q has %d xs and %d ys", name, len(xs), len(ys))
+	}
+	c.series = append(c.series, chartSeries{
+		name: name,
+		xs:   append([]float64(nil), xs...),
+		ys:   append([]float64(nil), ys...),
+	})
+	return nil
+}
+
+// NumSeries returns the number of series added.
+func (c *Chart) NumSeries() int { return len(c.series) }
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) {
+				continue
+			}
+			if (c.LogY && y <= 0) || (c.LogX && x <= 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if math.IsInf(xmin, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			return math.Log(y)
+		}
+		return y
+	}
+	tx := func(x float64) float64 {
+		if c.LogX {
+			return math.Log(x)
+		}
+		return x
+	}
+	lo, hi := ty(ymin), ty(ymax)
+	if hi == lo {
+		hi = lo + 1
+	}
+	xlo, xhi := tx(xmin), tx(xmax)
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	cells := make([][]byte, h)
+	for r := range cells {
+		cells[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.xs {
+			x, y := s.xs[i], s.ys[i]
+			if !finite(x) || !finite(y) || (c.LogY && y <= 0) || (c.LogX && x <= 0) {
+				continue
+			}
+			col := int(math.Round((tx(x) - xlo) / (xhi - xlo) * float64(w-1)))
+			row := h - 1 - int(math.Round((ty(y)-lo)/(hi-lo)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				cells[row][col] = glyph
+			}
+		}
+	}
+	yTop := FormatFloat(ymax)
+	yBot := FormatFloat(ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = pad(yTop, margin)
+		case h - 1:
+			label = pad(yBot, margin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(cells[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	left := FormatFloat(xmin)
+	right := FormatFloat(xmax)
+	gap := w - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), left, strings.Repeat(" ", gap), right)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s%s, y: %s%s\n", strings.Repeat(" ", margin),
+			c.XLabel, logSuffix(c.LogX), c.YLabel, logSuffix(c.LogY))
+	}
+	for i, s := range c.series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", margin), seriesGlyphs[i%len(seriesGlyphs)], s.name)
+	}
+	return b.String()
+}
+
+func logSuffix(log bool) string {
+	if log {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

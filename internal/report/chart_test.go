@@ -1,0 +1,146 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("Speed vs size", "size", "MFlops")
+	if err := c.AddSeries("fast", []float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); err != nil {
+		t.Fatalf("AddSeries: %v", err)
+	}
+	if err := c.AddSeries("slow", []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}); err != nil {
+		t.Fatalf("AddSeries: %v", err)
+	}
+	out := c.String()
+	for _, want := range []string{"Speed vs size", "* fast", "+ slow", "x: size, y: MFlops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("chart has no plotted glyphs")
+	}
+	if c.NumSeries() != 2 {
+		t.Errorf("NumSeries = %d", c.NumSeries())
+	}
+}
+
+func TestChartExtremesLandOnEdges(t *testing.T) {
+	c := NewChart("", "", "")
+	c.Width, c.Height = 40, 10
+	if err := c.AddSeries("s", []float64{0, 100}, []float64{0, 50}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	// Max y on the first plot row, min y on the last.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("max point not on top row: %q", lines[0])
+	}
+	if !strings.Contains(lines[9], "*") {
+		t.Errorf("min point not on bottom row: %q", lines[9])
+	}
+	// Axis labels present.
+	if !strings.Contains(lines[0], "50") || !strings.Contains(lines[9], "0") {
+		t.Errorf("y labels missing: %q / %q", lines[0], lines[9])
+	}
+}
+
+func TestChartLogY(t *testing.T) {
+	c := NewChart("log", "", "")
+	c.LogY = true
+	// With log scaling, 1 → 10 → 100 must be evenly spaced vertically.
+	if err := c.AddSeries("s", []float64{0, 1, 2}, []float64{1, 10, 100}); err != nil {
+		t.Fatal(err)
+	}
+	c.Width, c.Height = 21, 9
+	out := c.String()
+	rows := []int{}
+	for i, line := range strings.Split(out, "\n") {
+		// Only plot rows (marked by the axis bar), not the legend.
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows = append(rows, i)
+		}
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 plotted rows, got %v\n%s", rows, out)
+	}
+	if (rows[1] - rows[0]) != (rows[2] - rows[1]) {
+		t.Errorf("log spacing uneven: %v", rows)
+	}
+	// Zero and negative values are skipped silently under LogY.
+	if err := c.AddSeries("zeros", []float64{0, 1}, []float64{0, -5}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.String()
+}
+
+func TestChartEmptyAndInvalid(t *testing.T) {
+	c := NewChart("empty", "", "")
+	if !strings.Contains(c.String(), "(no data)") {
+		t.Error("empty chart must say so")
+	}
+	if err := c.AddSeries("bad", []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths: want error")
+	}
+	if err := c.AddSeries("empty", nil, nil); err == nil {
+		t.Error("empty series: want error")
+	}
+	// All-NaN series renders as no data.
+	c2 := NewChart("nan", "", "")
+	if err := c2.AddSeries("n", []float64{1}, []float64{math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c2.String(), "(no data)") {
+		t.Error("all-NaN chart must render as no data")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := NewChart("flat", "", "")
+	if err := c.AddSeries("s", []float64{1, 2}, []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestChartLogX(t *testing.T) {
+	c := NewChart("logx", "size", "v")
+	c.LogX = true
+	c.Width, c.Height = 21, 5
+	// 1 → 10 → 100 evenly spaced horizontally under LogX.
+	if err := c.AddSeries("s", []float64{1, 10, 100}, []float64{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.String()
+	var cols []int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		for i := strings.IndexByte(line, '|') + 1; i < len(line); i++ {
+			if line[i] == '*' {
+				cols = append(cols, i)
+			}
+		}
+	}
+	if len(cols) != 3 {
+		t.Fatalf("expected 3 plotted columns, got %v\n%s", cols, out)
+	}
+	if (cols[1] - cols[0]) != (cols[2] - cols[1]) {
+		t.Errorf("log-x spacing uneven: %v", cols)
+	}
+	if !strings.Contains(out, "x: size (log scale)") {
+		t.Errorf("missing log-x label:\n%s", out)
+	}
+	// Non-positive x values are skipped under LogX.
+	if err := c.AddSeries("z", []float64{0, -3}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	tb.AddNote("a note with %d", 7)
+	s := tb.String()
+	for _, want := range []string{"Demo", "name", "value", "alpha", "1.50", "42", "note: a note with 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("", "a", "bbbb")
+	tb.AddRow("xxxxx", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d: %q", len(lines), lines)
+	}
+	// Column 2 of the header must start at the same offset as in the row.
+	if strings.Index(lines[0], "bbbb") != strings.Index(lines[2], "y") {
+		t.Errorf("columns misaligned:\n%s", tb)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("T", "x", "note")
+	tb.AddRow(1, `say "hi", ok`)
+	csv := tb.CSV()
+	want := "x,note\n1,\"say \"\"hi\"\", ok\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestRowsCopy(t *testing.T) {
+	tb := New("T", "x")
+	tb.AddRow("v")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "v" {
+		t.Error("Rows() exposed internal storage")
+	}
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{-3, "-3"},
+		{1234.6, "1235"},
+		{3.14159, "3.14"},
+		{0.00123, "0.00123"},
+		{2e9, "2000000000"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.AddRow("x|y", 2)
+	tb.AddNote("n1")
+	md := tb.Markdown()
+	for _, want := range []string{"**T**", "| a | b |", "| --- | --- |", `x\|y`, "*n1*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}

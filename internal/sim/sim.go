@@ -1,0 +1,139 @@
+// Package sim evaluates parallel executions under the functional
+// performance model: given per-processor work and working-set sizes, it
+// computes execution times from the speed functions, optionally perturbed
+// by each machine's workload-fluctuation band, and aggregates them into a
+// makespan. It also ships the optional serialized-Ethernet communication
+// extension the paper discusses (and excludes from its own model).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"heteropart/internal/speed"
+)
+
+// Task is the work placed on one processor.
+type Task struct {
+	// Work is the computation volume in the same units as the speed
+	// functions' ordinate (flops when speeds are flop rates, elements when
+	// speeds are elements/second).
+	Work float64
+	// Size is the working-set size in elements at which the processor's
+	// speed function is evaluated (the paper's problem size).
+	Size float64
+}
+
+// Makespan returns the parallel execution time of the tasks — processors
+// run concurrently, so the makespan is the slowest per-processor time —
+// together with the individual times.
+func Makespan(tasks []Task, fns []speed.Function) (float64, []float64, error) {
+	if len(tasks) != len(fns) {
+		return 0, nil, fmt.Errorf("sim: %d tasks for %d processors", len(tasks), len(fns))
+	}
+	per := make([]float64, len(tasks))
+	var worst float64
+	for i, t := range tasks {
+		if t.Work < 0 || t.Size < 0 {
+			return 0, nil, fmt.Errorf("sim: negative task %+v on processor %d", t, i)
+		}
+		if t.Work == 0 {
+			continue
+		}
+		s := fns[i].Eval(t.Size)
+		if s <= 0 {
+			return 0, nil, fmt.Errorf("sim: processor %d has zero speed at size %v", i, t.Size)
+		}
+		per[i] = t.Work / s
+		worst = math.Max(worst, per[i])
+	}
+	return worst, per, nil
+}
+
+// Fluctuator perturbs execution times with each machine's workload
+// fluctuation band, emulating the transient load of a non-dedicated
+// network (Figure 2). Sampling is deterministic per seed.
+type Fluctuator struct {
+	bands []*speed.Band
+	rng   *rand.Rand
+}
+
+// NewFluctuator builds a Fluctuator over the machines' bands.
+func NewFluctuator(bands []*speed.Band, seed uint64) (*Fluctuator, error) {
+	for i, b := range bands {
+		if b == nil {
+			return nil, fmt.Errorf("sim: nil band for processor %d", i)
+		}
+	}
+	return &Fluctuator{
+		bands: bands,
+		rng:   rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d)),
+	}, nil
+}
+
+// Makespan evaluates the tasks against speeds sampled uniformly inside
+// each machine's band at the task's working-set size.
+func (f *Fluctuator) Makespan(tasks []Task) (float64, []float64, error) {
+	if len(tasks) != len(f.bands) {
+		return 0, nil, fmt.Errorf("sim: %d tasks for %d processors", len(tasks), len(f.bands))
+	}
+	per := make([]float64, len(tasks))
+	var worst float64
+	for i, t := range tasks {
+		if t.Work == 0 {
+			continue
+		}
+		b := f.bands[i]
+		w := b.Width(t.Size)
+		s := b.Mid().Eval(t.Size) * (1 + w*(f.rng.Float64()-0.5))
+		if s <= 0 {
+			return 0, nil, fmt.Errorf("sim: processor %d sampled non-positive speed", i)
+		}
+		per[i] = t.Work / s
+		worst = math.Max(worst, per[i])
+	}
+	return worst, per, nil
+}
+
+// Network is the linear communication model the paper cites from Bhat et
+// al. [13]: a start-up latency plus a transmission time per byte. On a
+// switched Ethernet suffering contention the paper notes it is desirable
+// that only one processor sends at a time, which Serialized models.
+type Network struct {
+	// LatencySec is the per-message start-up time.
+	LatencySec float64
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+	// Serialized sums message times (single shared medium); otherwise the
+	// slowest message dominates (fully switched fabric).
+	Serialized bool
+}
+
+// ErrNetwork reports invalid network parameters.
+var ErrNetwork = errors.New("sim: invalid network parameters")
+
+// Time returns the communication time for the given message sizes in
+// bytes. Zero-byte messages cost nothing.
+func (n *Network) Time(messageBytes []float64) (float64, error) {
+	if n.LatencySec < 0 || !(n.BytesPerSec > 0) {
+		return 0, fmt.Errorf("%w: latency=%v, bandwidth=%v", ErrNetwork, n.LatencySec, n.BytesPerSec)
+	}
+	var total, worst float64
+	for i, b := range messageBytes {
+		if b < 0 {
+			return 0, fmt.Errorf("sim: negative message size %v at %d", b, i)
+		}
+		if b == 0 {
+			continue
+		}
+		t := n.LatencySec + b/n.BytesPerSec
+		total += t
+		worst = math.Max(worst, t)
+	}
+	if n.Serialized {
+		return total, nil
+	}
+	return worst, nil
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/speed"
+)
+
+func TestMakespan(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(10, 1e6),
+		speed.MustConstant(5, 1e6),
+	}
+	tasks := []Task{{Work: 100, Size: 100}, {Work: 100, Size: 100}}
+	total, per, err := Makespan(tasks, fns)
+	if err != nil {
+		t.Fatalf("Makespan: %v", err)
+	}
+	if per[0] != 10 || per[1] != 20 {
+		t.Errorf("per = %v, want [10 20]", per)
+	}
+	if total != 20 {
+		t.Errorf("total = %v, want 20", total)
+	}
+}
+
+func TestMakespanZeroWork(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(0, 1e6)}
+	total, per, err := Makespan([]Task{{Work: 0, Size: 0}}, fns)
+	if err != nil {
+		t.Fatalf("Makespan: %v", err)
+	}
+	if total != 0 || per[0] != 0 {
+		t.Errorf("zero work: total=%v per=%v", total, per)
+	}
+}
+
+func TestMakespanErrors(t *testing.T) {
+	fns := []speed.Function{speed.MustConstant(1, 1e6)}
+	if _, _, err := Makespan([]Task{{}, {}}, fns); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, _, err := Makespan([]Task{{Work: -1, Size: 1}}, fns); err == nil {
+		t.Error("negative work: want error")
+	}
+	zero := []speed.Function{speed.MustConstant(0, 1e6)}
+	if _, _, err := Makespan([]Task{{Work: 5, Size: 1}}, zero); err == nil {
+		t.Error("zero speed with work: want error")
+	}
+}
+
+func TestFluctuatorDeterministicWithinBand(t *testing.T) {
+	mid := speed.MustConstant(100, 1e6)
+	band, err := speed.NewBand(mid, speed.ConstantWidth(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{{Work: 1000, Size: 100}}
+	f1, err := NewFluctuator([]*speed.Band{band}, 11)
+	if err != nil {
+		t.Fatalf("NewFluctuator: %v", err)
+	}
+	f2, _ := NewFluctuator([]*speed.Band{band}, 11)
+	t1, per1, err := f1.Makespan(tasks)
+	if err != nil {
+		t.Fatalf("Makespan: %v", err)
+	}
+	t2, _, _ := f2.Makespan(tasks)
+	if t1 != t2 {
+		t.Errorf("same seed diverges: %v vs %v", t1, t2)
+	}
+	// Speed within [90, 110] ⇒ time within [1000/110, 1000/90].
+	if per1[0] < 1000.0/110-1e-9 || per1[0] > 1000.0/90+1e-9 {
+		t.Errorf("time %v outside band-implied range", per1[0])
+	}
+}
+
+func TestFluctuatorSequenceVaries(t *testing.T) {
+	mid := speed.MustConstant(100, 1e6)
+	band, _ := speed.NewBand(mid, speed.ConstantWidth(0.4))
+	f, _ := NewFluctuator([]*speed.Band{band}, 3)
+	tasks := []Task{{Work: 1000, Size: 100}}
+	t1, _, _ := f.Makespan(tasks)
+	varies := false
+	for i := 0; i < 8; i++ {
+		t2, _, _ := f.Makespan(tasks)
+		if t2 != t1 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("fluctuating runs returned identical times")
+	}
+}
+
+func TestFluctuatorErrors(t *testing.T) {
+	if _, err := NewFluctuator([]*speed.Band{nil}, 1); err == nil {
+		t.Error("nil band: want error")
+	}
+	band, _ := speed.NewBand(speed.MustConstant(1, 1), speed.ConstantWidth(0.1))
+	f, _ := NewFluctuator([]*speed.Band{band}, 1)
+	if _, _, err := f.Makespan([]Task{{}, {}}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestNetworkSwitched(t *testing.T) {
+	n := &Network{LatencySec: 0.001, BytesPerSec: 1e6}
+	tt, err := n.Time([]float64{1e6, 2e6, 0})
+	if err != nil {
+		t.Fatalf("Time: %v", err)
+	}
+	// Slowest message: 0.001 + 2 s.
+	if math.Abs(tt-2.001) > 1e-9 {
+		t.Errorf("switched time = %v, want 2.001", tt)
+	}
+}
+
+func TestNetworkSerialized(t *testing.T) {
+	n := &Network{LatencySec: 0.001, BytesPerSec: 1e6, Serialized: true}
+	tt, err := n.Time([]float64{1e6, 2e6})
+	if err != nil {
+		t.Fatalf("Time: %v", err)
+	}
+	if math.Abs(tt-3.002) > 1e-9 {
+		t.Errorf("serialized time = %v, want 3.002", tt)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	bad := &Network{LatencySec: -1, BytesPerSec: 1}
+	if _, err := bad.Time([]float64{1}); err == nil {
+		t.Error("negative latency: want error")
+	}
+	bad = &Network{LatencySec: 0, BytesPerSec: 0}
+	if _, err := bad.Time([]float64{1}); err == nil {
+		t.Error("zero bandwidth: want error")
+	}
+	ok := &Network{LatencySec: 0, BytesPerSec: 1}
+	if _, err := ok.Time([]float64{-1}); err == nil {
+		t.Error("negative message: want error")
+	}
+}

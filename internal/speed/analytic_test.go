@@ -1,0 +1,150 @@
+package speed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperish returns an Analytic with all regions active, shaped like the
+// MatrixMult curves of Figure 1.
+func paperish() *Analytic {
+	return &Analytic{
+		Peak:        2e8,
+		HalfRise:    5e4,
+		CacheEdge:   1e6,
+		CacheDecay:  0.7,
+		PagingPoint: 6e7,
+		PagingWidth: 1e7,
+		PagingFloor: 0.03,
+		Max:         4e8,
+	}
+}
+
+func TestAnalyticValidate(t *testing.T) {
+	if err := paperish().Validate(); err != nil {
+		t.Errorf("Validate(paperish): %v", err)
+	}
+	bad := []func(*Analytic){
+		func(a *Analytic) { a.Peak = 0 },
+		func(a *Analytic) { a.Peak = math.Inf(1) },
+		func(a *Analytic) { a.HalfRise = 0 },
+		func(a *Analytic) { a.CacheEdge = -1 },
+		func(a *Analytic) { a.CacheDecay = 0 },
+		func(a *Analytic) { a.CacheDecay = 1.5 },
+		func(a *Analytic) { a.PagingPoint = a.CacheEdge / 2 },
+		func(a *Analytic) { a.PagingPoint = -1 },
+		func(a *Analytic) { a.PagingWidth = 0 },
+		func(a *Analytic) { a.PagingFloor = 1 },
+		func(a *Analytic) { a.PagingFloor = -0.1 },
+		func(a *Analytic) { a.Max = 0 },
+	}
+	for i, mutate := range bad {
+		a := paperish()
+		mutate(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d: want validation error", i)
+		}
+	}
+}
+
+func TestAnalyticRegions(t *testing.T) {
+	a := paperish()
+	if got := a.Eval(0); got != 0 {
+		t.Errorf("Eval(0) = %v, want 0", got)
+	}
+	if got := a.Eval(-5); got != 0 {
+		t.Errorf("Eval(-5) = %v, want 0", got)
+	}
+	// Rise: at HalfRise the rise term is 1/2 and no decay applies.
+	if got, want := a.Eval(a.HalfRise), a.Peak/2; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("Eval(HalfRise) = %v, want %v", got, want)
+	}
+	// Plateau: just below CacheEdge speed is close to Peak.
+	if got := a.Eval(a.CacheEdge); got < 0.9*a.Peak {
+		t.Errorf("plateau speed %v too far below peak %v", got, a.Peak)
+	}
+	// Cache decay: at PagingPoint the cache term equals CacheDecay.
+	atP := a.Eval(a.PagingPoint)
+	if want := a.Peak * a.CacheDecay; math.Abs(atP-want) > 0.01*want {
+		t.Errorf("Eval(PagingPoint) = %v, want ≈ %v", atP, want)
+	}
+	// Paging: well past the paging point, speed collapses.
+	deep := a.Eval(a.PagingPoint + 10*a.PagingWidth)
+	if deep > 0.1*atP {
+		t.Errorf("speed past paging point did not collapse: %v vs %v", deep, atP)
+	}
+}
+
+func TestAnalyticMonotoneDecreasingAfterPeak(t *testing.T) {
+	// Once the saturating rise has flattened out (x ≫ HalfRise), the decay
+	// terms dominate and the curve is non-increasing. (Immediately past
+	// CacheEdge a residual rise is possible and legitimate: only s(x)/x is
+	// required to decrease, which TestAnalyticShapeAssumption verifies.)
+	a := paperish()
+	prev := math.Inf(1)
+	for x := math.Max(a.CacheEdge, 100*a.HalfRise); x <= a.Max; x *= 1.1 {
+		s := a.Eval(x)
+		if s > prev*(1+1e-6) {
+			t.Fatalf("speed rises well past cache edge at x=%v: %v > %v", x, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestAnalyticShapeAssumption(t *testing.T) {
+	if err := CheckShape(paperish(), 256); err != nil {
+		t.Errorf("CheckShape: %v", err)
+	}
+	// Minimal model (rise only).
+	m := &Analytic{Peak: 1e6, HalfRise: 100, Max: 1e9}
+	if err := CheckShape(m, 256); err != nil {
+		t.Errorf("CheckShape(minimal): %v", err)
+	}
+}
+
+// Property: the shape assumption holds for arbitrary valid parameters.
+func TestAnalyticShapeProperty(t *testing.T) {
+	check := func(p1, p2, p3, p4 uint16) bool {
+		a := &Analytic{
+			Peak:        1e3 + float64(p1)*1e4,
+			HalfRise:    1 + float64(p2),
+			CacheEdge:   100 + float64(p3),
+			CacheDecay:  0.2 + float64(p4%70)/100,
+			PagingPoint: 1e5 + float64(p4)*10,
+			PagingWidth: 1 + float64(p1%1000),
+			PagingFloor: float64(p2%90) / 100,
+			Max:         1e8,
+		}
+		if err := a.Validate(); err != nil {
+			return true // skip invalid combinations
+		}
+		return CheckShape(a, 64) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyticNoPagingNoCache(t *testing.T) {
+	a := &Analytic{Peak: 1e6, HalfRise: 10, Max: 1e6}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Without decay terms the function saturates towards Peak.
+	if got := a.Eval(1e6); got < 0.99*a.Peak {
+		t.Errorf("Eval(max) = %v, want near peak %v", got, a.Peak)
+	}
+}
+
+func TestAnalyticStringer(t *testing.T) {
+	if paperish().String() == "" {
+		t.Error("String() must be non-empty")
+	}
+	if MustConstant(1, 1).String() == "" {
+		t.Error("Constant String() must be non-empty")
+	}
+	if MustPiecewiseLinear(validPts).String() == "" {
+		t.Error("PiecewiseLinear String() must be non-empty")
+	}
+}

@@ -1,0 +1,160 @@
+package speed
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestConstantWidth(t *testing.T) {
+	w := ConstantWidth(0.06)
+	for _, x := range []float64{0, 1, 1e9} {
+		if got := w(x); got != 0.06 {
+			t.Errorf("w(%v) = %v, want 0.06", x, got)
+		}
+	}
+}
+
+func TestDecliningWidth(t *testing.T) {
+	w := DecliningWidth(0.40, 0.06, 1000)
+	if got := w(0); got != 0.40 {
+		t.Errorf("w(0) = %v, want 0.40", got)
+	}
+	if got := w(-5); got != 0.40 {
+		t.Errorf("w(-5) = %v, want clamp 0.40", got)
+	}
+	if got := w(1000); got != 0.06 {
+		t.Errorf("w(max) = %v, want 0.06", got)
+	}
+	if got := w(5000); got != 0.06 {
+		t.Errorf("w(beyond) = %v, want clamp 0.06", got)
+	}
+	if got, want := w(500), 0.23; math.Abs(got-want) > 1e-12 {
+		t.Errorf("w(mid) = %v, want %v", got, want)
+	}
+}
+
+func TestBand(t *testing.T) {
+	mid := MustConstant(100, 1e6)
+	b, err := NewBand(mid, ConstantWidth(0.10))
+	if err != nil {
+		t.Fatalf("NewBand: %v", err)
+	}
+	if b.Mid() != Function(mid) {
+		t.Error("Mid() must return the wrapped function")
+	}
+	if got := b.Width(50); got != 0.10 {
+		t.Errorf("Width = %v, want 0.10", got)
+	}
+	if got := b.Lower(50); got != 95 {
+		t.Errorf("Lower = %v, want 95", got)
+	}
+	if got := b.Upper(50); got != 105 {
+		t.Errorf("Upper = %v, want 105", got)
+	}
+}
+
+func TestNewBandRejectsNil(t *testing.T) {
+	if _, err := NewBand(nil, ConstantWidth(0.1)); err == nil {
+		t.Error("NewBand(nil mid): want error")
+	}
+	if _, err := NewBand(MustConstant(1, 1), nil); err == nil {
+		t.Error("NewBand(nil width): want error")
+	}
+}
+
+func TestBandShifted(t *testing.T) {
+	// Heavy added load halves the speed; the absolute band width must be
+	// preserved: old width 0.10·100 = 10 absolute; new mid 50 → relative
+	// width 0.20.
+	b, err := NewBand(MustConstant(100, 1e6), ConstantWidth(0.10))
+	if err != nil {
+		t.Fatalf("NewBand: %v", err)
+	}
+	s, err := b.Shifted(0.5)
+	if err != nil {
+		t.Fatalf("Shifted: %v", err)
+	}
+	if got := s.Mid().Eval(10); got != 50 {
+		t.Errorf("shifted mid = %v, want 50", got)
+	}
+	oldAbs := b.Upper(10) - b.Lower(10)
+	newAbs := s.Upper(10) - s.Lower(10)
+	if math.Abs(oldAbs-newAbs) > 1e-9 {
+		t.Errorf("absolute width changed: %v → %v", oldAbs, newAbs)
+	}
+}
+
+func TestBandShiftedRejectsInvalid(t *testing.T) {
+	b, _ := NewBand(MustConstant(100, 1e6), ConstantWidth(0.10))
+	for _, f := range []float64{0, -1, math.Inf(1)} {
+		if _, err := b.Shifted(f); err == nil {
+			t.Errorf("Shifted(%v): want error", f)
+		}
+	}
+}
+
+func TestEstimateBandRecoversWidths(t *testing.T) {
+	// A synthetic oracle with a known declining band: width 0.4 at size 0
+	// shrinking to 0.1 at size 1000. The spread of uniform samples
+	// underestimates the full width with few repeats, so compare loosely
+	// but require the declining trend.
+	truth := DecliningWidth(0.4, 0.1, 1000)
+	i := 0
+	oracle := func(x float64) (float64, error) {
+		i++
+		// Deterministic pseudo-uniform jitter in [-0.5, 0.5].
+		u := math.Mod(float64(i)*0.61803398875, 1) - 0.5
+		return 100 * (1 + truth(x)*u), nil
+	}
+	sizes := []float64{10, 250, 500, 750, 990}
+	widths, model, err := EstimateBand(oracle, sizes, 40)
+	if err != nil {
+		t.Fatalf("EstimateBand: %v", err)
+	}
+	if len(widths) != len(sizes) {
+		t.Fatalf("%d widths", len(widths))
+	}
+	if !(widths[0] > widths[len(widths)-1]) {
+		t.Errorf("widths do not decline: %v", widths)
+	}
+	// The fitted model must decline too and stay within [0.05, 0.5].
+	if !(model(0) > model(1000)) {
+		t.Errorf("fitted model does not decline: %v vs %v", model(0), model(1000))
+	}
+	for _, x := range []float64{0, 500, 1000} {
+		if w := model(x); w < 0.05 || w > 0.5 {
+			t.Errorf("model(%v) = %v out of plausible range", x, w)
+		}
+	}
+}
+
+func TestEstimateBandValidation(t *testing.T) {
+	ok := func(x float64) (float64, error) { return 1, nil }
+	if _, _, err := EstimateBand(nil, []float64{1}, 3); err == nil {
+		t.Error("nil oracle: want error")
+	}
+	if _, _, err := EstimateBand(ok, nil, 3); err == nil {
+		t.Error("no sizes: want error")
+	}
+	if _, _, err := EstimateBand(ok, []float64{1}, 1); err == nil {
+		t.Error("1 repeat: want error")
+	}
+	bad := func(x float64) (float64, error) { return 0, errors.New("boom") }
+	if _, _, err := EstimateBand(bad, []float64{1}, 2); err == nil {
+		t.Error("failing oracle: want error")
+	}
+}
+
+func TestEstimateBandZeroMean(t *testing.T) {
+	zero := func(x float64) (float64, error) { return 0, nil }
+	widths, _, err := EstimateBand(zero, []float64{1, 2}, 3)
+	if err != nil {
+		t.Fatalf("EstimateBand: %v", err)
+	}
+	for _, w := range widths {
+		if w != 0 {
+			t.Errorf("zero oracle width = %v", w)
+		}
+	}
+}

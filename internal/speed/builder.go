@@ -1,0 +1,281 @@
+package speed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Oracle measures the speed of a processor at problem size x, typically by
+// timing a serial kernel (§3.1). Measurements may be noisy.
+type Oracle func(x float64) (float64, error)
+
+// Builder constructs a piecewise linear approximation of a speed function
+// from an Oracle using the recursive trisection procedure of §3.1:
+//
+//  1. Start from the interval [a, b], where a is the problem size fitting
+//     the top of the memory hierarchy and b is large enough that the speed
+//     is practically zero. The initial approximation is the straight band
+//     from (a, s(a)) to (b, 0) of relative width Eps.
+//  2. Trisect the current interval (trisection, not bisection, so that a
+//     measured point cannot accidentally fall on the chord — Figure 19(c)),
+//     measure the speed at both interior points, and compare with the
+//     current linear prediction.
+//  3. If both measurements fall within the band, accept the piece.
+//     Otherwise recurse into the sub-intervals, skipping a sub-interval
+//     when its endpoint speeds already agree within the band (the
+//     flatness shortcuts of cases (b)–(d) in §3.1).
+//
+// Deviation from the paper (documented in DESIGN.md): measured interior
+// points are always retained as knots of the final function, even when the
+// piece is accepted — the measurement cost has been paid either way and
+// retaining them only improves accuracy. The reported Measurements count is
+// the experimental cost, exactly as in the paper.
+type Builder struct {
+	// Eps is the relative acceptance half-band (the paper uses 5 %).
+	// Defaults to 0.05 when zero.
+	Eps float64
+	// MinInterval stops recursion on intervals shorter than this many
+	// elements. Defaults to (b−a)/10⁵, floored at 1 element (no integer
+	// sizes left inside): speed-function detail finer than a 10⁻⁵ fraction
+	// of the domain cannot influence a partition of the domain.
+	MinInterval float64
+	// MaxMeasurements caps the number of oracle calls. Defaults to 128.
+	MaxMeasurements int
+	// ZeroBand is the absolute speed below which differences are treated
+	// as "practically zero" — the ε of the band connecting (b, 0) and
+	// (b, ε) in Figure 20(a). Without it the relative acceptance test
+	// degenerates near the b endpoint, where the prediction approaches
+	// zero, and the recursion would chase noise in the tail. Defaults to
+	// 1 % of the speed measured at a.
+	ZeroBand float64
+	// LogDomain, when true, runs the trisection in log-size space
+	// (an extension beyond §3.1). Speed-function features — cache edges,
+	// paging points — occur at size scales spanning several orders of
+	// magnitude; logarithmic trisection resolves them with far fewer
+	// measurements than the paper's arithmetic trisection when the domain
+	// [a, b] is wide. MinInterval is then measured in ln-size units and
+	// defaults to ln(b/a)/10³.
+	LogDomain bool
+}
+
+// BuildStats reports the experimental cost of constructing the model.
+type BuildStats struct {
+	// Measurements is the number of oracle calls (experimental points).
+	Measurements int
+	// Knots is the number of points in the resulting function.
+	Knots int
+	// MaxDepth is the deepest recursion reached.
+	MaxDepth int
+	// Repaired is true when measurement noise forced shape enforcement.
+	Repaired bool
+}
+
+// ErrBudget reports that the measurement budget was exhausted before the
+// approximation converged; the function returned alongside it is still
+// usable, built from the points measured so far.
+var ErrBudget = errors.New("speed: measurement budget exhausted")
+
+type builderRun struct {
+	cfg    Builder
+	oracle Oracle
+	knots  []Point
+	stats  BuildStats
+	err    error
+}
+
+// Build runs the procedure on [a, b]. It returns the piecewise linear
+// approximation, the build statistics, and an error. On ErrBudget the
+// returned function is still valid. The speed at b is pinned to zero as in
+// the paper ("b is large enough to make the speed practically zero").
+func (b Builder) Build(oracle Oracle, a, bEnd float64) (*PiecewiseLinear, BuildStats, error) {
+	if oracle == nil {
+		return nil, BuildStats{}, errors.New("speed: Build: nil oracle")
+	}
+	if !(a > 0) || !(bEnd > a) {
+		return nil, BuildStats{}, fmt.Errorf("speed: Build: invalid interval [%v, %v]", a, bEnd)
+	}
+	if b.Eps == 0 {
+		b.Eps = 0.05
+	}
+	if b.Eps < 0 || b.Eps >= 1 {
+		return nil, BuildStats{}, fmt.Errorf("speed: Build: invalid Eps %v", b.Eps)
+	}
+	if b.MinInterval == 0 {
+		if b.LogDomain {
+			b.MinInterval = math.Log(bEnd/a) / 1e3
+		} else {
+			b.MinInterval = math.Max(1, (bEnd-a)/1e5)
+		}
+	}
+	if b.MaxMeasurements == 0 {
+		b.MaxMeasurements = 128
+	}
+	if b.ZeroBand < 0 || math.IsNaN(b.ZeroBand) || math.IsInf(b.ZeroBand, 0) {
+		return nil, BuildStats{}, fmt.Errorf("speed: Build: invalid ZeroBand %v", b.ZeroBand)
+	}
+	r := &builderRun{cfg: b, oracle: oracle}
+	sa, ok := r.measure(a)
+	if !ok {
+		return nil, r.stats, r.err
+	}
+	if r.cfg.ZeroBand == 0 {
+		r.cfg.ZeroBand = 0.01 * sa
+	}
+	r.knots = append(r.knots, Point{X: a, Y: sa}, Point{X: bEnd, Y: 0})
+	if b.LogDomain {
+		r.refineAll(interval{a: math.Log(a), sa: sa, b: math.Log(bEnd), sb: 0, depth: 1})
+	} else {
+		r.refineAll(interval{a: a, sa: sa, b: bEnd, sb: 0, depth: 1})
+	}
+
+	// Interior knots with zero measured speed cannot precede the pinned
+	// zero at b without breaking strict shape monotonicity; drop them.
+	pts := make([]Point, 0, len(r.knots))
+	for _, p := range r.knots {
+		if p.Y > 0 || p.X == bEnd {
+			pts = append(pts, p)
+		}
+	}
+	sortPoints(pts)
+	fixed := EnforceShape(pts)
+	for i := range pts {
+		if fixed[i].Y != pts[i].Y {
+			r.stats.Repaired = true
+			break
+		}
+	}
+	f, err := NewPiecewiseLinear(fixed)
+	if err != nil {
+		return nil, r.stats, fmt.Errorf("speed: Build: constructing result: %w", err)
+	}
+	r.stats.Knots = f.NumPoints()
+	return f, r.stats, r.err
+}
+
+// measure calls the oracle, counting against the budget. It returns false
+// when the budget is exhausted or the oracle fails, recording the error.
+func (r *builderRun) measure(x float64) (float64, bool) {
+	if r.err != nil {
+		return 0, false
+	}
+	if r.stats.Measurements >= r.cfg.MaxMeasurements {
+		r.err = ErrBudget
+		return 0, false
+	}
+	r.stats.Measurements++
+	s, err := r.oracle(x)
+	if err != nil {
+		r.err = fmt.Errorf("speed: oracle at x=%v: %w", x, err)
+		return 0, false
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		r.err = fmt.Errorf("speed: oracle at x=%v returned invalid speed %v", x, s)
+		return 0, false
+	}
+	return s, true
+}
+
+// within reports whether measured s falls inside the relative Eps band
+// around predicted p. The absolute ZeroBand keeps the comparison sane when
+// the prediction approaches zero near the b endpoint.
+func (r *builderRun) within(s, p float64) bool {
+	tol := math.Max(r.cfg.Eps*p, r.cfg.ZeroBand)
+	return math.Abs(s-p) <= tol
+}
+
+// interval is one pending piece of the approximation, in builder
+// coordinates: plain sizes by default, ln(size) when LogDomain is set.
+type interval struct {
+	a, sa, b, sb float64
+	depth        int
+}
+
+// size converts builder coordinates back for the oracle and the knots.
+func (r *builderRun) size(u float64) float64 {
+	if r.cfg.LogDomain {
+		return math.Exp(u)
+	}
+	return u
+}
+
+// refineAll drives the trisection breadth-first (a FIFO work list rather
+// than depth-first recursion). The refinement order does not change the
+// converged result, but it makes budget-exhausted builds degrade
+// gracefully: the measured points stay spread across the whole domain
+// instead of piling up at its left end while the tail keeps the crude
+// initial chord — a failure mode the builder-budget ablation exposed.
+func (r *builderRun) refineAll(root interval) {
+	queue := []interval{root}
+	for len(queue) > 0 {
+		iv := queue[0]
+		queue = queue[1:]
+		if iv.depth > r.stats.MaxDepth {
+			r.stats.MaxDepth = iv.depth
+		}
+		if iv.b-iv.a <= r.cfg.MinInterval {
+			continue
+		}
+		x1 := iv.a + (iv.b-iv.a)/3
+		x2 := iv.a + 2*(iv.b-iv.a)/3
+		s1, ok := r.measure(r.size(x1))
+		if !ok {
+			return
+		}
+		s2, ok := r.measure(r.size(x2))
+		if !ok {
+			r.knots = append(r.knots, Point{X: r.size(x1), Y: s1})
+			return
+		}
+		r.knots = append(r.knots, Point{X: r.size(x1), Y: s1}, Point{X: r.size(x2), Y: s2})
+		// Linear predictions on the chord from (a, sa) to (b, sb).
+		p1 := iv.sa + ((x1-iv.a)/(iv.b-iv.a))*(iv.sb-iv.sa)
+		p2 := iv.sa + ((x2-iv.a)/(iv.b-iv.a))*(iv.sb-iv.sa)
+		if r.within(s1, p1) && r.within(s2, p2) {
+			// Both experimental points fall inside the current band: this
+			// piece of the approximation is final (§3.1 case (a)).
+			continue
+		}
+		// Cases (b)–(d): refine the sub-intervals, skipping flat ones
+		// whose endpoint speeds already agree within the band.
+		if !r.within(s1, iv.sa) {
+			queue = append(queue, interval{a: iv.a, sa: iv.sa, b: x1, sb: s1, depth: iv.depth + 1})
+		}
+		if !r.within(s2, s1) {
+			queue = append(queue, interval{a: x1, sa: s1, b: x2, sb: s2, depth: iv.depth + 1})
+		}
+		if !r.within(s2, iv.sb) {
+			queue = append(queue, interval{a: x2, sa: s2, b: iv.b, sb: iv.sb, depth: iv.depth + 1})
+		}
+	}
+}
+
+// sortPoints sorts points by increasing size (insertion sort; the knot
+// lists are tiny and nearly sorted already).
+func sortPoints(pts []Point) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].X < pts[j-1].X; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}
+
+// BuildBand runs Build and wraps the result in the ±Eps performance band
+// that the §3.1 procedure actually constructs: every accepted piece
+// guarantees the measured speeds lie within the relative band around the
+// piecewise linear mid curve.
+func (b Builder) BuildBand(oracle Oracle, a, bEnd float64) (*Band, BuildStats, error) {
+	mid, stats, err := b.Build(oracle, a, bEnd)
+	if err != nil && mid == nil {
+		return nil, stats, err
+	}
+	eps := b.Eps
+	if eps == 0 {
+		eps = 0.05
+	}
+	band, bErr := NewBand(mid, ConstantWidth(2*eps))
+	if bErr != nil {
+		return nil, stats, bErr
+	}
+	return band, stats, err
+}

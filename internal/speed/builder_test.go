@@ -1,0 +1,231 @@
+package speed
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// oracleFor wraps a Function as a noiseless Oracle.
+func oracleFor(f Function) Oracle {
+	return func(x float64) (float64, error) { return f.Eval(x), nil }
+}
+
+func TestBuildLinearIsCheap(t *testing.T) {
+	// A function that is already near-linear between the endpoints is
+	// accepted after the first trisection: exactly 3 measurements
+	// (endpoint a plus the two trisection points).
+	f := MustPiecewiseLinear([]Point{{X: 100, Y: 1000}, {X: 10000, Y: 0.001}})
+	got, stats, err := (Builder{}).Build(oracleFor(f), 100, 10000)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if stats.Measurements != 3 {
+		t.Errorf("Measurements = %d, want 3", stats.Measurements)
+	}
+	// The model must track the underlying function within eps.
+	for x := 200.0; x < 10000; x *= 1.7 {
+		want := f.Eval(x)
+		if diff := math.Abs(got.Eval(x) - want); diff > 0.05*want+1e-6 {
+			t.Errorf("model deviates at x=%v: got %v, want %v", x, got.Eval(x), want)
+		}
+	}
+}
+
+func TestBuildCurvedRefines(t *testing.T) {
+	// A strongly curved function forces recursion; the result must
+	// approximate it within a modest multiple of eps at interior points.
+	f := &Analytic{Peak: 1e6, HalfRise: 2e3, CacheEdge: 1e4, CacheDecay: 0.5,
+		PagingPoint: 5e5, PagingWidth: 5e4, PagingFloor: 0.02, Max: 2e6}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	got, stats, err := Builder{MaxMeasurements: 512}.Build(oracleFor(f), 1e3, 2e6)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if stats.Measurements < 5 {
+		t.Errorf("curved function built from %d points; expected refinement", stats.Measurements)
+	}
+	var worst float64
+	for x := 2e3; x < 1.8e6; x *= 1.3 {
+		want := f.Eval(x)
+		rel := math.Abs(got.Eval(x)-want) / math.Max(want, 1)
+		worst = math.Max(worst, rel)
+	}
+	if worst > 0.25 {
+		t.Errorf("worst relative model error %.3f too large", worst)
+	}
+}
+
+func TestBuildPaperPointBudget(t *testing.T) {
+	// A full cache+paging curve spanning 4.5 decades of problem size must
+	// converge within the default measurement budget at the paper's 5 %
+	// band (the 5-point cost reported in §3.1 corresponds to much gentler
+	// curves over narrow size ranges; see TestBuildGentleCurveFewPoints).
+	f := &Analytic{Peak: 2e8, HalfRise: 5e4, CacheEdge: 1e6, CacheDecay: 0.7,
+		PagingPoint: 6e7, PagingWidth: 1e7, PagingFloor: 0.03, Max: 4e8}
+	_, stats, err := (Builder{}).Build(oracleFor(f), 1e4, 4e8)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if stats.Measurements > 128 {
+		t.Errorf("Measurements = %d; expected within the default budget", stats.Measurements)
+	}
+	// The log-domain extension must not be more expensive on such curves.
+	_, logStats, err := (Builder{LogDomain: true}).Build(oracleFor(f), 1e4, 4e8)
+	if err != nil {
+		t.Fatalf("Build(LogDomain): %v", err)
+	}
+	if logStats.Measurements > stats.Measurements {
+		t.Errorf("LogDomain cost %d exceeds arithmetic cost %d",
+			logStats.Measurements, stats.Measurements)
+	}
+}
+
+func TestBuildGentleCurveFewPoints(t *testing.T) {
+	// A gently declining curve — the shape for which the paper reports
+	// that 5 experimental points suffice — must be built from a handful
+	// of measurements.
+	f := MustPiecewiseLinear([]Point{
+		{X: 1e4, Y: 2e8}, {X: 1e8, Y: 1.6e8}, {X: 4e8, Y: 1e4},
+	})
+	_, stats, err := (Builder{}).Build(oracleFor(f), 1e4, 4e8)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if stats.Measurements > 15 {
+		t.Errorf("Measurements = %d; want a handful for a gentle curve", stats.Measurements)
+	}
+}
+
+func TestBuildValidatesArgs(t *testing.T) {
+	ok := oracleFor(MustConstant(1, 10))
+	if _, _, err := (Builder{}).Build(nil, 1, 10); err == nil {
+		t.Error("nil oracle: want error")
+	}
+	if _, _, err := (Builder{}).Build(ok, 0, 10); err == nil {
+		t.Error("a=0: want error")
+	}
+	if _, _, err := (Builder{}).Build(ok, 10, 5); err == nil {
+		t.Error("b<a: want error")
+	}
+	if _, _, err := (Builder{Eps: -0.1}).Build(ok, 1, 10); err == nil {
+		t.Error("negative Eps: want error")
+	}
+	if _, _, err := (Builder{Eps: 1.5}).Build(ok, 1, 10); err == nil {
+		t.Error("Eps ≥ 1: want error")
+	}
+}
+
+func TestBuildOracleErrorPropagates(t *testing.T) {
+	sentinel := errors.New("measurement failed")
+	oracle := func(x float64) (float64, error) { return 0, sentinel }
+	_, _, err := (Builder{}).Build(oracle, 1, 100)
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestBuildOracleInvalidSpeed(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		oracle := func(x float64) (float64, error) { return bad, nil }
+		if _, _, err := (Builder{}).Build(oracle, 1, 100); err == nil {
+			t.Errorf("oracle returning %v: want error", bad)
+		}
+	}
+}
+
+func TestBuildBudgetExhaustion(t *testing.T) {
+	// A pathological oscillation-free but steep curve with a tiny budget.
+	f := &Analytic{Peak: 1e8, HalfRise: 1e3, CacheEdge: 1e4, CacheDecay: 0.3,
+		PagingPoint: 1e6, PagingWidth: 1e4, PagingFloor: 0.01, Max: 1e8}
+	got, stats, err := Builder{MaxMeasurements: 5}.Build(oracleFor(f), 100, 1e8)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if got == nil {
+		t.Fatal("budget exhaustion must still return a usable function")
+	}
+	if stats.Measurements != 5 {
+		t.Errorf("Measurements = %d, want exactly the budget 5", stats.Measurements)
+	}
+	if err := CheckShape(got, 64); err != nil {
+		t.Errorf("partial model violates shape: %v", err)
+	}
+}
+
+func TestBuildNoisyOracleRepairs(t *testing.T) {
+	// Deterministic ±4 % "noise" keeps measurements inside the paper's 5 %
+	// acceptance band most of the time, but can locally violate the strict
+	// ratio monotonicity; Build must repair and still return a valid model.
+	f := &Analytic{Peak: 1e6, HalfRise: 1e3, CacheEdge: 1e5, CacheDecay: 0.6,
+		PagingPoint: 1e6, PagingWidth: 2e5, PagingFloor: 0.05, Max: 1e7}
+	i := 0
+	oracle := func(x float64) (float64, error) {
+		i++
+		jitter := 1 + 0.04*math.Sin(float64(i)*2.399)
+		return f.Eval(x) * jitter, nil
+	}
+	got, _, err := Builder{MaxMeasurements: 256}.Build(oracle, 100, 1e7)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := CheckShape(got, 64); err != nil {
+		t.Errorf("noisy model violates shape after repair: %v", err)
+	}
+}
+
+func TestBuildResultSatisfiesShape(t *testing.T) {
+	fns := []Function{
+		MustConstant(5e5, 1e8),
+		&Analytic{Peak: 1e7, HalfRise: 100, Max: 1e8},
+		&Analytic{Peak: 3e7, HalfRise: 1e4, CacheEdge: 1e5, CacheDecay: 0.4,
+			PagingPoint: 1e7, PagingWidth: 1e6, PagingFloor: 0.02, Max: 1e8},
+	}
+	for i, f := range fns {
+		got, _, err := Builder{MaxMeasurements: 512}.Build(oracleFor(f), 50, 1e8)
+		if err != nil {
+			t.Fatalf("fn %d: Build: %v", i, err)
+		}
+		if err := CheckShape(got, 128); err != nil {
+			t.Errorf("fn %d: built model violates shape: %v", i, err)
+		}
+	}
+}
+
+func TestBuildZeroSpeedTail(t *testing.T) {
+	// Oracle that returns zero beyond some point: interior zeros are
+	// dropped, the pinned zero endpoint remains, and the model is valid.
+	oracle := func(x float64) (float64, error) {
+		if x > 5000 {
+			return 0, nil
+		}
+		return 100, nil
+	}
+	got, _, err := Builder{MaxMeasurements: 64}.Build(oracle, 100, 1e5)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got.Eval(1e5) != 0 {
+		t.Errorf("Eval(b) = %v, want 0", got.Eval(1e5))
+	}
+}
+
+func TestBuildBand(t *testing.T) {
+	f := MustPiecewiseLinear([]Point{{X: 100, Y: 1000}, {X: 10000, Y: 1}})
+	band, stats, err := (Builder{Eps: 0.1}).BuildBand(oracleFor(f), 100, 10000)
+	if err != nil {
+		t.Fatalf("BuildBand: %v", err)
+	}
+	if stats.Measurements == 0 {
+		t.Error("no measurements recorded")
+	}
+	// Width is twice the acceptance half-band.
+	if got := band.Width(500); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("band width = %v, want 0.2", got)
+	}
+	if !(band.Lower(500) < band.Mid().Eval(500)) {
+		t.Error("lower bound not below mid")
+	}
+}

@@ -1,0 +1,64 @@
+package speed_test
+
+import (
+	"fmt"
+	"log"
+
+	"heteropart/internal/speed"
+)
+
+// Build a piecewise linear speed function from a measurement oracle with
+// the paper's §3.1 recursive trisection. The oracle here is noiseless, so
+// a near-linear function is accepted after the first trisection — three
+// measurements, as cheap as it gets.
+func ExampleBuilder_Build() {
+	oracle := func(x float64) (float64, error) {
+		return 1e6 - x, nil // gently declining speed
+	}
+	f, stats, err := (speed.Builder{}).Build(oracle, 1e3, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("measurements:", stats.Measurements)
+	fmt.Println("speed at 500k within 5%:", f.Eval(5e5) > 0.95*5e5 && f.Eval(5e5) < 1.05*5.1e5)
+	// Output:
+	// measurements: 3
+	// speed at 500k within 5%: true
+}
+
+// The shape assumption — any ray through the origin crosses the graph at
+// most once — is what every partitioning step relies on. CheckShape
+// verifies it for arbitrary Function implementations.
+func ExampleCheckShape() {
+	good := speed.MustConstant(100, 1e6)
+	fmt.Println("constant:", speed.CheckShape(good, 64) == nil)
+
+	bad := speed.Point{} // placeholder to keep the example self-contained
+	_ = bad
+	_, err := speed.NewPiecewiseLinear([]speed.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 4}, // speed grows superlinearly: rejected
+	})
+	fmt.Println("superlinear rejected:", err != nil)
+	// Output:
+	// constant: true
+	// superlinear rejected: true
+}
+
+// Maintaining a model in production: fold in a fresh observation, then
+// bound the knot count.
+func ExampleObserve() {
+	f := speed.MustPiecewiseLinear([]speed.Point{
+		{X: 100, Y: 1000}, {X: 10000, Y: 100},
+	})
+	updated, err := speed.Observe(f, 5000, 300, 1, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compact, err := speed.Decimate(updated, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("knots:", updated.NumPoints(), "→", compact.NumPoints())
+	// Output:
+	// knots: 3 → 3
+}

@@ -1,0 +1,196 @@
+package speed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heteropart/internal/geometry"
+)
+
+func TestConstant(t *testing.T) {
+	c, err := NewConstant(100, 1e6)
+	if err != nil {
+		t.Fatalf("NewConstant: %v", err)
+	}
+	for _, x := range []float64{0, 1, 1e5, 1e6, 1e7} {
+		if got := c.Eval(x); got != 100 {
+			t.Errorf("Eval(%v) = %v, want 100", x, got)
+		}
+	}
+	if c.MaxSize() != 1e6 {
+		t.Errorf("MaxSize() = %v, want 1e6", c.MaxSize())
+	}
+}
+
+func TestNewConstantRejectsInvalid(t *testing.T) {
+	cases := []struct{ s, max float64 }{
+		{-1, 10}, {math.Inf(1), 10}, {math.NaN(), 10},
+		{1, 0}, {1, -1}, {1, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := NewConstant(c.s, c.max); err == nil {
+			t.Errorf("NewConstant(%v, %v): want error", c.s, c.max)
+		}
+	}
+}
+
+func TestMustConstantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConstant(-1, 1) did not panic")
+		}
+	}()
+	MustConstant(-1, 1)
+}
+
+func TestConstantIntersectRay(t *testing.T) {
+	c := MustConstant(100, 1e6)
+	x, hit := c.IntersectRay(2)
+	if !hit || x != 50 {
+		t.Errorf("IntersectRay(2) = (%v, %v), want (50, true)", x, hit)
+	}
+	// Shallow ray: intersection beyond the domain is clamped.
+	x, hit = c.IntersectRay(1e-9)
+	if hit || x != 1e6 {
+		t.Errorf("IntersectRay(1e-9) = (%v, %v), want (1e6, false)", x, hit)
+	}
+	// Zero slope: never crosses.
+	x, hit = c.IntersectRay(0)
+	if hit || x != 1e6 {
+		t.Errorf("IntersectRay(0) = (%v, %v), want (1e6, false)", x, hit)
+	}
+}
+
+func TestConstantSatisfiesShape(t *testing.T) {
+	c := MustConstant(42, 1e9)
+	if err := CheckShape(c, 64); err != nil {
+		t.Errorf("CheckShape(Constant): %v", err)
+	}
+}
+
+// risingLinear violates the shape assumption: s(x) = x means s(x)/x = 1,
+// not strictly decreasing.
+type risingLinear struct{}
+
+func (risingLinear) Eval(x float64) float64 { return x }
+func (risingLinear) MaxSize() float64       { return 1e6 }
+
+func TestCheckShapeDetectsViolation(t *testing.T) {
+	if err := CheckShape(risingLinear{}, 32); err == nil {
+		t.Error("CheckShape(risingLinear): want shape violation error")
+	}
+}
+
+func TestCheckShapeRejectsBadArgs(t *testing.T) {
+	if err := CheckShape(MustConstant(1, 1), 1); err == nil {
+		t.Error("CheckShape with 1 sample: want error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	// Speed function of elements; view as a function of rows with 300
+	// elements per row.
+	f := &Analytic{Peak: 1e6, HalfRise: 1000, Max: 1e7}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	s, err := NewScale(f, 300)
+	if err != nil {
+		t.Fatalf("NewScale: %v", err)
+	}
+	if got, want := s.Eval(10), f.Eval(3000); got != want {
+		t.Errorf("Eval(10) = %v, want %v", got, want)
+	}
+	if got, want := s.MaxSize(), 1e7/300; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MaxSize() = %v, want %v", got, want)
+	}
+}
+
+func TestNewScaleRejectsInvalid(t *testing.T) {
+	f := MustConstant(1, 1)
+	if _, err := NewScale(nil, 1); err == nil {
+		t.Error("NewScale(nil, 1): want error")
+	}
+	for _, k := range []float64{0, -1, math.Inf(1)} {
+		if _, err := NewScale(f, k); err == nil {
+			t.Errorf("NewScale(f, %v): want error", k)
+		}
+	}
+}
+
+func TestScaleIntersectRayFastPath(t *testing.T) {
+	// Constant 100 el/s viewed in rows of 10 elements: s_row(r) = 100.
+	// Ray slope 2 in row coordinates: 2r = 100 → r = 50; underlying
+	// x = 500 elements must satisfy (2/10)·500 = 100. Domain 1e6 elements.
+	s, err := NewScale(MustConstant(100, 1e6), 10)
+	if err != nil {
+		t.Fatalf("NewScale: %v", err)
+	}
+	r, hit := s.IntersectRay(2)
+	if !hit || math.Abs(r-50) > 1e-9 {
+		t.Errorf("IntersectRay(2) = (%v, %v), want (50, true)", r, hit)
+	}
+}
+
+// opaque has no analytic fast path, forcing Scale's numeric fallback.
+type opaque struct{ c Constant }
+
+func (o opaque) Eval(x float64) float64 { return o.c.Eval(x) }
+func (o opaque) MaxSize() float64       { return o.c.MaxSize() }
+
+func TestScaleIntersectRayNumericFallback(t *testing.T) {
+	s, err := NewScale(opaque{MustConstant(100, 1e6)}, 10)
+	if err != nil {
+		t.Fatalf("NewScale: %v", err)
+	}
+	r, hit := s.IntersectRay(2)
+	if !hit || math.Abs(r-50) > 1e-6 {
+		t.Errorf("numeric IntersectRay(2) = (%v, %v), want (≈50, true)", r, hit)
+	}
+}
+
+// Property: Scale preserves the intersection equation for analytic curves.
+func TestScaleIntersectionProperty(t *testing.T) {
+	f := &Analytic{Peak: 1e6, HalfRise: 500, Max: 1e8}
+	check := func(kSeed, slopeSeed uint8) bool {
+		k := 1 + float64(kSeed)
+		slope := 0.1 + float64(slopeSeed)
+		s, err := NewScale(f, k)
+		if err != nil {
+			return false
+		}
+		x, err := geometry.Intersect(s, geometry.MustRay(slope), s.MaxSize())
+		if err != nil {
+			return false
+		}
+		if x >= s.MaxSize()*(1-1e-9) {
+			return true // clamped
+		}
+		lhs := slope * x
+		rhs := s.Eval(x)
+		return math.Abs(lhs-rhs) <= 1e-6*math.Max(1, math.Max(lhs, rhs))
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleSpeed(t *testing.T) {
+	f, err := ScaleSpeed(MustConstant(100, 1e6), 2.5)
+	if err != nil {
+		t.Fatalf("ScaleSpeed: %v", err)
+	}
+	if got := f.Eval(10); got != 250 {
+		t.Errorf("Eval = %v, want 250", got)
+	}
+	if f.MaxSize() != 1e6 {
+		t.Errorf("MaxSize = %v, want 1e6", f.MaxSize())
+	}
+	if _, err := ScaleSpeed(nil, 1); err == nil {
+		t.Error("ScaleSpeed(nil): want error")
+	}
+	if _, err := ScaleSpeed(f, 0); err == nil {
+		t.Error("ScaleSpeed(factor 0): want error")
+	}
+}

@@ -1,0 +1,91 @@
+package speed
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPWLIntersectRay drives the analytic ray intersection with arbitrary
+// knot seeds and slopes: the returned point must satisfy the ray equation
+// within tolerance or be a legitimate domain clamp.
+func FuzzPWLIntersectRay(f *testing.F) {
+	f.Add(uint32(1), 0.5)
+	f.Add(uint32(99), 1e-6)
+	f.Add(uint32(123456), 1000.0)
+	f.Fuzz(func(t *testing.T, seed uint32, slope float64) {
+		if !(slope > 0) || math.IsInf(slope, 0) || slope > 1e12 {
+			t.Skip()
+		}
+		pts := genCompliantPoints(seed)
+		fn, err := NewPiecewiseLinear(pts)
+		if err != nil {
+			t.Skip() // generator can overflow floats for extreme seeds
+		}
+		x, hit := fn.IntersectRay(slope)
+		if math.IsNaN(x) || x < 0 {
+			t.Fatalf("IntersectRay(%v) = %v", slope, x)
+		}
+		if !hit {
+			if slope*fn.MaxSize() > fn.Eval(fn.MaxSize())*(1+1e-9) {
+				t.Fatalf("claimed clamp but ray is above curve at MaxSize (slope %v)", slope)
+			}
+			return
+		}
+		y1, y2 := fn.Eval(x), slope*x
+		if math.Abs(y1-y2) > 1e-6*math.Max(1, math.Max(y1, y2)) {
+			// Vertical "drops" cannot occur in piecewise linear functions,
+			// so the equation must hold.
+			t.Fatalf("s(%v) = %v vs ray %v", x, y1, y2)
+		}
+	})
+}
+
+// FuzzEnforceShape checks that shape repair always yields a constructible
+// function for arbitrary positive point sets.
+func FuzzEnforceShape(f *testing.F) {
+	f.Add(1.0, 10.0, 2.0, 5.0, 3.0, 20.0)
+	f.Add(5.0, 1.0, 6.0, 1.0, 7.0, 1.0)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3 float64) {
+		ok := func(v float64) bool {
+			return v > 0 && !math.IsInf(v, 0) && v < 1e300
+		}
+		if !ok(x1) || !ok(x2) || !ok(x3) || !ok(y1) || !ok(y2) || !ok(y3) {
+			t.Skip()
+		}
+		if x1 >= x2 || x2 >= x3 {
+			t.Skip()
+		}
+		fixed := EnforceShape([]Point{{x1, y1}, {x2, y2}, {x3, y3}})
+		if _, err := NewPiecewiseLinear(fixed); err != nil {
+			t.Fatalf("EnforceShape result rejected: %v (input %v,%v %v,%v %v,%v)",
+				err, x1, y1, x2, y2, x3, y3)
+		}
+	})
+}
+
+// FuzzBuilder runs the §3.1 procedure against randomized analytic curves:
+// it must terminate within budget and produce a shape-valid model.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint16(100), uint16(10), uint16(50))
+	f.Add(uint16(1), uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, peakSeed, riseSeed, pagingSeed uint16) {
+		a := &Analytic{
+			Peak:        1e3 * (1 + float64(peakSeed)),
+			HalfRise:    1 + float64(riseSeed),
+			PagingPoint: 1e4 * (1 + float64(pagingSeed)),
+			PagingWidth: 1e3 * (1 + float64(pagingSeed%100)),
+			PagingFloor: 0.05,
+			Max:         1e9,
+		}
+		if a.Validate() != nil {
+			t.Skip()
+		}
+		fn, _, err := (Builder{LogDomain: true}).Build(oracleFor(a), 100, a.Max)
+		if err != nil && fn == nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if err := CheckShape(fn, 48); err != nil {
+			t.Fatalf("built model violates shape: %v", err)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package speed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements model maintenance — the paper's §4 names
+// "efficient building and maintaining of our model" as open follow-up
+// work. A deployed system keeps observing (size, speed) samples while
+// applications run; these helpers fold such observations into an existing
+// piecewise linear model without rebuilding it from scratch, preserving
+// the shape assumption throughout.
+
+// Observe folds a new measurement into the model and returns the updated
+// function. The measurement is blended with the model's current prediction
+// at that size using weight α ∈ (0, 1] (α = 1 replaces the prediction,
+// small α smooths transient fluctuations — the exponential averaging
+// commonly used against the workload noise of Figure 2). A knot is added
+// at x if none is within minGap of it; otherwise the nearest knot is
+// adjusted. The result is shape-repaired and always valid.
+func Observe(f *PiecewiseLinear, x, s, alpha, minGap float64) (*PiecewiseLinear, error) {
+	if f == nil {
+		return nil, fmt.Errorf("speed: Observe: nil model")
+	}
+	if !(x > 0) || math.IsInf(x, 0) {
+		return nil, fmt.Errorf("speed: Observe: invalid size %v", x)
+	}
+	if !(s >= 0) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("speed: Observe: invalid speed %v", s)
+	}
+	if !(alpha > 0 && alpha <= 1) {
+		return nil, fmt.Errorf("speed: Observe: invalid blend weight %v", alpha)
+	}
+	if minGap < 0 {
+		return nil, fmt.Errorf("speed: Observe: negative minGap %v", minGap)
+	}
+	pts := f.Points()
+	blended := (1-alpha)*f.Eval(x) + alpha*s
+
+	// Find the nearest knot.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
+	nearest, dist := -1, math.Inf(1)
+	for _, j := range []int{i - 1, i} {
+		if j >= 0 && j < len(pts) {
+			if d := math.Abs(pts[j].X - x); d < dist {
+				nearest, dist = j, d
+			}
+		}
+	}
+	if nearest >= 0 && dist <= minGap {
+		pts[nearest].Y = (1-alpha)*pts[nearest].Y + alpha*s
+	} else {
+		pts = append(pts, Point{X: x, Y: blended})
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+	}
+	fixed := EnforceShape(pts)
+	return NewPiecewiseLinear(fixed)
+}
+
+// Decimate reduces the model to at most maxKnots knots by repeatedly
+// removing the interior knot whose removal changes the function the least
+// (smallest absolute deviation at the removed abscissa). Endpoints are
+// always kept. It bounds the memory and intersection cost of long-lived,
+// frequently-observed models.
+func Decimate(f *PiecewiseLinear, maxKnots int) (*PiecewiseLinear, error) {
+	if f == nil {
+		return nil, fmt.Errorf("speed: Decimate: nil model")
+	}
+	if maxKnots < 2 {
+		return nil, fmt.Errorf("speed: Decimate: need at least 2 knots, got %d", maxKnots)
+	}
+	pts := f.Points()
+	for len(pts) > maxKnots {
+		best, bestErr := -1, math.Inf(1)
+		for i := 1; i < len(pts)-1; i++ {
+			a, b, c := pts[i-1], pts[i], pts[i+1]
+			t := (b.X - a.X) / (c.X - a.X)
+			interp := a.Y + t*(c.Y-a.Y)
+			if e := math.Abs(interp - b.Y); e < bestErr {
+				best, bestErr = i, e
+			}
+		}
+		pts = append(pts[:best], pts[best+1:]...)
+	}
+	return NewPiecewiseLinear(EnforceShape(pts))
+}
+
+// MaxRelDiff returns the largest relative difference between two speed
+// functions over logarithmically spaced samples of their common domain —
+// a drift metric for deciding when a model needs rebuilding.
+func MaxRelDiff(a, b Function, samples int) (float64, error) {
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("speed: MaxRelDiff: nil function")
+	}
+	if samples < 2 {
+		return 0, fmt.Errorf("speed: MaxRelDiff: need ≥ 2 samples")
+	}
+	hi := math.Min(a.MaxSize(), b.MaxSize())
+	lo := hi * 1e-6
+	ratio := math.Pow(hi/lo, 1/float64(samples-1))
+	var worst float64
+	for i := 0; i < samples; i++ {
+		x := lo * math.Pow(ratio, float64(i))
+		va, vb := a.Eval(x), b.Eval(x)
+		den := math.Max(math.Max(va, vb), 1e-300)
+		worst = math.Max(worst, math.Abs(va-vb)/den)
+	}
+	return worst, nil
+}

@@ -1,0 +1,194 @@
+package speed
+
+import (
+	"math"
+	"testing"
+)
+
+func maintainBase() *PiecewiseLinear {
+	return MustPiecewiseLinear([]Point{
+		{X: 100, Y: 1000},
+		{X: 1000, Y: 900},
+		{X: 10000, Y: 100},
+	})
+}
+
+func TestObserveAddsKnot(t *testing.T) {
+	f := maintainBase()
+	g, err := Observe(f, 5000, 300, 1, 10)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if g.NumPoints() != 4 {
+		t.Errorf("NumPoints = %d, want 4", g.NumPoints())
+	}
+	if got := g.Eval(5000); math.Abs(got-300) > 1e-9 {
+		t.Errorf("Eval(5000) = %v, want 300", got)
+	}
+	if err := CheckShape(g, 64); err != nil {
+		t.Errorf("updated model violates shape: %v", err)
+	}
+}
+
+func TestObserveBlends(t *testing.T) {
+	f := maintainBase()
+	// α = 0.5 at an existing knot: new value is the mean.
+	g, err := Observe(f, 1000, 700, 0.5, 10)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if got := g.Eval(1000); math.Abs(got-800) > 1e-9 {
+		t.Errorf("blended Eval(1000) = %v, want 800", got)
+	}
+	if g.NumPoints() != 3 {
+		t.Errorf("NumPoints = %d; adjusting a knot must not add one", g.NumPoints())
+	}
+}
+
+func TestObserveNearbyKnotAdjusted(t *testing.T) {
+	f := maintainBase()
+	// x within minGap of the 1000 knot adjusts it instead of inserting.
+	g, err := Observe(f, 1004, 500, 1, 10)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if g.NumPoints() != 3 {
+		t.Errorf("NumPoints = %d, want 3", g.NumPoints())
+	}
+}
+
+func TestObserveRepairsShape(t *testing.T) {
+	f := maintainBase()
+	// An absurdly fast observation at a large size would break the
+	// ratio monotonicity; Observe must clamp it.
+	g, err := Observe(f, 9000, 1e9, 1, 1)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if err := CheckShape(g, 64); err != nil {
+		t.Errorf("shape not repaired: %v", err)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	f := maintainBase()
+	cases := []struct {
+		x, s, alpha, gap float64
+	}{
+		{-1, 1, 1, 1}, {0, 1, 1, 1}, {math.Inf(1), 1, 1, 1},
+		{1, -1, 1, 1}, {1, math.NaN(), 1, 1},
+		{1, 1, 0, 1}, {1, 1, 1.5, 1}, {1, 1, 1, -1},
+	}
+	for _, c := range cases {
+		if _, err := Observe(f, c.x, c.s, c.alpha, c.gap); err == nil {
+			t.Errorf("Observe(%v,%v,%v,%v): want error", c.x, c.s, c.alpha, c.gap)
+		}
+	}
+	if _, err := Observe(nil, 1, 1, 1, 1); err == nil {
+		t.Error("nil model: want error")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	// Build a dense model from an analytic curve, then decimate.
+	a := &Analytic{Peak: 1e6, HalfRise: 100, CacheEdge: 1e4, CacheDecay: 0.5,
+		PagingPoint: 1e5, PagingWidth: 2e4, PagingFloor: 0.05, Max: 1e6}
+	dense, _, err := (Builder{MaxMeasurements: 200}).Build(oracleFor(a), 10, 1e6)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if dense.NumPoints() < 12 {
+		t.Skipf("dense model only has %d knots", dense.NumPoints())
+	}
+	small, err := Decimate(dense, 8)
+	if err != nil {
+		t.Fatalf("Decimate: %v", err)
+	}
+	if small.NumPoints() > 8 {
+		t.Errorf("NumPoints = %d, want ≤ 8", small.NumPoints())
+	}
+	if err := CheckShape(small, 64); err != nil {
+		t.Errorf("decimated model violates shape: %v", err)
+	}
+	// It must still roughly track the original in the mid-domain.
+	diff, err := MaxRelDiff(dense, small, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff > 0.8 {
+		t.Errorf("decimation distorted the model by %.0f%%", diff*100)
+	}
+}
+
+func TestDecimateNoOp(t *testing.T) {
+	f := maintainBase()
+	g, err := Decimate(f, 10)
+	if err != nil {
+		t.Fatalf("Decimate: %v", err)
+	}
+	if g.NumPoints() != f.NumPoints() {
+		t.Errorf("no-op decimation changed knots: %d → %d", f.NumPoints(), g.NumPoints())
+	}
+}
+
+func TestDecimateValidation(t *testing.T) {
+	if _, err := Decimate(nil, 4); err == nil {
+		t.Error("nil model: want error")
+	}
+	if _, err := Decimate(maintainBase(), 1); err == nil {
+		t.Error("maxKnots=1: want error")
+	}
+}
+
+func TestMaxRelDiff(t *testing.T) {
+	a := MustConstant(100, 1e6)
+	b := MustConstant(110, 1e6)
+	d, err := MaxRelDiff(a, b, 16)
+	if err != nil {
+		t.Fatalf("MaxRelDiff: %v", err)
+	}
+	if math.Abs(d-10.0/110.0) > 1e-9 {
+		t.Errorf("d = %v, want 10/110", d)
+	}
+	if _, err := MaxRelDiff(nil, b, 16); err == nil {
+		t.Error("nil function: want error")
+	}
+	if _, err := MaxRelDiff(a, b, 1); err == nil {
+		t.Error("1 sample: want error")
+	}
+	same, err := MaxRelDiff(a, a, 16)
+	if err != nil || same != 0 {
+		t.Errorf("self diff = %v, %v", same, err)
+	}
+}
+
+func TestObserveDriftWorkflow(t *testing.T) {
+	// End-to-end maintenance: a machine slows to 60 %; repeated
+	// observations pull the model towards the new reality.
+	f := maintainBase()
+	truth := func(x float64) float64 { return 0.6 * maintainBase().Eval(x) }
+	cur := f
+	var err error
+	// Three observation sweeps across the size range: α = 0.5 halves the
+	// residual error per visit, leaving ≤ 12.5 %. 1.13^39 ≈ 118, so each
+	// sweep covers the whole domain [100, 10000]; regions never observed
+	// would legitimately keep the stale speeds.
+	for i := 0; i < 120; i++ {
+		x := 100.0 * math.Pow(1.13, float64(i%40))
+		cur, err = Observe(cur, x, truth(x), 0.5, cur.MaxSize()/100)
+		if err != nil {
+			t.Fatalf("Observe #%d: %v", i, err)
+		}
+	}
+	// The model must track the drifted truth at every observed size.
+	// (Knots that no observation came near — e.g. the original one at
+	// x = 10000 when the sweep jumps from 9185 to 10379 — legitimately
+	// keep their stale speed until observed or decimated away.)
+	for i := 0; i < 40; i++ {
+		x := 100.0 * math.Pow(1.13, float64(i))
+		want := truth(x)
+		if got := cur.Eval(x); math.Abs(got-want) > 0.15*want {
+			t.Errorf("at observed x=%.0f: model %v vs drifted truth %v", x, got, want)
+		}
+	}
+}

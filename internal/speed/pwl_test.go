@@ -1,0 +1,226 @@
+package speed
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// validPts is a well-formed decreasing speed function: ratios y/x are
+// 10, 4, 1, 0.005 — strictly decreasing.
+var validPts = []Point{
+	{X: 10, Y: 100},
+	{X: 25, Y: 100},
+	{X: 100, Y: 100},
+	{X: 1000, Y: 5},
+}
+
+func TestNewPiecewiseLinearValid(t *testing.T) {
+	f, err := NewPiecewiseLinear(validPts)
+	if err != nil {
+		t.Fatalf("NewPiecewiseLinear: %v", err)
+	}
+	if f.NumPoints() != 4 {
+		t.Errorf("NumPoints = %d, want 4", f.NumPoints())
+	}
+	if f.MaxSize() != 1000 {
+		t.Errorf("MaxSize = %v, want 1000", f.MaxSize())
+	}
+}
+
+func TestNewPiecewiseLinearSortsInput(t *testing.T) {
+	shuffled := []Point{validPts[2], validPts[0], validPts[3], validPts[1]}
+	f, err := NewPiecewiseLinear(shuffled)
+	if err != nil {
+		t.Fatalf("NewPiecewiseLinear: %v", err)
+	}
+	pts := f.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatalf("points not sorted: %v", pts)
+		}
+	}
+}
+
+func TestNewPiecewiseLinearRejects(t *testing.T) {
+	cases := map[string][]Point{
+		"too few":        {{X: 1, Y: 1}},
+		"zero size":      {{X: 0, Y: 1}, {X: 1, Y: 0.1}},
+		"negative speed": {{X: 1, Y: -1}, {X: 2, Y: 1}},
+		"duplicate size": {{X: 1, Y: 2}, {X: 1, Y: 1}},
+		"nan size":       {{X: math.NaN(), Y: 1}, {X: 2, Y: 1}},
+		"inf speed":      {{X: 1, Y: math.Inf(1)}, {X: 2, Y: 1}},
+		// y/x rises from 1 to 2: a steep ray crosses twice.
+		"shape violation": {{X: 1, Y: 1}, {X: 2, Y: 4}},
+		// equal ratios: a ray overlaps a whole segment.
+		"equal ratios": {{X: 1, Y: 2}, {X: 2, Y: 4}},
+	}
+	for name, pts := range cases {
+		if _, err := NewPiecewiseLinear(pts); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestMustPiecewiseLinearPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPiecewiseLinear(nil) did not panic")
+		}
+	}()
+	MustPiecewiseLinear(nil)
+}
+
+func TestPWLEval(t *testing.T) {
+	f := MustPiecewiseLinear(validPts)
+	cases := []struct{ x, want float64 }{
+		{5, 100},    // left constant extension
+		{10, 100},   // first knot
+		{50, 100},   // flat plateau
+		{100, 100},  // knot
+		{550, 52.5}, // middle of decline: 100 + 0.5·(5−100)
+		{1000, 5},   // last knot
+		{2000, 5},   // right constant extension
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPWLIntersectRaySteep(t *testing.T) {
+	f := MustPiecewiseLinear(validPts)
+	// Slope 20: crosses inside the left constant extension at 100/20 = 5.
+	x, hit := f.IntersectRay(20)
+	if !hit || math.Abs(x-5) > 1e-9 {
+		t.Errorf("IntersectRay(20) = (%v, %v), want (5, true)", x, hit)
+	}
+}
+
+func TestPWLIntersectRayPlateau(t *testing.T) {
+	f := MustPiecewiseLinear(validPts)
+	// Slope 2: crosses the plateau y = 100 at x = 50.
+	x, hit := f.IntersectRay(2)
+	if !hit || math.Abs(x-50) > 1e-9 {
+		t.Errorf("IntersectRay(2) = (%v, %v), want (50, true)", x, hit)
+	}
+}
+
+func TestPWLIntersectRayDecline(t *testing.T) {
+	f := MustPiecewiseLinear(validPts)
+	// Slope 0.5: crossing in the declining segment (100,100)–(1000,5).
+	// Segment: y = 100 − (95/900)(x−100); 0.5x = y → x ≈ 197.93.
+	x, hit := f.IntersectRay(0.5)
+	if !hit {
+		t.Fatalf("IntersectRay(0.5): no hit")
+	}
+	if math.Abs(f.Eval(x)-0.5*x) > 1e-6 {
+		t.Errorf("intersection mismatch: s(%v)=%v vs ray %v", x, f.Eval(x), 0.5*x)
+	}
+}
+
+func TestPWLIntersectRayShallowClamps(t *testing.T) {
+	f := MustPiecewiseLinear(validPts)
+	// Slope below lastY/lastX = 0.005: ray stays below graph inside the
+	// domain; clamped at MaxSize.
+	x, hit := f.IntersectRay(0.001)
+	if hit || x != 1000 {
+		t.Errorf("IntersectRay(0.001) = (%v, %v), want (1000, false)", x, hit)
+	}
+	x, hit = f.IntersectRay(0)
+	if hit || x != 1000 {
+		t.Errorf("IntersectRay(0) = (%v, %v), want (1000, false)", x, hit)
+	}
+}
+
+func TestPWLJSONRoundTrip(t *testing.T) {
+	f := MustPiecewiseLinear(validPts)
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var g PiecewiseLinear
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.NumPoints() != f.NumPoints() || g.MaxSize() != f.MaxSize() {
+		t.Errorf("round trip mismatch: %v vs %v", g.Points(), f.Points())
+	}
+}
+
+func TestPWLJSONRejectsInvalid(t *testing.T) {
+	var g PiecewiseLinear
+	if err := json.Unmarshal([]byte(`[{"size":1,"speed":1}]`), &g); err == nil {
+		t.Error("Unmarshal of single point: want error")
+	}
+	if err := json.Unmarshal([]byte(`{`), &g); err == nil {
+		t.Error("Unmarshal of bad JSON: want error")
+	}
+}
+
+func TestEnforceShape(t *testing.T) {
+	// Middle point too fast: ratio sequence 10, 12, 1 → repaired to
+	// strictly decreasing.
+	pts := []Point{{X: 1, Y: 10}, {X: 2, Y: 24}, {X: 10, Y: 10}}
+	fixed := EnforceShape(pts)
+	if _, err := NewPiecewiseLinear(fixed); err != nil {
+		t.Errorf("EnforceShape result still invalid: %v", err)
+	}
+	if fixed[0].Y != 10 {
+		t.Errorf("first point must be untouched, got %v", fixed[0].Y)
+	}
+	if fixed[1].Y > 20 {
+		t.Errorf("second point not clamped: %v", fixed[1].Y)
+	}
+}
+
+func TestEnforceShapeKeepsValidInput(t *testing.T) {
+	fixed := EnforceShape(validPts)
+	for i := range validPts {
+		if fixed[i] != validPts[i] {
+			t.Errorf("point %d changed: %v → %v", i, validPts[i], fixed[i])
+		}
+	}
+}
+
+// Property: for random compliant PWL functions and random positive slopes,
+// IntersectRay returns a point on the ray and on the curve (or a clamp).
+func TestPWLIntersectionProperty(t *testing.T) {
+	check := func(seed uint32, slopeSeed uint16) bool {
+		pts := genCompliantPoints(seed)
+		f, err := NewPiecewiseLinear(pts)
+		if err != nil {
+			return false
+		}
+		slope := 1e-4 + float64(slopeSeed)/100
+		x, hit := f.IntersectRay(slope)
+		if !hit {
+			// Clamped: ray must be below the curve at MaxSize.
+			return slope*f.MaxSize() <= f.Eval(f.MaxSize())+1e-9
+		}
+		y1, y2 := f.Eval(x), slope*x
+		return math.Abs(y1-y2) <= 1e-6*math.Max(1, math.Max(y1, y2))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genCompliantPoints deterministically builds a shape-compliant point set
+// from a seed: strictly increasing x, strictly decreasing y/x.
+func genCompliantPoints(seed uint32) []Point {
+	n := 2 + int(seed%6)
+	x := 1.0 + float64(seed%97)
+	ratio := 50.0 + float64(seed%31)
+	pts := make([]Point, 0, n)
+	s := seed
+	for range n {
+		pts = append(pts, Point{X: x, Y: ratio * x})
+		s = s*1664525 + 1013904223
+		x *= 1.5 + float64(s%100)/50
+		ratio *= 0.3 + float64(s%50)/100 // shrink ratio each step
+	}
+	return pts
+}

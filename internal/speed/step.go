@@ -1,0 +1,182 @@
+package speed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Step is a piecewise-constant speed function — the model of the paper's
+// related work on out-of-core divisible load processing (Drozdowski &
+// Wolniewicz, references [18]–[19]), where a hierarchical memory model
+// yields one constant rate per memory level. The paper argues this
+// approximation suits carefully designed applications with sharp speed
+// curves but not the smooth curves of common applications; the Step type
+// exists so that comparison can be made quantitatively (see the
+// step-vs-functional ablation).
+//
+// Levels must have strictly increasing boundaries and non-increasing
+// speeds; this keeps s(x)/x strictly decreasing, so a Step is a valid
+// Function for every partitioning algorithm in this repository.
+type Step struct {
+	levels []Level
+}
+
+// Level is one constant-speed region: speed Y applies to problem sizes up
+// to UpTo (the last level's UpTo is the function's MaxSize).
+type Level struct {
+	UpTo float64 `json:"upTo"`
+	Y    float64 `json:"speed"`
+}
+
+// NewStep builds a piecewise-constant speed function from levels sorted by
+// (or sortable to) increasing UpTo.
+func NewStep(levels []Level) (*Step, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("speed: Step needs at least one level")
+	}
+	ls := make([]Level, len(levels))
+	copy(ls, levels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].UpTo < ls[j].UpTo })
+	for i, l := range ls {
+		if !(l.UpTo > 0) || math.IsInf(l.UpTo, 0) {
+			return nil, fmt.Errorf("speed: Step level %d has invalid boundary %v", i, l.UpTo)
+		}
+		if !(l.Y >= 0) || math.IsInf(l.Y, 0) {
+			return nil, fmt.Errorf("speed: Step level %d has invalid speed %v", i, l.Y)
+		}
+		if i > 0 {
+			if ls[i-1].UpTo == l.UpTo {
+				return nil, fmt.Errorf("speed: Step has duplicate boundary %v", l.UpTo)
+			}
+			if l.Y > ls[i-1].Y {
+				return nil, fmt.Errorf("speed: Step speeds must be non-increasing (level %d: %v > %v)",
+					i, l.Y, ls[i-1].Y)
+			}
+		}
+	}
+	if !(ls[0].Y > 0) {
+		return nil, fmt.Errorf("speed: Step's first level must have positive speed")
+	}
+	return &Step{levels: ls}, nil
+}
+
+// MustStep is like NewStep but panics on error.
+func MustStep(levels []Level) *Step {
+	s, err := NewStep(levels)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Eval implements Function.
+func (s *Step) Eval(x float64) float64 {
+	for _, l := range s.levels {
+		if x <= l.UpTo {
+			return l.Y
+		}
+	}
+	return s.levels[len(s.levels)-1].Y
+}
+
+// MaxSize implements Function.
+func (s *Step) MaxSize() float64 { return s.levels[len(s.levels)-1].UpTo }
+
+// Levels returns a copy of the levels.
+func (s *Step) Levels() []Level {
+	out := make([]Level, len(s.levels))
+	copy(out, s.levels)
+	return out
+}
+
+// IntersectRay implements geometry.RayIntersector. On a constant piece the
+// ray y = c·x crosses y = Y at x = Y/c; the crossing belongs to the piece
+// whose x-range contains it. Discontinuities at boundaries are crossed
+// "vertically": if the ray passes between two levels' speeds exactly at a
+// boundary, the boundary abscissa is the intersection.
+func (s *Step) IntersectRay(slope float64) (float64, bool) {
+	last := s.levels[len(s.levels)-1]
+	if slope <= 0 {
+		return last.UpTo, false
+	}
+	lo := 0.0
+	for _, l := range s.levels {
+		x := l.Y / slope
+		switch {
+		case x < lo:
+			// The ray is already above this level at its left edge: it
+			// crossed inside the previous level's boundary drop.
+			return lo, true
+		case x <= l.UpTo:
+			return x, true
+		}
+		lo = l.UpTo
+	}
+	// Ray below the last level across the whole domain.
+	return last.UpTo, false
+}
+
+// StepFromFunction builds a k-level staircase approximation of an
+// arbitrary speed function — how a memory-hierarchy (DLT-style, reference
+// [19]) model summarizes a measured curve: one in-core rate up to the
+// point where the speed peaks, then k−1 degradation levels over geometric
+// sub-ranges out to the domain limit, each the average of the function on
+// its sub-range. Step functions must be non-increasing to keep the
+// single-ray-intersection property, so the staircase necessarily starts
+// at the curve's peak; level speeds are additionally clamped
+// non-increasing against sampling artifacts.
+func StepFromFunction(f Function, k int) (*Step, error) {
+	if f == nil {
+		return nil, fmt.Errorf("speed: StepFromFunction: nil function")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("speed: StepFromFunction: need ≥ 1 level, got %d", k)
+	}
+	maxX := f.MaxSize()
+	// Locate the peak on a log grid: the staircase's first level carries
+	// the in-core (peak) rate.
+	peakX, peakY := maxX, 0.0
+	lo := maxX * 1e-7
+	for i := 0; i <= 256; i++ {
+		x := lo * math.Pow(maxX/lo, float64(i)/256)
+		if y := f.Eval(x); y > peakY {
+			peakX, peakY = x, y
+		}
+	}
+	if !(peakY > 0) {
+		return nil, fmt.Errorf("speed: StepFromFunction: function has no positive values")
+	}
+	if k == 1 || peakX >= maxX {
+		return NewStep([]Level{{UpTo: maxX, Y: peakY}})
+	}
+	levels := make([]Level, 0, k)
+	levels = append(levels, Level{UpTo: peakX, Y: peakY})
+	ratio := math.Pow(maxX/peakX, 1/float64(k-1))
+	prevY := peakY
+	left := peakX
+	for i := 1; i < k; i++ {
+		right := peakX * math.Pow(ratio, float64(i))
+		// Average over the sub-range (geometric midpoint sampling).
+		var sum float64
+		const samples = 8
+		for j := 0; j < samples; j++ {
+			t := (float64(j) + 0.5) / samples
+			x := left * math.Pow(right/left, t)
+			sum += f.Eval(x)
+		}
+		y := sum / samples
+		if y > prevY {
+			y = prevY
+		}
+		levels = append(levels, Level{UpTo: right, Y: y})
+		prevY = y
+		left = right
+	}
+	return NewStep(levels)
+}
+
+// String implements fmt.Stringer.
+func (s *Step) String() string {
+	return fmt.Sprintf("Step(%d levels, max %.6g)", len(s.levels), s.MaxSize())
+}

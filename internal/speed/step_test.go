@@ -1,0 +1,182 @@
+package speed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleStep() *Step {
+	return MustStep([]Level{
+		{UpTo: 100, Y: 50},
+		{UpTo: 1000, Y: 20},
+		{UpTo: 10000, Y: 2},
+	})
+}
+
+func TestNewStepValidation(t *testing.T) {
+	cases := map[string][]Level{
+		"empty":          {},
+		"zero boundary":  {{UpTo: 0, Y: 1}},
+		"inf boundary":   {{UpTo: math.Inf(1), Y: 1}},
+		"negative speed": {{UpTo: 1, Y: -1}},
+		"dup boundary":   {{UpTo: 5, Y: 2}, {UpTo: 5, Y: 1}},
+		"rising speeds":  {{UpTo: 5, Y: 1}, {UpTo: 10, Y: 2}},
+		"zero first":     {{UpTo: 5, Y: 0}},
+	}
+	for name, ls := range cases {
+		if _, err := NewStep(ls); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestStepSortsLevels(t *testing.T) {
+	s := MustStep([]Level{{UpTo: 1000, Y: 20}, {UpTo: 100, Y: 50}})
+	if got := s.Eval(50); got != 50 {
+		t.Errorf("Eval(50) = %v, want 50", got)
+	}
+}
+
+func TestMustStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustStep(nil) did not panic")
+		}
+	}()
+	MustStep(nil)
+}
+
+func TestStepEval(t *testing.T) {
+	s := sampleStep()
+	cases := []struct{ x, want float64 }{
+		{0, 50}, {50, 50}, {100, 50},
+		{101, 20}, {1000, 20},
+		{5000, 2}, {10000, 2}, {20000, 2}, // right extension
+	}
+	for _, c := range cases {
+		if got := s.Eval(c.x); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if s.MaxSize() != 10000 {
+		t.Errorf("MaxSize = %v", s.MaxSize())
+	}
+	if len(s.Levels()) != 3 {
+		t.Errorf("Levels = %v", s.Levels())
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestStepShapeAssumption(t *testing.T) {
+	if err := CheckShape(sampleStep(), 128); err != nil {
+		t.Errorf("CheckShape: %v", err)
+	}
+}
+
+func TestStepIntersectRayInsidePiece(t *testing.T) {
+	s := sampleStep()
+	// Slope 1: crosses y=50 at x=50 ≤ 100 ✓.
+	x, hit := s.IntersectRay(1)
+	if !hit || x != 50 {
+		t.Errorf("IntersectRay(1) = (%v, %v), want (50, true)", x, hit)
+	}
+	// Slope 0.05: first level would cross at 1000 > 100; second level
+	// crosses y=20 at x=400 ∈ (100, 1000] ✓.
+	x, hit = s.IntersectRay(0.05)
+	if !hit || x != 400 {
+		t.Errorf("IntersectRay(0.05) = (%v, %v), want (400, true)", x, hit)
+	}
+}
+
+func TestStepIntersectRayAtDiscontinuity(t *testing.T) {
+	s := sampleStep()
+	// Slope 0.3: level 1 crosses at 166 > 100; level 2 crosses y=20 at
+	// x = 66 < 100 — the ray passes through the vertical drop at x=100.
+	x, hit := s.IntersectRay(0.3)
+	if !hit || x != 100 {
+		t.Errorf("IntersectRay(0.3) = (%v, %v), want boundary (100, true)", x, hit)
+	}
+}
+
+func TestStepIntersectRayShallow(t *testing.T) {
+	s := sampleStep()
+	// Slope below lastY/lastX = 2/10000.
+	x, hit := s.IntersectRay(1e-5)
+	if hit || x != 10000 {
+		t.Errorf("IntersectRay(shallow) = (%v, %v), want (10000, false)", x, hit)
+	}
+	x, hit = s.IntersectRay(0)
+	if hit || x != 10000 {
+		t.Errorf("IntersectRay(0) = (%v, %v), want (10000, false)", x, hit)
+	}
+}
+
+// Property: IntersectRay agrees with the generic bisection through Eval.
+func TestStepIntersectionProperty(t *testing.T) {
+	s := sampleStep()
+	check := func(slopeSeed uint16) bool {
+		slope := 1e-5 + float64(slopeSeed)/500
+		x, hit := s.IntersectRay(slope)
+		if !hit {
+			return slope*s.MaxSize() <= s.Eval(s.MaxSize())
+		}
+		// At the intersection the ray must be between the speeds just
+		// left and just right of x (handles the vertical drops).
+		left := s.Eval(x * (1 - 1e-9))
+		right := s.Eval(x * (1 + 1e-9))
+		y := slope * x
+		return y <= left+1e-9 && y >= right-1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepFromFunction(t *testing.T) {
+	f := &Analytic{Peak: 1e6, HalfRise: 10, CacheEdge: 1e4, CacheDecay: 0.5,
+		PagingPoint: 1e5, PagingWidth: 1e4, PagingFloor: 0.05, Max: 1e6}
+	s, err := StepFromFunction(f, 6)
+	if err != nil {
+		t.Fatalf("StepFromFunction: %v", err)
+	}
+	if len(s.Levels()) != 6 {
+		t.Errorf("levels = %d, want 6", len(s.Levels()))
+	}
+	if err := CheckShape(s, 128); err != nil {
+		t.Errorf("staircase violates shape: %v", err)
+	}
+	if math.Abs(s.MaxSize()-1e6) > 1 {
+		t.Errorf("MaxSize = %v, want ≈ 1e6", s.MaxSize())
+	}
+	// The staircase must be in the ballpark of the function mid-domain.
+	mid := f.Eval(3e4)
+	got := s.Eval(3e4)
+	if got < mid/4 || got > mid*4 {
+		t.Errorf("staircase %v far from function %v at 3e4", got, mid)
+	}
+}
+
+func TestStepFromFunctionValidation(t *testing.T) {
+	if _, err := StepFromFunction(nil, 3); err == nil {
+		t.Error("nil function: want error")
+	}
+	if _, err := StepFromFunction(MustConstant(1, 10), 0); err == nil {
+		t.Error("k=0: want error")
+	}
+}
+
+func TestStepWorksWithPartitioners(t *testing.T) {
+	// Step functions must be directly usable by the core machinery; check
+	// via geometry round trip that a ray through a drop terminates.
+	s := sampleStep()
+	x, hit := s.IntersectRay(0.3)
+	if !hit {
+		t.Fatal("no hit")
+	}
+	if x != 100 {
+		t.Fatalf("x = %v", x)
+	}
+}

@@ -1,0 +1,102 @@
+package speed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Surface is a two-parameter speed function s = f(n1, n2) — the geometric
+// object §3.1 introduces for applications whose problem size has two
+// parameters (the striped matrix multiplication's slice is n1×n2). The
+// paper's experiments fix one parameter, reducing the surface to a line;
+// Fix2 and Fix1 perform exactly that reduction, yielding ordinary
+// Functions the partitioning algorithms consume.
+type Surface struct {
+	// F evaluates the speed at size parameters (n1, n2), both positive.
+	F func(n1, n2 float64) float64
+	// Max1, Max2 bound the domain.
+	Max1, Max2 float64
+}
+
+// Validate checks the surface definition.
+func (s *Surface) Validate() error {
+	if s.F == nil {
+		return fmt.Errorf("speed: Surface without an evaluator")
+	}
+	if !(s.Max1 > 0) || !(s.Max2 > 0) || math.IsInf(s.Max1, 0) || math.IsInf(s.Max2, 0) {
+		return fmt.Errorf("speed: Surface with invalid bounds (%v, %v)", s.Max1, s.Max2)
+	}
+	return nil
+}
+
+// fixedSlice is a Surface restricted to one varying parameter.
+type fixedSlice struct {
+	s     *Surface
+	fixed float64
+	first bool // true: n1 varies (n2 fixed); false: n2 varies
+}
+
+func (f *fixedSlice) Eval(x float64) float64 {
+	if f.first {
+		return f.s.F(x, f.fixed)
+	}
+	return f.s.F(f.fixed, x)
+}
+
+func (f *fixedSlice) MaxSize() float64 {
+	if f.first {
+		return f.s.Max1
+	}
+	return f.s.Max2
+}
+
+// Fix2 fixes n2 and returns the speed as a function of n1 — the reduction
+// the paper applies to the C = A×Bᵀ application, where n2 = n is set by
+// the matrix size. The caller should verify the slice satisfies the shape
+// assumption with CheckShape (it holds whenever the underlying surface is
+// driven by a working-set model; see FromWorkingSet).
+func (s *Surface) Fix2(n2 float64) (Function, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !(n2 > 0) || n2 > s.Max2 {
+		return nil, fmt.Errorf("speed: Fix2(%v) outside (0, %v]", n2, s.Max2)
+	}
+	return &fixedSlice{s: s, fixed: n2, first: true}, nil
+}
+
+// Fix1 fixes n1 and returns the speed as a function of n2 — the reduction
+// used for the LU application, where n1 = n is fixed (Figure 17(c)).
+func (s *Surface) Fix1(n1 float64) (Function, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !(n1 > 0) || n1 > s.Max1 {
+		return nil, fmt.Errorf("speed: Fix1(%v) outside (0, %v]", n1, s.Max1)
+	}
+	return &fixedSlice{s: s, fixed: n1, first: false}, nil
+}
+
+// FromWorkingSet builds a surface from a one-parameter speed function and
+// a working-set mapping: F(n1, n2) = f(elements(n1, n2)). This encodes the
+// empirical observation of Tables 3–4 — the speed depends on the number of
+// stored elements, not the matrix shape — and every slice of such a
+// surface inherits the shape assumption when elements(·, n2) is linear in
+// its varying argument (as it is for n1·n2-shaped working sets).
+func FromWorkingSet(f Function, elements func(n1, n2 float64) float64, max1, max2 float64) (*Surface, error) {
+	if f == nil {
+		return nil, fmt.Errorf("speed: FromWorkingSet: nil function")
+	}
+	if elements == nil {
+		return nil, fmt.Errorf("speed: FromWorkingSet: nil working-set mapping")
+	}
+	s := &Surface{
+		F:    func(n1, n2 float64) float64 { return f.Eval(elements(n1, n2)) },
+		Max1: max1,
+		Max2: max2,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,106 @@
+package speed
+
+import (
+	"math"
+	"testing"
+)
+
+func testSurface() *Surface {
+	base := &Analytic{Peak: 1e8, HalfRise: 1e3, PagingPoint: 1e7,
+		PagingWidth: 2e6, PagingFloor: 0.05, Max: 1e9}
+	s, err := FromWorkingSet(base,
+		func(n1, n2 float64) float64 { return 3 * n1 * n2 },
+		1e5, 1e5)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestSurfaceValidate(t *testing.T) {
+	if err := testSurface().Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := []*Surface{
+		{},
+		{F: func(a, b float64) float64 { return 1 }},
+		{F: func(a, b float64) float64 { return 1 }, Max1: 1, Max2: math.Inf(1)},
+		{F: func(a, b float64) float64 { return 1 }, Max1: -1, Max2: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("surface %d: want error", i)
+		}
+	}
+}
+
+func TestFix2MatchesManualReduction(t *testing.T) {
+	s := testSurface()
+	const n2 = 4000
+	f, err := s.Fix2(n2)
+	if err != nil {
+		t.Fatalf("Fix2: %v", err)
+	}
+	for _, n1 := range []float64{10, 500, 2000} {
+		want := s.F(n1, n2)
+		if got := f.Eval(n1); got != want {
+			t.Errorf("Eval(%v) = %v, want %v", n1, got, want)
+		}
+	}
+	if f.MaxSize() != s.Max1 {
+		t.Errorf("MaxSize = %v, want %v", f.MaxSize(), s.Max1)
+	}
+}
+
+func TestFix1MatchesManualReduction(t *testing.T) {
+	s := testSurface()
+	f, err := s.Fix1(2500)
+	if err != nil {
+		t.Fatalf("Fix1: %v", err)
+	}
+	if got, want := f.Eval(333), s.F(2500, 333); got != want {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+	if f.MaxSize() != s.Max2 {
+		t.Errorf("MaxSize = %v", f.MaxSize())
+	}
+}
+
+func TestFixBoundsChecked(t *testing.T) {
+	s := testSurface()
+	for _, v := range []float64{0, -1, 2e5} {
+		if _, err := s.Fix2(v); err == nil {
+			t.Errorf("Fix2(%v): want error", v)
+		}
+		if _, err := s.Fix1(v); err == nil {
+			t.Errorf("Fix1(%v): want error", v)
+		}
+	}
+}
+
+func TestWorkingSetSliceSatisfiesShape(t *testing.T) {
+	// A slice of a working-set-driven surface with a linear working set
+	// must satisfy the single-ray-intersection assumption, making it
+	// directly usable by the partitioners.
+	s := testSurface()
+	f, err := s.Fix2(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckShape(f, 128); err != nil {
+		t.Errorf("slice violates shape: %v", err)
+	}
+}
+
+func TestFromWorkingSetValidation(t *testing.T) {
+	base := MustConstant(1, 1e6)
+	if _, err := FromWorkingSet(nil, func(a, b float64) float64 { return 1 }, 1, 1); err == nil {
+		t.Error("nil function: want error")
+	}
+	if _, err := FromWorkingSet(base, nil, 1, 1); err == nil {
+		t.Error("nil mapping: want error")
+	}
+	if _, err := FromWorkingSet(base, func(a, b float64) float64 { return a * b }, 0, 1); err == nil {
+		t.Error("zero bound: want error")
+	}
+}
