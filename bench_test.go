@@ -424,3 +424,11 @@ func BenchmarkAblationOverlap(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkAblationFaultRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationFaultRecovery(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

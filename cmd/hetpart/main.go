@@ -7,6 +7,7 @@
 //	hetpart -n 100000000 -machines cluster.json [-algo combined] [-csv]
 //	hetpart -n 100000000 -machines cluster.json -limits 1e7,5e8,...   # bounded
 //	hetpart -grid 8000x8000 -machines cluster.json                    # 2D rectangles
+//	hetpart -n 100000000 -machines cluster.json -fail p3@t=1.5s       # fault drill
 //
 // The cluster file holds a list of processors, each with a piecewise
 // linear speed function ("points"), a constant speed ("speed"/"max"), a
@@ -23,9 +24,18 @@ import (
 
 	"heteropart/internal/clusterio"
 	"heteropart/internal/core"
+	"heteropart/internal/faults"
 	"heteropart/internal/grid"
 	"heteropart/internal/report"
+	"heteropart/internal/sim"
+	"heteropart/internal/speed"
 )
+
+// repeatedFlag collects every occurrence of a repeatable string flag.
+type repeatedFlag []string
+
+func (r *repeatedFlag) String() string     { return strings.Join(*r, ",") }
+func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	if err := run(); err != nil {
@@ -42,7 +52,10 @@ func run() error {
 		limits   = flag.String("limits", "", "comma-separated per-processor element limits (bounded variant)")
 		gridDims = flag.String("grid", "", "WxH: partition a 2D grid into rectangles instead of a set")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		grace    = flag.Float64("grace", 1.5, "failure-detection timeout as a multiple of the predicted finish time")
+		fail     repeatedFlag
 	)
+	flag.Var(&fail, "fail", "fault spec, repeatable: p3@t=1.5s, X2@t=1s,slow=0.4,for=2s, p1@t=2s,stall,for=0.5s, link@t=0.5s,for=1s (see internal/faults); added to the cluster file's own \"faults\"")
 	flag.Parse()
 	if *machines == "" {
 		return fmt.Errorf("-machines is required")
@@ -107,7 +120,50 @@ func run() error {
 		t.AddRow(names[i], float64(x), 100*float64(x)/float64(*n), sp, tm)
 	}
 	t.AddNote("makespan: %s s", report.FormatFloat(core.Makespan(res.Alloc, fns)))
+	specs := append(append([]string(nil), cluster.Faults...), fail...)
+	if len(specs) > 0 {
+		if err := addFaultNotes(t, specs, names, res.Alloc, fns, *grace); err != nil {
+			return err
+		}
+	}
 	return emit(t, *csv)
+}
+
+// addFaultNotes evaluates the distribution under the fault plan with the
+// closed-form model and appends the FPM-aware recovered makespan next to
+// the naive rerun-from-scratch baseline.
+func addFaultNotes(t *report.Table, specs, names []string, alloc core.Allocation, fns []speed.Function, grace float64) error {
+	plan, err := faults.ParseSpecs(specs, names)
+	if err != nil {
+		return err
+	}
+	tasks := make([]sim.Task, len(alloc))
+	for i, x := range alloc {
+		tasks[i] = sim.Task{Work: float64(x), Size: float64(x)}
+	}
+	opt := sim.FaultyOptions{Plan: plan, Grace: grace}
+	faulty, err := sim.FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		return err
+	}
+	if len(faulty.Failed) == 0 {
+		t.AddNote("faults: no processor lost; makespan under the plan: %s s",
+			report.FormatFloat(faulty.Makespan))
+		return nil
+	}
+	lost := make([]string, len(faulty.Failed))
+	for k, i := range faulty.Failed {
+		lost[k] = names[i]
+	}
+	naive, err := sim.NaiveRerunMakespan(tasks, fns, opt)
+	if err != nil {
+		return err
+	}
+	t.AddNote("faults: %s lost (last detected at %s s, %v elements redistributed)",
+		strings.Join(lost, ", "), report.FormatFloat(faulty.DetectedAt), faulty.MovedWork)
+	t.AddNote("recovered makespan (FPM repartitioning): %s s", report.FormatFloat(faulty.Makespan))
+	t.AddNote("naive rerun-from-scratch makespan: %s s", report.FormatFloat(naive.Makespan))
+	return nil
 }
 
 func runGrid(cluster *clusterio.Cluster, dims string, csv bool) error {

@@ -1,0 +1,291 @@
+package lu
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"heteropart/internal/core"
+	"heteropart/internal/faults"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+// SupervisedReport describes a supervised factorization run.
+type SupervisedReport struct {
+	// Failed lists the confirmed-dead processors in detection order.
+	Failed []int
+	// MovedBlocks is the number of block columns whose ownership migrated
+	// off failed processors.
+	MovedBlocks int64
+	// Retries counts supervised attempts beyond the first, summed over
+	// all steps.
+	Retries int
+	// Times accumulates per-processor update seconds, like Execute.
+	Times []float64
+}
+
+// ExecuteSupervised factorizes like Execute, but every trailing-update
+// worker of every step runs under the fault-tolerant supervisor: a
+// deadline derived from the step's FPM-predicted update time, a heartbeat
+// per block column, and bounded retries that resume at the first
+// un-updated column. When a processor is confirmed dead, its remaining
+// columns of the current step are completed by the survivors, and the
+// ownership of all future block columns is redistributed with
+// core.Repartition over speed functions where the dead processor's
+// domain is capped to zero elements (core.CapDomain) — the Variable
+// Group Block layout keeps its minimal-migration property: surviving
+// processors keep their own columns and only the dead processor's blocks
+// move.
+//
+// inj may be nil; when set, workers pass through inj.Gate between block
+// columns, so injected crashes land at column boundaries and the factors
+// match Execute's bit for bit.
+func ExecuteSupervised(ctx context.Context, d Distribution, a *matrix.Dense, p int, flopRates []speed.Function, inj *faults.Injector, cfg faults.Config) (*matrix.Dense, []int, SupervisedReport, error) {
+	rep := SupervisedReport{Times: make([]float64, p)}
+	n := d.N
+	if a.Rows != n || a.Cols != n {
+		return nil, nil, rep, fmt.Errorf("lu: distribution is for %d×%d, matrix is %d×%d", n, n, a.Rows, a.Cols)
+	}
+	if p <= 0 || len(flopRates) != p {
+		return nil, nil, rep, fmt.Errorf("lu: %d speed functions for %d processors", len(flopRates), p)
+	}
+	owners := append([]int(nil), d.Owners...)
+	for k, o := range owners {
+		if o < 0 || o >= p {
+			return nil, nil, rep, fmt.Errorf("lu: owner[%d] = %d out of range", k, o)
+		}
+	}
+	if inj != nil {
+		inj.Start()
+	}
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	dead := make([]bool, p)
+	b := d.B
+	blocks := len(owners)
+	for k := 0; k < blocks; k++ {
+		k0 := k * b
+		w := min(b, n-k0)
+		// The panel owner must be alive; a death discovered at the gate
+		// hands the panel to the fastest survivor and triggers the same
+		// ownership redistribution as an update-phase death.
+		owner := owners[k]
+		for {
+			if dead[owner] {
+				owner = fastestAlive(flopRates, dead, float64(n-k0))
+				if owner < 0 {
+					return nil, nil, rep, fmt.Errorf("lu: no survivors at step %d", k)
+				}
+				owners[k] = owner
+			}
+			if inj == nil {
+				break
+			}
+			if err := inj.Gate(ctx, owner); err == nil {
+				break
+			} else if ctx.Err() != nil {
+				return nil, nil, rep, err
+			}
+			markDead(&rep, dead, owner)
+			if err := redistribute(&rep, owners, k, flopRates, dead, float64(n-k0)); err != nil {
+				return nil, nil, rep, err
+			}
+		}
+		start := time.Now()
+		if err := panelFactor(lu, perm, k0, w); err != nil {
+			return nil, nil, rep, err
+		}
+		rep.Times[owner] += time.Since(start).Seconds()
+		if k0+w >= n {
+			break
+		}
+		trailing := n - (k0 + w)
+		// Columns of this step, grouped by current owner.
+		cols := make([][][2]int, p)
+		for j := k + 1; j < blocks; j++ {
+			j0 := j * b
+			cols[owners[j]] = append(cols[owners[j]], [2]int{j0, min(j0+b, n)})
+		}
+		for {
+			cursors := make([]atomic.Int64, p)
+			var tasks []faults.Task
+			for o := 0; o < p; o++ {
+				if len(cols[o]) == 0 || dead[o] {
+					continue
+				}
+				tasks = append(tasks, faults.Task{
+					Worker:    o,
+					Predicted: updateTime(flopRates[o], trailing, w, b, len(cols[o])),
+					Run:       updateRunner(lu, inj, cols[o], o, k0, w, &cursors[o], rep.Times),
+				})
+			}
+			outs := faults.Supervise(ctx, cfg, tasks)
+			var strandedCols [][2]int
+			for _, o := range outs {
+				rep.Retries += o.Attempts - 1
+				if !o.Failed() {
+					continue
+				}
+				markDead(&rep, dead, o.Worker)
+				strandedCols = append(strandedCols, cols[o.Worker][cursors[o.Worker].Load():]...)
+			}
+			if len(strandedCols) == 0 {
+				break
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, nil, rep, err
+			}
+			// Future columns move off the dead processors permanently …
+			if err := redistribute(&rep, owners, k, flopRates, dead, float64(trailing)); err != nil {
+				return nil, nil, rep, err
+			}
+			// … and this step's stranded columns are finished by the
+			// fastest survivor before the factorization can advance.
+			s := fastestAlive(flopRates, dead, float64(trailing))
+			if s < 0 {
+				return nil, nil, rep, fmt.Errorf("lu: no survivors at step %d", k)
+			}
+			for o := range cols {
+				cols[o] = nil
+			}
+			cols[s] = strandedCols
+		}
+	}
+	return lu, perm, rep, nil
+}
+
+// updateRunner builds the supervised Run closure for one processor's
+// block columns of one step; the shared cursor makes retries resume at
+// the first un-updated column.
+func updateRunner(lu *matrix.Dense, inj *faults.Injector, cols [][2]int, o, k0, w int, cursor *atomic.Int64, times []float64) func(context.Context, func()) error {
+	return func(ctx context.Context, beat func()) error {
+		for {
+			k := int(cursor.Load())
+			if k >= len(cols) {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if inj != nil {
+				if err := inj.Gate(ctx, o); err != nil {
+					return err
+				}
+			}
+			st := time.Now()
+			updateBlock(lu, k0, w, cols[k][0], cols[k][1])
+			times[o] += time.Since(st).Seconds()
+			cursor.Store(int64(k + 1))
+			beat()
+		}
+	}
+}
+
+// markDead records a newly confirmed failure exactly once.
+func markDead(rep *SupervisedReport, dead []bool, o int) {
+	if dead[o] {
+		return
+	}
+	dead[o] = true
+	rep.Failed = append(rep.Failed, o)
+}
+
+// fastestAlive picks the survivor with the highest speed at the given
+// working set, or -1 when none remain.
+func fastestAlive(flopRates []speed.Function, dead []bool, ws float64) int {
+	best, bestV := -1, 0.0
+	for i, f := range flopRates {
+		if dead[i] {
+			continue
+		}
+		v := f.Eval(math.Min(math.Max(ws, 1), f.MaxSize()))
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// updateTime is the FPM-predicted model time of one processor's trailing
+// update at a step: 2·trailing·w·(c·b) flops at the speed for its working
+// set.
+func updateTime(f speed.Function, trailing, w, b, nCols int) float64 {
+	flops := 2 * float64(trailing) * float64(w) * float64(nCols*b)
+	ws := workingSet(float64(trailing), float64(b), nCols)
+	s := f.Eval(math.Min(ws, f.MaxSize()))
+	if s <= 0 {
+		return 0
+	}
+	return flops / s
+}
+
+// redistribute moves the ownership of block columns after step k off the
+// dead processors: the current per-processor block counts are adapted
+// with core.Repartition under constant block-speed functions (speed at
+// the current trailing working set, dead processors capped to a
+// zero-element domain), and only the dead processors' columns change
+// hands — survivors keep theirs.
+func redistribute(rep *SupervisedReport, owners []int, k int, flopRates []speed.Function, dead []bool, trailing float64) error {
+	p := len(flopRates)
+	old := make(core.Allocation, p)
+	for j := k + 1; j < len(owners); j++ {
+		old[owners[j]]++
+	}
+	if old.Sum() == 0 {
+		return nil
+	}
+	fns := make([]speed.Function, p)
+	for i, f := range flopRates {
+		ws := math.Min(math.Max(trailing*trailing/float64(p), 1), f.MaxSize())
+		c, err := speed.NewConstant(math.Max(f.Eval(ws), 0), float64(len(owners))+1)
+		if err != nil {
+			return fmt.Errorf("lu: block speed for processor %d: %w", i, err)
+		}
+		if dead[i] {
+			fns[i] = core.CapDomain(c, 0)
+		} else {
+			fns[i] = c
+		}
+	}
+	want, moved, err := core.Repartition(old, fns, 0)
+	if err != nil {
+		return fmt.Errorf("lu: repartitioning %d blocks: %w", old.Sum(), err)
+	}
+	rep.MovedBlocks += moved
+	// Hand the dead processors' columns, in order, to survivors whose new
+	// share exceeds their current one.
+	need := make([]int64, p)
+	for i := range need {
+		need[i] = want[i] - old[i]
+	}
+	recv := 0
+	for j := k + 1; j < len(owners); j++ {
+		if !dead[owners[j]] {
+			continue
+		}
+		for recv < p && need[recv] <= 0 {
+			recv++
+		}
+		if recv == p {
+			// Repartition rebalanced some survivor blocks too (its target
+			// allocation need not keep every survivor's count); surviving
+			// columns never migrate here, so park the remainder on the
+			// fastest survivor.
+			s := fastestAlive(flopRates, dead, trailing)
+			if s < 0 {
+				return fmt.Errorf("lu: no receiver for block %d", j)
+			}
+			owners[j] = s
+			continue
+		}
+		owners[j] = recv
+		need[recv]--
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package lu
+
+import (
+	"context"
+	"testing"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+// luBitEqual reports elementwise float64 identity of the packed factors.
+func luBitEqual(a, b *matrix.Dense) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func supervisedLUFixture(t *testing.T) (Distribution, []speed.Function, *matrix.Dense, *matrix.Dense, []int) {
+	t.Helper()
+	fns := []speed.Function{
+		speed.MustConstant(300, 1e9),
+		speed.MustConstant(200, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	d, err := VariableGroupBlock(96, 16, fns)
+	if err != nil {
+		t.Fatalf("VariableGroupBlock: %v", err)
+	}
+	a := wellConditioned(96, 7)
+	lu, perm, _, err := Execute(d, a, len(fns))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return d, fns, a, lu, perm
+}
+
+func TestExecuteSupervisedLUNoFaults(t *testing.T) {
+	d, fns, a, want, wantPerm := supervisedLUFixture(t)
+	lu, perm, rep, err := ExecuteSupervised(context.Background(), d, a, len(fns), fns, nil, faults.Config{})
+	if err != nil {
+		t.Fatalf("ExecuteSupervised: %v", err)
+	}
+	if len(rep.Failed) != 0 || rep.MovedBlocks != 0 {
+		t.Errorf("fault-free report = %+v", rep)
+	}
+	for i := range perm {
+		if perm[i] != wantPerm[i] {
+			t.Fatalf("pivot sequences differ at %d", i)
+		}
+	}
+	if !luBitEqual(lu, want) {
+		t.Error("fault-free supervised factors differ from Execute")
+	}
+}
+
+func TestExecuteSupervisedLUCrashRecovery(t *testing.T) {
+	d, fns, a, want, wantPerm := supervisedLUFixture(t)
+	// The fastest processor (owner of the leading panels) crashes almost
+	// immediately; survivors must absorb its panels and block columns and
+	// the factors must still match Execute's bit for bit.
+	pln, err := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: 0, At: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, perm, rep, err := ExecuteSupervised(context.Background(), d, a, len(fns), fns, inj, faults.Config{MaxRetries: 1})
+	if err != nil {
+		t.Fatalf("ExecuteSupervised: %v", err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != 0 {
+		t.Fatalf("failed = %v, want [0]", rep.Failed)
+	}
+	if rep.MovedBlocks <= 0 {
+		t.Errorf("moved %d blocks, want > 0", rep.MovedBlocks)
+	}
+	for i := range perm {
+		if perm[i] != wantPerm[i] {
+			t.Fatalf("pivot sequences differ at %d", i)
+		}
+	}
+	if !luBitEqual(lu, want) {
+		t.Error("recovered factors are not bit-identical to the fault-free ones")
+	}
+}
+
+func TestExecuteSupervisedLUTotalLoss(t *testing.T) {
+	d, fns, a, _, _ := supervisedLUFixture(t)
+	pln, err := faults.NewPlan(
+		faults.Fault{Kind: faults.Crash, Proc: 0, At: 0},
+		faults.Fault{Kind: faults.Crash, Proc: 1, At: 0},
+		faults.Fault{Kind: faults.Crash, Proc: 2, At: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ExecuteSupervised(context.Background(), d, a, len(fns), fns, inj, faults.Config{}); err == nil {
+		t.Fatal("total loss accepted")
+	}
+}
+
+func TestExecuteSupervisedLUValidation(t *testing.T) {
+	d, fns, a, _, _ := supervisedLUFixture(t)
+	ctx := context.Background()
+	if _, _, _, err := ExecuteSupervised(ctx, d, matrix.MustNew(4, 4), len(fns), fns, nil, faults.Config{}); err == nil {
+		t.Error("wrong matrix shape: want error")
+	}
+	if _, _, _, err := ExecuteSupervised(ctx, d, a, 2, fns[:2], nil, faults.Config{}); err == nil {
+		t.Error("owners out of range for p=2: want error")
+	}
+	if _, _, _, err := ExecuteSupervised(ctx, d, a, len(fns), fns[:2], nil, faults.Config{}); err == nil {
+		t.Error("mismatched speed functions: want error")
+	}
+}

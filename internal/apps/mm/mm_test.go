@@ -231,3 +231,55 @@ func TestExecute2DValidation(t *testing.T) {
 		t.Error("out-of-bounds rectangle: want error")
 	}
 }
+
+func TestExecuteErrorPaths(t *testing.T) {
+	// B with mismatched dimensions.
+	plan := Plan{N: 4, Rows: core.Allocation{4}}
+	if _, _, err := Execute(plan, matrix.MustNew(4, 4), matrix.MustNew(4, 3)); err == nil {
+		t.Error("wrong B shape: want error")
+	}
+	// Negative stripe.
+	neg := Plan{N: 4, Rows: core.Allocation{5, -1}}
+	if _, _, err := Execute(neg, matrix.MustNew(4, 4), matrix.MustNew(4, 4)); err == nil {
+		t.Error("negative stripe: want error")
+	}
+	// Stripes summing past N.
+	over := Plan{N: 4, Rows: core.Allocation{3, 2}}
+	if _, _, err := Execute(over, matrix.MustNew(4, 4), matrix.MustNew(4, 4)); err == nil {
+		t.Error("over-full stripes: want error")
+	}
+}
+
+func TestExecuteZeroStripePlan(t *testing.T) {
+	// Workers with empty stripes are skipped: no goroutine, zero time,
+	// and the product is still complete.
+	const n = 8
+	plan := Plan{N: n, Rows: core.Allocation{0, n, 0}}
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	a.FillRandom(3)
+	b.FillRandom(4)
+	c, times, err := Execute(plan, a, b)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if times[0] != 0 || times[2] != 0 {
+		t.Errorf("idle workers reported times %v", times)
+	}
+	want := matrix.MustNew(n, n)
+	if err := kernels.MatMulABT(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(c, want); d != 0 {
+		t.Errorf("zero-stripe product deviates by %v", d)
+	}
+	// The all-empty plan is degenerate but legal: C stays zero.
+	empty := Plan{N: 0, Rows: core.Allocation{0, 0}}
+	c0, _, err := Execute(empty, matrix.MustNew(0, 0), matrix.MustNew(0, 0))
+	if err != nil {
+		t.Fatalf("empty Execute: %v", err)
+	}
+	if c0.Rows != 0 {
+		t.Errorf("empty product has %d rows", c0.Rows)
+	}
+}

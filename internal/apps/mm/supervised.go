@@ -1,0 +1,197 @@
+package mm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"heteropart/internal/core"
+	"heteropart/internal/faults"
+	"heteropart/internal/kernels"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+// SupervisedReport describes a supervised multiplication run.
+type SupervisedReport struct {
+	// Rounds is the number of supervision rounds executed (1 when nothing
+	// failed; each extra round redistributes the latest failures).
+	Rounds int
+	// Outcomes collects the per-task outcomes of every round in order.
+	Outcomes []faults.Outcome
+	// Failed lists the confirmed-dead workers in detection order.
+	Failed []int
+	// Recovered[i] is the number of rows worker i recomputed on behalf of
+	// failed workers.
+	Recovered core.Allocation
+	// MovedRows is the total number of rows migrated off failed workers.
+	MovedRows int64
+}
+
+// ExecuteSupervised multiplies C = A×Bᵀ like Execute, but runs every
+// stripe under the fault-tolerant supervisor: each worker gets a context
+// deadline derived from its FPM-predicted time (× cfg.Grace × cfg.Scale),
+// beats a heartbeat after every row so stalls are distinguished from
+// stragglers, and is retried with backoff on transient failures — a retry
+// resumes at the first uncomputed row, never redoing finished rows. When
+// a worker is confirmed dead (retries exhausted), its unfinished rows are
+// redistributed over the survivors with core.Repartition, the dead
+// processor's speed function capped to a zero-element domain via
+// core.CapDomain, and a new supervision round runs; this repeats until
+// the product is complete or no survivors remain.
+//
+// inj may be nil (no injected faults); when set, workers pass through
+// inj.Gate between rows, so injected crashes land exactly at row
+// boundaries and the recovered product is bit-identical to Execute's.
+func ExecuteSupervised(ctx context.Context, p Plan, a, b *matrix.Dense, flopRates []speed.Function, inj *faults.Injector, cfg faults.Config) (*matrix.Dense, SupervisedReport, error) {
+	rep := SupervisedReport{}
+	if a.Rows != p.N || a.Cols != p.N || b.Rows != p.N || b.Cols != p.N {
+		return nil, rep, fmt.Errorf("mm: plan is %d×%d, matrices %d×%d and %d×%d",
+			p.N, p.N, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if len(flopRates) != len(p.Rows) {
+		return nil, rep, fmt.Errorf("mm: plan for %d processors, %d speed functions", len(p.Rows), len(flopRates))
+	}
+	rowFns, err := RowFunctions(p.N, flopRates)
+	if err != nil {
+		return nil, rep, err
+	}
+	stripes, err := matrix.Stripes(p.Rows, p.N)
+	if err != nil {
+		return nil, rep, fmt.Errorf("mm: %w", err)
+	}
+	c, err := matrix.New(p.N, p.N)
+	if err != nil {
+		return nil, rep, err
+	}
+	if inj != nil {
+		inj.Start()
+	}
+	nw := len(p.Rows)
+	rep.Recovered = make(core.Allocation, nw)
+	dead := make([]bool, nw)
+	// rows[w] is the list of row indices worker w computes this round;
+	// cursors[w] counts how many of them are done (survives retries, so a
+	// resumed attempt continues where the failed one stopped).
+	rows := make([][]int, nw)
+	for w, s := range stripes {
+		for r := s[0]; r < s[1]; r++ {
+			rows[w] = append(rows[w], r)
+		}
+	}
+	for round := 1; ; round++ {
+		rep.Rounds = round
+		cursors := make([]atomic.Int64, nw)
+		var tasks []faults.Task
+		for w := range rows {
+			if len(rows[w]) == 0 || dead[w] {
+				continue
+			}
+			tasks = append(tasks, faults.Task{
+				Worker:    w,
+				Predicted: rowTime(rowFns[w], len(rows[w])),
+				Run:       stripeRunner(a, b, c, inj, rows[w], w, &cursors[w]),
+			})
+		}
+		outs := faults.Supervise(ctx, cfg, tasks)
+		rep.Outcomes = append(rep.Outcomes, outs...)
+		// Collect the rows stranded on newly confirmed-dead workers.
+		var stranded []int
+		leftover := make(core.Allocation, nw)
+		for _, o := range outs {
+			if !o.Failed() {
+				continue
+			}
+			w := o.Worker
+			dead[w] = true
+			rep.Failed = append(rep.Failed, w)
+			rest := rows[w][cursors[w].Load():]
+			stranded = append(stranded, rest...)
+			leftover[w] = int64(len(rest))
+		}
+		if len(stranded) == 0 {
+			return c, rep, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, rep, err
+		}
+		// Redistribute the stranded rows over the survivors: the failed
+		// processors are capped to a zero-element domain, so Repartition
+		// must drain them completely, and the survivors receive shares
+		// proportional to their row-speed functions.
+		capped := make([]speed.Function, nw)
+		for i := range rowFns {
+			if dead[i] {
+				capped[i] = core.CapDomain(rowFns[i], 0)
+			} else {
+				capped[i] = rowFns[i]
+			}
+		}
+		alloc, moved, err := core.Repartition(leftover, capped, 0)
+		if err != nil {
+			return nil, rep, fmt.Errorf("mm: repartitioning %d stranded rows: %w", len(stranded), err)
+		}
+		rep.MovedRows += moved
+		sort.Ints(stranded)
+		at := 0
+		for w := range rows {
+			rows[w] = rows[w][:0]
+			take := int(alloc[w])
+			rep.Recovered[w] += alloc[w]
+			rows[w] = append(rows[w], stranded[at:at+take]...)
+			at += take
+		}
+	}
+}
+
+// stripeRunner builds the supervised Run closure for one worker: rows are
+// computed one at a time with the injector gate and the heartbeat between
+// them, and the shared cursor makes retries resume instead of redo.
+func stripeRunner(a, b, c *matrix.Dense, inj *faults.Injector, rows []int, w int, cursor *atomic.Int64) func(context.Context, func()) error {
+	return func(ctx context.Context, beat func()) error {
+		for {
+			k := int(cursor.Load())
+			if k >= len(rows) {
+				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if inj != nil {
+				if err := inj.Gate(ctx, w); err != nil {
+					return err
+				}
+			}
+			r := rows[k]
+			aRow, err := a.RowStripe(r, r+1)
+			if err != nil {
+				return err
+			}
+			cRow, err := c.RowStripe(r, r+1)
+			if err != nil {
+				return err
+			}
+			// One row through the same kernel Execute uses, so the
+			// recovered product is bit-identical to the fault-free one.
+			if err := kernels.MatMulABT(cRow, aRow, b); err != nil {
+				return err
+			}
+			cursor.Store(int64(k + 1))
+			beat()
+		}
+	}
+}
+
+// rowTime is the FPM-predicted model time for computing r rows.
+func rowTime(f speed.Function, r int) float64 {
+	if r == 0 {
+		return 0
+	}
+	x := float64(r)
+	s := f.Eval(x)
+	if s <= 0 {
+		return 0 // let MinDeadline govern degenerate predictions
+	}
+	return x / s
+}

@@ -1,0 +1,173 @@
+package mm
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+// bitEqual reports elementwise float64 identity — the supervised runner
+// promises the recovered product matches the fault-free one bit for bit.
+func bitEqual(a, b *matrix.Dense) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func supervisedFixture(t *testing.T, n int) (Plan, []speed.Function, *matrix.Dense, *matrix.Dense, *matrix.Dense) {
+	t.Helper()
+	fns := table2Rates(t)
+	plan, err := PartitionFPM(n, fns)
+	if err != nil {
+		t.Fatalf("PartitionFPM: %v", err)
+	}
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	a.FillRandom(11)
+	b.FillRandom(12)
+	want, _, err := Execute(plan, a, b)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return plan, fns, a, b, want
+}
+
+func TestExecuteSupervisedNoFaults(t *testing.T) {
+	plan, fns, a, b, want := supervisedFixture(t, 96)
+	c, rep, err := ExecuteSupervised(context.Background(), plan, a, b, fns, nil, faults.Config{})
+	if err != nil {
+		t.Fatalf("ExecuteSupervised: %v", err)
+	}
+	if rep.Rounds != 1 || len(rep.Failed) != 0 || rep.MovedRows != 0 {
+		t.Errorf("fault-free report = %+v", rep)
+	}
+	if !bitEqual(c, want) {
+		t.Error("fault-free supervised product differs from Execute")
+	}
+}
+
+// TestExecuteSupervisedCrashRecoveryBitExact is the acceptance scenario:
+// a seeded crash of the fastest Table 2 machine mid-run still yields the
+// complete, bit-exact product via the repartitioned survivors.
+func TestExecuteSupervisedCrashRecoveryBitExact(t *testing.T) {
+	const n = 160
+	plan, fns, a, b, want := supervisedFixture(t, n)
+	// The fastest machine by model speed at its own stripe.
+	fastest, best := -1, 0.0
+	for i, f := range fns {
+		if v := f.Eval(math.Min(3*float64(plan.Rows[i])*n, f.MaxSize())); v > best {
+			fastest, best = i, v
+		}
+	}
+	// Crash it 50 µs into the run — mid-stripe for this problem size
+	// (and before it even starts on faster hosts, which recovery must
+	// handle just as well).
+	pln, err := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: fastest, At: 5e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faults.Config{MaxRetries: 1}
+	c, rep, err := ExecuteSupervised(context.Background(), plan, a, b, fns, inj, cfg)
+	if err != nil {
+		t.Fatalf("ExecuteSupervised: %v", err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != fastest {
+		t.Fatalf("failed = %v, want [%d]", rep.Failed, fastest)
+	}
+	if rep.Rounds < 2 {
+		t.Errorf("rounds = %d, want ≥ 2 (a recovery round)", rep.Rounds)
+	}
+	if rep.Recovered[fastest] != 0 {
+		t.Errorf("dead worker recovered %d rows", rep.Recovered[fastest])
+	}
+	if rep.MovedRows <= 0 || rep.Recovered.Sum() != rep.MovedRows {
+		t.Errorf("moved %d rows, recovered %v", rep.MovedRows, rep.Recovered)
+	}
+	if !bitEqual(c, want) {
+		t.Error("recovered product is not bit-identical to the fault-free one")
+	}
+}
+
+func TestExecuteSupervisedStallRetriesAndResumes(t *testing.T) {
+	plan, fns, a, b, want := supervisedFixture(t, 96)
+	// Worker 2 (which holds a stripe in this plan) stalls from the start
+	// for 80 ms wall — past the 50 ms stall detector, so the first
+	// attempt is killed as stalled; the retry blocks out the rest of the
+	// window, resumes at the next uncomputed row and succeeds.
+	const stalled = 2
+	pln, err := faults.NewPlan(faults.Fault{Kind: faults.Stall, Proc: stalled, At: 0, Duration: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, rep, err := ExecuteSupervised(context.Background(), plan, a, b, fns, inj, faults.Config{MaxRetries: 2})
+	if err != nil {
+		t.Fatalf("ExecuteSupervised: %v", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("stall escalated to failure: %+v", rep)
+	}
+	retried := false
+	for _, o := range rep.Outcomes {
+		if o.Worker == stalled && o.Attempts > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Error("stalled worker was not retried")
+	}
+	if !bitEqual(c, want) {
+		t.Error("stall-recovered product differs from Execute")
+	}
+}
+
+func TestExecuteSupervisedTotalLoss(t *testing.T) {
+	plan, fns, a, b, _ := supervisedFixture(t, 96)
+	var fs []faults.Fault
+	for i := range fns {
+		fs = append(fs, faults.Fault{Kind: faults.Crash, Proc: i, At: 0})
+	}
+	pln, err := faults.NewPlan(fs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ExecuteSupervised(context.Background(), plan, a, b, fns, inj, faults.Config{}); err == nil {
+		t.Fatal("total loss accepted")
+	}
+}
+
+func TestExecuteSupervisedValidation(t *testing.T) {
+	plan, fns, a, b, _ := supervisedFixture(t, 96)
+	ctx := context.Background()
+	if _, _, err := ExecuteSupervised(ctx, plan, matrix.MustNew(4, 4), b, fns, nil, faults.Config{}); err == nil {
+		t.Error("wrong A shape: want error")
+	}
+	if _, _, err := ExecuteSupervised(ctx, plan, a, b, fns[:2], nil, faults.Config{}); err == nil {
+		t.Error("mismatched speed functions: want error")
+	}
+	bad := Plan{N: plan.N, Rows: append(plan.Rows[:len(plan.Rows)-1:len(plan.Rows)-1], plan.Rows[len(plan.Rows)-1]+1)}
+	if _, _, err := ExecuteSupervised(ctx, bad, a, b, fns, nil, faults.Config{}); err == nil {
+		t.Error("stripes past N: want error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"heteropart/internal/faults"
 	"heteropart/internal/machine"
 	"heteropart/internal/speed"
 )
@@ -54,9 +55,14 @@ type Cluster struct {
 	// (default "MatrixMult").
 	Kernel     string      `json:"kernel,omitempty"`
 	Processors []Processor `json:"processors"`
+	// Faults optionally schedules injected faults for fault-tolerance
+	// runs, one spec per entry in the grammar of faults.ParseSpec with
+	// processor names, e.g. "X1@t=1.5s", "X2@t=1s,slow=0.4,for=2s",
+	// "link@t=0.5s,for=1s".
+	Faults []string `json:"faults,omitempty"`
 }
 
-// Load parses a cluster document.
+// Load parses and validates a cluster document.
 func Load(r io.Reader) (*Cluster, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -64,10 +70,82 @@ func Load(r io.Reader) (*Cluster, error) {
 	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("clusterio: %w", err)
 	}
-	if len(c.Processors) == 0 {
-		return nil, errors.New("clusterio: no processors")
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	return &c, nil
+}
+
+// Validate checks the document shape before any expensive expansion and
+// returns actionable errors naming the offending processor: every
+// processor must carry exactly one speed representation, measured points
+// must have positive speeds and strictly increasing sizes, step levels
+// must have increasing thresholds, constants must be positive, and every
+// fault spec must parse against the processor names.
+func (c *Cluster) Validate() error {
+	if len(c.Processors) == 0 {
+		return errors.New("clusterio: no processors (add a \"processors\" array)")
+	}
+	names := make([]string, len(c.Processors))
+	for i, p := range c.Processors {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("proc%d", i)
+		}
+		names[i] = name
+		reps := 0
+		for _, set := range []bool{len(p.Points) > 0, p.Speed != 0, len(p.Levels) > 0, p.Spec != nil} {
+			if set {
+				reps++
+			}
+		}
+		if reps != 1 {
+			return fmt.Errorf("clusterio: processor %s must have exactly one of points, speed, levels, spec (has %d)", name, reps)
+		}
+		if p.Speed < 0 {
+			return fmt.Errorf("clusterio: processor %s: negative speed %v (speeds are elements/second and must be positive)", name, p.Speed)
+		}
+		if p.Max < 0 {
+			return fmt.Errorf("clusterio: processor %s: negative max %v", name, p.Max)
+		}
+		for j, pt := range p.Points {
+			if pt.X < 0 || pt.Y < 0 {
+				return fmt.Errorf("clusterio: processor %s: point %d is (%v, %v); sizes and speeds must be non-negative", name, j, pt.X, pt.Y)
+			}
+			if j > 0 && pt.X <= p.Points[j-1].X {
+				return fmt.Errorf("clusterio: processor %s: point sizes must be strictly increasing, got %v after %v at index %d", name, pt.X, p.Points[j-1].X, j)
+			}
+		}
+		for j, lv := range p.Levels {
+			if lv.UpTo <= 0 || lv.Y < 0 {
+				return fmt.Errorf("clusterio: processor %s: level %d is (upTo %v, speed %v); thresholds must be positive and speeds non-negative", name, j, lv.UpTo, lv.Y)
+			}
+			if j > 0 && lv.UpTo <= p.Levels[j-1].UpTo {
+				return fmt.Errorf("clusterio: processor %s: level thresholds must be strictly increasing, got %v after %v at index %d", name, lv.UpTo, p.Levels[j-1].UpTo, j)
+			}
+		}
+	}
+	if _, err := c.FaultPlan(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FaultPlan parses the document's fault specs against the processor
+// names. An absent faults section yields an empty plan.
+func (c *Cluster) FaultPlan() (*faults.Plan, error) {
+	names := make([]string, len(c.Processors))
+	for i, p := range c.Processors {
+		names[i] = p.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("proc%d", i)
+		}
+	}
+	plan, err := faults.ParseSpecs(c.Faults, names)
+	if err != nil {
+		return nil, fmt.Errorf("clusterio: %w", err)
+	}
+	return plan, nil
 }
 
 // LoadFile reads and parses a cluster file.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"heteropart/internal/faults"
 	"heteropart/internal/machine"
 	"heteropart/internal/speed"
 )
@@ -151,6 +152,136 @@ func TestFromTestbedErrors(t *testing.T) {
 	}
 	if _, err := FromTestbed(machine.Table1(), "Bogus"); err == nil {
 		t.Error("unknown kernel: want error")
+	}
+}
+
+func TestValidateActionableErrors(t *testing.T) {
+	// Load validates before expansion; the message must name the
+	// offending processor and say what is wrong with it.
+	cases := map[string]struct {
+		doc  string
+		want string
+	}{
+		"negative speed": {
+			`{"processors": [{"name": "slowpoke", "speed": -3}]}`,
+			"slowpoke: negative speed",
+		},
+		"negative max": {
+			`{"processors": [{"name": "m", "speed": 5, "max": -1}]}`,
+			"m: negative max",
+		},
+		"empty point list counts as absent": {
+			`{"processors": [{"name": "e", "points": []}]}`,
+			"e must have exactly one of",
+		},
+		"non-monotone point sizes": {
+			`{"processors": [{"name": "wiggle",
+			   "points": [{"size": 100, "speed": 9}, {"size": 100, "speed": 8}]}]}`,
+			"wiggle: point sizes must be strictly increasing",
+		},
+		"negative point": {
+			`{"processors": [{"name": "neg",
+			   "points": [{"size": -5, "speed": 9}]}]}`,
+			"neg: point 0",
+		},
+		"non-monotone level thresholds": {
+			`{"processors": [{"name": "stairs",
+			   "levels": [{"upTo": 10, "speed": 2}, {"upTo": 10, "speed": 1}]}]}`,
+			"stairs: level thresholds must be strictly increasing",
+		},
+		"non-positive level threshold": {
+			`{"processors": [{"name": "flat",
+			   "levels": [{"upTo": 0, "speed": 2}]}]}`,
+			"flat: level 0",
+		},
+		"bad fault spec": {
+			`{"processors": [{"name": "ok", "speed": 5}],
+			  "faults": ["ok@noon"]}`,
+			"bad fault spec",
+		},
+		"fault names unknown processor": {
+			`{"processors": [{"name": "ok", "speed": 5}],
+			  "faults": ["gone@t=1s"]}`,
+			"bad fault spec",
+		},
+	}
+	for name, tc := range cases {
+		_, err := Load(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: want error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestFaultSpecsRoundTrip(t *testing.T) {
+	c := Cluster{
+		Processors: []Processor{
+			{Name: "X1", Speed: 500, Max: 1e9},
+			{Name: "X2", Speed: 250, Max: 1e9},
+		},
+		Faults: []string{
+			"X1@t=1.5s",
+			"X2@t=1s,slow=0.4,for=2s",
+			"link@t=0.5s,for=1s",
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load(saved): %v", err)
+	}
+	if len(back.Faults) != 3 || back.Faults[0] != "X1@t=1.5s" {
+		t.Fatalf("faults lost in round trip: %v", back.Faults)
+	}
+	plan, err := back.FaultPlan()
+	if err != nil {
+		t.Fatalf("FaultPlan: %v", err)
+	}
+	if len(plan.Faults) != 3 {
+		t.Fatalf("%d parsed faults, want 3", len(plan.Faults))
+	}
+	crash := plan.Faults[0]
+	if crash.Kind != faults.Crash || crash.Proc != 0 || crash.At != 1.5 {
+		t.Errorf("crash parsed as %+v", crash)
+	}
+	slow := plan.Faults[1]
+	if slow.Kind != faults.Slow || slow.Proc != 1 || slow.Factor != 0.4 || slow.Duration != 2 {
+		t.Errorf("slow parsed as %+v", slow)
+	}
+	if plan.Faults[2].Kind != faults.LinkDown {
+		t.Errorf("link parsed as %+v", plan.Faults[2])
+	}
+}
+
+func TestFaultPlanUnnamedProcessors(t *testing.T) {
+	// Processors without names get procN, usable in specs alongside the
+	// positional pN form.
+	c := Cluster{
+		Processors: []Processor{{Speed: 10}, {Speed: 20}},
+		Faults:     []string{"proc1@t=2s", "p0@t=3s"},
+	}
+	plan, err := c.FaultPlan()
+	if err != nil {
+		t.Fatalf("FaultPlan: %v", err)
+	}
+	if len(plan.Faults) != 2 || plan.Faults[0].Proc != 1 || plan.Faults[1].Proc != 0 {
+		t.Fatalf("parsed %+v", plan.Faults)
+	}
+	// An absent faults section is an empty, valid plan.
+	c.Faults = nil
+	plan, err = c.FaultPlan()
+	if err != nil {
+		t.Fatalf("FaultPlan(empty): %v", err)
+	}
+	if !plan.Empty() {
+		t.Errorf("empty faults section gave %+v", plan.Faults)
 	}
 }
 

@@ -89,6 +89,16 @@ func Bounded(n int64, fns []speed.Function, limits []int64, opts ...Option) (All
 	return alloc, total, nil
 }
 
+// CapDomain returns f with its domain capped at limit elements, the
+// building block of Bounded exposed for callers that need to exclude or
+// restrict a processor directly: CapDomain(f, 0) yields a function no
+// partitioner will allocate to (and whose positive shares Repartition
+// treats as infeasible) — the way a supervised executor expresses a
+// failed processor when redistributing its work over the survivors.
+func CapDomain(f speed.Function, limit int64) speed.Function {
+	return boundedDomain(f, limit)
+}
+
 // boundedDomain caps a speed function's domain at the storage limit so the
 // partitioners never allocate past it.
 type cappedFunction struct {

@@ -30,12 +30,17 @@ func Repartition(old Allocation, fns []speed.Function, slack float64, opts ...Op
 	if n < 0 {
 		return nil, 0, fmt.Errorf("%w: allocation sums to %d", ErrBadN, n)
 	}
+	if n == 0 {
+		// Nothing to place: the empty allocation is trivially optimal, and
+		// the geometric partitioners cannot draw rays through n/p = 0.
+		return make(Allocation, len(old)), 0, nil
+	}
 	opt, err := Combined(n, fns, opts...)
 	if err != nil {
 		return nil, 0, err
 	}
-	target := Makespan(opt.Alloc, fns) * (1 + slack)
-	if Makespan(old, fns) <= target {
+	target := repMakespan(opt.Alloc, fns) * (1 + slack)
+	if repMakespan(old, fns) <= target {
 		out := make(Allocation, len(old))
 		copy(out, old)
 		return out, 0, nil
@@ -45,7 +50,7 @@ func Repartition(old Allocation, fns []speed.Function, slack float64, opts ...Op
 	var moved int64
 	// Batch size: move 1/16 of the worst processor's excess at a time,
 	// at least one element, so convergence is O(p·log(excess)) moves.
-	for Makespan(cur, fns) > target {
+	for repMakespan(cur, fns) > target {
 		worst, worstTime := -1, 0.0
 		for i, x := range cur {
 			if x == 0 {
@@ -101,15 +106,32 @@ func Repartition(old Allocation, fns []speed.Function, slack float64, opts ...Op
 	return cur, moved, nil
 }
 
+// timeOf is the execution time of a share during repartitioning. A share
+// beyond the function's domain is infeasible — the model says nothing
+// about speeds past MaxSize (a failed processor is expressed exactly
+// this way: CapDomain(f, 0) makes any positive share infinite, so
+// Repartition must drain it completely).
 func timeOf(x int64, f speed.Function) float64 {
 	if x <= 0 {
 		return 0
+	}
+	if float64(x) > f.MaxSize() {
+		return inf()
 	}
 	s := f.Eval(float64(x))
 	if s <= 0 {
 		return inf()
 	}
 	return float64(x) / s
+}
+
+// repMakespan is Makespan computed with the domain-aware timeOf.
+func repMakespan(alloc Allocation, fns []speed.Function) float64 {
+	var worst float64
+	for i, x := range alloc {
+		worst = math.Max(worst, timeOf(x, fns[i]))
+	}
+	return worst
 }
 
 func totalDiff(a, b Allocation) int64 {

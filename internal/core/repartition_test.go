@@ -261,3 +261,100 @@ func minOf(v []float64) float64 {
 	}
 	return m
 }
+
+// TestRepartitionDegenerates covers the boundary shapes the supervised
+// executors lean on: single-processor clusters, two processors with one
+// dead (capped to a zero-element domain), and empty allocations.
+func TestRepartitionDegenerates(t *testing.T) {
+	cases := []struct {
+		name  string
+		old   Allocation
+		fns   []speed.Function
+		want  Allocation // nil = only check invariants
+		moved int64      // -1 = don't check
+	}{
+		{
+			name:  "p=1 keeps its share",
+			old:   Allocation{1000},
+			fns:   constants([]float64{50}, 1e9),
+			want:  Allocation{1000},
+			moved: 0,
+		},
+		{
+			name:  "p=1 zero elements",
+			old:   Allocation{0},
+			fns:   constants([]float64{50}, 1e9),
+			want:  Allocation{0},
+			moved: 0,
+		},
+		{
+			name:  "all-zero allocation",
+			old:   Allocation{0, 0, 0},
+			fns:   constants([]float64{1, 2, 3}, 1e9),
+			want:  Allocation{0, 0, 0},
+			moved: 0,
+		},
+		{
+			name: "p=2 with one dead drains completely",
+			old:  Allocation{500, 0},
+			fns: []speed.Function{
+				CapDomain(speed.MustConstant(100, 1e9), 0),
+				speed.MustConstant(10, 1e9),
+			},
+			want:  Allocation{0, 500},
+			moved: 500,
+		},
+		{
+			name: "dead processor among equals",
+			old:  Allocation{300, 300, 300},
+			fns: []speed.Function{
+				speed.MustConstant(100, 1e9),
+				CapDomain(speed.MustConstant(100, 1e9), 0),
+				speed.MustConstant(100, 1e9),
+			},
+			moved: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, moved, err := Repartition(tc.old, tc.fns, 0)
+			if err != nil {
+				t.Fatalf("Repartition: %v", err)
+			}
+			if got.Sum() != tc.old.Sum() {
+				t.Fatalf("sum %d, want %d", got.Sum(), tc.old.Sum())
+			}
+			if tc.want != nil {
+				for i := range tc.want {
+					if got[i] != tc.want[i] {
+						t.Fatalf("alloc = %v, want %v", got, tc.want)
+					}
+				}
+			}
+			if tc.moved >= 0 && moved != tc.moved {
+				t.Errorf("moved = %d, want %d", moved, tc.moved)
+			}
+			// A capped-to-zero processor must end empty.
+			for i, f := range tc.fns {
+				if f.MaxSize() < 1 && got[i] != 0 {
+					t.Errorf("dead processor %d still holds %d elements", i, got[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCapDomain(t *testing.T) {
+	f := speed.MustConstant(100, 1e6)
+	capped := CapDomain(f, 500)
+	if capped.MaxSize() != 500 {
+		t.Errorf("MaxSize = %v, want 500", capped.MaxSize())
+	}
+	if capped.Eval(100) != 100 {
+		t.Errorf("Eval changed: %v", capped.Eval(100))
+	}
+	dead := CapDomain(f, 0)
+	if !(dead.MaxSize() > 0) || dead.MaxSize() >= 1 {
+		t.Errorf("zero cap MaxSize = %v, want in (0, 1)", dead.MaxSize())
+	}
+}

@@ -50,6 +50,25 @@ func (e *Engine) After(delay float64, fn func()) error {
 	return e.Schedule(e.now+delay, fn)
 }
 
+// ScheduleNow runs fn at the current simulation time, after every event
+// already queued for this instant (FIFO). Recovery code reacts to a
+// failure "immediately", and the firing time it computes can land
+// microscopically in the past after float arithmetic; ScheduleNow is the
+// safe way to say "now".
+func (e *Engine) ScheduleNow(fn func()) error {
+	return e.Schedule(e.now, fn)
+}
+
+// ScheduleClamped runs fn at the given time, clamping times in the past
+// up to now instead of rejecting them — the tolerant variant recovery
+// cascades use when re-deriving absolute times from measured intervals.
+func (e *Engine) ScheduleClamped(at float64, fn func()) error {
+	if at < e.now {
+		at = e.now
+	}
+	return e.Schedule(at, fn)
+}
+
 // Run processes events until the queue is empty and returns the final
 // simulation time.
 func (e *Engine) Run() float64 {
@@ -93,12 +112,26 @@ type Resource struct {
 	e      *Engine
 	freeAt float64
 	spans  []Span
+	downs  [][2]float64
 	name   string
 }
 
 // NewResource attaches a named FCFS resource to the engine.
 func NewResource(e *Engine, name string) *Resource {
 	return &Resource{e: e, name: name}
+}
+
+// AddDowntime marks [start, end) as an unavailability window (a link
+// failure): no use may begin inside it. A use already in progress when
+// the window opens is not interrupted — the model of a failed shared
+// segment is that new transfers cannot start, matching the paper's
+// one-sender-at-a-time Ethernet discussion.
+func (r *Resource) AddDowntime(start, end float64) error {
+	if math.IsNaN(start) || start < 0 || end <= start {
+		return fmt.Errorf("des: invalid downtime [%v, %v)", start, end)
+	}
+	r.downs = append(r.downs, [2]float64{start, end})
+	return nil
 }
 
 // Acquire requests the resource now for the given duration; done runs at
@@ -108,6 +141,17 @@ func (r *Resource) Acquire(duration float64, label string, done func(start, end 
 		return fmt.Errorf("des: invalid duration %v", duration)
 	}
 	start := math.Max(r.e.Now(), r.freeAt)
+	// Push the start past any downtime window it falls into; windows may
+	// chain, so iterate until the start is stable.
+	for moved := true; moved; {
+		moved = false
+		for _, w := range r.downs {
+			if start >= w[0] && start < w[1] {
+				start = w[1]
+				moved = true
+			}
+		}
+	}
 	end := start + duration
 	r.freeAt = end
 	r.spans = append(r.spans, Span{Start: start, End: end, Label: label})

@@ -1,9 +1,11 @@
 package des
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
+	"heteropart/internal/faults"
 	"heteropart/internal/speed"
 )
 
@@ -229,5 +231,248 @@ func TestScatterGatherValidation(t *testing.T) {
 	}
 	if _, err := (&ScatterGather{}).NoOverlapMakespan(); err == nil {
 		t.Error("no workers (closed form): want error")
+	}
+}
+
+func TestScheduleNowFIFOUnderRecoveryStorm(t *testing.T) {
+	// A failure handler reacting "now" must run after events already
+	// queued for this instant and in the order the reactions fired —
+	// a storm of same-time recoveries must not reorder.
+	e := NewEngine()
+	var order []string
+	if err := e.Schedule(5, func() {
+		for i := 0; i < 4; i++ {
+			i := i
+			if err := e.ScheduleNow(func() {
+				order = append(order, fmt.Sprintf("recover%d", i))
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Schedule(5, func() { order = append(order, "timeout2") }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	want := []string{"timeout2", "recover0", "recover1", "recover2", "recover3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleClamped(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	if err := e.Schedule(3, func() {
+		// A time microscopically in the past clamps to now instead of
+		// erroring out.
+		if err := e.ScheduleClamped(3-1e-12, func() { at = e.Now() }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if at != 3 {
+		t.Errorf("clamped event ran at %v, want 3", at)
+	}
+	if err := e.ScheduleClamped(math.NaN(), func() {}); err == nil {
+		t.Error("NaN time: want error")
+	}
+}
+
+func TestResourceDowntime(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "link")
+	if err := r.AddDowntime(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddDowntime(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	var got [][2]float64
+	record := func(s, d float64) { got = append(got, [2]float64{s, d}) }
+	// First use starts before the outage and is not interrupted.
+	if err := r.Acquire(0.5, "a", record); err != nil {
+		t.Fatal(err)
+	}
+	// Second fits exactly in front of the outage.
+	if err := r.Acquire(0.5, "b", record); err != nil {
+		t.Fatal(err)
+	}
+	// Third would start at 1.0 — chained windows push it to 3.
+	if err := r.Acquire(0.5, "c", record); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	want := [][2]float64{{0, 0.5}, {0.5, 1}, {3, 3.5}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intervals = %v, want %v", got, want)
+		}
+	}
+	if err := r.AddDowntime(-1, 2); err == nil {
+		t.Error("negative start: want error")
+	}
+	if err := r.AddDowntime(2, 2); err == nil {
+		t.Error("empty window: want error")
+	}
+}
+
+// faultySG builds a p-worker ScatterGather with unit-friendly numbers:
+// every transfer takes 1 s and every compute takes 10 s.
+func faultySG(p int) *ScatterGather {
+	sg := &ScatterGather{BytesPerSec: 1e6}
+	for i := 0; i < p; i++ {
+		sg.SendBytes = append(sg.SendBytes, 1e6)
+		sg.ReturnBytes = append(sg.ReturnBytes, 1e6)
+		sg.Work = append(sg.Work, 10e6)
+		sg.Size = append(sg.Size, 1)
+		sg.Speeds = append(sg.Speeds, speed.MustConstant(1e6, 1e9))
+	}
+	return sg
+}
+
+func TestScatterGatherCrashRecovery(t *testing.T) {
+	sg := faultySG(2)
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: 0, At: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg.Faults = plan
+	res, err := sg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0 receives over [0,1] and dies at 2; the master's timeout
+	// fires at 1 + 10×1.5 = 16, the resend occupies the link over
+	// [16,17], worker 1 (own compute done at 12) recomputes over
+	// [17,27], and the recovered result returns over [27,28].
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("recoveries = %+v", res.Recoveries)
+	}
+	rec := res.Recoveries[0]
+	if rec.Failed != 0 || rec.By != 1 {
+		t.Errorf("recovery routed %d→%d, want 0→1", rec.Failed, rec.By)
+	}
+	if math.Abs(rec.DetectedAt-16) > 1e-9 || math.Abs(rec.FinishedAt-28) > 1e-9 {
+		t.Errorf("detected %v finished %v, want 16 and 28", rec.DetectedAt, rec.FinishedAt)
+	}
+	if math.Abs(res.Makespan-28) > 1e-9 {
+		t.Errorf("makespan = %v, want 28", res.Makespan)
+	}
+	// The Gantt shows the lost partial compute and the recovery compute.
+	w0 := res.Timelines[0].Spans
+	if len(w0) != 1 || w0[0].Label != "compute (lost)" || w0[0].End != 2 {
+		t.Errorf("worker0 spans = %+v", w0)
+	}
+	w1 := res.Timelines[1].Spans
+	if len(w1) != 2 || w1[1].Label != "recover 0" {
+		t.Errorf("worker1 spans = %+v", w1)
+	}
+}
+
+func TestScatterGatherRecoveryStormSerializes(t *testing.T) {
+	// Two of three workers die; the lone survivor absorbs both shares in
+	// detection order, queued behind its own compute.
+	sg := faultySG(3)
+	plan, err := faults.NewPlan(
+		faults.Fault{Kind: faults.Crash, Proc: 0, At: 1.5},
+		faults.Fault{Kind: faults.Crash, Proc: 1, At: 2.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg.Faults = plan
+	res, err := sg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 2 {
+		t.Fatalf("recoveries = %+v", res.Recoveries)
+	}
+	for _, rec := range res.Recoveries {
+		if rec.By != 2 {
+			t.Errorf("recovery %+v not absorbed by the survivor", rec)
+		}
+	}
+	// Timeouts at 16 (w0) and 17 (w1); resends [16,17] and [17,18]; the
+	// survivor's recoveries run back-to-back over [17,27] and [27,37];
+	// the last return lands at 38.
+	if math.Abs(res.Makespan-38) > 1e-9 {
+		t.Errorf("makespan = %v, want 38", res.Makespan)
+	}
+	if len(res.Timelines[2].Spans) != 3 {
+		t.Errorf("survivor spans = %+v", res.Timelines[2].Spans)
+	}
+}
+
+func TestScatterGatherAllDead(t *testing.T) {
+	sg := faultySG(2)
+	plan, err := faults.NewPlan(
+		faults.Fault{Kind: faults.Crash, Proc: 0, At: 0.5},
+		faults.Fault{Kind: faults.Crash, Proc: 1, At: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg.Faults = plan
+	if _, err := sg.Run(); err == nil {
+		t.Fatal("total loss accepted")
+	}
+}
+
+func TestScatterGatherLinkDownDelays(t *testing.T) {
+	sg := faultySG(2)
+	base, err := sg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := faultySG(2)
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.LinkDown, Proc: -1, At: 0.5, Duration: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down.Faults = plan
+	res, err := down.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1's scatter would start at 1, inside the outage [0.5,2.5):
+	// it is pushed to 2.5 and everything downstream shifts.
+	if !(res.Makespan > base.Makespan) {
+		t.Errorf("link outage did not delay: %v vs %v", res.Makespan, base.Makespan)
+	}
+	if s := res.Timelines[1].Spans[0].Start; math.Abs(s-3.5) > 1e-9 {
+		t.Errorf("worker1 compute starts at %v, want 3.5", s)
+	}
+}
+
+func TestScatterGatherTransientFaultsNoRecovery(t *testing.T) {
+	// A short stall within the grace window stretches the compute but
+	// triggers no recovery traffic.
+	sg := faultySG(2)
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.Stall, Proc: 0, At: 2, Duration: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg.Faults = plan
+	res, err := sg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recoveries) != 0 {
+		t.Fatalf("transient fault triggered recovery: %+v", res.Recoveries)
+	}
+	// Worker 0's compute stretches from [1,11] to [1,12].
+	if end := res.Timelines[0].Spans[0].End; math.Abs(end-12) > 1e-9 {
+		t.Errorf("stalled compute ends at %v, want 12", end)
 	}
 }

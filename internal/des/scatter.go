@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"heteropart/internal/faults"
 	"heteropart/internal/speed"
 )
 
@@ -14,6 +15,14 @@ import (
 // return over the same medium. This captures the compute/communication
 // overlap the closed-form model (compute makespan + communication time)
 // cannot: while worker 2 receives, worker 1 already computes.
+//
+// With a fault plan attached, the simulation also exercises the failure
+// path of the supervised executors: a worker that dies mid-compute never
+// returns its result, the master's per-worker timeout (FPM-predicted
+// compute × Grace after the input landed) detects the loss, and the
+// share is resent over the same shared medium to the best surviving
+// worker, whose recovery compute and return ride the ordinary timelines
+// — the Gantt data shows the recovery traffic explicitly.
 type ScatterGather struct {
 	// SendBytes[i] is the input volume for worker i; ReturnBytes[i] the
 	// output volume.
@@ -25,6 +34,22 @@ type ScatterGather struct {
 	Speeds []speed.Function
 	// LatencySec and BytesPerSec parameterize the shared link.
 	LatencySec, BytesPerSec float64
+	// Faults optionally injects the fault plan (crashes, stalls,
+	// slowdowns, link outages). Nil runs fault-free.
+	Faults *faults.Plan
+	// Grace scales the FPM-predicted compute time into the master's
+	// per-worker timeout. Default 1.5.
+	Grace float64
+}
+
+// Recovery records one failure handled during the run.
+type Recovery struct {
+	// Failed is the worker whose share was lost; By the survivor that
+	// recomputed it.
+	Failed, By int
+	// DetectedAt is when the master's timeout fired; FinishedAt when the
+	// recomputed result landed at the master.
+	DetectedAt, FinishedAt float64
 }
 
 // Result is the simulated outcome.
@@ -35,6 +60,16 @@ type Result struct {
 	Timelines []Timeline
 	// LinkUtilization is the shared medium's busy fraction of the run.
 	LinkUtilization float64
+	// Recoveries lists the failures detected and repaired, in detection
+	// order.
+	Recoveries []Recovery
+}
+
+func (sg *ScatterGather) grace() float64 {
+	if !(sg.Grace > 0) {
+		return 1.5
+	}
+	return sg.Grace
 }
 
 // Run executes the simulation. Workers receive their inputs in index
@@ -52,18 +87,25 @@ func (sg *ScatterGather) Run() (Result, error) {
 	if !(sg.BytesPerSec > 0) || sg.LatencySec < 0 {
 		return Result{}, fmt.Errorf("des: invalid link (%v s, %v B/s)", sg.LatencySec, sg.BytesPerSec)
 	}
+	if err := sg.Faults.Validate(p); err != nil {
+		return Result{}, err
+	}
 	e := NewEngine()
 	link := NewResource(e, "link")
+	for _, w := range sg.Faults.LinkDowns() {
+		end := w[1]
+		if math.IsInf(end, 1) {
+			end = math.MaxFloat64
+		}
+		if err := link.AddDowntime(w[0], end); err != nil {
+			return Result{}, err
+		}
+	}
 	res := Result{Timelines: make([]Timeline, p)}
 	for i := 0; i < p; i++ {
 		res.Timelines[i].Name = fmt.Sprintf("worker%d", i)
 	}
-	var scheduleErr error
-	fail := func(err error) {
-		if scheduleErr == nil {
-			scheduleErr = err
-		}
-	}
+	run := &sgRun{sg: sg, e: e, link: link, res: &res, busyUntil: make([]float64, p)}
 	for i := 0; i < p; i++ {
 		i := i
 		if sg.Work[i] == 0 {
@@ -78,28 +120,134 @@ func (sg *ScatterGather) Run() (Result, error) {
 		// Scatter transfers queue on the shared link in worker order
 		// (all requested at t=0, FCFS keeps them ordered).
 		err := link.Acquire(sendTime, fmt.Sprintf("send→%d", i), func(_, recvDone float64) {
-			if err := e.Schedule(recvDone+compute, func() {
-				res.Timelines[i].Add(recvDone, recvDone+compute, "compute")
-				retTime := sg.LatencySec + sg.ReturnBytes[i]/sg.BytesPerSec
-				if err := link.Acquire(retTime, fmt.Sprintf("return←%d", i), nil); err != nil {
-					fail(err)
-				}
-			}); err != nil {
-				fail(err)
-			}
+			run.startCompute(i, recvDone, compute)
 		})
 		if err != nil {
 			return Result{}, err
 		}
 	}
 	res.Makespan = e.Run()
-	if scheduleErr != nil {
-		return Result{}, scheduleErr
+	if run.err != nil {
+		return Result{}, run.err
 	}
 	if res.Makespan > 0 {
 		res.LinkUtilization = link.Utilization(res.Makespan)
 	}
 	return res, nil
+}
+
+// sgRun carries the mutable state of one simulation.
+type sgRun struct {
+	sg   *ScatterGather
+	e    *Engine
+	link *Resource
+	res  *Result
+	// busyUntil[j] is the end of worker j's last scheduled compute,
+	// used to queue recovery work behind a survivor's own share.
+	busyUntil []float64
+	err       error
+}
+
+func (r *sgRun) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// startCompute runs worker i's compute phase beginning at recvDone,
+// routing through the failure path when the fault plan kills the worker
+// (or delays it past the master's timeout) before it finishes.
+func (r *sgRun) startCompute(i int, recvDone, compute float64) {
+	sg := r.sg
+	finish := sg.Faults.FinishTime(i, recvDone, compute)
+	deadline := recvDone + compute*sg.grace()
+	if finish <= deadline {
+		r.busyUntil[i] = finish
+		if err := r.e.ScheduleClamped(finish, func() {
+			r.res.Timelines[i].Add(recvDone, finish, "compute")
+			retTime := sg.LatencySec + sg.ReturnBytes[i]/sg.BytesPerSec
+			if err := r.link.Acquire(retTime, fmt.Sprintf("return←%d", i), nil); err != nil {
+				r.fail(err)
+			}
+		}); err != nil {
+			r.fail(err)
+		}
+		return
+	}
+	// The worker dies (or straggles past the timeout): its progress ends
+	// at the death time or the deadline, whichever the master sees first.
+	lost := deadline
+	if dt, ok := sg.Faults.Dies(i); ok && dt < lost {
+		lost = dt
+	}
+	if lost > recvDone {
+		r.res.Timelines[i].Add(recvDone, lost, "compute (lost)")
+	}
+	if err := r.e.ScheduleClamped(deadline, func() {
+		r.recover(i)
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+// recover reacts to worker i's confirmed loss: resend its input over the
+// shared medium to the best surviving worker and queue the recomputation
+// there. Runs at the master's timeout.
+func (r *sgRun) recover(i int) {
+	sg := r.sg
+	now := r.e.Now()
+	resend := sg.LatencySec + sg.SendBytes[i]/sg.BytesPerSec
+	// The best survivor minimizes the predicted completion of the
+	// recovered share: it must be alive forever (a later death would
+	// strand the share again) and have positive speed at the share's
+	// working set.
+	best, bestDone, bestSpeed := -1, math.Inf(1), 0.0
+	for j := range sg.Speeds {
+		if j == i {
+			continue
+		}
+		if _, dies := sg.Faults.Dies(j); dies {
+			continue
+		}
+		sp := sg.Speeds[j].Eval(sg.Size[i])
+		if sp <= 0 {
+			continue
+		}
+		done := math.Max(now+resend, r.busyUntil[j]) + sg.Work[i]/sp
+		if done < bestDone {
+			best, bestDone, bestSpeed = j, done, sp
+		}
+	}
+	if best < 0 {
+		r.fail(fmt.Errorf("des: no survivor can absorb worker %d's share", i))
+		return
+	}
+	j, sp := best, bestSpeed
+	rec := Recovery{Failed: i, By: j, DetectedAt: now}
+	err := r.link.Acquire(resend, fmt.Sprintf("resend→%d (for %d)", j, i), func(_, resendDone float64) {
+		start := math.Max(resendDone, r.busyUntil[j])
+		end := sg.Faults.FinishTime(j, start, sg.Work[i]/sp)
+		if math.IsInf(end, 1) {
+			r.fail(fmt.Errorf("des: survivor %d died during recovery of worker %d", j, i))
+			return
+		}
+		r.busyUntil[j] = end
+		if err := r.e.ScheduleClamped(end, func() {
+			r.res.Timelines[j].Add(start, end, fmt.Sprintf("recover %d", i))
+			retTime := sg.LatencySec + sg.ReturnBytes[i]/sg.BytesPerSec
+			if err := r.link.Acquire(retTime, fmt.Sprintf("return←%d (recovered %d)", j, i), func(_, landed float64) {
+				rec.FinishedAt = landed
+				r.res.Recoveries = append(r.res.Recoveries, rec)
+			}); err != nil {
+				r.fail(err)
+			}
+		}); err != nil {
+			r.fail(err)
+		}
+	})
+	if err != nil {
+		r.fail(err)
+	}
 }
 
 // NoOverlapMakespan is the closed-form estimate the ablation compares

@@ -232,6 +232,7 @@ func TestAblations(t *testing.T) {
 		"heterog":    func() (interface{ NumRows() int }, error) { return AblationHeterogeneity() },
 		"groupblock": func() (interface{ NumRows() int }, error) { return AblationGroupBlock() },
 		"overlap":    func() (interface{ NumRows() int }, error) { return AblationOverlap() },
+		"faults":     func() (interface{ NumRows() int }, error) { return AblationFaultRecovery() },
 	} {
 		tb, err := run()
 		if err != nil {
@@ -264,6 +265,34 @@ func TestAblationBuilderBudget(t *testing.T) {
 	}
 	if last > first*1.1 {
 		t.Errorf("more measurements made balance worse: %.3f → %.3f", first, last)
+	}
+}
+
+func TestAblationFaultRecovery(t *testing.T) {
+	tb, err := AblationFaultRecovery()
+	if err != nil {
+		t.Fatalf("AblationFaultRecovery: %v", err)
+	}
+	rows := tb.Rows()
+	if len(rows) < 3 {
+		t.Fatalf("too few rows: %d", len(rows))
+	}
+	for _, row := range rows {
+		base, err1 := strconv.ParseFloat(row[1], 64)
+		rec, err2 := strconv.ParseFloat(row[2], 64)
+		naive, err3 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad cells in row %v", row)
+		}
+		// The FPM-aware recovery never recomputes finished shares, so it
+		// must beat the rerun-from-scratch baseline strictly, and both
+		// must cost more than the fault-free run.
+		if !(rec < naive) {
+			t.Errorf("%s: recovered %v not below naive %v", row[0], rec, naive)
+		}
+		if !(rec > base) {
+			t.Errorf("%s: recovery %v not above fault-free %v", row[0], rec, base)
+		}
 	}
 }
 

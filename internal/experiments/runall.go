@@ -29,6 +29,7 @@ var artifactNames = []string{
 	"ablation-algorithms", "ablation-bisection", "ablation-finetune",
 	"ablation-builder", "ablation-communication", "ablation-2d",
 	"ablation-step-model", "ablation-heterogeneity", "ablation-group-block", "ablation-overlap",
+	"ablation-fault-recovery",
 }
 
 // Artifacts lists the artifact names accepted by Options.Only.
@@ -77,6 +78,7 @@ func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
 		"ablation-heterogeneity": func() ([]*report.Table, error) { return one(AblationHeterogeneity()) },
 		"ablation-group-block":   func() ([]*report.Table, error) { return one(AblationGroupBlock()) },
 		"ablation-overlap":       func() ([]*report.Table, error) { return one(AblationOverlap()) },
+		"ablation-fault-recovery": func() ([]*report.Table, error) { return one(AblationFaultRecovery()) },
 	}
 	only := strings.ToLower(opt.Only)
 	var all []*report.Table

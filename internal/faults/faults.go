@@ -1,0 +1,451 @@
+// Package faults is the deterministic fault-injection layer of the
+// reproduction. The paper's premise is that networks of heterogeneous
+// computers are unreliable performers — speeds fluctuate 30–40 %
+// (Figure 2), machines page, stall under foreign load, or drop out — yet
+// a static distribution assumes every worker finishes. This package
+// describes what can go wrong (a seeded, replayable fault plan) and
+// provides the two mechanisms the executors need to survive it: a
+// wall-clock Injector that makes real goroutine workers misbehave on
+// schedule, and a Supervisor that detects the misbehaviour (deadlines
+// derived from the FPM-predicted finish times, heartbeat-based straggler
+// detection) and drives bounded retries so the caller can repartition the
+// confirmed-dead worker's share over the survivors.
+//
+// All fault times are in model seconds from the start of the run. Plans
+// are pure data: the same plan drives the closed-form simulator
+// (internal/sim), the discrete-event engine (internal/des) and the real
+// executors (internal/apps), so a scenario can be studied at all three
+// fidelities.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the fault types.
+type Kind int
+
+const (
+	// Crash stops a processor permanently at time At.
+	Crash Kind = iota
+	// Slow multiplies a processor's speed by Factor during the window.
+	Slow
+	// Stall stops a processor's progress during the window (it makes no
+	// progress but may resume if the window is bounded).
+	Stall
+	// LinkDown makes the shared communication medium unavailable during
+	// the window; transfers cannot start while it is down.
+	LinkDown
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Slow:
+		return "slow"
+	case Stall:
+		return "stall"
+	case LinkDown:
+		return "link"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	// Kind selects the failure type.
+	Kind Kind
+	// Proc is the zero-based processor index; -1 for LinkDown faults.
+	Proc int
+	// At is the injection time in model seconds.
+	At float64
+	// Duration bounds transient Slow/Stall/LinkDown windows; zero means
+	// permanent. Crash is always permanent and ignores Duration.
+	Duration float64
+	// Factor is the Slow speed multiplier in (0, 1).
+	Factor float64
+}
+
+// end returns the end of the fault's active window.
+func (f Fault) end() float64 {
+	if f.Kind == Crash || f.Duration <= 0 {
+		return math.Inf(1)
+	}
+	return f.At + f.Duration
+}
+
+// String renders the fault in the spec syntax ParseSpec accepts.
+func (f Fault) String() string {
+	var b strings.Builder
+	if f.Kind == LinkDown {
+		b.WriteString("link")
+	} else {
+		fmt.Fprintf(&b, "p%d", f.Proc)
+	}
+	fmt.Fprintf(&b, "@t=%gs", f.At)
+	switch f.Kind {
+	case Slow:
+		fmt.Fprintf(&b, ",slow=%g", f.Factor)
+	case Stall:
+		b.WriteString(",stall")
+	}
+	if f.Duration > 0 && f.Kind != Crash {
+		fmt.Fprintf(&b, ",for=%gs", f.Duration)
+	}
+	return b.String()
+}
+
+// Plan is a replayable fault schedule.
+type Plan struct {
+	Faults []Fault
+}
+
+// NewPlan validates and wraps a fault list.
+func NewPlan(fs ...Fault) (*Plan, error) {
+	p := &Plan{Faults: append([]Fault(nil), fs...)}
+	if err := p.Validate(-1); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the plan. When procs >= 0, processor indexes must lie
+// in [0, procs).
+func (p *Plan) Validate(procs int) error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Faults {
+		if f.At < 0 || math.IsNaN(f.At) || math.IsInf(f.At, 0) {
+			return fmt.Errorf("faults: fault %d: invalid time %v", i, f.At)
+		}
+		if f.Duration < 0 || math.IsNaN(f.Duration) {
+			return fmt.Errorf("faults: fault %d: invalid duration %v", i, f.Duration)
+		}
+		switch f.Kind {
+		case Crash, Stall:
+		case Slow:
+			if !(f.Factor > 0 && f.Factor < 1) {
+				return fmt.Errorf("faults: fault %d: slow factor %v outside (0,1)", i, f.Factor)
+			}
+		case LinkDown:
+			if f.Proc != -1 {
+				return fmt.Errorf("faults: fault %d: link fault names processor %d", i, f.Proc)
+			}
+			continue
+		default:
+			return fmt.Errorf("faults: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+		if f.Proc < 0 || (procs >= 0 && f.Proc >= procs) {
+			return fmt.Errorf("faults: fault %d: processor %d out of range (have %d)", i, f.Proc, procs)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// CrashTime returns the earliest crash time of the processor.
+func (p *Plan) CrashTime(proc int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	t, ok := math.Inf(1), false
+	for _, f := range p.Faults {
+		if f.Kind == Crash && f.Proc == proc && f.At < t {
+			t, ok = f.At, true
+		}
+	}
+	return t, ok
+}
+
+// Dies returns the earliest time at which the processor permanently
+// stops making progress — a crash, or the start of an unbounded stall.
+// Transient faults and slowdowns (which keep the processor moving) do
+// not count.
+func (p *Plan) Dies(proc int) (float64, bool) {
+	if p == nil {
+		return 0, false
+	}
+	t, ok := math.Inf(1), false
+	for _, f := range p.Faults {
+		if f.Proc != proc {
+			continue
+		}
+		if f.Kind == Crash || (f.Kind == Stall && f.Duration <= 0) {
+			if f.At < t {
+				t, ok = f.At, true
+			}
+		}
+	}
+	return t, ok
+}
+
+// Factor returns the processor's instantaneous speed multiplier at time
+// t: zero once crashed or inside a stall window, the product of the
+// active slow factors otherwise.
+func (p *Plan) Factor(proc int, t float64) float64 {
+	if p == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, f := range p.Faults {
+		if f.Proc != proc || t < f.At || t >= f.end() {
+			continue
+		}
+		switch f.Kind {
+		case Crash, Stall:
+			return 0
+		case Slow:
+			factor *= f.Factor
+		}
+	}
+	return factor
+}
+
+// breakpoints lists the times at which the processor's factor may change,
+// in increasing order, restricted to (from, ∞).
+func (p *Plan) breakpoints(proc int, from float64) []float64 {
+	var bs []float64
+	for _, f := range p.Faults {
+		if f.Proc != proc || f.Kind == LinkDown {
+			continue
+		}
+		for _, t := range []float64{f.At, f.end()} {
+			if t > from && !math.IsInf(t, 1) {
+				bs = append(bs, t)
+			}
+		}
+	}
+	sort.Float64s(bs)
+	return bs
+}
+
+// Progress integrates the processor's speed factor over [from, to]: the
+// effective seconds of work done in that wall interval.
+func (p *Plan) Progress(proc int, from, to float64) float64 {
+	if to <= from {
+		return 0
+	}
+	if p == nil {
+		return to - from
+	}
+	var done float64
+	t := from
+	for _, b := range append(p.breakpoints(proc, from), to) {
+		if b > to {
+			b = to
+		}
+		if b <= t {
+			continue
+		}
+		done += (b - t) * p.Factor(proc, 0.5*(t+b))
+		t = b
+	}
+	return done
+}
+
+// FinishTime returns the earliest wall time at which a task started at
+// start and needing `need` effective seconds completes on the processor,
+// or +Inf if the processor never makes that much progress (crashed or
+// permanently stalled first).
+func (p *Plan) FinishTime(proc int, start, need float64) float64 {
+	if need <= 0 {
+		return start
+	}
+	if p == nil {
+		return start + need
+	}
+	t, remaining := start, need
+	bs := p.breakpoints(proc, start)
+	for _, b := range bs {
+		f := p.Factor(proc, 0.5*(t+b))
+		if f > 0 {
+			if dt := remaining / f; t+dt <= b {
+				return t + dt
+			}
+			remaining -= (b - t) * f
+		}
+		t = b
+	}
+	// Past the last breakpoint the factor is constant forever.
+	f := p.Factor(proc, t)
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return t + remaining/f
+}
+
+// LinkDowns returns the link-unavailability windows as [start, end)
+// pairs, unmerged, in schedule order. Permanent outages have end +Inf.
+func (p *Plan) LinkDowns() [][2]float64 {
+	if p == nil {
+		return nil
+	}
+	var ws [][2]float64
+	for _, f := range p.Faults {
+		if f.Kind == LinkDown {
+			ws = append(ws, [2]float64{f.At, f.end()})
+		}
+	}
+	return ws
+}
+
+// ErrSpec reports a malformed fault-spec string.
+var ErrSpec = errors.New("faults: bad fault spec")
+
+// ParseSpec parses one command-line fault spec. Grammar (times in
+// seconds, trailing "s" optional):
+//
+//	p3@t=1.5s                 crash processor 3 at 1.5 s
+//	p2@t=1s,slow=0.4          processor 2 runs at 40 % speed from 1 s on
+//	p2@t=1s,slow=0.4,for=2s   …for 2 s only
+//	p1@t=2s,stall,for=0.5s    processor 1 freezes for 0.5 s
+//	link@t=0.5s,for=1s        the shared medium is down for 1 s
+//
+// The processor token is either pN (zero-based index) or one of the
+// given names; names may be nil when only indexes are used.
+func ParseSpec(spec string, names []string) (Fault, error) {
+	parts := strings.Split(spec, ",")
+	head := strings.SplitN(parts[0], "@", 2)
+	if len(head) != 2 {
+		return Fault{}, fmt.Errorf("%w %q: want proc@t=TIME[,…]", ErrSpec, spec)
+	}
+	f := Fault{Kind: Crash, Proc: -1, Factor: 0}
+	procTok := strings.TrimSpace(head[0])
+	if procTok == "link" {
+		f.Kind = LinkDown
+	} else {
+		idx, err := resolveProc(procTok, names)
+		if err != nil {
+			return Fault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+		}
+		f.Proc = idx
+	}
+	at, err := parseSeconds(strings.TrimSpace(head[1]), "t")
+	if err != nil {
+		return Fault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+	}
+	f.At = at
+	for _, raw := range parts[1:] {
+		kv := strings.SplitN(strings.TrimSpace(raw), "=", 2)
+		switch kv[0] {
+		case "slow":
+			if f.Kind == LinkDown {
+				return Fault{}, fmt.Errorf("%w %q: link faults cannot slow", ErrSpec, spec)
+			}
+			if len(kv) != 2 {
+				return Fault{}, fmt.Errorf("%w %q: slow wants a factor", ErrSpec, spec)
+			}
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil || !(v > 0 && v < 1) {
+				return Fault{}, fmt.Errorf("%w %q: slow factor must lie in (0,1)", ErrSpec, spec)
+			}
+			f.Kind, f.Factor = Slow, v
+		case "stall":
+			if f.Kind == LinkDown {
+				return Fault{}, fmt.Errorf("%w %q: link faults cannot stall", ErrSpec, spec)
+			}
+			f.Kind = Stall
+		case "for":
+			if len(kv) != 2 {
+				return Fault{}, fmt.Errorf("%w %q: for wants a duration", ErrSpec, spec)
+			}
+			d, err := parseSeconds("for="+kv[1], "for")
+			if err != nil {
+				return Fault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+			}
+			f.Duration = d
+		default:
+			return Fault{}, fmt.Errorf("%w %q: unknown option %q", ErrSpec, spec, kv[0])
+		}
+	}
+	if f.Kind == Crash && f.Duration > 0 {
+		return Fault{}, fmt.Errorf("%w %q: a crash is permanent; drop the for=", ErrSpec, spec)
+	}
+	if err := (&Plan{Faults: []Fault{f}}).Validate(-1); err != nil {
+		return Fault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+	}
+	return f, nil
+}
+
+// ParseSpecs parses a list of specs (e.g. repeated -fail flags).
+func ParseSpecs(specs []string, names []string) (*Plan, error) {
+	p := &Plan{}
+	for _, s := range specs {
+		if strings.TrimSpace(s) == "" {
+			continue
+		}
+		f, err := ParseSpec(s, names)
+		if err != nil {
+			return nil, err
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+func resolveProc(tok string, names []string) (int, error) {
+	for i, n := range names {
+		if n != "" && n == tok {
+			return i, nil
+		}
+	}
+	if strings.HasPrefix(tok, "p") {
+		if idx, err := strconv.Atoi(tok[1:]); err == nil && idx >= 0 {
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown processor %q (want pN or a cluster name)", tok)
+}
+
+// parseSeconds parses "key=1.5s" or a bare "1.5s"/"1.5" value.
+func parseSeconds(s, key string) (float64, error) {
+	if kv := strings.SplitN(s, "=", 2); len(kv) == 2 {
+		if kv[0] != key {
+			return 0, fmt.Errorf("want %s=TIME, got %q", key, s)
+		}
+		s = kv[1]
+	}
+	s = strings.TrimSuffix(strings.TrimSpace(s), "s")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return v, nil
+}
+
+// Generate draws a seeded Poisson crash process: crashes arrive at the
+// given rate (faults per model second across the whole cluster) over
+// [0, horizon), each hitting a uniformly chosen processor. The same seed
+// always yields the same plan, which is what lets the ABL11 experiment
+// replay identical fault histories under different recovery policies.
+func Generate(seed uint64, procs int, rate, horizon float64) *Plan {
+	p := &Plan{}
+	if procs <= 0 || !(rate > 0) || !(horizon > 0) {
+		return p
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	crashed := make(map[int]bool, procs)
+	for t := rng.ExpFloat64() / rate; t < horizon; t += rng.ExpFloat64() / rate {
+		proc := rng.IntN(procs)
+		if crashed[proc] {
+			continue // a machine crashes at most once
+		}
+		crashed[proc] = true
+		p.Faults = append(p.Faults, Fault{Kind: Crash, Proc: proc, At: t})
+		if len(crashed) == procs-1 {
+			break // leave at least one survivor
+		}
+	}
+	return p
+}

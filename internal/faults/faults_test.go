@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanFactorAndProgress(t *testing.T) {
+	p, err := NewPlan(
+		Fault{Kind: Slow, Proc: 0, At: 1, Duration: 2, Factor: 0.5},
+		Fault{Kind: Stall, Proc: 1, At: 0.5, Duration: 1},
+		Fault{Kind: Crash, Proc: 2, At: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Factor(0, 0.5); got != 1 {
+		t.Errorf("factor before slow window = %v, want 1", got)
+	}
+	if got := p.Factor(0, 2); got != 0.5 {
+		t.Errorf("factor inside slow window = %v, want 0.5", got)
+	}
+	if got := p.Factor(0, 3.5); got != 1 {
+		t.Errorf("factor after slow window = %v, want 1", got)
+	}
+	if got := p.Factor(1, 1); got != 0 {
+		t.Errorf("factor inside stall = %v, want 0", got)
+	}
+	if got := p.Factor(2, 10); got != 0 {
+		t.Errorf("factor after crash = %v, want 0", got)
+	}
+	// Progress over [0,4] on proc 0: 1s full + 2s at 0.5 + 1s full = 3.
+	if got := p.Progress(0, 0, 4); math.Abs(got-3) > 1e-12 {
+		t.Errorf("progress = %v, want 3", got)
+	}
+	// Unfaulted processor progresses at full speed.
+	if got := p.Progress(5, 1, 3); got != 2 {
+		t.Errorf("clean progress = %v, want 2", got)
+	}
+}
+
+func TestPlanFinishTime(t *testing.T) {
+	p, err := NewPlan(
+		Fault{Kind: Slow, Proc: 0, At: 1, Duration: 2, Factor: 0.5},
+		Fault{Kind: Crash, Proc: 1, At: 2},
+		Fault{Kind: Stall, Proc: 2, At: 1}, // permanent stall
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 effective seconds from t=0 on proc 0: 1 unit before the window,
+	// 1 unit during the 2s half-speed window, 1 unit after → finish at 4.
+	if got := p.FinishTime(0, 0, 3); math.Abs(got-4) > 1e-12 {
+		t.Errorf("finish = %v, want 4", got)
+	}
+	// A task that fits before the window is untouched.
+	if got := p.FinishTime(0, 0, 1); got != 1 {
+		t.Errorf("finish = %v, want 1", got)
+	}
+	if got := p.FinishTime(1, 0, 5); !math.IsInf(got, 1) {
+		t.Errorf("crashed finish = %v, want +Inf", got)
+	}
+	if got := p.FinishTime(1, 0, 1.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("pre-crash finish = %v, want 1.5", got)
+	}
+	if got := p.FinishTime(2, 0, 5); !math.IsInf(got, 1) {
+		t.Errorf("stalled-forever finish = %v, want +Inf", got)
+	}
+	var nilPlan *Plan
+	if got := nilPlan.FinishTime(0, 1, 2); got != 3 {
+		t.Errorf("nil plan finish = %v, want 3", got)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Fault{
+		{Kind: Crash, Proc: -1, At: 1},
+		{Kind: Crash, Proc: 3, At: -1},
+		{Kind: Slow, Proc: 0, At: 1, Factor: 1.5},
+		{Kind: Slow, Proc: 0, At: 1, Factor: 0},
+		{Kind: LinkDown, Proc: 2, At: 1},
+		{Kind: Kind(42), Proc: 0, At: 1},
+		{Kind: Crash, Proc: 0, At: math.Inf(1)},
+		{Kind: Stall, Proc: 0, At: 1, Duration: -2},
+	}
+	for i, f := range bad {
+		if _, err := NewPlan(f); err == nil {
+			t.Errorf("fault %d (%+v) accepted", i, f)
+		}
+	}
+	p := &Plan{Faults: []Fault{{Kind: Crash, Proc: 5, At: 1}}}
+	if err := p.Validate(4); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	if err := p.Validate(6); err != nil {
+		t.Errorf("in-range processor rejected: %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	names := []string{"zaphod", "ford"}
+	cases := []struct {
+		spec string
+		want Fault
+	}{
+		{"p3@t=1.5s", Fault{Kind: Crash, Proc: 3, At: 1.5}},
+		{"p0@t=2", Fault{Kind: Crash, Proc: 0, At: 2}},
+		{"ford@t=1s", Fault{Kind: Crash, Proc: 1, At: 1}},
+		{"p2@t=1s,slow=0.4", Fault{Kind: Slow, Proc: 2, At: 1, Factor: 0.4}},
+		{"p2@t=1s,slow=0.4,for=2s", Fault{Kind: Slow, Proc: 2, At: 1, Factor: 0.4, Duration: 2}},
+		{"p1@t=2s,stall,for=0.5s", Fault{Kind: Stall, Proc: 1, At: 2, Duration: 0.5}},
+		{"link@t=0.5s,for=1s", Fault{Kind: LinkDown, Proc: -1, At: 0.5, Duration: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec, names)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// The String form re-parses to the same fault.
+		back, err := ParseSpec(got.String(), nil)
+		if err != nil || (back != got && got.Proc >= 0) {
+			t.Errorf("round-trip of %q via %q = %+v, %v", c.spec, got.String(), back, err)
+		}
+	}
+	bad := []string{
+		"", "p1", "p1@", "@t=1", "bogus@t=1", "p1@t=-1", "p1@t=1,slow=2",
+		"p1@t=1,wat", "link@t=1,slow=0.5", "link@t=1,stall", "p1@t=1,for=2s",
+		"p1@t=1,slow", "p1@t=1,for",
+	}
+	for _, s := range bad {
+		if f, err := ParseSpec(s, names); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", s, f)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndBounded(t *testing.T) {
+	a := Generate(7, 12, 0.05, 100)
+	b := Generate(7, 12, 0.05, 100)
+	if len(a.Faults) != len(b.Faults) {
+		t.Fatalf("same seed, different plans: %d vs %d faults", len(a.Faults), len(b.Faults))
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("rate 0.05 over 100s produced no faults")
+	}
+	if err := a.Validate(12); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	// At least one processor survives, and no processor crashes twice.
+	seen := map[int]bool{}
+	for _, f := range a.Faults {
+		if f.Kind != Crash {
+			t.Fatalf("generated non-crash fault %+v", f)
+		}
+		if seen[f.Proc] {
+			t.Fatalf("processor %d crashes twice", f.Proc)
+		}
+		seen[f.Proc] = true
+	}
+	if len(seen) >= 12 {
+		t.Fatal("no survivors")
+	}
+	if got := Generate(1, 0, 1, 1); len(got.Faults) != 0 {
+		t.Errorf("degenerate generate produced %d faults", len(got.Faults))
+	}
+}

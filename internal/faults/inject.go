@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks failures produced by the injector rather than by the
+// computation itself.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Injector drives a Plan against real goroutine workers on the wall
+// clock. Workers call Gate between units of work (rows, block columns);
+// Gate returns ErrInjected once the worker's processor has crashed,
+// blocks through stall windows, and sleeps through slowdown windows so
+// the worker's wall-clock speed matches the plan's factor.
+//
+// Scale maps model seconds to wall seconds (wall = model × Scale), so a
+// plan authored in whole seconds can replay in milliseconds in tests.
+type Injector struct {
+	plan  *Plan
+	scale float64
+	start atomic.Int64 // wall nanos of the run start; 0 = not started
+	// lastGate[proc] is the model time of the worker's previous Gate
+	// call, used to stretch slowdown windows proportionally.
+	lastGate []atomic.Uint64
+}
+
+// NewInjector prepares an injector for procs workers. A nil plan yields
+// an injector whose Gate never fires.
+func NewInjector(plan *Plan, procs int, scale float64) (*Injector, error) {
+	if err := plan.Validate(procs); err != nil {
+		return nil, err
+	}
+	if !(scale > 0) {
+		return nil, fmt.Errorf("faults: invalid time scale %v", scale)
+	}
+	return &Injector{plan: plan, scale: scale, lastGate: make([]atomic.Uint64, procs)}, nil
+}
+
+// Start marks the beginning of the run; the first Gate call starts the
+// clock implicitly when Start was not called.
+func (in *Injector) Start() {
+	in.start.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// Now returns the current model time.
+func (in *Injector) Now() float64 {
+	in.Start()
+	return float64(time.Now().UnixNano()-in.start.Load()) / 1e9 / in.scale
+}
+
+// Gate is the per-unit-of-work checkpoint. It returns ErrInjected once
+// the processor has crashed, ctx.Err() if the context ends while
+// blocked, and nil otherwise. Stall windows block in real time; slowdown
+// windows are emulated by sleeping (1/factor − 1) × the wall time the
+// worker spent since its previous Gate call.
+func (in *Injector) Gate(ctx context.Context, proc int) error {
+	if in == nil || in.plan.Empty() {
+		return nil
+	}
+	t := in.Now()
+	prev := in.loadLastGate(proc)
+	in.storeLastGate(proc, t)
+	if ct, ok := in.plan.CrashTime(proc); ok && t >= ct {
+		return fmt.Errorf("%w: processor %d crashed at t=%gs", ErrInjected, proc, ct)
+	}
+	// Block through stall windows (Factor == 0 without a crash).
+	for in.plan.Factor(proc, in.Now()) == 0 {
+		if ct, ok := in.plan.CrashTime(proc); ok && in.Now() >= ct {
+			return fmt.Errorf("%w: processor %d crashed at t=%gs", ErrInjected, proc, ct)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+	// Emulate slowdowns: the work since the previous gate took (t−prev)
+	// wall seconds at full speed; at factor f it should have taken
+	// (t−prev)/f, so sleep the difference.
+	if f := in.plan.Factor(proc, t); f > 0 && f < 1 && t > prev {
+		extra := (t - prev) * (1/f - 1) * in.scale
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(extra * float64(time.Second))):
+		}
+	}
+	return nil
+}
+
+// loadLastGate / storeLastGate keep per-processor model times in atomics
+// (float64 bits) so Gate is safe under -race with one goroutine per
+// processor plus monitors.
+func (in *Injector) loadLastGate(proc int) float64 {
+	return math.Float64frombits(in.lastGate[proc].Load())
+}
+
+func (in *Injector) storeLastGate(proc int, t float64) {
+	in.lastGate[proc].Store(math.Float64bits(t))
+}

@@ -1,0 +1,215 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes supervised execution. The zero value is usable: every
+// field falls back to the default noted on it.
+type Config struct {
+	// Grace scales the FPM-predicted task time into the worker's
+	// deadline: deadline = Predicted × Grace × Scale. Default 4.
+	Grace float64
+	// Scale maps model seconds to wall seconds (default 1). Tests run
+	// second-scale plans in milliseconds with Scale = 1e-3.
+	Scale float64
+	// MinDeadline floors the per-worker deadline so very small tasks are
+	// not killed by scheduler jitter. Default 100 ms.
+	MinDeadline time.Duration
+	// Heartbeat is the monitor's sampling period. Default 2 ms.
+	Heartbeat time.Duration
+	// StallAfter declares a worker stalled when its heartbeat has not
+	// advanced for this long. Default 25 × Heartbeat.
+	StallAfter time.Duration
+	// MaxRetries bounds the extra attempts after the first failure of a
+	// worker. Default 1.
+	MaxRetries int
+	// Backoff is the pause before the first retry; it doubles per
+	// attempt. Default 1 ms.
+	Backoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if !(c.Grace > 0) {
+		c.Grace = 4
+	}
+	if !(c.Scale > 0) {
+		c.Scale = 1
+	}
+	if c.MinDeadline <= 0 {
+		c.MinDeadline = 100 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 2 * time.Millisecond
+	}
+	if c.StallAfter <= 0 {
+		c.StallAfter = 25 * c.Heartbeat
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	return c
+}
+
+// Deadline converts an FPM-predicted task time (model seconds) into the
+// wall-clock budget the supervisor grants before declaring a timeout.
+func (c Config) Deadline(predicted float64) time.Duration {
+	c = c.withDefaults()
+	d := time.Duration(predicted * c.Grace * c.Scale * float64(time.Second))
+	if d < c.MinDeadline {
+		d = c.MinDeadline
+	}
+	return d
+}
+
+// Task is one supervised unit of work.
+type Task struct {
+	// Worker identifies the processor the task runs on.
+	Worker int
+	// Predicted is the FPM-predicted execution time in model seconds;
+	// the deadline is Predicted × Grace × Scale.
+	Predicted float64
+	// Run performs the work. It must return promptly when ctx ends and
+	// call beat() regularly (once per row/block) so the supervisor can
+	// tell a straggler from a stalled worker. Retries call Run again;
+	// the closure is responsible for resuming rather than redoing work.
+	Run func(ctx context.Context, beat func()) error
+}
+
+// Failure reasons reported in Outcome.Reason.
+const (
+	ReasonCrash    = "crash"    // Run returned an error
+	ReasonDeadline = "deadline" // the grace deadline expired
+	ReasonStall    = "stall"    // heartbeat stopped advancing
+)
+
+// Outcome reports one task's supervised execution.
+type Outcome struct {
+	Worker   int
+	Attempts int
+	Elapsed  time.Duration
+	// Err is nil when some attempt succeeded; otherwise the last error.
+	Err error
+	// Reason classifies the last failure ("", crash, deadline, stall).
+	Reason string
+}
+
+// Failed reports whether the task exhausted its retries.
+func (o Outcome) Failed() bool { return o.Err != nil }
+
+// errStalled marks heartbeat-detected stalls.
+var errStalled = errors.New("faults: worker stalled (heartbeat stopped)")
+
+// Supervise runs the tasks concurrently, each under a deadline derived
+// from its FPM prediction, with heartbeat-based stall detection and
+// bounded retry with exponential backoff. It returns one Outcome per
+// task, in task order; it never returns early — a confirmed failure is
+// reported, not propagated, so the caller can repartition the failed
+// worker's share over the survivors.
+func Supervise(ctx context.Context, cfg Config, tasks []Task) []Outcome {
+	cfg = cfg.withDefaults()
+	outs := make([]Outcome, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		if t.Run == nil {
+			outs[i] = Outcome{Worker: t.Worker, Err: fmt.Errorf("faults: task %d has no Run", i)}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, t Task) {
+			defer wg.Done()
+			outs[i] = superviseOne(ctx, cfg, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return outs
+}
+
+func superviseOne(ctx context.Context, cfg Config, t Task) Outcome {
+	out := Outcome{Worker: t.Worker}
+	start := time.Now()
+	backoff := cfg.Backoff
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		out.Attempts = attempt + 1
+		err, reason := runAttempt(ctx, cfg, t)
+		if err == nil {
+			out.Err, out.Reason = nil, ""
+			break
+		}
+		out.Err, out.Reason = err, reason
+		if ctx.Err() != nil || attempt == cfg.MaxRetries {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}
+
+// runAttempt executes one attempt under a deadline context plus a
+// heartbeat monitor, and classifies the failure.
+func runAttempt(ctx context.Context, cfg Config, t Task) (error, string) {
+	deadline := cfg.Deadline(t.Predicted)
+	actx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+
+	var beats atomic.Int64
+	beat := func() { beats.Add(1) }
+
+	// The monitor cancels the attempt when the heartbeat stops advancing
+	// for StallAfter — the straggler/stall detector. A worker blocked in
+	// an injected stall window (or a real page storm) stops beating long
+	// before its deadline expires.
+	stalled := make(chan struct{})
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		tick := time.NewTicker(cfg.Heartbeat)
+		defer tick.Stop()
+		last, lastChange := beats.Load(), time.Now()
+		for {
+			select {
+			case <-actx.Done():
+				return
+			case <-tick.C:
+				if now := beats.Load(); now != last {
+					last, lastChange = now, time.Now()
+				} else if time.Since(lastChange) > cfg.StallAfter {
+					close(stalled)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	err := t.Run(actx, beat)
+	cancel()
+	<-monitorDone
+	if err == nil {
+		return nil, ""
+	}
+	select {
+	case <-stalled:
+		return fmt.Errorf("%w (after %v)", errStalled, cfg.StallAfter), ReasonStall
+	default:
+	}
+	if errors.Is(err, context.DeadlineExceeded) || actx.Err() == context.DeadlineExceeded {
+		return fmt.Errorf("faults: worker %d exceeded its grace deadline %v: %w", t.Worker, deadline, err), ReasonDeadline
+	}
+	return err, ReasonCrash
+}

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastCfg keeps supervised tests in the tens of milliseconds.
+func fastCfg() Config {
+	return Config{
+		Grace:       2,
+		Scale:       1,
+		MinDeadline: 40 * time.Millisecond,
+		Heartbeat:   time.Millisecond,
+		StallAfter:  10 * time.Millisecond,
+		MaxRetries:  1,
+		Backoff:     time.Millisecond,
+	}
+}
+
+func TestSuperviseAllSucceed(t *testing.T) {
+	var ran atomic.Int32
+	tasks := make([]Task, 4)
+	for i := range tasks {
+		tasks[i] = Task{Worker: i, Predicted: 0.001, Run: func(ctx context.Context, beat func()) error {
+			beat()
+			ran.Add(1)
+			return nil
+		}}
+	}
+	outs := Supervise(context.Background(), fastCfg(), tasks)
+	for _, o := range outs {
+		if o.Failed() || o.Attempts != 1 {
+			t.Errorf("worker %d: %+v", o.Worker, o)
+		}
+	}
+	if ran.Load() != 4 {
+		t.Errorf("ran %d tasks, want 4", ran.Load())
+	}
+}
+
+func TestSuperviseRetriesTransientFailure(t *testing.T) {
+	var calls atomic.Int32
+	outs := Supervise(context.Background(), fastCfg(), []Task{{
+		Worker: 0, Predicted: 0.001,
+		Run: func(ctx context.Context, beat func()) error {
+			beat()
+			if calls.Add(1) == 1 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+	}})
+	if outs[0].Failed() {
+		t.Fatalf("transient failure not recovered: %+v", outs[0])
+	}
+	if outs[0].Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", outs[0].Attempts)
+	}
+}
+
+func TestSuperviseConfirmsPermanentCrash(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	outs := Supervise(context.Background(), fastCfg(), []Task{{
+		Worker: 3, Predicted: 0.001,
+		Run: func(ctx context.Context, beat func()) error {
+			beat()
+			calls.Add(1)
+			return boom
+		},
+	}})
+	o := outs[0]
+	if !o.Failed() || !errors.Is(o.Err, boom) || o.Reason != ReasonCrash {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if o.Attempts != 2 || calls.Load() != 2 {
+		t.Errorf("attempts = %d, calls = %d, want 2/2 (bounded retry)", o.Attempts, calls.Load())
+	}
+}
+
+func TestSuperviseDeadlineFromPrediction(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinDeadline = 10 * time.Millisecond
+	cfg.StallAfter = time.Second // isolate the deadline path from the stall detector
+	outs := Supervise(context.Background(), cfg, []Task{{
+		Worker: 1, Predicted: 0.001, // deadline = max(2ms, MinDeadline) = 10ms
+		Run: func(ctx context.Context, beat func()) error {
+			for { // beat constantly but never finish
+				beat()
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(time.Millisecond):
+				}
+			}
+		},
+	}})
+	o := outs[0]
+	if !o.Failed() || o.Reason != ReasonDeadline {
+		t.Fatalf("outcome = %+v, want deadline failure", o)
+	}
+}
+
+func TestSuperviseDetectsStall(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MinDeadline = 5 * time.Second // deadline far away: the stall detector must fire first
+	cfg.MaxRetries = 0
+	start := time.Now()
+	outs := Supervise(context.Background(), cfg, []Task{{
+		Worker: 2, Predicted: 10,
+		Run: func(ctx context.Context, beat func()) error {
+			beat()
+			<-ctx.Done() // stop beating and block, like a paging storm
+			return ctx.Err()
+		},
+	}})
+	o := outs[0]
+	if !o.Failed() || o.Reason != ReasonStall {
+		t.Fatalf("outcome = %+v, want stall", o)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Errorf("stall detection took %v; the heartbeat monitor should beat the deadline", e)
+	}
+}
+
+func TestConfigDeadline(t *testing.T) {
+	cfg := Config{Grace: 2, Scale: 0.5, MinDeadline: time.Millisecond}
+	if got, want := cfg.Deadline(3), time.Duration(3*float64(time.Second)); got != want {
+		t.Errorf("Deadline(3) = %v, want %v", got, want)
+	}
+	if got := (Config{}).Deadline(0); got != 100*time.Millisecond {
+		t.Errorf("zero-config floor = %v, want 100ms", got)
+	}
+}
+
+func TestInjectorCrashAndResume(t *testing.T) {
+	plan, err := NewPlan(
+		Fault{Kind: Crash, Proc: 0, At: 0},              // dead from the start
+		Fault{Kind: Stall, Proc: 1, At: 0, Duration: 5}, // 5 model-seconds = 5ms wall at scale 1e-3
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale 1e-3: model seconds replay as milliseconds.
+	inj, err := NewInjector(plan, 3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	if err := inj.Gate(context.Background(), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crashed proc Gate = %v, want ErrInjected", err)
+	}
+	// Proc 1 stalls for 5 model-seconds = 5ms wall, then proceeds.
+	start := time.Now()
+	if err := inj.Gate(context.Background(), 1); err != nil {
+		t.Fatalf("stalled proc Gate = %v", err)
+	}
+	if e := time.Since(start); e < 2*time.Millisecond {
+		t.Errorf("stall window not honoured (blocked %v)", e)
+	}
+	// Clean processor passes immediately.
+	if err := inj.Gate(context.Background(), 2); err != nil {
+		t.Fatalf("clean proc Gate = %v", err)
+	}
+	// A canceled context unblocks a stalled worker.
+	plan2, _ := NewPlan(Fault{Kind: Stall, Proc: 0, At: 0})
+	inj2, err := NewInjector(plan2, 1, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := inj2.Gate(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("permanently stalled Gate = %v, want ctx deadline", err)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	plan, _ := NewPlan(Fault{Kind: Crash, Proc: 5, At: 1})
+	if _, err := NewInjector(plan, 3, 1); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+	if _, err := NewInjector(nil, 3, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	inj, err := NewInjector(nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Gate(context.Background(), 0); err != nil {
+		t.Errorf("nil-plan Gate = %v", err)
+	}
+}

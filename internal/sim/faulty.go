@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/speed"
+)
+
+// FaultyOptions parameterizes a closed-form execution under a fault plan.
+type FaultyOptions struct {
+	// Plan is the fault schedule; a nil or empty plan reduces to the
+	// fault-free makespan.
+	Plan *faults.Plan
+	// Grace scales each processor's FPM-predicted finish time into the
+	// master's timeout: a failed processor is detected at
+	// max(death time, predicted × Grace). Default 1.5.
+	Grace float64
+	// DetectLatency is the extra master-side delay between the timeout
+	// firing and recovery work starting (heartbeat round-trips, retry
+	// backoff). Default 0.
+	DetectLatency float64
+}
+
+func (o FaultyOptions) grace() float64 {
+	if !(o.Grace > 0) {
+		return 1.5
+	}
+	return o.Grace
+}
+
+// FaultyResult reports a closed-form execution under faults.
+type FaultyResult struct {
+	// Makespan is the completion time of all work, including recovery.
+	Makespan float64
+	// PerFinish is each processor's own-work finish time; +Inf for
+	// processors that failed before finishing.
+	PerFinish []float64
+	// Failed lists the processors whose work was redistributed.
+	Failed []int
+	// DetectedAt is the time the last failure was detected (zero when
+	// nothing failed).
+	DetectedAt float64
+	// MovedWork is the total work (same units as Task.Work)
+	// redistributed to the survivors.
+	MovedWork float64
+}
+
+// FaultyMakespan evaluates the tasks under the fault plan with
+// failure-triggered repartitioning, the closed-form counterpart of the
+// supervised executors: every processor runs its task at the speed the
+// functional model predicts, scaled by the plan's instantaneous factor
+// (slowdowns stretch, stalls pause, crashes stop). A processor that dies
+// before finishing (crash, or unbounded stall) is detected by the
+// master's timeout at predicted × grace, and its work is redistributed
+// over the survivors in proportion to their model speeds — the FPM-aware
+// recovery, the closed-form stand-in for a core.Repartition with the
+// failed processor capped to zero. Survivors start recovery work once
+// they have finished their own share and the failure is detected.
+//
+// The master holds no partial results of a failed worker (the
+// scatter/gather applications return results only at the end), so the
+// failed share is recomputed in full.
+func FaultyMakespan(tasks []Task, fns []speed.Function, opt FaultyOptions) (FaultyResult, error) {
+	if len(tasks) != len(fns) {
+		return FaultyResult{}, fmt.Errorf("sim: %d tasks for %d processors", len(tasks), len(fns))
+	}
+	if err := opt.Plan.Validate(len(tasks)); err != nil {
+		return FaultyResult{}, err
+	}
+	res := FaultyResult{PerFinish: make([]float64, len(tasks))}
+	speeds := make([]float64, len(tasks))
+	nominal := make([]float64, len(tasks))
+	for i, t := range tasks {
+		if t.Work < 0 || t.Size < 0 {
+			return FaultyResult{}, fmt.Errorf("sim: negative task %+v on processor %d", t, i)
+		}
+		if t.Work == 0 {
+			continue
+		}
+		s := fns[i].Eval(t.Size)
+		if s <= 0 {
+			return FaultyResult{}, fmt.Errorf("sim: processor %d has zero speed at size %v", i, t.Size)
+		}
+		speeds[i] = s
+		nominal[i] = t.Work / s
+	}
+	grace := opt.grace()
+	var remaining float64 // work units stranded on failed processors
+	for i := range tasks {
+		if nominal[i] == 0 {
+			continue
+		}
+		finish := opt.Plan.FinishTime(i, 0, nominal[i])
+		res.PerFinish[i] = finish
+		if !math.IsInf(finish, 1) {
+			res.Makespan = math.Max(res.Makespan, finish)
+			continue
+		}
+		res.Failed = append(res.Failed, i)
+		detect := nominal[i]*grace + opt.DetectLatency
+		if dt, ok := opt.Plan.Dies(i); ok && dt > detect {
+			detect = dt // a late death cannot be confirmed before it happens
+		}
+		res.DetectedAt = math.Max(res.DetectedAt, detect)
+		remaining += tasks[i].Work
+	}
+	if len(res.Failed) == 0 {
+		return res, nil
+	}
+	res.MovedWork = remaining
+	// Waterfill the stranded work over the survivors: survivor i becomes
+	// available at max(own finish, detection) and absorbs at its model
+	// speed; the optimal split minimizes the common finish time T with
+	// Σ_i s_i·max(0, T − avail_i) = remaining. (Transient faults during
+	// the recovery tail are not modelled here; the DES and supervised
+	// layers capture those.)
+	var avail, absorb []float64
+	for i := range tasks {
+		s := absorbSpeed(opt.Plan, fns[i], i, speeds[i])
+		if s <= 0 {
+			continue
+		}
+		avail = append(avail, math.Max(res.PerFinish[i], res.DetectedAt))
+		absorb = append(absorb, s)
+	}
+	if len(absorb) == 0 {
+		return FaultyResult{}, fmt.Errorf("sim: no survivors to absorb %v work units", remaining)
+	}
+	res.Makespan = math.Max(res.Makespan, waterfill(avail, absorb, remaining))
+	return res, nil
+}
+
+// waterfill returns the smallest T with Σ_i s_i·max(0, T−avail_i) = work:
+// the makespan of spreading divisible work over processors that free up
+// at different times.
+func waterfill(avail, speeds []float64, work float64) float64 {
+	order := make([]int, len(avail))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return avail[order[a]] < avail[order[b]] })
+	var sumS, sumSA float64
+	for k, idx := range order {
+		sumS += speeds[idx]
+		sumSA += speeds[idx] * avail[idx]
+		t := (work + sumSA) / sumS
+		if k == len(order)-1 || t <= avail[order[k+1]] {
+			return t
+		}
+	}
+	return math.Inf(1) // unreachable: the loop always returns on the last index
+}
+
+// absorbSpeed is the speed at which processor i can absorb recovery
+// work: zero if it ever dies (it cannot be trusted with redistributed
+// work, even if it dies after finishing its own share), its operating
+// speed when loaded, and its small-size model speed when idle.
+func absorbSpeed(p *faults.Plan, f speed.Function, i int, own float64) float64 {
+	if _, dies := p.Dies(i); dies {
+		return 0
+	}
+	if own > 0 {
+		return own
+	}
+	return f.Eval(math.Min(1, f.MaxSize()))
+}
+
+// NaiveRerunMakespan is the recovery baseline the ABL11 experiment
+// compares against: on the first confirmed failure the master discards
+// all partial progress and reruns the whole job from scratch on the
+// survivors, with a fresh proportional distribution. Detection follows
+// the same timeout rule as FaultyMakespan. The rerun itself is assumed
+// fault-free (the plan already spent its crashes), so the result is
+// detection time + the survivors' fresh makespan.
+func NaiveRerunMakespan(tasks []Task, fns []speed.Function, opt FaultyOptions) (FaultyResult, error) {
+	base, err := FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		return FaultyResult{}, err
+	}
+	if len(base.Failed) == 0 {
+		return base, nil
+	}
+	res := FaultyResult{
+		PerFinish:  base.PerFinish,
+		Failed:     base.Failed,
+		DetectedAt: base.DetectedAt,
+	}
+	var total, sumSpeed float64
+	for i, t := range tasks {
+		total += t.Work
+		own := 0.0
+		if t.Work > 0 {
+			own = fns[i].Eval(t.Size)
+		}
+		sumSpeed += absorbSpeed(opt.Plan, fns[i], i, own)
+	}
+	if sumSpeed <= 0 {
+		return FaultyResult{}, fmt.Errorf("sim: no survivors to rerun %v work units", total)
+	}
+	res.MovedWork = total
+	// A proportional redistribution equalizes times: T = W / Σs.
+	res.Makespan = res.DetectedAt + total/sumSpeed
+	return res, nil
+}

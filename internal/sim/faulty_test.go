@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/speed"
+)
+
+func faultyFixture() ([]Task, []speed.Function) {
+	// Three constant-speed processors, equal 10-unit shares: each
+	// nominally finishes in 10/s seconds (1, 2, 5 s).
+	fns := []speed.Function{
+		speed.MustConstant(10, 1e9),
+		speed.MustConstant(5, 1e9),
+		speed.MustConstant(2, 1e9),
+	}
+	tasks := []Task{{Work: 10, Size: 10}, {Work: 10, Size: 10}, {Work: 10, Size: 10}}
+	return tasks, fns
+}
+
+func TestFaultyMakespanNoFaultsMatchesMakespan(t *testing.T) {
+	tasks, fns := faultyFixture()
+	want, _, err := Makespan(tasks, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FaultyMakespan(tasks, fns, FaultyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != want || len(res.Failed) != 0 {
+		t.Fatalf("fault-free FaultyMakespan = %+v, want makespan %v", res, want)
+	}
+}
+
+func TestFaultyMakespanCrashRedistributes(t *testing.T) {
+	tasks, fns := faultyFixture()
+	// The fastest processor (nominal finish 1s) crashes at 0.5s.
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: 0, At: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FaultyOptions{Plan: plan, Grace: 1.5}
+	res, err := FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 0 {
+		t.Fatalf("failed = %v, want [0]", res.Failed)
+	}
+	// Detection at predicted × grace = 1 × 1.5.
+	if math.Abs(res.DetectedAt-1.5) > 1e-12 {
+		t.Errorf("detected at %v, want 1.5", res.DetectedAt)
+	}
+	if res.MovedWork != 10 {
+		t.Errorf("moved work = %v, want 10", res.MovedWork)
+	}
+	// Survivors (speeds 5 and 2) free up at their own finishes (2s, 5s);
+	// the waterfill puts all 10 stranded units on p1: T = (10+5·2)/5 = 4
+	// ≤ p2's availability 5, so the makespan is p2's own finish, 5.
+	if math.Abs(res.Makespan-5) > 1e-9 {
+		t.Errorf("makespan = %v, want 5", res.Makespan)
+	}
+	// Recovery strictly beats the naive rerun-from-scratch.
+	naive, err := NaiveRerunMakespan(tasks, fns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive: detect 1.5 + total 30 over Σs=7 ≈ 5.79… but survivors also
+	// redo their own finished work, so recovery must win.
+	if !(res.Makespan < naive.Makespan) {
+		t.Errorf("recovered %v not below naive rerun %v", res.Makespan, naive.Makespan)
+	}
+	if naive.MovedWork != 30 {
+		t.Errorf("naive moved %v, want 30", naive.MovedWork)
+	}
+}
+
+func TestFaultyMakespanLateCrashDetection(t *testing.T) {
+	tasks, fns := faultyFixture()
+	// Slow proc 2 to 10 % early so it cannot finish by its deadline,
+	// then crash it late: detection waits for the actual death.
+	plan, err := faults.NewPlan(
+		faults.Fault{Kind: faults.Slow, Proc: 2, At: 0, Duration: 100, Factor: 0.1},
+		faults.Fault{Kind: faults.Crash, Proc: 2, At: 20},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FaultyMakespan(tasks, fns, FaultyOptions{Plan: plan, Grace: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 2 {
+		t.Fatalf("failed = %v, want [2]", res.Failed)
+	}
+	if res.DetectedAt != 20 {
+		t.Errorf("detected at %v, want 20 (the late crash)", res.DetectedAt)
+	}
+}
+
+func TestFaultyMakespanTransientFaultsOnlyStretch(t *testing.T) {
+	tasks, fns := faultyFixture()
+	plan, err := faults.NewPlan(
+		faults.Fault{Kind: faults.Stall, Proc: 0, At: 0.5, Duration: 1},
+		faults.Fault{Kind: faults.Slow, Proc: 1, At: 0, Duration: 1, Factor: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FaultyMakespan(tasks, fns, FaultyOptions{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("transient faults marked failures: %v", res.Failed)
+	}
+	// p0: 0.5s work, 1s stall, 0.5s work → 2. p1: 1s at half + 1.5s → 2.5.
+	// p2 untouched: 5. Makespan 5.
+	if math.Abs(res.PerFinish[0]-2) > 1e-12 || math.Abs(res.PerFinish[1]-2.5) > 1e-12 {
+		t.Errorf("per-finish = %v, want [2 2.5 5]", res.PerFinish)
+	}
+	if res.Makespan != 5 {
+		t.Errorf("makespan = %v, want 5", res.Makespan)
+	}
+}
+
+func TestFaultyMakespanNoSurvivors(t *testing.T) {
+	tasks, fns := faultyFixture()
+	plan, err := faults.NewPlan(
+		faults.Fault{Kind: faults.Crash, Proc: 0, At: 0},
+		faults.Fault{Kind: faults.Crash, Proc: 1, At: 0},
+		faults.Fault{Kind: faults.Crash, Proc: 2, At: 0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FaultyMakespan(tasks, fns, FaultyOptions{Plan: plan}); err == nil {
+		t.Fatal("total loss accepted")
+	}
+	if _, err := NaiveRerunMakespan(tasks, fns, FaultyOptions{Plan: plan}); err == nil {
+		t.Fatal("naive total loss accepted")
+	}
+}
+
+func TestFaultyMakespanValidation(t *testing.T) {
+	tasks, fns := faultyFixture()
+	plan, _ := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: 9, At: 1})
+	if _, err := FaultyMakespan(tasks, fns, FaultyOptions{Plan: plan}); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+	if _, err := FaultyMakespan(tasks[:2], fns, FaultyOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := []Task{{Work: -1, Size: 1}, {Work: 1, Size: 1}, {Work: 1, Size: 1}}
+	if _, err := FaultyMakespan(bad, fns, FaultyOptions{}); err == nil {
+		t.Error("negative work accepted")
+	}
+}
