@@ -23,6 +23,7 @@ import (
 	"heteropart/internal/machine"
 	"heteropart/internal/matrix"
 	"heteropart/internal/measure"
+	"heteropart/internal/pool"
 	"heteropart/internal/speed"
 )
 
@@ -309,6 +310,21 @@ func BenchmarkLUVariableGroupBlock(b *testing.B) {
 	}
 }
 
+// benchSizes are the matrix sizes of the serial-vs-parallel kernel
+// comparison recorded in EXPERIMENTS.md; scripts/bench_kernels.sh runs the
+// Kernel benchmarks and emits the BENCH_kernels.json baseline.
+var benchSizes = []int{128, 512, 1024}
+
+// benchWorkerCounts: 0 means the full GOMAXPROCS pool.
+var benchWorkerCounts = []int{1, 2, 4, 0}
+
+func workersName(w int) string {
+	if w == 0 {
+		return "workers=all"
+	}
+	return "workers=" + strconv.Itoa(w)
+}
+
 func BenchmarkKernelMatMulNaive(b *testing.B) {
 	benchMatMul(b, func(c, x, y *matrix.Dense) error { return kernels.MatMulNaive(c, x, y) })
 }
@@ -317,36 +333,94 @@ func BenchmarkKernelMatMulBlocked(b *testing.B) {
 	benchMatMul(b, func(c, x, y *matrix.Dense) error { return kernels.MatMulBlocked(c, x, y, 64) })
 }
 
+func BenchmarkKernelMatMulParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts {
+		pl := pool.Sized(w)
+		b.Run(workersName(w), func(b *testing.B) {
+			benchMatMul(b, func(c, x, y *matrix.Dense) error {
+				return kernels.MatMulParallel(pl, c, x, y, 64)
+			})
+		})
+	}
+}
+
+func BenchmarkKernelMatMulABT(b *testing.B) {
+	benchMatMul(b, func(c, x, y *matrix.Dense) error { return kernels.MatMulABT(c, x, y) })
+}
+
+func BenchmarkKernelMatMulABTParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts {
+		pl := pool.Sized(w)
+		b.Run(workersName(w), func(b *testing.B) {
+			benchMatMul(b, func(c, x, y *matrix.Dense) error {
+				return kernels.MatMulABTParallel(pl, c, x, y)
+			})
+		})
+	}
+}
+
 func benchMatMul(b *testing.B, mul func(c, x, y *matrix.Dense) error) {
 	b.Helper()
-	const n = 128
-	x := matrix.MustNew(n, n)
-	y := matrix.MustNew(n, n)
-	c := matrix.MustNew(n, n)
-	x.FillRandom(1)
-	y.FillRandom(2)
-	b.SetBytes(int64(3 * n * n * 8))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := mul(c, x, y); err != nil {
-			b.Fatal(err)
-		}
+	for _, n := range benchSizes {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			x := matrix.MustNew(n, n)
+			y := matrix.MustNew(n, n)
+			c := matrix.MustNew(n, n)
+			x.FillRandom(1)
+			y.FillRandom(2)
+			b.SetBytes(int64(3 * n * n * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mul(c, x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(kernels.FlopsMatMul(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
 	}
 }
 
 func BenchmarkKernelLU(b *testing.B) {
-	const n = 128
-	base := matrix.MustNew(n, n)
-	base.FillRandom(3)
-	for i := 0; i < n; i++ {
-		base.Set(i, i, base.At(i, i)+float64(n))
+	benchLU(b, func(work *matrix.Dense) error {
+		_, err := kernels.LUFactorize(work)
+		return err
+	})
+}
+
+func BenchmarkKernelLUParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts {
+		pl := pool.Sized(w)
+		b.Run(workersName(w), func(b *testing.B) {
+			benchLU(b, func(work *matrix.Dense) error {
+				_, err := kernels.LUFactorizeParallel(pl, work)
+				return err
+			})
+		})
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		work := base.Clone()
-		if _, err := kernels.LUFactorize(work); err != nil {
-			b.Fatal(err)
-		}
+}
+
+func benchLU(b *testing.B, factor func(work *matrix.Dense) error) {
+	b.Helper()
+	for _, n := range benchSizes {
+		b.Run(benchName("n", n), func(b *testing.B) {
+			base := matrix.MustNew(n, n)
+			base.FillRandom(3)
+			for i := 0; i < n; i++ {
+				base.Set(i, i, base.At(i, i)+float64(n))
+			}
+			work := matrix.MustGetDense(n, n)
+			defer matrix.PutDense(work)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := work.CopyFrom(base); err != nil {
+					b.Fatal(err)
+				}
+				if err := factor(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(kernels.FlopsLU(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"heteropart/internal/experiments"
+	"heteropart/internal/pool"
 )
 
 func main() {
@@ -27,9 +28,11 @@ func main() {
 		markdown = flag.Bool("markdown", false, "emit Markdown tables")
 		charts   = flag.Bool("charts", false, "render the Figure 1 and Figure 22 series as ASCII charts and exit")
 		only     = flag.String("only", "", "run only artifacts whose name contains this substring (e.g. fig22, ablation)")
+		workers  = flag.Int("workers", 0, "worker pool width for concurrent artifacts and parallel kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	opt := experiments.Options{Quick: *quick, SkipReal: *skipReal, Only: *only}
+	pool.SetDefault(*workers)
+	opt := experiments.Options{Quick: *quick, SkipReal: *skipReal, Only: *only, Workers: *workers}
 	if *charts {
 		f1, err := experiments.Fig1Charts()
 		if err != nil {

@@ -26,6 +26,7 @@ import (
 	"heteropart/internal/core"
 	"heteropart/internal/faults"
 	"heteropart/internal/grid"
+	"heteropart/internal/pool"
 	"heteropart/internal/report"
 	"heteropart/internal/sim"
 	"heteropart/internal/speed"
@@ -53,10 +54,12 @@ func run() error {
 		gridDims = flag.String("grid", "", "WxH: partition a 2D grid into rectangles instead of a set")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		grace    = flag.Float64("grace", 1.5, "failure-detection timeout as a multiple of the predicted finish time")
+		workers  = flag.Int("workers", 0, "worker pool width for any real kernel execution (0 = GOMAXPROCS)")
 		fail     repeatedFlag
 	)
 	flag.Var(&fail, "fail", "fault spec, repeatable: p3@t=1.5s, X2@t=1s,slow=0.4,for=2s, p1@t=2s,stall,for=0.5s, link@t=0.5s,for=1s (see internal/faults); added to the cluster file's own \"faults\"")
 	flag.Parse()
+	pool.SetDefault(*workers)
 	if *machines == "" {
 		return fmt.Errorf("-machines is required")
 	}

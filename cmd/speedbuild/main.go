@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"heteropart/internal/measure"
 	"heteropart/internal/speed"
@@ -38,9 +39,13 @@ func run() error {
 		repeats = flag.Int("repeats", 3, "timed repetitions per measurement (median)")
 		budget  = flag.Int("budget", 64, "maximum number of measurements")
 		name    = flag.String("name", "", "processor name in the emitted JSON (default: kernel name)")
+		workers = flag.Int("workers", 1, "kernel worker threads: 1 measures the serial kernels, >1 or 0 (= GOMAXPROCS) the parallel ones")
 	)
 	flag.Parse()
-	cfg := measure.Config{Repeats: *repeats}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := measure.Config{Repeats: *repeats, Workers: *workers}
 	var oracle speed.Oracle
 	switch *kernel {
 	case "naive":

@@ -3,10 +3,10 @@ package lu
 import (
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"heteropart/internal/matrix"
+	"heteropart/internal/pool"
 )
 
 // Execute really factorizes a copy of the n×n matrix a in parallel under
@@ -20,6 +20,14 @@ import (
 // fully updated columns produces the same pivot sequence as the unblocked
 // algorithm, so kernels.LUReconstruct verifies the result.
 func Execute(d Distribution, a *matrix.Dense, p int) (*matrix.Dense, []int, []float64, error) {
+	return ExecuteWith(nil, d, a, p)
+}
+
+// ExecuteWith is Execute running the per-processor trailing updates on the
+// given worker pool (nil selects pool.Shared()): one pool item per
+// participating processor per step, so host concurrency is bounded by the
+// pool width while the distribution semantics are unchanged.
+func ExecuteWith(pl *pool.Pool, d Distribution, a *matrix.Dense, p int) (*matrix.Dense, []int, []float64, error) {
 	n := d.N
 	if a.Rows != n || a.Cols != n {
 		return nil, nil, nil, fmt.Errorf("lu: distribution is for %d×%d, matrix is %d×%d",
@@ -32,6 +40,9 @@ func Execute(d Distribution, a *matrix.Dense, p int) (*matrix.Dense, []int, []fl
 		if o < 0 || o >= p {
 			return nil, nil, nil, fmt.Errorf("lu: owner[%d] = %d out of range", k, o)
 		}
+	}
+	if pl == nil {
+		pl = pool.Shared()
 	}
 	lu := a.Clone()
 	perm := make([]int, n)
@@ -61,22 +72,16 @@ func Execute(d Distribution, a *matrix.Dense, p int) (*matrix.Dense, []int, []fl
 			o := d.Owners[j]
 			cols[o] = append(cols[o], [2]int{j0, j1})
 		}
-		var wg sync.WaitGroup
-		for o := 0; o < p; o++ {
+		pl.Run(p, func(o int) {
 			if len(cols[o]) == 0 {
-				continue
+				return
 			}
-			wg.Add(1)
-			go func(o int) {
-				defer wg.Done()
-				st := time.Now()
-				for _, c := range cols[o] {
-					updateBlock(lu, k0, w, c[0], c[1])
-				}
-				times[o] += time.Since(st).Seconds()
-			}(o)
-		}
-		wg.Wait()
+			st := time.Now()
+			for _, c := range cols[o] {
+				updateBlock(lu, k0, w, c[0], c[1])
+			}
+			times[o] += time.Since(st).Seconds()
+		})
 	}
 	return lu, perm, times, nil
 }

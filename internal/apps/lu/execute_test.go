@@ -6,6 +6,7 @@ import (
 
 	"heteropart/internal/kernels"
 	"heteropart/internal/matrix"
+	"heteropart/internal/pool"
 	"heteropart/internal/speed"
 )
 
@@ -151,5 +152,40 @@ func TestSimTimeDetailedAgreesWithSimTime(t *testing.T) {
 	}
 	if math.Abs(sum-total) > 1e-9*total {
 		t.Errorf("detailed sum %v vs SimTime %v", sum, total)
+	}
+}
+
+func TestExecuteWithBoundedPool(t *testing.T) {
+	fns := []speed.Function{
+		speed.MustConstant(300, 1e9),
+		speed.MustConstant(200, 1e9),
+		speed.MustConstant(100, 1e9),
+	}
+	const n = 96
+	d, err := VariableGroupBlock(n, 16, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := wellConditioned(n, 11)
+	luRef, permRef, _, err := Execute(d, a, len(fns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-wide pool serializes the trailing updates through the same
+	// code path; factors and permutation must be bit-identical.
+	luGot, permGot, times, err := ExecuteWith(pool.Sized(1), d, a, len(fns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(fns) {
+		t.Errorf("%d times for %d processors", len(times), len(fns))
+	}
+	for i := range permRef {
+		if permGot[i] != permRef[i] {
+			t.Fatalf("perm[%d] differs", i)
+		}
+	}
+	if d := matrix.MaxAbsDiff(luGot, luRef); d != 0 {
+		t.Errorf("factors deviate by %v", d)
 	}
 }

@@ -9,13 +9,13 @@ package mm
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"heteropart/internal/core"
 	"heteropart/internal/grid"
 	"heteropart/internal/kernels"
 	"heteropart/internal/matrix"
+	"heteropart/internal/pool"
 	"heteropart/internal/sim"
 	"heteropart/internal/speed"
 )
@@ -114,11 +114,18 @@ func SimTime(p Plan, flopRates []speed.Function) (float64, error) {
 	return total, err
 }
 
-// Execute really multiplies C = A×Bᵀ in parallel on the host, one worker
-// goroutine per stripe of the plan, and returns C with the per-worker
-// wall times. It verifies shapes but not load balance: the point is to
-// exercise the distribution end to end.
+// Execute really multiplies C = A×Bᵀ in parallel on the host over the
+// shared worker pool and returns C with the per-stripe wall times. It
+// verifies shapes but not load balance: the point is to exercise the
+// distribution end to end.
 func Execute(p Plan, a, b *matrix.Dense) (*matrix.Dense, []float64, error) {
+	return ExecuteWith(nil, p, a, b)
+}
+
+// ExecuteWith is Execute running the stripe workers on the given pool
+// (nil selects pool.Shared()): one pool item per non-empty stripe, so
+// concurrency is bounded by the pool width instead of the stripe count.
+func ExecuteWith(pl *pool.Pool, p Plan, a, b *matrix.Dense) (*matrix.Dense, []float64, error) {
 	if a.Rows != p.N || a.Cols != p.N || b.Rows != p.N || b.Cols != p.N {
 		return nil, nil, fmt.Errorf("mm: plan is %d×%d, matrices %d×%d and %d×%d",
 			p.N, p.N, a.Rows, a.Cols, b.Rows, b.Cols)
@@ -131,32 +138,30 @@ func Execute(p Plan, a, b *matrix.Dense) (*matrix.Dense, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if pl == nil {
+		pl = pool.Shared()
+	}
 	times := make([]float64, len(stripes))
 	errs := make([]error, len(stripes))
-	var wg sync.WaitGroup
-	for w, s := range stripes {
-		if s[0] == s[1] {
-			continue
+	pl.Run(len(stripes), func(w int) {
+		lo, hi := stripes[w][0], stripes[w][1]
+		if lo == hi {
+			return
 		}
-		wg.Add(1)
-		go func(w int, lo, hi int) {
-			defer wg.Done()
-			aStripe, err := a.RowStripe(lo, hi)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			cStripe, err := c.RowStripe(lo, hi)
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			start := time.Now()
-			errs[w] = kernels.MatMulABT(cStripe, aStripe, b)
-			times[w] = time.Since(start).Seconds()
-		}(w, s[0], s[1])
-	}
-	wg.Wait()
+		aStripe, err := a.RowStripe(lo, hi)
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		cStripe, err := c.RowStripe(lo, hi)
+		if err != nil {
+			errs[w] = err
+			return
+		}
+		start := time.Now()
+		errs[w] = kernels.MatMulABT(cStripe, aStripe, b)
+		times[w] = time.Since(start).Seconds()
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, fmt.Errorf("mm: worker failed: %w", err)
@@ -176,6 +181,12 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // shapes; C cells outside every rectangle stay zero, so an exact tiling
 // yields the complete product.
 func Execute2D(n int, rects []grid.Rect, a, b *matrix.Dense) (*matrix.Dense, []float64, error) {
+	return Execute2DWith(nil, n, rects, a, b)
+}
+
+// Execute2DWith is Execute2D running the rectangle workers on the given
+// pool (nil selects pool.Shared()).
+func Execute2DWith(pl *pool.Pool, n int, rects []grid.Rect, a, b *matrix.Dense) (*matrix.Dense, []float64, error) {
 	if a.Rows != n || a.Cols != n || b.Rows != n || b.Cols != n {
 		return nil, nil, fmt.Errorf("mm: grid is %d×%d, matrices %d×%d and %d×%d",
 			n, n, a.Rows, a.Cols, b.Rows, b.Cols)
@@ -184,8 +195,6 @@ func Execute2D(n int, rects []grid.Rect, a, b *matrix.Dense) (*matrix.Dense, []f
 	if err != nil {
 		return nil, nil, err
 	}
-	times := make([]float64, len(rects))
-	var wg sync.WaitGroup
 	for w, r := range rects {
 		if r.Empty() {
 			continue
@@ -193,27 +202,32 @@ func Execute2D(n int, rects []grid.Rect, a, b *matrix.Dense) (*matrix.Dense, []f
 		if r.X0 < 0 || r.Y0 < 0 || r.X1 > n || r.Y1 > n {
 			return nil, nil, fmt.Errorf("mm: rectangle %d (%v) outside the %d×%d grid", w, r, n, n)
 		}
-		wg.Add(1)
-		go func(w int, r grid.Rect) {
-			defer wg.Done()
-			start := time.Now()
-			// C[i][j] = Σ_k A[i][k]·B[j][k] for i ∈ [Y0,Y1), j ∈ [X0,X1).
-			// Rectangles tile the grid, so writes to C are disjoint.
-			for i := r.Y0; i < r.Y1; i++ {
-				arow := a.Row(i)
-				crow := c.Row(i)
-				for j := r.X0; j < r.X1; j++ {
-					brow := b.Row(j)
-					var s float64
-					for k := range arow {
-						s += arow[k] * brow[k]
-					}
-					crow[j] = s
-				}
-			}
-			times[w] = time.Since(start).Seconds()
-		}(w, r)
 	}
-	wg.Wait()
+	if pl == nil {
+		pl = pool.Shared()
+	}
+	times := make([]float64, len(rects))
+	pl.Run(len(rects), func(w int) {
+		r := rects[w]
+		if r.Empty() {
+			return
+		}
+		start := time.Now()
+		// C[i][j] = Σ_k A[i][k]·B[j][k] for i ∈ [Y0,Y1), j ∈ [X0,X1).
+		// Rectangles tile the grid, so writes to C are disjoint.
+		for i := r.Y0; i < r.Y1; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := r.X0; j < r.X1; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k := range arow {
+					s += arow[k] * brow[k]
+				}
+				crow[j] = s
+			}
+		}
+		times[w] = time.Since(start).Seconds()
+	})
 	return c, times, nil
 }

@@ -9,6 +9,7 @@ import (
 	"heteropart/internal/kernels"
 	"heteropart/internal/machine"
 	"heteropart/internal/matrix"
+	"heteropart/internal/pool"
 	"heteropart/internal/speed"
 )
 
@@ -281,5 +282,41 @@ func TestExecuteZeroStripePlan(t *testing.T) {
 	}
 	if c0.Rows != 0 {
 		t.Errorf("empty product has %d rows", c0.Rows)
+	}
+}
+
+func TestExecuteWithBoundedPool(t *testing.T) {
+	const n = 40
+	fns := []speed.Function{
+		speed.MustConstant(3e9, 1e12),
+		speed.MustConstant(1e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+		speed.MustConstant(2e9, 1e12),
+	}
+	plan, err := PartitionFPM(n, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	a.FillRandom(7)
+	b.FillRandom(8)
+	want := matrix.MustNew(n, n)
+	if err := kernels.MatMulABT(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	// A pool narrower than the stripe count must still compute every
+	// stripe, bit-identically to the serial kernel.
+	for _, width := range []int{1, 2} {
+		c, times, err := ExecuteWith(pool.Sized(width), plan, a, b)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(times) != len(plan.Rows) {
+			t.Errorf("width %d: %d times for %d stripes", width, len(times), len(plan.Rows))
+		}
+		if d := matrix.MaxAbsDiff(c, want); d != 0 {
+			t.Errorf("width %d: product deviates by %v", width, d)
+		}
 	}
 }

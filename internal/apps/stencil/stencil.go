@@ -13,9 +13,9 @@ package stencil
 
 import (
 	"fmt"
-	"sync"
 
 	"heteropart/internal/core"
+	"heteropart/internal/pool"
 	"heteropart/internal/sim"
 	"heteropart/internal/speed"
 )
@@ -94,16 +94,25 @@ func jacobi(next, cur []float64, lo, hi int) {
 	}
 }
 
-// Execute runs iters iterations in parallel under the plan, one goroutine
-// per stripe per iteration with a barrier between iterations (the halo
-// exchange of a shared-memory emulation is the barrier itself). The
-// result is bit-identical to Serial.
+// Execute runs iters iterations in parallel under the plan on the shared
+// worker pool, one pool item per stripe per iteration with a barrier
+// between iterations (the halo exchange of a shared-memory emulation is
+// the barrier itself). The result is bit-identical to Serial.
 func Execute(p Plan, src []float64, iters int) ([]float64, error) {
+	return ExecuteWith(nil, p, src, iters)
+}
+
+// ExecuteWith is Execute running the stripe workers on the given pool
+// (nil selects pool.Shared()).
+func ExecuteWith(pl *pool.Pool, p Plan, src []float64, iters int) ([]float64, error) {
 	if p.Cells.Sum() != int64(len(src)) {
 		return nil, fmt.Errorf("stencil: plan covers %d cells, array has %d", p.Cells.Sum(), len(src))
 	}
 	if iters < 0 {
 		return nil, fmt.Errorf("stencil: negative iteration count %d", iters)
+	}
+	if pl == nil {
+		pl = pool.Shared()
 	}
 	type span struct{ lo, hi int }
 	spans := make([]span, 0, len(p.Cells))
@@ -115,9 +124,8 @@ func Execute(p Plan, src []float64, iters int) ([]float64, error) {
 	cur := append([]float64(nil), src...)
 	next := append([]float64(nil), src...)
 	for it := 0; it < iters; it++ {
-		var wg sync.WaitGroup
-		for _, s := range spans {
-			lo, hi := s.lo, s.hi
+		pl.Run(len(spans), func(w int) {
+			lo, hi := spans[w].lo, spans[w].hi
 			// Interior update only: global boundary cells stay fixed.
 			if lo == 0 {
 				lo = 1
@@ -126,15 +134,10 @@ func Execute(p Plan, src []float64, iters int) ([]float64, error) {
 				hi = len(cur) - 1
 			}
 			if lo >= hi {
-				continue
+				return
 			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				jacobi(next, cur, lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
+			jacobi(next, cur, lo, hi)
+		})
 		cur, next = next, cur
 	}
 	return cur, nil

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"heteropart/internal/core"
+	"heteropart/internal/pool"
 	"heteropart/internal/sim"
 	"heteropart/internal/speed"
 )
@@ -175,5 +176,30 @@ func TestExecuteProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestExecuteWithBoundedPool(t *testing.T) {
+	fns := cluster3()
+	const n, iters = 5000, 9
+	plan, err := Partition(n, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = math.Cos(float64(i) / 50)
+	}
+	want := Serial(src, iters)
+	for _, width := range []int{1, 2} {
+		got, err := ExecuteWith(pool.Sized(width), plan, src, iters)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width %d: differs at %d", width, i)
+			}
+		}
 	}
 }

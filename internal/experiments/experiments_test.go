@@ -312,3 +312,44 @@ func TestRunAllQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestRunAllConcurrentDeterministicOrder(t *testing.T) {
+	// The fan-out over the worker pool must not change what is emitted or
+	// in which order. Measured cells (real tables, partitioner wall times)
+	// vary run to run, so compare the title sequence, not the bytes.
+	titles := func(workers int) []string {
+		t.Helper()
+		tables, err := RunAll(nil, Options{Quick: true, SkipReal: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("RunAll(workers=%d): %v", workers, err)
+		}
+		out := make([]string, len(tables))
+		for i, tb := range tables {
+			out[i] = tb.Title
+		}
+		return out
+	}
+	serial := titles(1)
+	concurrent := titles(4)
+	if len(serial) != len(concurrent) {
+		t.Fatalf("table counts differ: %d serial vs %d concurrent", len(serial), len(concurrent))
+	}
+	for i := range serial {
+		if serial[i] != concurrent[i] {
+			t.Errorf("table %d: %q (serial) vs %q (concurrent)", i, serial[i], concurrent[i])
+		}
+	}
+}
+
+func TestRunAllOnlyWithWorkers(t *testing.T) {
+	tables, err := RunAll(nil, Options{Quick: true, Only: "ablation", Workers: 3})
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(tables) < 5 {
+		t.Errorf("only %d ablation tables", len(tables))
+	}
+	if _, err := RunAll(nil, Options{Quick: true, Only: "nosuch", Workers: 3}); err == nil {
+		t.Error("unmatched -only accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"heteropart/internal/measure"
+	"heteropart/internal/pool"
 	"heteropart/internal/report"
 )
 
@@ -20,6 +21,12 @@ type Options struct {
 	// Only restricts the run to artifacts whose name contains this
 	// substring (case-insensitive), e.g. "fig22" or "ablation".
 	Only string
+	// Workers bounds the worker pool that runs independent artifacts
+	// concurrently (0 = GOMAXPROCS); it is also plumbed into the
+	// measurement Config of the real-host tables. Output order is
+	// deterministic regardless: tables are collected per artifact and
+	// emitted in artifactNames order.
+	Workers int
 }
 
 // names of the artifacts, in run order, for Options.Only matching.
@@ -38,7 +45,12 @@ func Artifacts() []string {
 }
 
 // RunAll regenerates every table and figure plus the ablations, writing
-// the rendered tables to w. It returns the tables for programmatic use.
+// the rendered tables to w. Independent artifacts run concurrently on the
+// shared worker pool (bounded by Options.Workers); per-artifact tables are
+// collected and emitted in the fixed artifactNames order, so the output is
+// byte-identical to a serial run. It returns the tables for programmatic
+// use; on failure, the error names the first failing artifact in run
+// order and the returned tables are those of the artifacts before it.
 func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
 	one := func(t *report.Table, err error) ([]*report.Table, error) {
 		if err != nil {
@@ -47,7 +59,7 @@ func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
 		return []*report.Table{t}, nil
 	}
 	maxBase := 512
-	cfg := measure.Config{Repeats: 3}
+	cfg := measure.Config{Repeats: 3, Workers: opt.Workers}
 	ps, sizes := []int(nil), []int64(nil)
 	var mmNs, luNs []int
 	if opt.Quick {
@@ -81,8 +93,7 @@ func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
 		"ablation-fault-recovery": func() ([]*report.Table, error) { return one(AblationFaultRecovery()) },
 	}
 	only := strings.ToLower(opt.Only)
-	var all []*report.Table
-	matched := false
+	var selected []string
 	for _, name := range artifactNames {
 		if only != "" && !strings.Contains(name, only) {
 			continue
@@ -90,20 +101,29 @@ func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
 		if opt.SkipReal && strings.HasSuffix(name, "-real") {
 			continue
 		}
-		matched = true
-		ts, err := runners[name]()
-		if err != nil {
-			return all, fmt.Errorf("%s: %w", name, err)
+		selected = append(selected, name)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("experiments: -only %q matches no artifact (have %v)", opt.Only, artifactNames)
+	}
+	// Fan the selected artifacts out over the pool; each slot collects its
+	// own tables so emission below stays in deterministic run order.
+	tables := make([][]*report.Table, len(selected))
+	errs := make([]error, len(selected))
+	pool.Sized(opt.Workers).Run(len(selected), func(i int) {
+		tables[i], errs[i] = runners[selected[i]]()
+	})
+	var all []*report.Table
+	for i, name := range selected {
+		if errs[i] != nil {
+			return all, fmt.Errorf("%s: %w", name, errs[i])
 		}
-		for _, t := range ts {
+		for _, t := range tables[i] {
 			all = append(all, t)
 			if w != nil {
 				fmt.Fprintln(w, t)
 			}
 		}
-	}
-	if !matched {
-		return nil, fmt.Errorf("experiments: -only %q matches no artifact (have %v)", opt.Only, artifactNames)
 	}
 	return all, nil
 }

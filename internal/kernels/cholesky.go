@@ -53,13 +53,17 @@ func CholeskyReconstruct(l *matrix.Dense) (*matrix.Dense, error) {
 	}
 	n := l.Rows
 	out := matrix.MustNew(n, n)
+	// (L·Lᵀ)[i][j] = Σ_{k≤min(i,j)} L[i][k]·L[j][k]: both factors walk rows
+	// of L, so use contiguous Row() slices rather than bounds-checked At().
 	for i := 0; i < n; i++ {
+		ri, orow := l.Row(i), out.Row(i)
 		for j := 0; j < n; j++ {
+			rj := l.Row(j)
 			var s float64
 			for k := 0; k <= min(i, j); k++ {
-				s += l.At(i, k) * l.At(j, k)
+				s += ri[k] * rj[k]
 			}
-			out.Set(i, j, s)
+			orow[j] = s
 		}
 	}
 	return out, nil
@@ -76,17 +80,21 @@ func SPDMatrix(n int, seed uint64) (*matrix.Dense, error) {
 	a := matrix.MustNew(n, n)
 	a.FillRandom(seed)
 	out := matrix.MustNew(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			for k := 0; k < n; k++ {
-				s += a.At(k, i) * a.At(k, j)
+	// (AᵀA)[i][j] = Σ_k A[k][i]·A[k][j]: accumulate one row of A at a time
+	// so every access is a contiguous Row() slice; per element the
+	// additions still run in ascending k, keeping the matrix deterministic.
+	for k := 0; k < n; k++ {
+		ak := a.Row(k)
+		for i := 0; i < n; i++ {
+			aki := ak[i]
+			orow := out.Row(i)
+			for j := 0; j < n; j++ {
+				orow[j] += aki * ak[j]
 			}
-			if i == j {
-				s += float64(n)
-			}
-			out.Set(i, j, s)
 		}
+	}
+	for i := 0; i < n; i++ {
+		out.Set(i, i, out.At(i, i)+float64(n))
 	}
 	return out, nil
 }

@@ -157,19 +157,21 @@ func LUReconstruct(lu *matrix.Dense, perm []int) (*matrix.Dense, error) {
 	}
 	n := lu.Rows
 	prod := matrix.MustNew(n, n)
+	// (L·U)[i][j] = Σ_{k≤min(i,j)} L[i][k]·U[k][j], L unit lower, U upper.
+	// Accumulate row-wise over contiguous Row() slices instead of repeated
+	// bounds-checked At() column walks; per element the additions still run
+	// in ascending k, so the result is unchanged.
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			// (L·U)[i][j] = Σ_k L[i][k]·U[k][j], L unit lower, U upper.
-			kMax := min(i, j)
-			for k := 0; k <= kMax; k++ {
-				l := lu.At(i, k)
-				if k == i {
-					l = 1
-				}
-				s += l * lu.At(k, j)
+		li, prow := lu.Row(i), prod.Row(i)
+		for k := 0; k <= i; k++ {
+			l := li[k]
+			if k == i {
+				l = 1
 			}
-			prod.Set(i, j, s)
+			uk := lu.Row(k)
+			for j := k; j < n; j++ {
+				prow[j] += l * uk[j]
+			}
 		}
 	}
 	// prod = P·A; undo: A[perm[i]] = prod[i].

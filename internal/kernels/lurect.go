@@ -65,21 +65,19 @@ func LURectReconstruct(lu *matrix.Dense, perm []int) (*matrix.Dense, error) {
 	}
 	m := min(r, c)
 	prod := matrix.MustNew(r, c)
+	// Row-wise accumulation over contiguous Row() slices (same idiom as
+	// LUReconstruct); the per-element addition order stays ascending in k.
 	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			var s float64
-			kMax := min(i, j)
-			if kMax > m-1 {
-				kMax = m - 1
+		li, prow := lu.Row(i), prod.Row(i)
+		for k := 0; k <= min(i, m-1); k++ {
+			l := li[k]
+			if k == i {
+				l = 1
 			}
-			for k := 0; k <= kMax; k++ {
-				l := lu.At(i, k)
-				if k == i {
-					l = 1
-				}
-				s += l * lu.At(k, j)
+			uk := lu.Row(k)
+			for j := k; j < c; j++ {
+				prow[j] += l * uk[j]
 			}
-			prod.Set(i, j, s)
 		}
 	}
 	out := matrix.MustNew(r, c)

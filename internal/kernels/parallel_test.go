@@ -1,0 +1,165 @@
+package kernels
+
+import (
+	"testing"
+
+	"heteropart/internal/matrix"
+	"heteropart/internal/pool"
+)
+
+// testSizes includes 1, sizes below/at/above the block and panel widths,
+// and non-multiples of both.
+var testSizes = []int{1, 3, 16, 31, 64, 65, 100, 129, 200}
+
+func bitIdentical(t *testing.T, name string, got, want *matrix.Dense) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %d×%d, want %d×%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("%s: element %d differs: %x vs %x", name, i, v, want.Data[i])
+		}
+	}
+}
+
+func TestMatMulParallelBitExact(t *testing.T) {
+	pools := map[string]*pool.Pool{"w1": pool.Sized(1), "w2": pool.Sized(2), "all": nil}
+	for _, n := range testSizes {
+		a := matrix.MustNew(n, n)
+		b := matrix.MustNew(n, n)
+		a.FillRandom(uint64(n))
+		b.FillRandom(uint64(n) + 1)
+		naive := matrix.MustNew(n, n)
+		if err := MatMulNaive(naive, a, b); err != nil {
+			t.Fatal(err)
+		}
+		blocked := matrix.MustNew(n, n)
+		if err := MatMulBlocked(blocked, a, b, 64); err != nil {
+			t.Fatal(err)
+		}
+		for pname, pl := range pools {
+			for _, block := range []int{0, 7, 64} {
+				c := matrix.MustNew(n, n)
+				c.FillRandom(99) // must be fully overwritten
+				if err := MatMulParallel(pl, c, a, b, block); err != nil {
+					t.Fatalf("n=%d %s block=%d: %v", n, pname, block, err)
+				}
+				bitIdentical(t, "parallel vs naive", c, naive)
+				bitIdentical(t, "parallel vs blocked", c, blocked)
+			}
+		}
+	}
+}
+
+func TestMatMulParallelRectangular(t *testing.T) {
+	a := matrix.MustNew(37, 81)
+	b := matrix.MustNew(81, 53)
+	a.FillRandom(5)
+	b.FillRandom(6)
+	want := matrix.MustNew(37, 53)
+	if err := MatMulNaive(want, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got := matrix.MustNew(37, 53)
+	if err := MatMulParallel(nil, got, a, b, 16); err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "rectangular", got, want)
+}
+
+func TestMatMulParallelShapeError(t *testing.T) {
+	a := matrix.MustNew(4, 4)
+	b := matrix.MustNew(5, 4)
+	c := matrix.MustNew(4, 4)
+	if err := MatMulParallel(nil, c, a, b, 0); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if err := MatMulABTParallel(nil, c, a, b); err == nil {
+		t.Error("ABT shape mismatch accepted")
+	}
+}
+
+func TestMatMulABTParallelBitExact(t *testing.T) {
+	for _, n := range testSizes {
+		a := matrix.MustNew(n, n)
+		b := matrix.MustNew(n, n)
+		a.FillRandom(uint64(2 * n))
+		b.FillRandom(uint64(2*n) + 1)
+		want := matrix.MustNew(n, n)
+		if err := MatMulABT(want, a, b); err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range []*pool.Pool{nil, pool.Sized(1), pool.Sized(3)} {
+			got := matrix.MustNew(n, n)
+			if err := MatMulABTParallel(pl, got, a, b); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			bitIdentical(t, "ABT", got, want)
+		}
+	}
+}
+
+func TestLUFactorizeParallelBitExact(t *testing.T) {
+	for _, n := range testSizes {
+		base := matrix.MustNew(n, n)
+		base.FillRandom(uint64(3 * n))
+		for i := 0; i < n; i++ {
+			base.Set(i, i, base.At(i, i)+float64(n))
+		}
+		serial := base.Clone()
+		wantPerm, err := LUFactorize(serial)
+		if err != nil {
+			t.Fatalf("n=%d serial: %v", n, err)
+		}
+		for _, pl := range []*pool.Pool{nil, pool.Sized(1), pool.Sized(2)} {
+			par := base.Clone()
+			gotPerm, err := LUFactorizeParallel(pl, par)
+			if err != nil {
+				t.Fatalf("n=%d parallel: %v", n, err)
+			}
+			bitIdentical(t, "LU factors", par, serial)
+			for i := range wantPerm {
+				if gotPerm[i] != wantPerm[i] {
+					t.Fatalf("n=%d: perm[%d] = %d, want %d", n, i, gotPerm[i], wantPerm[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLUFactorizeParallelPivoting(t *testing.T) {
+	// A matrix whose pivot order is non-trivial: ascending magnitudes down
+	// each column force a swap at every step.
+	const n = 65
+	a := matrix.MustNew(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, float64((i*j)%13)+float64(i)/float64(n))
+		}
+		a.Set(i, i, a.At(i, i)+2)
+	}
+	par := a.Clone()
+	perm, err := LUFactorizeParallel(pool.Sized(4), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LUReconstruct(par, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(back, a); d > 1e-9 {
+		t.Errorf("reconstruction off by %g", d)
+	}
+}
+
+func TestLUFactorizeParallelSingular(t *testing.T) {
+	a := matrix.MustNew(8, 8) // all zeros
+	if _, err := LUFactorizeParallel(nil, a); err == nil {
+		t.Error("singular matrix accepted")
+	}
+	r := matrix.MustNew(3, 4)
+	if _, err := LUFactorizeParallel(nil, r); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}

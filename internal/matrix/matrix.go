@@ -20,9 +20,17 @@ type Dense struct {
 // New allocates a zeroed r×c matrix.
 func New(r, c int) (*Dense, error) {
 	if r < 0 || c < 0 {
-		return nil, fmt.Errorf("matrix: invalid dimensions %d×%d", r, c)
+		return nil, errDims(r, c)
 	}
 	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}, nil
+}
+
+func errDims(r, c int) error {
+	return fmt.Errorf("matrix: invalid dimensions %d×%d", r, c)
+}
+
+func errShapeCopy(dst, src *Dense) error {
+	return fmt.Errorf("matrix: copy %d×%d into %d×%d", src.Rows, src.Cols, dst.Rows, dst.Cols)
 }
 
 // MustNew is like New but panics on invalid dimensions.

@@ -1,0 +1,99 @@
+package matrix
+
+import "sync"
+
+// Scratch reuse: the measurement oracles and the parallel kernels need
+// short-lived buffers (packed B tiles, per-repeat working copies) on every
+// iteration; a process-wide sync.Pool turns those per-iteration
+// allocations into reuse. Buffers are handed out with undefined contents —
+// callers that need zeroes call Zero explicitly.
+
+// bufPool stores *[]float64 to avoid an allocation per Put.
+var bufPool = sync.Pool{New: func() any { s := []float64(nil); return &s }}
+
+// GetBuffer returns a float64 scratch slice of length n, reusing a pooled
+// allocation when one with sufficient capacity is available. Contents are
+// undefined. Return it with PutBuffer when done.
+func GetBuffer(n int) []float64 {
+	if n < 0 {
+		n = 0
+	}
+	p := bufPool.Get().(*[]float64)
+	if cap(*p) >= n {
+		buf := (*p)[:n]
+		*p = nil
+		bufPool.Put(p)
+		return buf
+	}
+	*p = nil
+	bufPool.Put(p)
+	return make([]float64, n)
+}
+
+// PutBuffer returns a slice obtained from GetBuffer (or any slice the
+// caller no longer needs) to the pool. The caller must not use buf again.
+func PutBuffer(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	p := bufPool.Get().(*[]float64)
+	// Keep the larger of the two allocations.
+	if cap(*p) < cap(buf) {
+		*p = buf
+	}
+	bufPool.Put(p)
+}
+
+// densePool recycles Dense headers; their Data comes from the buffer pool.
+var densePool = sync.Pool{New: func() any { return new(Dense) }}
+
+// GetDense returns an r×c scratch matrix with undefined contents, backed
+// by pooled storage. Return it with PutDense when done; do not retain
+// views of it past the Put.
+func GetDense(r, c int) (*Dense, error) {
+	if r < 0 || c < 0 {
+		return nil, errDims(r, c)
+	}
+	m := densePool.Get().(*Dense)
+	m.Rows, m.Cols = r, c
+	m.Data = GetBuffer(r * c)
+	return m, nil
+}
+
+// MustGetDense is like GetDense but panics on invalid dimensions.
+func MustGetDense(r, c int) *Dense {
+	m, err := GetDense(r, c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// PutDense returns a scratch matrix to the pool.
+func PutDense(m *Dense) {
+	if m == nil {
+		return
+	}
+	PutBuffer(m.Data)
+	m.Rows, m.Cols, m.Data = 0, 0, nil
+	densePool.Put(m)
+}
+
+// Zero clears every element.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src's contents into m, which must have the same shape.
+// Unlike Clone it performs no allocation, pairing with GetDense for
+// repeated-measurement loops.
+func (m *Dense) CopyFrom(src *Dense) error {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		return errShapeCopy(m, src)
+	}
+	copy(m.Data, src.Data)
+	return nil
+}

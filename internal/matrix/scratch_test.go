@@ -1,0 +1,89 @@
+package matrix
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetBufferLengthAndReuse(t *testing.T) {
+	b := GetBuffer(100)
+	if len(b) != 100 {
+		t.Fatalf("len = %d, want 100", len(b))
+	}
+	for i := range b {
+		b[i] = float64(i)
+	}
+	PutBuffer(b)
+	b2 := GetBuffer(50)
+	if len(b2) != 50 {
+		t.Fatalf("len = %d, want 50", len(b2))
+	}
+	PutBuffer(b2)
+	if got := GetBuffer(0); len(got) != 0 {
+		t.Fatalf("GetBuffer(0) length %d", len(got))
+	}
+	if got := GetBuffer(-3); len(got) != 0 {
+		t.Fatalf("GetBuffer(-3) length %d", len(got))
+	}
+	PutBuffer(nil) // must not panic
+}
+
+func TestGetDensePutDense(t *testing.T) {
+	m := MustGetDense(7, 11)
+	if m.Rows != 7 || m.Cols != 11 || len(m.Data) != 77 {
+		t.Fatalf("bad scratch matrix %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero left a non-zero element")
+		}
+	}
+	PutDense(m)
+	PutDense(nil) // must not panic
+	if _, err := GetDense(-1, 2); err == nil {
+		t.Error("GetDense(-1, 2) accepted")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := MustNew(3, 4)
+	src.FillRandom(9)
+	dst := MustGetDense(3, 4)
+	defer PutDense(dst)
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if !Equalish(dst, src, 0) {
+		t.Error("copy differs from source")
+	}
+	bad := MustNew(4, 3)
+	if err := bad.CopyFrom(src); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestScratchConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 1 + (g*37+i)%257
+				b := GetBuffer(n)
+				for j := range b {
+					b[j] = float64(g)
+				}
+				for j := range b {
+					if b[j] != float64(g) {
+						t.Errorf("buffer shared between goroutines")
+						return
+					}
+				}
+				PutBuffer(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

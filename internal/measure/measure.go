@@ -12,6 +12,7 @@ import (
 
 	"heteropart/internal/kernels"
 	"heteropart/internal/matrix"
+	"heteropart/internal/pool"
 	"heteropart/internal/speed"
 )
 
@@ -20,6 +21,11 @@ type Config struct {
 	// Repeats is the number of timed runs; the median is reported.
 	// Defaults to 3.
 	Repeats int
+	// Workers selects the kernels the oracles measure: 0 or 1 keeps the
+	// serial kernels (the paper's per-processor measurement); >1 measures
+	// the parallel kernels on a worker pool of that width, so the built
+	// speed functions describe the multicore node rather than one core.
+	Workers int
 }
 
 func (c Config) repeats() int {
@@ -27,6 +33,15 @@ func (c Config) repeats() int {
 		return 3
 	}
 	return c.Repeats
+}
+
+// parallel reports whether the parallel kernels are selected and returns
+// the sized pool to run them on.
+func (c Config) parallel() (*pool.Pool, bool) {
+	if c.Workers <= 1 {
+		return nil, false
+	}
+	return pool.Sized(c.Workers), true
 }
 
 // Time runs fn Repeats times and returns the median wall-clock duration.
@@ -81,20 +96,30 @@ const (
 // §3.1 observes (Tables 3–4) that the speed depends on the element count,
 // not the matrix shape, which is what makes this square-matrix oracle
 // valid for the non-square subproblems of the striped application.
+//
+// With cfg.Workers > 1 both kinds measure kernels.MatMulParallel (the
+// packed, blocked, multi-threaded kernel) on a pool of that width — the
+// multicore node speed the self-adaptable follow-up work partitions by.
+// Scratch matrices come from the matrix package's pool, so repeated
+// measurements do not allocate per call.
 func MatMulOracle(cfg Config, kind MatMulKind) speed.Oracle {
 	return func(x float64) (float64, error) {
 		n := int(math.Round(math.Sqrt(x / 3)))
 		if n < 1 {
 			n = 1
 		}
-		a := matrix.MustNew(n, n)
-		b := matrix.MustNew(n, n)
-		c := matrix.MustNew(n, n)
+		a := matrix.MustGetDense(n, n)
+		b := matrix.MustGetDense(n, n)
+		c := matrix.MustGetDense(n, n)
+		defer func() { matrix.PutDense(a); matrix.PutDense(b); matrix.PutDense(c) }()
 		a.FillRandom(uint64(n))
 		b.FillRandom(uint64(n) + 1)
+		pl, par := cfg.parallel()
 		run := func() error {
-			switch kind {
-			case Blocked:
+			switch {
+			case par:
+				return kernels.MatMulParallel(pl, c, a, b, 64)
+			case kind == Blocked:
 				return kernels.MatMulBlocked(c, a, b, 64)
 			default:
 				return kernels.MatMulNaive(c, a, b)
@@ -106,19 +131,29 @@ func MatMulOracle(cfg Config, kind MatMulKind) speed.Oracle {
 
 // LUOracle returns a speed.Oracle measuring real LU factorization on the
 // host: a measurement at x elements factorizes a dense √x×√x matrix.
+// cfg.Workers > 1 selects kernels.LUFactorizeParallel.
 func LUOracle(cfg Config) speed.Oracle {
 	return func(x float64) (float64, error) {
 		n := int(math.Round(math.Sqrt(x)))
 		if n < 1 {
 			n = 1
 		}
-		base := matrix.MustNew(n, n)
+		base := matrix.MustGetDense(n, n)
+		work := matrix.MustGetDense(n, n)
+		defer func() { matrix.PutDense(base); matrix.PutDense(work) }()
 		base.FillRandom(uint64(n))
 		for i := 0; i < n; i++ {
 			base.Set(i, i, base.At(i, i)+float64(n))
 		}
+		pl, par := cfg.parallel()
 		run := func() error {
-			work := base.Clone()
+			if err := work.CopyFrom(base); err != nil {
+				return err
+			}
+			if par {
+				_, err := kernels.LUFactorizeParallel(pl, work)
+				return err
+			}
 			_, err := kernels.LUFactorize(work)
 			return err
 		}
@@ -135,8 +170,9 @@ func ArrayOpsOracle(cfg Config) speed.Oracle {
 		if n < 1 {
 			n = 1
 		}
-		src := make([]float64, n)
-		dst := make([]float64, n)
+		src := matrix.GetBuffer(n)
+		dst := matrix.GetBuffer(n)
+		defer func() { matrix.PutBuffer(src); matrix.PutBuffer(dst) }()
 		for i := range src {
 			src[i] = float64(i%97) / 97
 		}
@@ -176,8 +212,12 @@ func CholeskyOracle(cfg Config) speed.Oracle {
 		if err != nil {
 			return 0, err
 		}
+		work := matrix.MustGetDense(n, n)
+		defer matrix.PutDense(work)
 		run := func() error {
-			work := base.Clone()
+			if err := work.CopyFrom(base); err != nil {
+				return err
+			}
 			return kernels.Cholesky(work)
 		}
 		return cfg.FlopRate(kernels.FlopsCholesky(n), run)

@@ -131,3 +131,41 @@ func TestCholeskyOracleRealMeasurement(t *testing.T) {
 		t.Errorf("measured %v flops/s, implausibly slow", s)
 	}
 }
+
+func TestMatMulOracleParallelWorkers(t *testing.T) {
+	// Workers > 1 routes the oracle through the parallel kernel; the
+	// measured speed must still be a positive flop rate.
+	cfg := Config{Repeats: 1, Workers: 4}
+	oracle := MatMulOracle(cfg, Naive)
+	s, err := oracle(3 * 96 * 96)
+	if err != nil {
+		t.Fatalf("parallel oracle: %v", err)
+	}
+	if !(s > 0) {
+		t.Errorf("non-positive parallel speed %v", s)
+	}
+}
+
+func TestLUOracleParallelWorkers(t *testing.T) {
+	cfg := Config{Repeats: 1, Workers: 2}
+	s, err := LUOracle(cfg)(96 * 96)
+	if err != nil {
+		t.Fatalf("parallel LU oracle: %v", err)
+	}
+	if !(s > 0) {
+		t.Errorf("non-positive parallel speed %v", s)
+	}
+}
+
+func TestConfigParallelSelection(t *testing.T) {
+	if _, par := (Config{}).parallel(); par {
+		t.Error("Workers=0 selected the parallel kernels")
+	}
+	if _, par := (Config{Workers: 1}).parallel(); par {
+		t.Error("Workers=1 selected the parallel kernels")
+	}
+	pl, par := (Config{Workers: 3}).parallel()
+	if !par || pl == nil || pl.Workers() != 3 {
+		t.Errorf("Workers=3: par=%v pool=%v", par, pl)
+	}
+}

@@ -1,0 +1,184 @@
+// Package pool provides the bounded, reusable worker pool behind the
+// repo's parallel compute layer: the multi-threaded kernels in
+// internal/kernels, the striped application executors, and the concurrent
+// experiment harness all fan work out over the same small set of
+// goroutines instead of spawning unbounded ones.
+//
+// The design is deliberately deadlock-free under nesting: a fan-out hands
+// work to idle pool workers with a non-blocking send and the caller always
+// participates in executing items, so a task running on a pool worker can
+// itself call Run (the kernels do exactly that when an experiment artifact
+// runs a parallel executor) and, in the worst case, simply computes its
+// inner fan-out inline. Join is deterministic — Run returns only after
+// every item has been executed exactly once — and a panic in any item is
+// re-raised on the calling goroutine after the join.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of reusable worker goroutines. The zero value is
+// not usable; construct with New. A Pool with w workers runs at most w
+// items concurrently per fan-out: w−1 parked goroutines plus the calling
+// goroutine itself.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	done    chan struct{}
+	close   sync.Once
+}
+
+// New creates a pool with the given concurrency width. workers <= 0
+// selects runtime.GOMAXPROCS(0). New(1) is a valid degenerate pool whose
+// Run executes everything inline on the caller.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func()),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case fn := <-p.tasks:
+			fn()
+		}
+	}
+}
+
+// Workers returns the pool's concurrency width (including the caller).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the pool's parked goroutines. Fan-outs in flight finish
+// normally; subsequent Run calls still work but execute on the caller
+// alone. Closing twice is a no-op.
+func (p *Pool) Close() {
+	p.close.Do(func() { close(p.done) })
+}
+
+// panicRecord carries a recovered panic from a worker to the caller.
+type panicRecord struct {
+	val   any
+	stack []byte
+}
+
+// Run executes fn(i) for every i in [0, n) using at most Workers()
+// goroutines (the caller included) and returns after all items are done.
+// Items are claimed dynamically from a shared counter, so uneven item
+// costs balance automatically; every index is executed exactly once.
+// n <= 0 is a no-op. If an item panics, the remaining unclaimed items are
+// abandoned, in-flight items finish, and the first panic is re-raised on
+// the calling goroutine.
+func (p *Pool) Run(n int, fn func(i int)) {
+	p.RunLimit(n, 0, fn)
+}
+
+// RunLimit is Run with an additional cap on the concurrency of this one
+// fan-out: at most limit items run at once (limit <= 0 or above the pool
+// width means the pool width). RunLimit(n, 1, fn) executes serially on the
+// calling goroutine through the same code path as the parallel case —
+// useful as a workers=1 baseline.
+func (p *Pool) RunLimit(n, limit int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 || limit > p.workers {
+		limit = p.workers
+	}
+	var (
+		next  atomic.Int64
+		first atomic.Pointer[panicRecord]
+		wg    sync.WaitGroup
+	)
+	body := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				first.CompareAndSwap(nil, &panicRecord{val: r, stack: debug.Stack()})
+				// Abandon unclaimed items so the join completes promptly.
+				next.Store(int64(n))
+			}
+		}()
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	// Offer the loop to idle pool workers without blocking; a saturated
+	// pool (or a nested fan-out that finds every worker busy) degrades to
+	// the caller computing everything itself.
+	helpers := min(limit, n) - 1
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		task := func() { defer wg.Done(); body() }
+		select {
+		case p.tasks <- task:
+		default:
+			wg.Done()
+			h = helpers // no idle worker: stop offering
+		}
+	}
+	body()
+	wg.Wait()
+	if rec := first.Load(); rec != nil {
+		panic(fmt.Sprintf("pool: worker panic: %v\n%s", rec.val, rec.stack))
+	}
+}
+
+// Shared and Sized pools: process-wide, created on first use, never
+// closed. Parallel kernels accept a nil *Pool and substitute Shared().
+var (
+	sharedMu     sync.Mutex
+	sized        = map[int]*Pool{}
+	defaultWidth atomic.Int64 // 0 = GOMAXPROCS
+)
+
+// SetDefault sets the width Shared() resolves to (0 restores the
+// GOMAXPROCS default). CLIs call it once at startup from a -workers flag;
+// pools already handed out keep their width.
+func SetDefault(workers int) {
+	if workers < 0 {
+		workers = 0
+	}
+	defaultWidth.Store(int64(workers))
+}
+
+// Shared returns the process-wide default pool (GOMAXPROCS workers unless
+// overridden by SetDefault), creating it on first use.
+func Shared() *Pool { return Sized(int(defaultWidth.Load())) }
+
+// Sized returns a process-wide pool with exactly the given width, creating
+// it on first use. Sized(0) and Sized(GOMAXPROCS) are the same pool.
+// Pools returned by Sized live for the process; call New for a pool you
+// intend to Close.
+func Sized(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p := sized[workers]
+	if p == nil {
+		p = New(workers)
+		sized[workers] = p
+	}
+	return p
+}

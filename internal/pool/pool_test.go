@@ -1,0 +1,203 @@
+package pool
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryItemExactlyOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	p.Run(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("item %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestRunZeroAndNegativeItems(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	called := false
+	p.Run(0, func(int) { called = true })
+	p.Run(-5, func(int) { called = true })
+	if called {
+		t.Error("fn called for an empty fan-out")
+	}
+}
+
+func TestRunSingleWorkerInline(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	// With one worker everything runs on the caller, in index order
+	// (dynamic claiming from one goroutine is sequential).
+	var order []int
+	p.Run(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v, want ascending", order)
+		}
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated to the caller")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom-42") {
+			t.Fatalf("propagated panic %v does not carry the original value", r)
+		}
+	}()
+	p.Run(100, func(i int) {
+		if i == 42 {
+			panic("boom-42")
+		}
+	})
+}
+
+func TestPoolUsableAfterPanic(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	func() {
+		defer func() { recover() }()
+		p.Run(10, func(int) { panic("first") })
+	}()
+	var done atomic.Int32
+	p.Run(10, func(int) { done.Add(1) })
+	if done.Load() != 10 {
+		t.Fatalf("pool ran %d/10 items after a panicking fan-out", done.Load())
+	}
+}
+
+func TestNestedRun(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const outer, inner = 8, 50
+	var total atomic.Int64
+	p.Run(outer, func(int) {
+		p.Run(inner, func(int) { total.Add(1) })
+	})
+	if total.Load() != outer*inner {
+		t.Fatalf("nested fan-out ran %d items, want %d", total.Load(), outer*inner)
+	}
+}
+
+func TestDeeplyNestedRunDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var total atomic.Int64
+	p.Run(4, func(int) {
+		p.Run(4, func(int) {
+			p.Run(4, func(int) { total.Add(1) })
+		})
+	})
+	if total.Load() != 64 {
+		t.Fatalf("got %d leaf executions, want 64", total.Load())
+	}
+}
+
+func TestRunLimitCapsConcurrency(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	for _, limit := range []int{1, 2, 3} {
+		var cur, peak atomic.Int32
+		p.RunLimit(200, limit, func(int) {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			for i := 0; i < 1000; i++ {
+				runtime.Gosched()
+			}
+			cur.Add(-1)
+		})
+		if got := peak.Load(); got > int32(limit) {
+			t.Errorf("limit %d: observed %d concurrent items", limit, got)
+		}
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	var cur, peak atomic.Int32
+	p.Run(100, func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	if got := peak.Load(); got > 3 {
+		t.Errorf("pool of 3 ran %d items concurrently", got)
+	}
+}
+
+func TestCloseThenRunStillWorks(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close() // double close is a no-op
+	var n atomic.Int32
+	p.Run(20, func(int) { n.Add(1) })
+	if n.Load() != 20 {
+		t.Fatalf("closed pool ran %d/20 items", n.Load())
+	}
+}
+
+func TestSharedAndSized(t *testing.T) {
+	if Shared() != Shared() {
+		t.Error("Shared() not a singleton")
+	}
+	if Sized(0) != Shared() {
+		t.Error("Sized(0) should be the shared pool")
+	}
+	p2 := Sized(2)
+	if p2.Workers() != 2 {
+		t.Errorf("Sized(2) has %d workers", p2.Workers())
+	}
+	if Sized(2) != p2 {
+		t.Error("Sized(2) not cached")
+	}
+	SetDefault(2)
+	if Shared() != p2 {
+		t.Error("SetDefault(2) did not redirect Shared()")
+	}
+	SetDefault(0)
+	if Shared().Workers() != runtime.GOMAXPROCS(0) {
+		t.Error("SetDefault(0) did not restore the GOMAXPROCS default")
+	}
+}
+
+func TestConcurrentIndependentRuns(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	done := make(chan int64, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			var n atomic.Int64
+			p.Run(500, func(int) { n.Add(1) })
+			done <- n.Load()
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if got := <-done; got != 500 {
+			t.Fatalf("concurrent fan-out ran %d/500 items", got)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_kernels.sh — run the kernel benchmarks and emit a JSON baseline so
+# later PRs have a perf trajectory to compare against.
+#
+# Usage:
+#
+#	scripts/bench_kernels.sh [output.json]
+#
+# Environment:
+#
+#	BENCHTIME   value for -benchtime (default 1x: one timed iteration per
+#	            benchmark, the CI smoke setting; use e.g. 2s for stable
+#	            numbers on a quiet host)
+#	BENCH       -bench pattern (default Kernel)
+#
+# The JSON is an array of objects:
+#
+#	{"name": "...", "n": <iterations>, "ns_per_op": ..., "mb_per_s": ...,
+#	 "gflop_per_s": ...}
+#
+# plus a leading metadata object with the host description.
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_kernels.json}"
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCH:-Kernel}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN { printf "[\n" }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, "", $0); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = mbs = gflops = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "MB/s") mbs = $i
+		if ($(i+1) == "GFLOP/s") gflops = $i
+	}
+	rows[nrows++] = sprintf("{\"name\": \"%s\", \"n\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"gflop_per_s\": %s}",
+		name, iters, ns, mbs, gflops)
+}
+END {
+	printf "  {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"benchtime\": \"%s\"}", goos, goarch, cpu, benchtime
+	for (i = 0; i < nrows; i++) printf ",\n  %s", rows[i]
+	printf "\n]\n"
+}' "$tmp" > "$out"
+echo "wrote $out" >&2
