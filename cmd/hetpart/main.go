@@ -54,6 +54,7 @@ func run() error {
 		gridDims = flag.String("grid", "", "WxH: partition a 2D grid into rectangles instead of a set")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		grace    = flag.Float64("grace", 1.5, "failure-detection timeout as a multiple of the predicted finish time")
+		drift    = flag.Float64("drift", 0, "EWMA relative-error threshold of the model drift detector; >0 adds drift-aware makespan notes to fault drills")
 		workers  = flag.Int("workers", 0, "worker pool width for any real kernel execution (0 = GOMAXPROCS)")
 		fail     repeatedFlag
 	)
@@ -125,7 +126,7 @@ func run() error {
 	t.AddNote("makespan: %s s", report.FormatFloat(core.Makespan(res.Alloc, fns)))
 	specs := append(append([]string(nil), cluster.Faults...), fail...)
 	if len(specs) > 0 {
-		if err := addFaultNotes(t, specs, names, res.Alloc, fns, *grace); err != nil {
+		if err := addFaultNotes(t, specs, names, res.Alloc, fns, *grace, *drift); err != nil {
 			return err
 		}
 	}
@@ -135,7 +136,7 @@ func run() error {
 // addFaultNotes evaluates the distribution under the fault plan with the
 // closed-form model and appends the FPM-aware recovered makespan next to
 // the naive rerun-from-scratch baseline.
-func addFaultNotes(t *report.Table, specs, names []string, alloc core.Allocation, fns []speed.Function, grace float64) error {
+func addFaultNotes(t *report.Table, specs, names []string, alloc core.Allocation, fns []speed.Function, grace, drift float64) error {
 	plan, err := faults.ParseSpecs(specs, names)
 	if err != nil {
 		return err
@@ -152,6 +153,11 @@ func addFaultNotes(t *report.Table, specs, names []string, alloc core.Allocation
 	if len(faulty.Failed) == 0 {
 		t.AddNote("faults: no processor lost; makespan under the plan: %s s",
 			report.FormatFloat(faulty.Makespan))
+		if drift > 0 {
+			if err := addDriftNotes(t, tasks, names, fns, opt, drift); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	lost := make([]string, len(faulty.Failed))
@@ -166,6 +172,31 @@ func addFaultNotes(t *report.Table, specs, names []string, alloc core.Allocation
 		strings.Join(lost, ", "), report.FormatFloat(faulty.DetectedAt), faulty.MovedWork)
 	t.AddNote("recovered makespan (FPM repartitioning): %s s", report.FormatFloat(faulty.Makespan))
 	t.AddNote("naive rerun-from-scratch makespan: %s s", report.FormatFloat(naive.Makespan))
+	return nil
+}
+
+// addDriftNotes re-evaluates the plan with the EWMA drift monitor in the
+// loop: processors that survive but run persistently off-model are caught
+// by the detector, their models refreshed from observed speed, and the
+// remaining work repartitioned — the closed measurement loop, without any
+// failure.
+func addDriftNotes(t *report.Table, tasks []sim.Task, names []string, fns []speed.Function, opt sim.FaultyOptions, threshold float64) error {
+	dres, err := sim.DriftMakespan(tasks, fns, opt, sim.DriftOptions{Threshold: threshold})
+	if err != nil {
+		return err
+	}
+	if len(dres.Stale) == 0 {
+		t.AddNote("drift: no model declared stale (threshold %s)", report.FormatFloat(threshold))
+		return nil
+	}
+	stale := make([]string, len(dres.Stale))
+	for k, i := range dres.Stale {
+		stale[k] = names[i]
+	}
+	t.AddNote("drift: model stale on %s (EWMA error past %s at t=%s s; %s elements repartitioned)",
+		strings.Join(stale, ", "), report.FormatFloat(threshold),
+		report.FormatFloat(dres.RefreshedAt), report.FormatFloat(dres.MovedWork))
+	t.AddNote("drift-refreshed makespan: %s s", report.FormatFloat(dres.Makespan))
 	return nil
 }
 

@@ -6,10 +6,24 @@
 // Usage:
 //
 //	speedbuild -kernel naive -min 12288 -max 3e6 [-eps 0.05] [-repeats 3]
+//	speedbuild -kernel lu -timeout 10s -max-repeats 12 -ci 0.03 -o lu.json
 //
 // Kernels: naive and blocked matrix multiplication (sizes are total
 // elements of the three matrices, 3n²), lu (elements of the factorized
 // matrix, n²), arrayops (array length).
+//
+// With -timeout, -max-repeats or -ci the robust measurement pipeline is
+// used: every kernel timing is bounded by the deadline, retried with
+// jittered backoff on transient failure, repeated adaptively until its
+// MAD-based confidence width falls under the -ci target, and the per-knot
+// measurement qualities are emitted alongside the points. -fail specs
+// (repeatable; grammar noise:p0:sigma=0.1, outlier:p0:rate=0.05:factor=4,
+// err:p0:at=3, hang:p0:at=3:for=0.5s, slow:p0:factor=0.5) inject seeded
+// measurement faults for pipeline validation.
+//
+// A build that fails — oracle error, measurement budget exhausted before
+// convergence — exits non-zero with a diagnostic and leaves the -o output
+// file untouched; no partial model is ever written.
 package main
 
 import (
@@ -18,7 +32,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
+	"heteropart/internal/faults"
 	"heteropart/internal/measure"
 	"heteropart/internal/speed"
 )
@@ -30,17 +46,34 @@ func main() {
 	}
 }
 
+// stringList collects a repeatable flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 func run() error {
+	var failSpecs stringList
 	var (
 		kernel  = flag.String("kernel", "naive", "kernel to measure: naive, blocked, lu, cholesky, arrayops")
 		minSize = flag.Float64("min", 3*64*64, "smallest problem size (elements)")
 		maxSize = flag.Float64("max", 3*512*512, "largest problem size (elements)")
 		eps     = flag.Float64("eps", 0.05, "relative acceptance band of the §3.1 procedure")
-		repeats = flag.Int("repeats", 3, "timed repetitions per measurement (median)")
+		repeats = flag.Int("repeats", 3, "timed repetitions per measurement (median; the robust pipeline's minimum)")
 		budget  = flag.Int("budget", 64, "maximum number of measurements")
 		name    = flag.String("name", "", "processor name in the emitted JSON (default: kernel name)")
 		workers = flag.Int("workers", 1, "kernel worker threads: 1 measures the serial kernels, >1 or 0 (= GOMAXPROCS) the parallel ones")
+		timeout = flag.Duration("timeout", 0, "per-measurement deadline; a timing still running at the deadline is abandoned and retried (enables the robust pipeline)")
+		maxRep  = flag.Int("max-repeats", 0, "adaptive repetition cap of the robust pipeline (default 4×repeats; enables the robust pipeline)")
+		ci      = flag.Float64("ci", 0, "target MAD-based relative confidence width per point (enables the robust pipeline)")
+		seed    = flag.Uint64("fail-seed", 1, "seed of the injected measurement-fault plan")
+		output  = flag.String("o", "", "output file (default stdout); written only on success, never partially")
 	)
+	flag.Var(&failSpecs, "fail", "injected measurement fault spec (repeatable), e.g. noise:p0:sigma=0.1")
 	flag.Parse()
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -64,31 +97,82 @@ func run() error {
 	if !(*minSize > 0) || !(*maxSize > *minSize) {
 		return fmt.Errorf("invalid size interval [%v, %v]", *minSize, *maxSize)
 	}
-	b := speed.Builder{Eps: *eps, MaxMeasurements: *budget, LogDomain: true}
-	fn, stats, err := b.Build(oracle, *minSize, *maxSize)
-	if err != nil && fn == nil {
-		return err
+	if len(failSpecs) > 0 {
+		plan, err := faults.ParseMeasureSpecs(*seed, failSpecs, nil)
+		if err != nil {
+			return err
+		}
+		oracle = faults.FaultyOracle(oracle, 0, plan)
 	}
+	b := speed.Builder{Eps: *eps, MaxMeasurements: *budget, LogDomain: true, QualityTarget: *ci}
+
+	var (
+		fn    *speed.PiecewiseLinear
+		stats speed.BuildStats
+		err   error
+	)
+	if *timeout > 0 || *maxRep > 0 || *ci > 0 {
+		r := measure.Robust{
+			Timeout:        *timeout,
+			MinSamples:     *repeats,
+			MaxSamples:     *maxRep,
+			TargetRelWidth: *ci,
+			Seed:           *seed,
+		}
+		fn, stats, err = b.BuildQ(r.Oracle(oracle), *minSize, *maxSize)
+	} else {
+		fn, stats, err = b.Build(oracle, *minSize, *maxSize)
+	}
+	for _, d := range stats.Diagnostics {
+		fmt.Fprintln(os.Stderr, "speedbuild:", d)
+	}
+	if err != nil {
+		// No partial model: diagnose and exit non-zero, leaving any -o
+		// output file exactly as it was.
+		return fmt.Errorf("build failed after %d measurements: %w", stats.Measurements, err)
+	}
+
 	label := *name
 	if label == "" {
 		label = *kernel
 	}
 	out := struct {
-		Name         string        `json:"name"`
-		Points       []speed.Point `json:"points"`
-		Measurements int           `json:"measurements"`
-		Repaired     bool          `json:"repaired"`
-		Note         string        `json:"note,omitempty"`
+		Name         string               `json:"name"`
+		Points       []speed.Point        `json:"points"`
+		Qualities    []speed.PointQuality `json:"qualities,omitempty"`
+		Measurements int                  `json:"measurements"`
+		Remeasured   int                  `json:"remeasured,omitempty"`
+		Repaired     bool                 `json:"repaired"`
+		Quarantined  []float64            `json:"quarantined,omitempty"`
 	}{
 		Name:         label,
 		Points:       fn.Points(),
 		Measurements: stats.Measurements,
+		Remeasured:   stats.Remeasured,
 		Repaired:     stats.Repaired,
+		Quarantined:  stats.Quarantined,
 	}
+	if *timeout > 0 || *maxRep > 0 || *ci > 0 {
+		out.Qualities = stats.Qualities
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
-		out.Note = err.Error()
+		return err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	data = append(data, '\n')
+	if *output == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	// Write atomically: the destination is replaced only by a complete
+	// document, and a failed build never reaches this point.
+	tmp := *output + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, *output); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,68 @@
+package lu
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/speed"
+)
+
+// TestSupervisedObserveFeedsDrift wires the faults.Config.Observe tap —
+// the closed measurement loop's feedback path — through the supervised LU
+// executor: every completed update-phase attempt must report a
+// (predicted, observed) pair, and the pairs must flow into a drift
+// detector without tripping it up.
+func TestSupervisedObserveFeedsDrift(t *testing.T) {
+	d, fns, a, want, wantPerm := supervisedLUFixture(t)
+	var (
+		mu    sync.Mutex
+		pairs = make(map[int]int) // worker → observations
+	)
+	drift := &speed.Drift{Threshold: 1e9} // record-only: thresholds are sim-calibrated
+	cfg := faults.Config{
+		Observe: func(worker int, predicted, observed float64) {
+			mu.Lock()
+			pairs[worker]++
+			mu.Unlock()
+			if predicted < 0 {
+				t.Errorf("worker %d observed with negative prediction %v", worker, predicted)
+			}
+			if !(observed > 0) {
+				t.Errorf("worker %d observed non-positive wall time %v", worker, observed)
+			}
+			drift.Observe(worker, predicted, observed)
+		},
+	}
+	lu, perm, rep, err := ExecuteSupervised(context.Background(), d, a, len(fns), fns, nil, cfg)
+	if err != nil {
+		t.Fatalf("ExecuteSupervised: %v", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed = %v in a fault-free run", rep.Failed)
+	}
+	if !luBitEqual(lu, want) {
+		t.Error("observed run's factors differ from Execute's")
+	}
+	for i := range perm {
+		if perm[i] != wantPerm[i] {
+			t.Fatalf("perm[%d] = %d, want %d", i, perm[i], wantPerm[i])
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(pairs) == 0 {
+		t.Fatal("Observe tap never fired")
+	}
+	total := 0
+	for w, c := range pairs {
+		if w < 0 || w >= len(fns) {
+			t.Errorf("observation for out-of-range worker %d", w)
+		}
+		total += c
+	}
+	if total == 0 {
+		t.Error("no observations recorded")
+	}
+}

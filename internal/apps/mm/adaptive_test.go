@@ -1,0 +1,137 @@
+package mm
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/kernels"
+	"heteropart/internal/matrix"
+	"heteropart/internal/speed"
+)
+
+func TestExecuteAdaptiveNoFaultsBitExact(t *testing.T) {
+	plan, fns, a, b, want := supervisedFixture(t, 96)
+	// Detection disabled: this test pins down the phased execution alone.
+	acfg := AdaptiveConfig{Drift: &speed.Drift{Threshold: math.Inf(1)}}
+	c, rep, err := ExecuteAdaptive(context.Background(), plan, a, b, fns, nil, faults.Config{}, acfg)
+	if err != nil {
+		t.Fatalf("ExecuteAdaptive: %v", err)
+	}
+	if len(rep.Stale) != 0 || rep.Refreshes != 0 || rep.DriftMovedRows != 0 {
+		t.Errorf("detector disabled yet report shows drift action: %+v", rep)
+	}
+	if len(rep.Failed) != 0 {
+		t.Errorf("failed = %v in a fault-free run", rep.Failed)
+	}
+	if !bitEqual(c, want) {
+		t.Error("adaptive product differs from Execute")
+	}
+}
+
+// calibratedRowRate times the real row kernel serially and returns a flop
+// rate that makes the FPM prediction match this machine, so the drift
+// detector below compares like with like.
+func calibratedRowRate(t *testing.T, n int) float64 {
+	t.Helper()
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	c := matrix.MustNew(n, n)
+	a.FillRandom(3)
+	b.FillRandom(4)
+	const rows = 24
+	timeRows := func() float64 {
+		start := time.Now()
+		for r := 0; r < rows; r++ {
+			aRow, err := a.RowStripe(r, r+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cRow, err := c.RowStripe(r, r+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kernels.MatMulABT(cRow, aRow, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds() / rows
+	}
+	timeRows() // warm up caches and the scheduler
+	perRow := timeRows()
+	if !(perRow > 0) {
+		t.Fatal("per-row calibration produced no measurable time")
+	}
+	// rows/s × flops/row = flops/s; a row of C = A×Bᵀ is 2n² flops.
+	return 2 * float64(n) * float64(n) / perRow
+}
+
+// TestExecuteAdaptiveDriftRefreshesAndMoves is the closed-loop demo on a
+// real executor: one worker is persistently slowed ×50 with no crash, so
+// the PR 1 failure path never fires — only the drift detector can notice.
+// It must flag exactly that worker, refresh its model from the observed
+// speed, repartition the remaining rows off it, and still produce the
+// bit-exact product.
+func TestExecuteAdaptiveDriftRefreshesAndMoves(t *testing.T) {
+	const n = 192
+	rate := calibratedRowRate(t, n)
+	fns := make([]speed.Function, 4)
+	for i := range fns {
+		fns[i] = speed.MustConstant(rate, 1e9)
+	}
+	plan, err := PartitionFPM(n, fns)
+	if err != nil {
+		t.Fatalf("PartitionFPM: %v", err)
+	}
+	a := matrix.MustNew(n, n)
+	b := matrix.MustNew(n, n)
+	a.FillRandom(21)
+	b.FillRandom(22)
+	want, _, err := Execute(plan, a, b)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+
+	const slowed = 1
+	pln, err := faults.NewPlan(faults.Fault{Kind: faults.Slow, Proc: slowed, At: 0, Factor: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 8 with two observations required: the slowed worker's
+	// relative error is ~49 every phase; a healthy worker would need two
+	// consecutive ~9× timing anomalies against its own calibration.
+	acfg := AdaptiveConfig{
+		Drift:  &speed.Drift{Alpha: 0.5, Threshold: 8, MinObservations: 2},
+		Phases: 4,
+	}
+	// Generous supervision: this test exercises the drift path, so the
+	// deadline must never reclassify the ×50 slowdown as a death (the
+	// deadline is predicted × Grace, and race-instrumented builds stretch
+	// the wall clock further).
+	cfg := faults.Config{Grace: 500, StallAfter: 5 * time.Second, MinDeadline: 2 * time.Second}
+	c, rep, err := ExecuteAdaptive(context.Background(), plan, a, b, fns, inj, cfg, acfg)
+	if err != nil {
+		t.Fatalf("ExecuteAdaptive: %v", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("the slowdown escalated to a failure: %+v", rep.Failed)
+	}
+	if len(rep.Stale) != 1 || rep.Stale[0] != slowed {
+		t.Fatalf("stale = %v, want [%d]", rep.Stale, slowed)
+	}
+	if rep.Refreshes == 0 || rep.DriftMovedRows <= 0 {
+		t.Errorf("drift fired but nothing moved: refreshes %d, moved %d", rep.Refreshes, rep.DriftMovedRows)
+	}
+	if rep.MovedRows != 0 {
+		t.Errorf("failure-path moved rows %d in a run without failures", rep.MovedRows)
+	}
+	if !bitEqual(c, want) {
+		t.Error("drift-repartitioned product is not bit-identical to Execute's")
+	}
+}

@@ -25,6 +25,10 @@ type Processor struct {
 	// Points: piecewise linear speed function (elements/second vs
 	// elements), e.g. the output of cmd/speedbuild.
 	Points []speed.Point `json:"points,omitempty"`
+	// Qualities optionally records the measurement quality of the Points
+	// knots (cmd/speedbuild's robust pipeline emits them). Entries pair a
+	// knot size with its speed.Quality; sizes must match Points knots.
+	Qualities []speed.PointQuality `json:"qualities,omitempty"`
 	// Speed: constant speed; Max bounds its domain (defaults to the
 	// problem size at partitioning time when zero).
 	Speed float64 `json:"speed,omitempty"`
@@ -114,6 +118,23 @@ func (c *Cluster) Validate() error {
 			}
 			if j > 0 && pt.X <= p.Points[j-1].X {
 				return fmt.Errorf("clusterio: processor %s: point sizes must be strictly increasing, got %v after %v at index %d", name, pt.X, p.Points[j-1].X, j)
+			}
+		}
+		if len(p.Qualities) > 0 {
+			if len(p.Points) == 0 {
+				return fmt.Errorf("clusterio: processor %s: qualities without points", name)
+			}
+			sizes := make(map[float64]bool, len(p.Points))
+			for _, pt := range p.Points {
+				sizes[pt.X] = true
+			}
+			for j, pq := range p.Qualities {
+				if !sizes[pq.X] {
+					return fmt.Errorf("clusterio: processor %s: quality %d is for size %v, which is not a points knot", name, j, pq.X)
+				}
+				if pq.Quality.Samples < 0 || pq.Quality.Rejected < 0 || pq.Quality.Retries < 0 || pq.Quality.RelWidth < 0 {
+					return fmt.Errorf("clusterio: processor %s: quality %d has negative fields (%+v)", name, j, pq.Quality)
+				}
 			}
 		}
 		for j, lv := range p.Levels {

@@ -312,3 +312,62 @@ func TestExampleClusterFile(t *testing.T) {
 		}
 	}
 }
+
+func TestQualitiesRoundTripAndValidation(t *testing.T) {
+	c := &Cluster{Processors: []Processor{{
+		Name:   "p0",
+		Points: []speed.Point{{X: 100, Y: 1000}, {X: 10000, Y: 10}},
+		Qualities: []speed.PointQuality{
+			{X: 100, Quality: speed.Quality{Samples: 25, Rejected: 2, RelWidth: 0.01}},
+			{X: 10000, Quality: speed.Quality{Samples: 30, Retries: 1, TimedOut: true, RelWidth: 0.04}},
+		},
+	}}}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load after Save: %v", err)
+	}
+	q := got.Processors[0].Qualities
+	if len(q) != 2 {
+		t.Fatalf("qualities = %d after round trip, want 2", len(q))
+	}
+	if q[0] != c.Processors[0].Qualities[0] || q[1] != c.Processors[0].Qualities[1] {
+		t.Errorf("qualities changed in the round trip: %+v", q)
+	}
+
+	bad := []struct {
+		name string
+		mut  func(*Cluster)
+		want string
+	}{
+		{"orphan quality", func(c *Cluster) {
+			c.Processors[0].Qualities[1].X = 5000
+		}, "not a points knot"},
+		{"negative samples", func(c *Cluster) {
+			c.Processors[0].Qualities[0].Quality.Samples = -1
+		}, "negative"},
+		{"qualities without points", func(c *Cluster) {
+			c.Processors[0].Points = nil
+			c.Processors[0].Speed = 100
+		}, "qualities without points"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			cc, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(cc)
+			err = cc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

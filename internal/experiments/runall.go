@@ -36,7 +36,7 @@ var artifactNames = []string{
 	"ablation-algorithms", "ablation-bisection", "ablation-finetune",
 	"ablation-builder", "ablation-communication", "ablation-2d",
 	"ablation-step-model", "ablation-heterogeneity", "ablation-group-block", "ablation-overlap",
-	"ablation-fault-recovery",
+	"ablation-fault-recovery", "ablation-robust-measure",
 }
 
 // Artifacts lists the artifact names accepted by Options.Only.
@@ -91,6 +91,7 @@ func RunAll(w io.Writer, opt Options) ([]*report.Table, error) {
 		"ablation-group-block":   func() ([]*report.Table, error) { return one(AblationGroupBlock()) },
 		"ablation-overlap":       func() ([]*report.Table, error) { return one(AblationOverlap()) },
 		"ablation-fault-recovery": func() ([]*report.Table, error) { return one(AblationFaultRecovery()) },
+		"ablation-robust-measure": func() ([]*report.Table, error) { return one(AblationRobustMeasurement()) },
 	}
 	only := strings.ToLower(opt.Only)
 	var selected []string

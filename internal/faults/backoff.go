@@ -1,0 +1,39 @@
+package faults
+
+import (
+	"time"
+)
+
+// JitterBackoff returns the pause before retry number attempt (zero-based):
+// base doubled per attempt, with a deterministic ±20 % jitter derived from
+// key. Pure exponential doubling makes every victim of a multi-worker
+// failure wake in lockstep and collide on the shared medium (or the shared
+// measurement host); the jitter decorrelates them while staying replayable —
+// the same (base, attempt, key) always yields the same pause. The supervisor
+// keys by worker index, the measurement retrier by a seed mixed with the
+// problem size, so concurrent retries never share an instant.
+func JitterBackoff(base time.Duration, attempt int, key uint64) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 30 {
+		attempt = 30 // cap the shift; beyond this the pause is minutes anyway
+	}
+	d := base << uint(attempt)
+	// splitmix64 of (key, attempt) → uniform in [0.8, 1.2).
+	h := splitmix64(key ^ (uint64(attempt)+1)*0x9e3779b97f4a7c15)
+	frac := float64(h>>11) / float64(1<<53) // [0, 1)
+	return time.Duration(float64(d) * (0.8 + 0.4*frac))
+}
+
+// splitmix64 is the standard 64-bit finalizer used to derive independent
+// jitter streams from a key without carrying an RNG around.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec exercises the execution fault-spec grammar: arbitrary
+// input must never panic, and any spec that parses must round-trip
+// through Fault.String unchanged.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"p3@t=1.5s",
+		"p2@t=1s,slow=0.4",
+		"p2@t=1s,slow=0.4,for=2s",
+		"p1@t=2s,stall,for=0.5s",
+		"link@t=0.5s,for=1s",
+		"p0@t=0",
+		"X1@t=3s",
+		"p1@t=2s,stall",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fault, err := ParseSpec(spec, nil)
+		if err != nil {
+			return
+		}
+		again, err := ParseSpec(fault.String(), nil)
+		if err != nil {
+			t.Fatalf("String %q of valid spec %q does not re-parse: %v", fault.String(), spec, err)
+		}
+		if again != fault {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, again, fault)
+		}
+	})
+}
+
+// FuzzParseMeasureSpec does the same for the measurement fault-spec
+// grammar.
+func FuzzParseMeasureSpec(f *testing.F) {
+	for _, seed := range []string{
+		"noise:p0:sigma=0.1",
+		"outlier:p2:rate=0.05:factor=4",
+		"err:p1:rate=0.01",
+		"err:p1:at=3",
+		"hang:p1:at=3:for=0.5s",
+		"slow:p0:factor=0.5",
+		"slow:p3:factor=0.25:from=4",
+		"outlier:p0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fault, err := ParseMeasureSpec(spec, nil)
+		if err != nil {
+			return
+		}
+		again, err := ParseMeasureSpec(fault.String(), nil)
+		if err != nil {
+			t.Fatalf("String %q of valid spec %q does not re-parse: %v", fault.String(), spec, err)
+		}
+		if again != fault {
+			t.Fatalf("round trip of %q: %+v != %+v", spec, again, fault)
+		}
+	})
+}

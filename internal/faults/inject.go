@@ -65,7 +65,6 @@ func (in *Injector) Gate(ctx context.Context, proc int) error {
 	}
 	t := in.Now()
 	prev := in.loadLastGate(proc)
-	in.storeLastGate(proc, t)
 	if ct, ok := in.plan.CrashTime(proc); ok && t >= ct {
 		return fmt.Errorf("%w: processor %d crashed at t=%gs", ErrInjected, proc, ct)
 	}
@@ -91,6 +90,11 @@ func (in *Injector) Gate(ctx context.Context, proc int) error {
 		case <-time.After(time.Duration(extra * float64(time.Second))):
 		}
 	}
+	// Record the gate time after the emulated sleep, so the sleep itself
+	// is never counted as work at the next gate — otherwise the slowdown
+	// compounds geometrically for factors ≤ 0.5 instead of holding the
+	// plan's constant factor.
+	in.storeLastGate(proc, in.Now())
 	return nil
 }
 

@@ -1,0 +1,385 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"heteropart/internal/speed"
+)
+
+// This file is the measurement-fault layer: where the Plan/Injector pair
+// makes *execution* misbehave, a MeasurePlan makes the §3.1 measurement
+// oracle itself misbehave — multiplicative noise (the 30–40 % workload
+// fluctuation of Figure 2), heavy-tailed outliers (a paged-out or
+// foreign-loaded run), transient errors, and hangs. Plans are seeded and
+// replayable: the perturbation of call k on processor p depends only on
+// (seed, p, k), so a retried measurement (a new call) draws fresh noise
+// while a replayed run reproduces the history bit-exactly.
+
+// MeasureKind enumerates measurement-fault types.
+type MeasureKind int
+
+const (
+	// Noise multiplies every measured speed by a lognormal factor
+	// exp(σ·N(0,1)) — the always-on fluctuation band.
+	Noise MeasureKind = iota
+	// Outlier divides the measured speed by Factor with probability Rate —
+	// a heavy-tailed slow measurement (page storm, foreign job).
+	Outlier
+	// TransientErr makes the oracle return an error, either with
+	// probability Rate or exactly at call index At.
+	TransientErr
+	// Hang blocks the oracle call for For wall time at call index At —
+	// the failure a per-call deadline exists to bound.
+	Hang
+	// SlowBias multiplies every measured speed by Factor from call From
+	// on — a persistent calibration drift (the machine really did get
+	// slower), the signal a drift detector must not reject as noise.
+	SlowBias
+)
+
+// String implements fmt.Stringer with the spec-grammar keyword.
+func (k MeasureKind) String() string {
+	switch k {
+	case Noise:
+		return "noise"
+	case Outlier:
+		return "outlier"
+	case TransientErr:
+		return "err"
+	case Hang:
+		return "hang"
+	case SlowBias:
+		return "slow"
+	}
+	return fmt.Sprintf("measurekind(%d)", int(k))
+}
+
+// MeasureFault is one scheduled measurement perturbation.
+type MeasureFault struct {
+	Kind MeasureKind
+	// Proc is the zero-based processor (oracle) index the fault targets.
+	Proc int
+	// Sigma is the lognormal noise scale (Noise).
+	Sigma float64
+	// Rate is the per-call probability (Outlier, TransientErr).
+	Rate float64
+	// Factor is the speed divisor (Outlier, > 1) or multiplier
+	// (SlowBias, in (0,1)).
+	Factor float64
+	// At is the 1-based call index the fault fires at (Hang, and
+	// TransientErr when Rate is zero).
+	At int
+	// From is the first 1-based call affected by a SlowBias (default 1).
+	From int
+	// For is the wall-clock hang duration (Hang; default 1 s).
+	For time.Duration
+}
+
+// String renders the fault in the spec syntax ParseMeasureSpec accepts,
+// so String and ParseMeasureSpec round-trip.
+func (f MeasureFault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:p%d", f.Kind, f.Proc)
+	switch f.Kind {
+	case Noise:
+		fmt.Fprintf(&b, ":sigma=%g", f.Sigma)
+	case Outlier:
+		fmt.Fprintf(&b, ":rate=%g:factor=%g", f.Rate, f.Factor)
+	case TransientErr:
+		if f.At > 0 {
+			fmt.Fprintf(&b, ":at=%d", f.At)
+		} else {
+			fmt.Fprintf(&b, ":rate=%g", f.Rate)
+		}
+	case Hang:
+		fmt.Fprintf(&b, ":at=%d:for=%gs", f.At, f.For.Seconds())
+	case SlowBias:
+		fmt.Fprintf(&b, ":factor=%g", f.Factor)
+		if f.From > 1 {
+			fmt.Fprintf(&b, ":from=%d", f.From)
+		}
+	}
+	return b.String()
+}
+
+// validate checks one measurement fault; procs < 0 skips the range check.
+func (f MeasureFault) validate(procs int) error {
+	if f.Proc < 0 || (procs >= 0 && f.Proc >= procs) {
+		return fmt.Errorf("faults: measure fault %v: processor %d out of range (have %d)", f.Kind, f.Proc, procs)
+	}
+	// Each kind accepts exactly its own options; stray options would be
+	// silently dropped by String and break the Parse ∘ String round trip.
+	stray := func(ok bool, opt string) error {
+		if ok {
+			return nil
+		}
+		return fmt.Errorf("faults: %v fault does not take %s", f.Kind, opt)
+	}
+	checks := []error{
+		stray(f.Sigma == 0 || f.Kind == Noise, "sigma"),
+		stray(f.Rate == 0 || f.Kind == Outlier || f.Kind == TransientErr, "rate"),
+		stray(f.Factor == 0 || f.Kind == Outlier || f.Kind == SlowBias, "factor"),
+		stray(f.At == 0 || f.Kind == Hang || f.Kind == TransientErr, "at"),
+		stray(f.From == 0 || f.Kind == SlowBias, "from"),
+		stray(f.For == 0 || f.Kind == Hang, "for"),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	switch f.Kind {
+	case Noise:
+		if !(f.Sigma > 0) || math.IsInf(f.Sigma, 0) {
+			return fmt.Errorf("faults: noise fault needs finite sigma > 0, got %v", f.Sigma)
+		}
+	case Outlier:
+		if !(f.Rate > 0 && f.Rate <= 1) {
+			return fmt.Errorf("faults: outlier rate %v outside (0,1]", f.Rate)
+		}
+		if !(f.Factor > 1) || math.IsInf(f.Factor, 0) {
+			return fmt.Errorf("faults: outlier factor %v must exceed 1 and be finite", f.Factor)
+		}
+	case TransientErr:
+		if (f.At > 0) == (f.Rate > 0) {
+			return fmt.Errorf("faults: err fault needs exactly one of at=N or rate, got at=%d rate=%v", f.At, f.Rate)
+		}
+		if f.At < 0 || f.Rate < 0 || f.Rate > 1 {
+			return fmt.Errorf("faults: err fault wants at ≥ 1 or rate in (0,1], got at=%d rate=%v", f.At, f.Rate)
+		}
+	case Hang:
+		if f.At <= 0 {
+			return fmt.Errorf("faults: hang fault needs at=N ≥ 1, got %d", f.At)
+		}
+		if f.For <= 0 || f.For > time.Hour {
+			return fmt.Errorf("faults: hang fault needs for in (0, 1h], got %v", f.For)
+		}
+	case SlowBias:
+		if !(f.Factor > 0 && f.Factor < 1) {
+			return fmt.Errorf("faults: slow factor %v outside (0,1)", f.Factor)
+		}
+		if f.From < 0 {
+			return fmt.Errorf("faults: slow from=%d must be ≥ 1", f.From)
+		}
+	default:
+		return fmt.Errorf("faults: unknown measure fault kind %d", int(f.Kind))
+	}
+	return nil
+}
+
+// MeasurePlan is a seeded, replayable measurement-fault schedule.
+type MeasurePlan struct {
+	// Seed drives every random draw; the same seed replays the same
+	// perturbation history.
+	Seed uint64
+	// Faults lists the scheduled perturbations.
+	Faults []MeasureFault
+}
+
+// NewMeasurePlan validates and wraps a measurement-fault list.
+func NewMeasurePlan(seed uint64, fs ...MeasureFault) (*MeasurePlan, error) {
+	p := &MeasurePlan{Seed: seed, Faults: append([]MeasureFault(nil), fs...)}
+	if err := p.Validate(-1); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the plan; procs ≥ 0 also range-checks processor indexes.
+func (p *MeasurePlan) Validate(procs int) error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Faults {
+		if err := f.validate(procs); err != nil {
+			return fmt.Errorf("faults: measure fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan perturbs nothing.
+func (p *MeasurePlan) Empty() bool { return p == nil || len(p.Faults) == 0 }
+
+// ParseMeasureSpec parses one measurement-fault spec. Grammar (colon-
+// separated, mirroring the execution grammar's processor tokens):
+//
+//	noise:p0:sigma=0.1          lognormal noise, σ = 0.1, on oracle 0
+//	outlier:p2:rate=0.05:factor=4   5 % of calls measure 4× slow
+//	err:p1:rate=0.01            1 % of calls fail transiently
+//	err:p1:at=3                 exactly the 3rd call fails
+//	hang:p1:at=3:for=0.5s       the 3rd call blocks for 0.5 wall seconds
+//	slow:p0:factor=0.5          persistent ×0.5 speed drift
+//	slow:p0:factor=0.5:from=4   …starting at the 4th call
+//
+// The processor token is pN or one of the given names (may be nil).
+// Omitted options default to rate=0.05, factor=4 (outlier) and for=1s
+// (hang).
+func ParseMeasureSpec(spec string, names []string) (MeasureFault, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 {
+		return MeasureFault{}, fmt.Errorf("%w %q: want kind:proc[:opt=val…]", ErrSpec, spec)
+	}
+	f := MeasureFault{}
+	switch strings.TrimSpace(parts[0]) {
+	case "noise":
+		f.Kind = Noise
+	case "outlier":
+		f.Kind, f.Rate, f.Factor = Outlier, 0.05, 4
+	case "err":
+		f.Kind = TransientErr
+	case "hang":
+		f.Kind, f.For = Hang, time.Second
+	case "slow":
+		f.Kind = SlowBias
+	default:
+		return MeasureFault{}, fmt.Errorf("%w %q: unknown kind %q (want noise, outlier, err, hang, slow)", ErrSpec, spec, parts[0])
+	}
+	proc, err := resolveProc(strings.TrimSpace(parts[1]), names)
+	if err != nil {
+		return MeasureFault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+	}
+	f.Proc = proc
+	for _, raw := range parts[2:] {
+		kv := strings.SplitN(strings.TrimSpace(raw), "=", 2)
+		if len(kv) != 2 {
+			return MeasureFault{}, fmt.Errorf("%w %q: option %q wants key=value", ErrSpec, spec, raw)
+		}
+		switch kv[0] {
+		case "sigma", "rate", "factor":
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return MeasureFault{}, fmt.Errorf("%w %q: bad %s %q", ErrSpec, spec, kv[0], kv[1])
+			}
+			switch kv[0] {
+			case "sigma":
+				f.Sigma = v
+			case "rate":
+				f.Rate = v
+			case "factor":
+				f.Factor = v
+			}
+		case "at", "from":
+			v, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return MeasureFault{}, fmt.Errorf("%w %q: bad %s %q", ErrSpec, spec, kv[0], kv[1])
+			}
+			if kv[0] == "at" {
+				f.At = v
+			} else {
+				f.From = v
+			}
+		case "for":
+			secs, err := parseSeconds("for="+kv[1], "for")
+			if err != nil {
+				return MeasureFault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+			}
+			if secs > 3600 {
+				return MeasureFault{}, fmt.Errorf("%w %q: for=%gs exceeds the 1h cap", ErrSpec, spec, secs)
+			}
+			// Round to the nearest nanosecond so Parse ∘ String is exact
+			// (the 1h cap keeps the value well inside float64's 2^53 range).
+			f.For = time.Duration(math.Round(secs * float64(time.Second)))
+		default:
+			return MeasureFault{}, fmt.Errorf("%w %q: unknown option %q", ErrSpec, spec, kv[0])
+		}
+	}
+	if f.Kind == TransientErr && f.At > 0 {
+		f.Rate = 0 // at= wins; the two forms are exclusive
+	}
+	if err := f.validate(-1); err != nil {
+		return MeasureFault{}, fmt.Errorf("%w %q: %v", ErrSpec, spec, err)
+	}
+	return f, nil
+}
+
+// ParseMeasureSpecs parses a spec list (e.g. repeated -fail flags) into a
+// plan with the given seed.
+func ParseMeasureSpecs(seed uint64, specs, names []string) (*MeasurePlan, error) {
+	p := &MeasurePlan{Seed: seed}
+	for _, s := range specs {
+		if strings.TrimSpace(s) == "" {
+			continue
+		}
+		f, err := ParseMeasureSpec(s, names)
+		if err != nil {
+			return nil, err
+		}
+		p.Faults = append(p.Faults, f)
+	}
+	return p, nil
+}
+
+// FaultyOracle wraps a speed oracle with the plan's faults for processor
+// proc. The wrapper keeps a private call counter; call k draws its
+// randomness from (plan.Seed, proc, k) only, so concurrent oracles never
+// share a stream and a replay with the same plan reproduces the same
+// history. A nil or empty plan returns the oracle unchanged.
+func FaultyOracle(o speed.Oracle, proc int, plan *MeasurePlan) speed.Oracle {
+	if o == nil || plan.Empty() {
+		return o
+	}
+	var mine []MeasureFault
+	for _, f := range plan.Faults {
+		if f.Proc == proc {
+			mine = append(mine, f)
+		}
+	}
+	if len(mine) == 0 {
+		return o
+	}
+	var calls atomic.Int64
+	seed := plan.Seed
+	return func(x float64) (float64, error) {
+		k := int(calls.Add(1))
+		rng := rand.New(rand.NewPCG(splitmix64(seed^uint64(proc)*0x9e3779b97f4a7c15), uint64(k)))
+		// Faults that pre-empt the measurement fire before the real call.
+		for _, f := range mine {
+			switch f.Kind {
+			case TransientErr:
+				if f.At == k || (f.At == 0 && rng.Float64() < f.Rate) {
+					return 0, fmt.Errorf("%w: transient measurement error on p%d (call %d)", ErrInjected, proc, k)
+				}
+			case Hang:
+				if f.At == k {
+					time.Sleep(f.For)
+				}
+			}
+		}
+		s, err := o(x)
+		if err != nil {
+			return 0, err
+		}
+		for _, f := range mine {
+			switch f.Kind {
+			case Noise:
+				s *= lognormal(rng, f.Sigma)
+			case Outlier:
+				if rng.Float64() < f.Rate {
+					s /= f.Factor
+				}
+			case SlowBias:
+				from := f.From
+				if from == 0 {
+					from = 1
+				}
+				if k >= from {
+					s *= f.Factor
+				}
+			}
+		}
+		return s, nil
+	}
+}
+
+// lognormal returns exp(σ·N(0,1)) — a median-unbiased multiplicative
+// noise factor, always positive.
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(sigma * rng.NormFloat64())
+}

@@ -1,0 +1,251 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flatOracle is a clean synthetic oracle with a constant true speed.
+func flatOracle(s float64) func(float64) (float64, error) {
+	return func(x float64) (float64, error) { return s, nil }
+}
+
+func TestMeasureSpecRoundTrip(t *testing.T) {
+	specs := []string{
+		"noise:p0:sigma=0.1",
+		"outlier:p2:rate=0.05:factor=4",
+		"err:p1:rate=0.01",
+		"err:p1:at=3",
+		"hang:p1:at=3:for=0.5s",
+		"slow:p0:factor=0.5",
+		"slow:p3:factor=0.25:from=4",
+	}
+	for _, spec := range specs {
+		f, err := ParseMeasureSpec(spec, nil)
+		if err != nil {
+			t.Fatalf("ParseMeasureSpec(%q): %v", spec, err)
+		}
+		again, err := ParseMeasureSpec(f.String(), nil)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", f.String(), spec, err)
+		}
+		if again != f {
+			t.Errorf("round trip of %q: %+v != %+v", spec, again, f)
+		}
+	}
+}
+
+func TestMeasureSpecNames(t *testing.T) {
+	f, err := ParseMeasureSpec("noise:X2:sigma=0.2", []string{"X1", "X2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Proc != 1 {
+		t.Errorf("proc = %d, want 1 (named X2)", f.Proc)
+	}
+}
+
+func TestMeasureSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"noise",
+		"noise:p0",              // sigma missing
+		"noise:p0:sigma=-1",     // sigma must be positive
+		"outlier:p0:factor=0.5", // factor must exceed 1
+		"wibble:p0:rate=0.1",    // unknown kind
+		"hang:p0:for=1s",        // at missing
+		"slow:p0:factor=2",      // factor outside (0,1)
+		"err:p0",                // neither at nor rate
+		"noise:p0:sigma",        // option without value
+	}
+	for _, spec := range bad {
+		if _, err := ParseMeasureSpec(spec, nil); !errors.Is(err, ErrSpec) {
+			t.Errorf("ParseMeasureSpec(%q) = %v, want ErrSpec", spec, err)
+		}
+	}
+}
+
+func TestFaultyOracleReplayable(t *testing.T) {
+	plan, err := NewMeasurePlan(7,
+		MeasureFault{Kind: Noise, Proc: 0, Sigma: 0.1},
+		MeasureFault{Kind: Outlier, Proc: 0, Rate: 0.2, Factor: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float64 {
+		o := FaultyOracle(flatOracle(100), 0, plan)
+		out := make([]float64, 20)
+		for i := range out {
+			out[i], _ = o(1000)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d not replayable: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The noise must actually perturb: not all values equal the truth.
+	perturbed := false
+	for _, v := range a {
+		if v != 100 {
+			perturbed = true
+		}
+	}
+	if !perturbed {
+		t.Error("faulty oracle returned the clean speed on every call")
+	}
+	// A different seed draws a different history.
+	plan2 := &MeasurePlan{Seed: 8, Faults: plan.Faults}
+	o2 := FaultyOracle(flatOracle(100), 0, plan2)
+	diff := false
+	for i := range a {
+		v, _ := o2(1000)
+		if v != a[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds replayed the identical history")
+	}
+}
+
+func TestFaultyOracleOtherProcUntouched(t *testing.T) {
+	plan, _ := NewMeasurePlan(1, MeasureFault{Kind: Noise, Proc: 1, Sigma: 0.5})
+	o := FaultyOracle(flatOracle(42), 0, plan)
+	for i := 0; i < 5; i++ {
+		if v, err := o(10); err != nil || v != 42 {
+			t.Fatalf("call %d: (%v, %v), want clean 42", i, v, err)
+		}
+	}
+}
+
+func TestFaultyOracleTransientErrAt(t *testing.T) {
+	plan, _ := NewMeasurePlan(0, MeasureFault{Kind: TransientErr, Proc: 0, At: 3})
+	o := FaultyOracle(flatOracle(10), 0, plan)
+	for k := 1; k <= 5; k++ {
+		_, err := o(1)
+		if (k == 3) != (err != nil) {
+			t.Errorf("call %d: err = %v", k, err)
+		}
+		if k == 3 && !errors.Is(err, ErrInjected) {
+			t.Errorf("call 3 error %v is not ErrInjected", err)
+		}
+	}
+}
+
+func TestFaultyOracleSlowBias(t *testing.T) {
+	plan, _ := NewMeasurePlan(0, MeasureFault{Kind: SlowBias, Proc: 0, Factor: 0.5, From: 3})
+	o := FaultyOracle(flatOracle(100), 0, plan)
+	want := []float64{100, 100, 50, 50}
+	for i, w := range want {
+		if v, _ := o(1); v != w {
+			t.Errorf("call %d: %v, want %v", i+1, v, w)
+		}
+	}
+}
+
+func TestFaultyOracleHangBlocks(t *testing.T) {
+	plan, _ := NewMeasurePlan(0, MeasureFault{Kind: Hang, Proc: 0, At: 1, For: 30 * time.Millisecond})
+	o := FaultyOracle(flatOracle(1), 0, plan)
+	start := time.Now()
+	if _, err := o(1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("hang call returned after %v, want ≥ 30ms", d)
+	}
+}
+
+func TestFaultyOracleOutlierRate(t *testing.T) {
+	plan, _ := NewMeasurePlan(3, MeasureFault{Kind: Outlier, Proc: 0, Rate: 0.25, Factor: 4})
+	o := FaultyOracle(flatOracle(80), 0, plan)
+	outliers := 0
+	const calls = 400
+	for i := 0; i < calls; i++ {
+		v, _ := o(1)
+		if v == 20 {
+			outliers++
+		} else if v != 80 {
+			t.Fatalf("call %d: unexpected speed %v", i, v)
+		}
+	}
+	if outliers < calls/8 || outliers > calls/2 {
+		t.Errorf("outlier count %d of %d far from the 25%% rate", outliers, calls)
+	}
+}
+
+func TestJitterBackoffDeterministicAndJittered(t *testing.T) {
+	base := 10 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		d1 := JitterBackoff(base, attempt, 1)
+		if d1 != JitterBackoff(base, attempt, 1) {
+			t.Fatalf("attempt %d not deterministic", attempt)
+		}
+		nominal := float64(base << uint(attempt))
+		if f := float64(d1) / nominal; f < 0.8 || f >= 1.2 {
+			t.Errorf("attempt %d: jitter factor %v outside [0.8, 1.2)", attempt, f)
+		}
+	}
+}
+
+// TestJitterBackoffNoLockstep is the satellite regression: two workers
+// that fail at the same instant must not schedule their retries for the
+// same instant, at any attempt.
+func TestJitterBackoffNoLockstep(t *testing.T) {
+	base := 10 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		d0 := JitterBackoff(base, attempt, 0)
+		d1 := JitterBackoff(base, attempt, 1)
+		if d0 == d1 {
+			t.Errorf("attempt %d: workers 0 and 1 wake in lockstep at %v", attempt, d0)
+		}
+	}
+}
+
+// TestSuperviseRetriesDontCollide drives two concurrently failing workers
+// through the real supervisor: both must recover via a retry, and the
+// pauses the supervisor schedules for them (worker-keyed JitterBackoff)
+// must not land on the same instant at any attempt.
+func TestSuperviseRetriesDontCollide(t *testing.T) {
+	t.Parallel()
+	cfg := Config{
+		Grace: 4, Scale: 1e-3, MinDeadline: 50 * time.Millisecond,
+		Heartbeat: time.Millisecond, MaxRetries: 1, Backoff: 20 * time.Millisecond,
+	}
+	attempts := make([]atomic.Int64, 2)
+	mkTask := func(w int) Task {
+		return Task{
+			Worker:    w,
+			Predicted: 1,
+			Run: func(ctx context.Context, beat func()) error {
+				if attempts[w].Add(1) == 2 {
+					return nil
+				}
+				return errors.New("transient")
+			},
+		}
+	}
+	outs := Supervise(t.Context(), cfg, []Task{mkTask(0), mkTask(1)})
+	for _, o := range outs {
+		if o.Failed() {
+			t.Fatalf("worker %d failed: %v", o.Worker, o.Err)
+		}
+		if o.Attempts != 2 {
+			t.Fatalf("worker %d took %d attempts, want 2", o.Worker, o.Attempts)
+		}
+	}
+	// The pauses actually used by superviseOne for the two workers.
+	for attempt := 0; attempt < 4; attempt++ {
+		d0 := JitterBackoff(cfg.Backoff, attempt, cfg.Seed^0)
+		d1 := JitterBackoff(cfg.Backoff, attempt, cfg.Seed^1)
+		if d0 == d1 {
+			t.Errorf("attempt %d: both workers would retry after exactly %v", attempt, d0)
+		}
+	}
+}

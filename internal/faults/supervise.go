@@ -30,8 +30,21 @@ type Config struct {
 	// worker. Default 1.
 	MaxRetries int
 	// Backoff is the pause before the first retry; it doubles per
-	// attempt. Default 1 ms.
+	// attempt with a deterministic ±20 % per-worker jitter (JitterBackoff)
+	// so concurrently retried workers do not wake in lockstep. Default 1 ms.
 	Backoff time.Duration
+	// Seed perturbs the retry jitter streams; runs with the same seed
+	// replay the same pauses. Zero is a valid seed.
+	Seed uint64
+	// Observe, when set, is called after every completed attempt with the
+	// FPM-predicted task time and the observed wall time converted back to
+	// model seconds (elapsed / Scale). It is the feedback tap of the
+	// closed measurement loop: callers feed the pairs into a drift
+	// detector (speed.Drift) or fold them into the model (speed.Observe).
+	// Failed attempts report the time spent before the failure. The
+	// callback runs on the worker goroutine and must be safe for
+	// concurrent use.
+	Observe func(worker int, predicted, observed float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -138,10 +151,13 @@ func Supervise(ctx context.Context, cfg Config, tasks []Task) []Outcome {
 func superviseOne(ctx context.Context, cfg Config, t Task) Outcome {
 	out := Outcome{Worker: t.Worker}
 	start := time.Now()
-	backoff := cfg.Backoff
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		out.Attempts = attempt + 1
+		attemptStart := time.Now()
 		err, reason := runAttempt(ctx, cfg, t)
+		if cfg.Observe != nil {
+			cfg.Observe(t.Worker, t.Predicted, time.Since(attemptStart).Seconds()/cfg.Scale)
+		}
 		if err == nil {
 			out.Err, out.Reason = nil, ""
 			break
@@ -152,9 +168,8 @@ func superviseOne(ctx context.Context, cfg Config, t Task) Outcome {
 		}
 		select {
 		case <-ctx.Done():
-		case <-time.After(backoff):
+		case <-time.After(JitterBackoff(cfg.Backoff, attempt, cfg.Seed^uint64(t.Worker))):
 		}
-		backoff *= 2
 	}
 	out.Elapsed = time.Since(start)
 	return out

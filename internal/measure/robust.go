@@ -1,0 +1,257 @@
+// robust.go hardens the §3.1 measurement path against the realities the
+// paper's Figure 2 documents: speeds on a non-dedicated network fluctuate
+// 30–40 %, measurements occasionally hit a page storm or a foreign job
+// (heavy-tailed outliers), and a call can hang outright. The naive
+// pipeline — one sample, or a fixed-3 median — trusts every sample; one
+// poisoned measurement silently corrupts the model and every partition
+// computed from it. The Robust wrapper bounds every oracle call with a
+// context deadline, retries transient failures with jittered exponential
+// backoff, rejects outliers by median absolute deviation, keeps sampling
+// until the MAD-based relative confidence width falls under a target (or
+// a repeat cap hits), and reports a per-point speed.Quality so downstream
+// consumers know how trustworthy each speed point is.
+package measure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/speed"
+)
+
+// ErrMeasureTimeout marks an oracle call that exceeded the per-call
+// deadline.
+var ErrMeasureTimeout = errors.New("measure: oracle call exceeded deadline")
+
+// Robust configures the robust measurement wrapper. The zero value is
+// usable: every field falls back to the default noted on it.
+type Robust struct {
+	// Timeout bounds one oracle call; a call still running at the
+	// deadline is abandoned (its goroutine finishes in the background)
+	// and counts as a retryable failure. Default 30 s.
+	Timeout time.Duration
+	// MinSamples is the number of samples always taken (the paper's
+	// fixed-3 median is MinSamples=3 with no adaptive stop). Default 3.
+	MinSamples int
+	// MaxSamples caps the adaptive repetition. Default 4 × MinSamples.
+	MaxSamples int
+	// TargetRelWidth is the MAD-based relative confidence width under
+	// which sampling stops early. Default 0.05 (the paper's band width).
+	TargetRelWidth float64
+	// OutlierK is the MAD multiplier beyond which a sample is rejected
+	// (the standard robust cutoff is 3). Default 3.
+	OutlierK float64
+	// MaxRetries bounds retries per sample slot on error or timeout.
+	// Default 2.
+	MaxRetries int
+	// Backoff is the base pause before a retry; it doubles per attempt
+	// with ±20 % deterministic jitter (faults.JitterBackoff). Default 1 ms.
+	Backoff time.Duration
+	// Seed keys the backoff jitter stream so concurrent measurements
+	// (distinct sizes) never wake in lockstep. Zero is a valid seed.
+	Seed uint64
+}
+
+func (r Robust) withDefaults() Robust {
+	if r.Timeout <= 0 {
+		r.Timeout = 30 * time.Second
+	}
+	if r.MinSamples <= 0 {
+		r.MinSamples = 3
+	}
+	if r.MaxSamples <= 0 {
+		r.MaxSamples = 4 * r.MinSamples
+	}
+	if r.MaxSamples < r.MinSamples {
+		r.MaxSamples = r.MinSamples
+	}
+	if r.TargetRelWidth <= 0 {
+		r.TargetRelWidth = 0.05
+	}
+	if r.OutlierK <= 0 {
+		r.OutlierK = 3
+	}
+	if r.MaxRetries < 0 {
+		r.MaxRetries = 0
+	} else if r.MaxRetries == 0 {
+		r.MaxRetries = 2
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = time.Millisecond
+	}
+	return r
+}
+
+// Measure samples the oracle at x under the robust protocol and returns
+// the aggregated speed with its quality. ctx bounds the whole
+// measurement; each individual call is additionally bounded by Timeout.
+// An error is returned only when not a single sample could be obtained.
+func (r Robust) Measure(ctx context.Context, oracle speed.Oracle, x float64) (float64, speed.Quality, error) {
+	r = r.withDefaults()
+	var (
+		samples []float64
+		q       speed.Quality
+		lastErr error
+	)
+	for len(samples) < r.MaxSamples {
+		s, err := r.oneSample(ctx, oracle, x, &q)
+		if err != nil {
+			lastErr = err
+			break // retries exhausted: aggregate what we have
+		}
+		samples = append(samples, s)
+		q.Samples = len(samples)
+		if len(samples) >= r.MinSamples {
+			if _, _, w := madAggregate(samples, r.OutlierK); w <= r.TargetRelWidth {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if len(samples) == 0 {
+		if lastErr == nil {
+			lastErr = ctx.Err()
+		}
+		return 0, q, fmt.Errorf("measure: no usable sample at x=%v: %w", x, lastErr)
+	}
+	agg, rejected, width := madAggregate(samples, r.OutlierK)
+	q.Rejected = rejected
+	q.RelWidth = width
+	return agg, q, nil
+}
+
+// oneSample obtains one sample with per-call deadline and bounded
+// jittered-backoff retry, recording retries and timeouts in q.
+func (r Robust) oneSample(ctx context.Context, oracle speed.Oracle, x float64, q *speed.Quality) (float64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		if attempt > 0 {
+			q.Retries++
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(faults.JitterBackoff(r.Backoff, attempt-1, r.Seed^math.Float64bits(x))):
+			}
+		}
+		s, err := r.callWithDeadline(ctx, oracle, x)
+		if err == nil {
+			return s, nil
+		}
+		if errors.Is(err, ErrMeasureTimeout) {
+			q.TimedOut = true
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return 0, lastErr
+		}
+	}
+	return 0, lastErr
+}
+
+// callWithDeadline runs one oracle call under the per-call deadline. A
+// call that misses the deadline is abandoned: the goroutine drains into a
+// buffered channel and is garbage collected when the hung call finally
+// returns — the caller is never blocked past the deadline.
+func (r Robust) callWithDeadline(ctx context.Context, oracle speed.Oracle, x float64) (float64, error) {
+	dctx, cancel := context.WithTimeout(ctx, r.Timeout)
+	defer cancel()
+	type result struct {
+		s   float64
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		s, err := oracle(x)
+		ch <- result{s, err}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return 0, res.err
+		}
+		if res.s < 0 || math.IsNaN(res.s) || math.IsInf(res.s, 0) {
+			return 0, fmt.Errorf("measure: oracle at x=%v returned invalid speed %v", x, res.s)
+		}
+		return res.s, nil
+	case <-dctx.Done():
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		return 0, fmt.Errorf("%w (%v at x=%v)", ErrMeasureTimeout, r.Timeout, x)
+	}
+}
+
+// Oracle lifts a plain oracle into a quality-reporting one under the
+// robust protocol, for speed.Builder.BuildQ.
+func (r Robust) Oracle(oracle speed.Oracle) speed.QualityOracle {
+	return func(x float64) (float64, speed.Quality, error) {
+		return r.Measure(context.Background(), oracle, x)
+	}
+}
+
+// OracleContext is Oracle with an externally supplied context bounding
+// every measurement (e.g. a whole-build deadline).
+func (r Robust) OracleContext(ctx context.Context, oracle speed.Oracle) speed.QualityOracle {
+	return func(x float64) (float64, speed.Quality, error) {
+		return r.Measure(ctx, oracle, x)
+	}
+}
+
+// madAggregate rejects outliers by median absolute deviation and returns
+// the median of the surviving samples, the rejected count, and the
+// MAD-based relative confidence width of the aggregate:
+//
+//	width = 1.4826·MAD / (median·√n)
+//
+// (1.4826·MAD estimates the standard deviation for Gaussian noise; the
+// √n folds in the usual standard-error shrinkage). A zero MAD — all
+// survivors identical — yields width 0.
+func madAggregate(samples []float64, k float64) (agg float64, rejected int, relWidth float64) {
+	med := median(samples)
+	mad := madOf(samples, med)
+	cut := k * 1.4826 * mad
+	// Guard against mad == 0 with a tiny relative floor so exact repeats
+	// do not reject legitimately equal samples.
+	if cut < 1e-12*math.Abs(med) {
+		cut = 1e-12 * math.Abs(med)
+	}
+	kept := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		if math.Abs(s-med) <= cut {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, med)
+	}
+	rejected = len(samples) - len(kept)
+	agg = median(kept)
+	if agg != 0 {
+		relWidth = 1.4826 * madOf(kept, agg) / (math.Abs(agg) * math.Sqrt(float64(len(kept))))
+	}
+	return agg, rejected, relWidth
+}
+
+// median returns the middle order statistic (lower-median for even n) of
+// a copy of the samples.
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[len(cp)/2]
+}
+
+// madOf returns the median absolute deviation around center.
+func madOf(xs []float64, center float64) float64 {
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - center)
+	}
+	return median(dev)
+}

@@ -1,0 +1,279 @@
+package measure
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/speed"
+)
+
+func TestRobustCleanOracleStopsAtMinSamples(t *testing.T) {
+	var calls int
+	oracle := func(x float64) (float64, error) { calls++; return 250, nil }
+	s, q, err := Robust{}.Measure(context.Background(), oracle, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 250 {
+		t.Errorf("speed = %v, want 250", s)
+	}
+	if q.Samples != 3 || calls != 3 {
+		t.Errorf("samples = %d (oracle calls %d), want the MinSamples default 3", q.Samples, calls)
+	}
+	if q.Rejected != 0 || q.Retries != 0 || q.TimedOut || q.RelWidth != 0 {
+		t.Errorf("unexpected quality %v for a clean oracle", q)
+	}
+}
+
+func TestRobustRejectsOutlier(t *testing.T) {
+	// Sample 2 is a ×4 outlier (a page storm); the aggregate must ignore it.
+	seq := []float64{100, 25, 100}
+	var i int
+	oracle := func(x float64) (float64, error) { s := seq[i%len(seq)]; i++; return s, nil }
+	s, q, err := Robust{}.Measure(context.Background(), oracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 100 {
+		t.Errorf("aggregate = %v, want the outlier-free 100", s)
+	}
+	if q.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", q.Rejected)
+	}
+}
+
+func TestRobustRetriesTransientError(t *testing.T) {
+	var calls atomic.Int64
+	oracle := func(x float64) (float64, error) {
+		if calls.Add(1) == 1 {
+			return 0, errors.New("transient")
+		}
+		return 50, nil
+	}
+	s, q, err := Robust{Backoff: time.Microsecond}.Measure(context.Background(), oracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 50 {
+		t.Errorf("speed = %v, want 50", s)
+	}
+	if q.Retries != 1 {
+		t.Errorf("retries = %d, want 1", q.Retries)
+	}
+}
+
+func TestRobustAbandonsHangAtDeadline(t *testing.T) {
+	// Every call hangs far longer than the deadline: the measurement must
+	// fail within the bounded retry budget, never sitting out a full hang.
+	oracle := func(x float64) (float64, error) { time.Sleep(time.Second); return 1, nil }
+	r := Robust{Timeout: 20 * time.Millisecond, MaxRetries: 1, Backoff: time.Millisecond}
+	start := time.Now()
+	_, q, err := r.Measure(context.Background(), oracle, 1)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrMeasureTimeout) {
+		t.Fatalf("err = %v, want ErrMeasureTimeout", err)
+	}
+	if !q.TimedOut {
+		t.Error("quality does not record the timeout")
+	}
+	// 2 attempts × 20 ms + ~1 ms backoff, with generous scheduler margin —
+	// and far under the 1 s hang a naive pipeline would sit through.
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("measurement blocked %v, deadline was 20 ms", elapsed)
+	}
+}
+
+func TestRobustRecoversFromSingleHang(t *testing.T) {
+	plan, err := faults.NewMeasurePlan(1, faults.MeasureFault{
+		Kind: faults.Hang, Proc: 0, At: 1, For: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := faults.FaultyOracle(func(x float64) (float64, error) { return 77, nil }, 0, plan)
+	r := Robust{Timeout: 20 * time.Millisecond, Backoff: time.Millisecond}
+	start := time.Now()
+	s, q, err := r.Measure(context.Background(), oracle, 1)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 77 {
+		t.Errorf("speed = %v, want 77", s)
+	}
+	if !q.TimedOut || q.Retries == 0 {
+		t.Errorf("quality %v does not show the abandoned first call", q)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("measurement blocked %v despite the 20 ms deadline", elapsed)
+	}
+}
+
+func TestRobustContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	oracle := func(x float64) (float64, error) { return 1, nil }
+	// A cancelled context still lets the in-flight sample complete (the
+	// per-call select prefers a ready result), but stops further sampling.
+	_, q, _ := Robust{}.Measure(ctx, oracle, 1)
+	if q.Samples > 1 {
+		t.Errorf("took %d samples under a cancelled context", q.Samples)
+	}
+}
+
+func TestMadAggregate(t *testing.T) {
+	cases := []struct {
+		in       []float64
+		agg      float64
+		rejected int
+	}{
+		{[]float64{100, 100, 100}, 100, 0},
+		{[]float64{100, 101, 99, 400}, 100, 1},
+		{[]float64{42}, 42, 0},
+		{[]float64{100, 100, 100, 100, 500}, 100, 1}, // zero MAD still rejects the spike
+	}
+	for i, c := range cases {
+		agg, rejected, _ := madAggregate(c.in, 3)
+		if agg != c.agg || rejected != c.rejected {
+			t.Errorf("case %d: madAggregate(%v) = (%v, %d), want (%v, %d)",
+				i, c.in, agg, rejected, c.agg, c.rejected)
+		}
+	}
+}
+
+// truthSpeed is the synthetic ground-truth speed function for the
+// acceptance demo: smooth, strictly decreasing, shape-conforming.
+func truthSpeed(x float64) float64 { return 1000 * 2000 / (2000 + x) }
+
+// maxCallOracle wraps a quality oracle, recording the longest single
+// per-point measurement.
+func maxCallOracle(o speed.QualityOracle, maxCall *time.Duration) speed.QualityOracle {
+	return func(x float64) (float64, speed.Quality, error) {
+		start := time.Now()
+		s, q, err := o(x)
+		if d := time.Since(start); d > *maxCall {
+			*maxCall = d
+		}
+		return s, q, err
+	}
+}
+
+// TestAcceptanceRobustVsNaive is the PR's deterministic demo (ISSUE
+// acceptance criterion): under a seeded noisy measurement plan — σ = 0.1
+// multiplicative noise, 5 % heavy-tailed outliers, one hang — the robust
+// pipeline must (a) never block past its configured deadline, (b) build a
+// shape-conforming model within 2× the ±5 % band of the clean-oracle
+// model, and (c) keep the §3.1 measurement count within 1.5× of the clean
+// run; the naive pipeline demonstrably blocks for the full hang.
+func TestAcceptanceRobustVsNaive(t *testing.T) {
+	const (
+		a, b    = 100.0, 10000.0
+		hangFor = 600 * time.Millisecond
+	)
+	clean := func(x float64) (float64, error) { return truthSpeed(x), nil }
+	newPlan := func() *faults.MeasurePlan {
+		plan, err := faults.NewMeasurePlan(11,
+			faults.MeasureFault{Kind: faults.Noise, Proc: 0, Sigma: 0.1},
+			faults.MeasureFault{Kind: faults.Outlier, Proc: 0, Rate: 0.05, Factor: 4},
+			faults.MeasureFault{Kind: faults.Hang, Proc: 0, At: 3, For: hangFor},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	builder := speed.Builder{Eps: 0.05, MaxMeasurements: 128}
+
+	// Reference: the clean-oracle build.
+	cleanFn, cleanStats, err := builder.Build(clean, a, b)
+	if err != nil {
+		t.Fatalf("clean build: %v", err)
+	}
+
+	// Naive pipeline on the noisy oracle: one trusting sample per point.
+	naiveStart := time.Now()
+	naiveFn, naiveStats, naiveErr := builder.Build(faults.FaultyOracle(clean, 0, newPlan()), a, b)
+	naiveElapsed := time.Since(naiveStart)
+	if naiveElapsed < hangFor {
+		t.Errorf("naive build finished in %v — it must sit through the %v hang", naiveElapsed, hangFor)
+	}
+
+	// Robust pipeline on an identical replay of the noisy oracle.
+	// Heavy per-point sampling: σ = 0.1 noise needs ~100 samples for a 1 %
+	// confidence width, which keeps the aggregated points inside the ±5 %
+	// band so the trisection never chases noise. Samples are cheap repeats;
+	// the §3.1 cost metric is the number of experimental points.
+	r := Robust{
+		Timeout:        30 * time.Millisecond,
+		MinSamples:     25,
+		MaxSamples:     100,
+		TargetRelWidth: 0.01,
+		Backoff:        time.Millisecond,
+		Seed:           5,
+	}
+	var maxCall time.Duration
+	robustFn, robustStats, err := builder.BuildQ(
+		maxCallOracle(r.Oracle(faults.FaultyOracle(clean, 0, newPlan())), &maxCall), a, b)
+	if err != nil {
+		t.Fatalf("robust build: %v", err)
+	}
+
+	// (a) No per-point measurement ever blocks anywhere near the hang: the
+	// deadline abandons it. (Worst case per point is MaxSamples × Timeout;
+	// the observed bound must stay well under the hang itself.)
+	if maxCall >= hangFor {
+		t.Errorf("robust per-point measurement blocked %v, hang is %v — deadline did not engage", maxCall, hangFor)
+	}
+
+	// (b) The robust model stays within 2× the ±5 % band of the clean one.
+	relErr, err := speed.MaxRelDiff(robustFn, cleanFn, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr > 0.10 {
+		t.Errorf("robust model max relative error %v vs clean, want ≤ 0.10", relErr)
+	}
+
+	// (c) Measurement count (the §3.1 experimental-point cost) within 1.5×.
+	if robustStats.Measurements > cleanStats.Measurements*3/2 {
+		t.Errorf("robust used %d measurement points, clean used %d (limit 1.5×)",
+			robustStats.Measurements, cleanStats.Measurements)
+	}
+
+	// The naive run, for the record: report how badly the single-sample
+	// model drifted (it also sat through the hang, asserted above).
+	if naiveErr == nil && naiveFn != nil {
+		naiveRelErr, _ := speed.MaxRelDiff(naiveFn, cleanFn, 200)
+		t.Logf("clean: %d points; naive: %d points, max rel err %.3f, blocked %v; robust: %d points (%d remeasured), max rel err %.3f, max call %v",
+			cleanStats.Measurements, naiveStats.Measurements, naiveRelErr, naiveElapsed.Round(time.Millisecond),
+			robustStats.Measurements, robustStats.Remeasured, relErr, maxCall.Round(time.Millisecond))
+	}
+}
+
+// TestRobustOracleQualityFlowsIntoBuild verifies the quality plumbing end
+// to end: a noisy oracle measured robustly yields per-knot qualities in
+// the build stats, each meeting the builder's target or marked low.
+func TestRobustOracleQualityFlowsIntoBuild(t *testing.T) {
+	plan, err := faults.NewMeasurePlan(3, faults.MeasureFault{Kind: faults.Noise, Proc: 0, Sigma: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := faults.FaultyOracle(func(x float64) (float64, error) { return truthSpeed(x), nil }, 0, plan)
+	r := Robust{MinSamples: 3, MaxSamples: 10, TargetRelWidth: 0.04, Backoff: time.Millisecond}
+	_, stats, err := speed.Builder{}.BuildQ(r.Oracle(noisy), 100, 10000)
+	if err != nil {
+		t.Fatalf("BuildQ: %v", err)
+	}
+	if len(stats.Qualities) == 0 {
+		t.Fatal("no per-knot qualities in the build stats")
+	}
+	for _, pq := range stats.Qualities {
+		if pq.Quality.Samples < 3 {
+			t.Errorf("knot x=%g measured with %d samples, want ≥ MinSamples", pq.X, pq.Quality.Samples)
+		}
+	}
+}

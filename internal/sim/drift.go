@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"heteropart/internal/speed"
+)
+
+// DriftOptions parameterizes the closed-form drift-detection loop: a
+// master that periodically compares each processor's observed progress
+// with the model's prediction, keeps an EWMA of the relative error, and —
+// past a threshold — declares the processor's model stale, refreshes it
+// from the observation, and repartitions the remaining work. This is the
+// graceful-degradation path for "model wrong" (a persistent slowdown with
+// no crash), complementing FaultyMakespan's path for "worker dead".
+type DriftOptions struct {
+	// Alpha is the EWMA weight of the newest error sample. Default 0.3.
+	Alpha float64
+	// Threshold is the EWMA relative error past which the model is
+	// declared stale. Default 0.25 — above the paper's ±5 % band and the
+	// Figure 2 fluctuation, below any slowdown worth repartitioning for.
+	Threshold float64
+	// CheckEvery is the monitor's sampling period in model seconds.
+	// Defaults to 1/20 of the fault-free makespan.
+	CheckEvery float64
+	// MaxChecks bounds the monitor loop. Default 10⁴.
+	MaxChecks int
+}
+
+// DriftResult extends FaultyResult with the drift-loop outcome.
+type DriftResult struct {
+	FaultyResult
+	// Stale lists the processors whose model was declared stale and
+	// refreshed (empty when the detector never fired).
+	Stale []int
+	// RefreshedAt is the model time of the refresh + repartition.
+	RefreshedAt float64
+	// Ewma reports each processor's final EWMA relative error.
+	Ewma []float64
+}
+
+// DriftMakespan evaluates the tasks under the fault plan with a drift
+// monitor in the loop. Processors that die are handled exactly as in
+// FaultyMakespan (the failure path). While everything stays alive, the
+// monitor samples each processor's average observed speed factor every
+// CheckEvery model seconds, folds the relative prediction error into a
+// per-processor EWMA, and on the first threshold crossing:
+//
+//  1. marks the crossing processors stale and refreshes their model speed
+//     to the observed value (model speed × current plan factor), and
+//  2. repartitions the remaining work of every processor over all of them
+//     in proportion to the refreshed speeds (an equal-finish split), as
+//     the PR 1 repartition path does after a failure — but without one.
+//
+// The post-refresh phase assumes factors stay at their refresh-time
+// values (the closed-form simplification; the DES and supervised layers
+// capture transients). Without a crossing the result equals
+// FaultyMakespan's.
+func DriftMakespan(tasks []Task, fns []speed.Function, opt FaultyOptions, d DriftOptions) (DriftResult, error) {
+	base, err := FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		return DriftResult{}, err
+	}
+	res := DriftResult{FaultyResult: base, Ewma: make([]float64, len(tasks))}
+	if len(base.Failed) > 0 {
+		// A dead worker is the failure path's job; drift detection is for
+		// the live-but-mispredicted case.
+		return res, nil
+	}
+	alpha := d.Alpha
+	if !(alpha > 0 && alpha <= 1) {
+		alpha = 0.3
+	}
+	threshold := d.Threshold
+	if !(threshold > 0) {
+		threshold = 0.25
+	}
+	maxChecks := d.MaxChecks
+	if maxChecks <= 0 {
+		maxChecks = 10000
+	}
+	speeds := make([]float64, len(tasks))
+	nominal := make([]float64, len(tasks))
+	var nominalMax float64
+	for i, t := range tasks {
+		if t.Work <= 0 {
+			continue
+		}
+		speeds[i] = fns[i].Eval(t.Size)
+		nominal[i] = t.Work / speeds[i]
+		nominalMax = math.Max(nominalMax, nominal[i])
+	}
+	check := d.CheckEvery
+	if !(check > 0) {
+		check = nominalMax / 20
+	}
+	if !(check > 0) {
+		return res, nil // no work at all
+	}
+
+	ewma := res.Ewma
+	var stale []int
+	var tDetect float64
+	for k := 1; k <= maxChecks && len(stale) == 0; k++ {
+		t := float64(k) * check
+		if t >= base.Makespan {
+			break // everyone finished before the detector fired
+		}
+		for i := range tasks {
+			if nominal[i] == 0 || base.PerFinish[i] <= t {
+				continue // idle or already finished: nothing to observe
+			}
+			avgFactor := opt.Plan.Progress(i, 0, t) / t
+			e := math.Abs(avgFactor - 1)
+			ewma[i] = (1-alpha)*ewma[i] + alpha*e
+			if ewma[i] >= threshold {
+				stale = append(stale, i)
+				tDetect = t
+			}
+		}
+	}
+	if len(stale) == 0 {
+		return res, nil
+	}
+	res.Stale = stale
+	res.RefreshedAt = tDetect
+
+	// Refresh + repartition: remaining work of every processor is pooled
+	// and redistributed in proportion to the refreshed effective speeds.
+	staleSet := make(map[int]bool, len(stale))
+	for _, i := range stale {
+		staleSet[i] = true
+	}
+	var remaining, sumEff float64
+	eff := make([]float64, len(tasks))
+	var staleRemaining float64
+	for i := range tasks {
+		if nominal[i] == 0 {
+			// An idle processor still absorbs at its refreshed speed.
+			eff[i] = absorbSpeed(opt.Plan, fns[i], i, 0) * opt.Plan.Factor(i, tDetect)
+			sumEff += eff[i]
+			continue
+		}
+		done := speeds[i] * opt.Plan.Progress(i, 0, tDetect)
+		rem := math.Max(0, tasks[i].Work-done)
+		remaining += rem
+		if staleSet[i] {
+			staleRemaining += rem
+		}
+		eff[i] = speeds[i] * opt.Plan.Factor(i, tDetect)
+		sumEff += eff[i]
+	}
+	if sumEff <= 0 {
+		return res, fmt.Errorf("sim: no capacity left to absorb %v work units at refresh", remaining)
+	}
+	tail := remaining / sumEff
+	refreshed := tDetect + tail
+	if refreshed < base.Makespan {
+		res.Makespan = refreshed
+		for i := range res.PerFinish {
+			if nominal[i] > 0 || eff[i] > 0 {
+				res.PerFinish[i] = refreshed
+			}
+		}
+		// MovedWork: what the stale processors would still have computed
+		// minus their refreshed share — the work migrated off them.
+		var staleShare float64
+		for _, i := range stale {
+			staleShare += remaining * eff[i] / sumEff
+		}
+		res.MovedWork = math.Max(0, staleRemaining-staleShare)
+		res.DetectedAt = tDetect
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"heteropart/internal/faults"
+)
+
+func TestDriftMakespanNoFaultsMatchesFaulty(t *testing.T) {
+	tasks, fns := faultyFixture()
+	base, err := FaultyMakespan(tasks, fns, FaultyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DriftMakespan(tasks, fns, FaultyOptions{}, DriftOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != base.Makespan || len(res.Stale) != 0 {
+		t.Fatalf("fault-free DriftMakespan = %+v, want plain makespan %v", res, base.Makespan)
+	}
+}
+
+func TestDriftMakespanPersistentSlowdownBeatsNoDetection(t *testing.T) {
+	tasks, fns := faultyFixture()
+	// The slowest processor (nominal finish 5 s) is hit by a persistent
+	// ×0.5 slowdown at t = 0.5 s — no crash, so the failure path never
+	// fires and without drift detection its share takes ~9.5 s.
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.Slow, Proc: 2, At: 0.5, Factor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FaultyOptions{Plan: plan}
+	base, err := FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Failed) != 0 {
+		t.Fatalf("a ×0.5 slowdown must not look like a death, failed = %v", base.Failed)
+	}
+	if base.Makespan < 9 {
+		t.Fatalf("no-detection makespan = %v, expected ~9.5 s", base.Makespan)
+	}
+	res, err := DriftMakespan(tasks, fns, opt, DriftOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 1 || res.Stale[0] != 2 {
+		t.Fatalf("stale = %v, want [2]", res.Stale)
+	}
+	if !(res.RefreshedAt > 0.5) || !(res.RefreshedAt < base.Makespan) {
+		t.Errorf("refreshed at %v, want inside (0.5, %v)", res.RefreshedAt, base.Makespan)
+	}
+	if !(res.Makespan < base.Makespan) {
+		t.Errorf("drift-aware makespan %v does not beat no-detection %v", res.Makespan, base.Makespan)
+	}
+	if !(res.MovedWork > 0) {
+		t.Errorf("no work moved off the stale processor (moved %v)", res.MovedWork)
+	}
+	if res.Ewma[2] < res.Ewma[0] || res.Ewma[2] < res.Ewma[1] {
+		t.Errorf("EWMA %v does not single out the slowed processor", res.Ewma)
+	}
+}
+
+func TestDriftMakespanHealthyRunNeverFires(t *testing.T) {
+	tasks, fns := faultyFixture()
+	// A short transient stall well inside the threshold's tolerance: the
+	// average factor recovers, the detector must stay quiet.
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.Slow, Proc: 1, At: 0.2, Factor: 0.9, Duration: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FaultyOptions{Plan: plan}
+	base, err := FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DriftMakespan(tasks, fns, opt, DriftOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stale) != 0 {
+		t.Fatalf("a 10%% 0.2 s blip flagged processors %v", res.Stale)
+	}
+	if res.Makespan != base.Makespan {
+		t.Errorf("makespan %v changed without a refresh (base %v)", res.Makespan, base.Makespan)
+	}
+}
+
+func TestDriftMakespanDeathDefersToFailurePath(t *testing.T) {
+	tasks, fns := faultyFixture()
+	plan, err := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: 0, At: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := FaultyOptions{Plan: plan, Grace: 1.5}
+	base, err := FaultyMakespan(tasks, fns, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DriftMakespan(tasks, fns, opt, DriftOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != base.Makespan || len(res.Stale) != 0 {
+		t.Errorf("death must take the PR 1 failure path untouched: %+v vs base %+v", res, base)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != 0 {
+		t.Errorf("failed = %v, want [0]", res.Failed)
+	}
+}
+
+func TestDriftMakespanRefreshNeverWorsens(t *testing.T) {
+	tasks, fns := faultyFixture()
+	for _, factor := range []float64{0.3, 0.5, 0.7} {
+		plan, err := faults.NewPlan(faults.Fault{Kind: faults.Slow, Proc: 2, At: 0.1, Factor: factor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := FaultyOptions{Plan: plan}
+		base, err := FaultyMakespan(tasks, fns, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := DriftMakespan(tasks, fns, opt, DriftOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > base.Makespan+1e-12 {
+			t.Errorf("factor %v: drift-aware %v worse than no-detection %v", factor, res.Makespan, base.Makespan)
+		}
+	}
+}

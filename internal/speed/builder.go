@@ -57,6 +57,17 @@ type Builder struct {
 	// [a, b] is wide. MinInterval is then measured in ln-size units and
 	// defaults to ln(b/a)/10³.
 	LogDomain bool
+	// QualityTarget is the relative confidence width above which a
+	// measured point counts as low-quality and is re-measured before the
+	// band test — noisy points must not masquerade as genuine speed-
+	// function features and blow up the §3.1 measurement count. Only
+	// meaningful with a quality-reporting oracle (BuildQ). Defaults to
+	// Eps.
+	QualityTarget float64
+	// MaxRemeasure bounds the extra oracle calls spent re-measuring one
+	// low-quality point. Defaults to 2. Re-measurements count against
+	// MaxMeasurements — they are real experimental cost.
+	MaxRemeasure int
 }
 
 // BuildStats reports the experimental cost of constructing the model.
@@ -69,6 +80,18 @@ type BuildStats struct {
 	MaxDepth int
 	// Repaired is true when measurement noise forced shape enforcement.
 	Repaired bool
+	// Remeasured counts the extra oracle calls spent re-measuring
+	// low-quality points (included in Measurements).
+	Remeasured int
+	// Quarantined lists the sizes of knots whose measured speed violated
+	// the shape assumption and was repaired downward — the knots a
+	// downstream consumer should treat with suspicion.
+	Quarantined []float64
+	// Diagnostics carries one human-readable line per quarantined knot.
+	Diagnostics []string
+	// Qualities reports the per-knot measurement quality, sorted by size,
+	// when the build used a quality-reporting oracle.
+	Qualities []PointQuality
 }
 
 // ErrBudget reports that the measurement budget was exhausted before the
@@ -77,11 +100,12 @@ type BuildStats struct {
 var ErrBudget = errors.New("speed: measurement budget exhausted")
 
 type builderRun struct {
-	cfg    Builder
-	oracle Oracle
-	knots  []Point
-	stats  BuildStats
-	err    error
+	cfg       Builder
+	oracle    QualityOracle
+	knots     []Point
+	qualities map[float64]Quality
+	stats     BuildStats
+	err       error
 }
 
 // Build runs the procedure on [a, b]. It returns the piecewise linear
@@ -89,6 +113,20 @@ type builderRun struct {
 // returned function is still valid. The speed at b is pinned to zero as in
 // the paper ("b is large enough to make the speed practically zero").
 func (b Builder) Build(oracle Oracle, a, bEnd float64) (*PiecewiseLinear, BuildStats, error) {
+	if oracle == nil {
+		return nil, BuildStats{}, errors.New("speed: Build: nil oracle")
+	}
+	return b.BuildQ(WithQuality(oracle), a, bEnd)
+}
+
+// BuildQ is Build for a quality-reporting oracle (the robust measurement
+// layer of internal/measure). Quality drives two extra behaviours beyond
+// Build: an interior point whose quality is low — wide confidence
+// interval, timeout, majority of samples rejected — is re-measured up to
+// MaxRemeasure times before the band test rather than being allowed to
+// trigger spurious recursion, and the per-knot qualities are reported in
+// the stats for persistence.
+func (b Builder) BuildQ(oracle QualityOracle, a, bEnd float64) (*PiecewiseLinear, BuildStats, error) {
 	if oracle == nil {
 		return nil, BuildStats{}, errors.New("speed: Build: nil oracle")
 	}
@@ -114,7 +152,13 @@ func (b Builder) Build(oracle Oracle, a, bEnd float64) (*PiecewiseLinear, BuildS
 	if b.ZeroBand < 0 || math.IsNaN(b.ZeroBand) || math.IsInf(b.ZeroBand, 0) {
 		return nil, BuildStats{}, fmt.Errorf("speed: Build: invalid ZeroBand %v", b.ZeroBand)
 	}
-	r := &builderRun{cfg: b, oracle: oracle}
+	if b.QualityTarget == 0 {
+		b.QualityTarget = b.Eps
+	}
+	if b.MaxRemeasure == 0 {
+		b.MaxRemeasure = 2
+	}
+	r := &builderRun{cfg: b, oracle: oracle, qualities: map[float64]Quality{}}
 	sa, ok := r.measure(a)
 	if !ok {
 		return nil, r.stats, r.err
@@ -138,16 +182,27 @@ func (b Builder) Build(oracle Oracle, a, bEnd float64) (*PiecewiseLinear, BuildS
 		}
 	}
 	sortPoints(pts)
+	// Shape violations from noisy points are repaired and quarantined with
+	// a diagnostic, never allowed to error the whole build: the repaired
+	// knot list always satisfies the invariant NewPiecewiseLinear checks.
 	fixed := EnforceShape(pts)
 	for i := range pts {
 		if fixed[i].Y != pts[i].Y {
 			r.stats.Repaired = true
-			break
+			r.stats.Quarantined = append(r.stats.Quarantined, pts[i].X)
+			r.stats.Diagnostics = append(r.stats.Diagnostics, fmt.Sprintf(
+				"speed: knot at x=%.6g violated the shape assumption; speed repaired %.6g → %.6g",
+				pts[i].X, pts[i].Y, fixed[i].Y))
 		}
 	}
 	f, err := NewPiecewiseLinear(fixed)
 	if err != nil {
 		return nil, r.stats, fmt.Errorf("speed: Build: constructing result: %w", err)
+	}
+	for _, p := range fixed {
+		if q, ok := r.qualities[p.X]; ok {
+			r.stats.Qualities = append(r.stats.Qualities, PointQuality{X: p.X, Quality: q})
+		}
 	}
 	r.stats.Knots = f.NumPoints()
 	return f, r.stats, r.err
@@ -155,6 +210,10 @@ func (b Builder) Build(oracle Oracle, a, bEnd float64) (*PiecewiseLinear, BuildS
 
 // measure calls the oracle, counting against the budget. It returns false
 // when the budget is exhausted or the oracle fails, recording the error.
+// A low-quality result (wide confidence interval, timeout, mass outlier
+// rejection) is re-measured up to MaxRemeasure times and the best-quality
+// sample kept — re-measurement instead of band rejection, so a shaky point
+// cannot trigger spurious recursion and blow up the measurement count.
 func (r *builderRun) measure(x float64) (float64, bool) {
 	if r.err != nil {
 		return 0, false
@@ -164,7 +223,7 @@ func (r *builderRun) measure(x float64) (float64, bool) {
 		return 0, false
 	}
 	r.stats.Measurements++
-	s, err := r.oracle(x)
+	s, q, err := r.oracle(x)
 	if err != nil {
 		r.err = fmt.Errorf("speed: oracle at x=%v: %w", x, err)
 		return 0, false
@@ -173,7 +232,32 @@ func (r *builderRun) measure(x float64) (float64, bool) {
 		r.err = fmt.Errorf("speed: oracle at x=%v returned invalid speed %v", x, s)
 		return 0, false
 	}
+	for extra := 0; q.Low(r.cfg.QualityTarget) && extra < r.cfg.MaxRemeasure &&
+		r.stats.Measurements < r.cfg.MaxMeasurements; extra++ {
+		r.stats.Measurements++
+		r.stats.Remeasured++
+		s2, q2, err2 := r.oracle(x)
+		if err2 != nil || s2 < 0 || math.IsNaN(s2) || math.IsInf(s2, 0) {
+			break // keep the sample in hand; a re-measure never fails the build
+		}
+		if betterQuality(q2, q) {
+			s, q = s2, q2
+		}
+	}
+	r.qualities[x] = q
 	return s, true
+}
+
+// betterQuality orders measurement qualities: not-timed-out beats timed
+// out, then narrower confidence width, then more samples.
+func betterQuality(a, b Quality) bool {
+	if a.TimedOut != b.TimedOut {
+		return !a.TimedOut
+	}
+	if a.RelWidth != b.RelWidth {
+		return a.RelWidth < b.RelWidth
+	}
+	return a.Samples > b.Samples
 }
 
 // within reports whether measured s falls inside the relative Eps band

@@ -1,0 +1,142 @@
+package speed
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Drift detects when a processor's speed model has gone stale: it keeps an
+// exponentially weighted moving average of the relative prediction error
+// |observed − predicted| / predicted per processor and flags the processor
+// once the average crosses a threshold. This is the "maintaining of our
+// model" loop the paper's §4 leaves open: a model that consistently
+// mispredicts is wrong — not noisy — and the partition computed from it
+// should be refreshed even though nothing crashed.
+//
+// Drift is safe for concurrent use; the supervised executors feed it from
+// worker goroutines via the faults.Config.Observe tap.
+type Drift struct {
+	// Alpha is the EWMA weight of the newest observation, in (0, 1].
+	// Small values smooth the Figure 2 fluctuation band; large values
+	// react faster. Defaults to 0.3 when zero.
+	Alpha float64
+	// Threshold is the EWMA relative error past which a processor's model
+	// is declared stale. Defaults to 0.25 when zero — comfortably above
+	// the ±5 % band plus measurement noise, comfortably below a ×0.5
+	// slowdown (relative error 1.0).
+	Threshold float64
+	// MinObservations is the number of observations a processor needs
+	// before it can be flagged, so one wild first sample cannot trip the
+	// detector. Defaults to 2.
+	MinObservations int
+
+	mu    sync.Mutex
+	ewma  map[int]float64
+	count map[int]int
+	stale map[int]bool
+}
+
+func (d *Drift) alpha() float64 {
+	if d.Alpha > 0 && d.Alpha <= 1 {
+		return d.Alpha
+	}
+	return 0.3
+}
+
+func (d *Drift) threshold() float64 {
+	if d.Threshold > 0 {
+		return d.Threshold
+	}
+	return 0.25
+}
+
+func (d *Drift) minObs() int {
+	if d.MinObservations > 0 {
+		return d.MinObservations
+	}
+	return 2
+}
+
+// Observe folds one (predicted, observed) execution-time or speed pair
+// for the processor into the detector and reports whether the processor
+// is now stale. Predicted and observed must be in the same units (both
+// model seconds, or both speeds); non-positive or non-finite pairs are
+// ignored.
+func (d *Drift) Observe(proc int, predicted, observed float64) bool {
+	if !(predicted > 0) || !(observed > 0) ||
+		math.IsInf(predicted, 0) || math.IsInf(observed, 0) {
+		return d.Stale(proc)
+	}
+	e := math.Abs(observed-predicted) / predicted
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ewma == nil {
+		d.ewma = map[int]float64{}
+		d.count = map[int]int{}
+		d.stale = map[int]bool{}
+	}
+	a := d.alpha()
+	if d.count[proc] == 0 {
+		d.ewma[proc] = e
+	} else {
+		d.ewma[proc] = (1-a)*d.ewma[proc] + a*e
+	}
+	d.count[proc]++
+	if d.count[proc] >= d.minObs() && d.ewma[proc] >= d.threshold() {
+		d.stale[proc] = true
+	}
+	return d.stale[proc]
+}
+
+// Stale reports whether the processor's model has been flagged.
+func (d *Drift) Stale(proc int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stale[proc]
+}
+
+// StaleProcs returns the flagged processors in increasing order.
+func (d *Drift) StaleProcs() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for p, s := range d.stale {
+		if s {
+			out = append(out, p)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+// Value returns the processor's current EWMA relative error.
+func (d *Drift) Value(proc int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ewma[proc]
+}
+
+// Reset clears the processor's history and stale flag — called after its
+// model has been refreshed, so the detector tracks the new model.
+func (d *Drift) Reset(proc int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.ewma, proc)
+	delete(d.count, proc)
+	delete(d.stale, proc)
+}
+
+// String implements fmt.Stringer.
+func (d *Drift) String() string {
+	return fmt.Sprintf("Drift(alpha=%g threshold=%g stale=%v)", d.alpha(), d.threshold(), d.StaleProcs())
+}
+
+// sortInts is a tiny insertion sort (the stale sets are small).
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

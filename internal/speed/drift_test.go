@@ -1,0 +1,104 @@
+package speed
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestDriftAccurateModelNeverStale(t *testing.T) {
+	d := &Drift{}
+	for i := 0; i < 100; i++ {
+		// Observations within a few percent of the prediction.
+		obs := 1.0 + 0.04*math.Sin(float64(i))
+		if d.Observe(0, 1.0, obs) {
+			t.Fatalf("observation %d flagged an accurate model (ewma %v)", i, d.Value(0))
+		}
+	}
+	if d.Stale(0) {
+		t.Error("accurate model ended up stale")
+	}
+}
+
+func TestDriftPersistentSlowdownFlags(t *testing.T) {
+	d := &Drift{}
+	// A ×0.5 slowdown: observed time is twice the predicted time,
+	// relative error 1.0 on every observation.
+	if d.Observe(3, 10, 20) {
+		t.Error("flagged on the very first observation (MinObservations=2)")
+	}
+	if !d.Observe(3, 10, 20) {
+		t.Errorf("not flagged after 2 observations of relative error 1.0 (ewma %v)", d.Value(3))
+	}
+	if !d.Stale(3) {
+		t.Error("Stale(3) = false after Observe reported stale")
+	}
+	if got := d.StaleProcs(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("StaleProcs() = %v, want [3]", got)
+	}
+	if d.Stale(0) || d.Stale(2) {
+		t.Error("unrelated processors flagged")
+	}
+	d.Reset(3)
+	if d.Stale(3) || d.Value(3) != 0 {
+		t.Errorf("Reset left stale=%v ewma=%v", d.Stale(3), d.Value(3))
+	}
+	// After a refresh the detector tracks the new model from scratch.
+	if d.Observe(3, 10, 10.1) {
+		t.Error("refreshed model flagged on an accurate observation")
+	}
+}
+
+func TestDriftOneWildSampleTolerated(t *testing.T) {
+	// One wild first observation (relative error 4.0) followed by accurate
+	// ones: with MinObservations = 10 the flag cannot fire before the EWMA
+	// has decayed to 4.0·0.7⁹ ≈ 0.16, below the 0.25 threshold.
+	d := &Drift{MinObservations: 10}
+	if d.Observe(0, 1, 5) {
+		t.Fatal("flagged on the first observation despite MinObservations=10")
+	}
+	for i := 0; i < 30; i++ {
+		if d.Observe(0, 1, 1.0) {
+			t.Fatalf("one wild sample flagged the model at accurate observation %d (ewma %v)", i, d.Value(0))
+		}
+	}
+}
+
+func TestDriftIgnoresInvalidPairs(t *testing.T) {
+	d := &Drift{}
+	for _, pair := range [][2]float64{
+		{0, 1}, {1, 0}, {-1, 1}, {1, -1},
+		{math.Inf(1), 1}, {1, math.Inf(1)}, {math.NaN(), 1}, {1, math.NaN()},
+	} {
+		if d.Observe(0, pair[0], pair[1]) {
+			t.Errorf("Observe(%v, %v) flagged", pair[0], pair[1])
+		}
+	}
+	if d.Value(0) != 0 {
+		t.Errorf("invalid pairs moved the EWMA to %v", d.Value(0))
+	}
+}
+
+func TestDriftConcurrent(t *testing.T) {
+	t.Parallel()
+	d := &Drift{}
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d.Observe(p, 1, 2) // relative error 1.0 for everyone
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := d.StaleProcs(); len(got) != 8 {
+		t.Errorf("StaleProcs() = %v, want all 8 processors", got)
+	}
+	for p := 1; p < 8; p++ {
+		if d.Value(p) != d.Value(0) {
+			t.Errorf("proc %d ewma %v differs from proc 0's %v", p, d.Value(p), d.Value(0))
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package speed
+
+import "fmt"
+
+// Quality describes how trustworthy one measured speed point is. The
+// robust measurement layer (internal/measure) fills it in; the builder
+// uses it to re-measure shaky interior points instead of recursing on
+// them, and the cluster JSON persists it so downstream tools can see how
+// much to trust each knot.
+type Quality struct {
+	// Samples is the number of oracle samples taken (after retries).
+	Samples int `json:"samples"`
+	// Rejected counts samples discarded by MAD outlier rejection.
+	Rejected int `json:"rejected,omitempty"`
+	// Retries counts transient failures (errors, timeouts) that were
+	// retried before enough samples arrived.
+	Retries int `json:"retries,omitempty"`
+	// TimedOut reports that at least one sample hit the per-call deadline.
+	TimedOut bool `json:"timedOut,omitempty"`
+	// RelWidth is the MAD-based relative confidence half-width of the
+	// aggregated speed (0 = exact, e.g. a single clean sample run without
+	// the robust layer reports 0).
+	RelWidth float64 `json:"relWidth,omitempty"`
+}
+
+// Low reports whether the point failed to reach the target relative
+// confidence width — the builder's re-measurement trigger. Points that
+// timed out or lost a majority of their samples to outlier rejection are
+// low-quality regardless of the width estimate.
+func (q Quality) Low(target float64) bool {
+	if q.Samples == 0 {
+		return true
+	}
+	if q.TimedOut {
+		return true
+	}
+	if q.Rejected > q.Samples/2 {
+		return true
+	}
+	return target > 0 && q.RelWidth > target
+}
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	return fmt.Sprintf("quality(samples=%d rejected=%d retries=%d timedOut=%v relWidth=%.3g)",
+		q.Samples, q.Rejected, q.Retries, q.TimedOut, q.RelWidth)
+}
+
+// QualityOracle is an Oracle that also reports the quality of each
+// measurement. The robust measurement wrapper produces one; the builder
+// consumes one via Builder.BuildQ.
+type QualityOracle func(x float64) (float64, Quality, error)
+
+// WithQuality lifts a plain Oracle into a QualityOracle reporting one
+// clean sample per call — the naive measurement pipeline, stated
+// explicitly.
+func WithQuality(o Oracle) QualityOracle {
+	return func(x float64) (float64, Quality, error) {
+		s, err := o(x)
+		if err != nil {
+			return 0, Quality{}, err
+		}
+		return s, Quality{Samples: 1}, nil
+	}
+}
+
+// PointQuality pairs a measured knot with its quality, for persistence
+// alongside the knot list.
+type PointQuality struct {
+	X       float64 `json:"size"`
+	Quality Quality `json:"quality"`
+}

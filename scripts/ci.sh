@@ -1,0 +1,34 @@
+#!/bin/sh
+# ci.sh — the full merge gate, in one place. Runs every check ROADMAP.md
+# names so "what does CI run?" has exactly one answer:
+#
+#   1. tier-1: go build ./... && go test ./...
+#   2. go vet ./...
+#   3. go test -race ./internal/...  (the supervisor, the supervised
+#      executors, the worker pool and the experiment harness are
+#      concurrent by construction)
+#   4. explicit race passes that must never drop out of the run:
+#      the kernel-perf pair (pool, kernels) and the robustness pair
+#      (faults, measure) — the latter exercises deadline abandonment,
+#      retry backoff and the drift detector under the race detector
+#   5. benchmark smoke: every kernel benchmark runs once
+#
+# Usage: scripts/ci.sh
+set -e
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: go build ./..." >&2
+go build ./...
+echo "==> tier-1: go test ./..." >&2
+go test ./...
+echo "==> go vet ./..." >&2
+go vet ./...
+echo "==> go test -race ./internal/..." >&2
+go test -race ./internal/...
+echo "==> go test -race ./internal/pool/... ./internal/kernels/... (kernel-perf gate)" >&2
+go test -race ./internal/pool/... ./internal/kernels/...
+echo "==> go test -race ./internal/faults/... ./internal/measure/... (robustness gate)" >&2
+go test -race ./internal/faults/... ./internal/measure/...
+echo "==> benchmark smoke: go test -run '^$' -bench Kernel -benchtime=1x ." >&2
+go test -run '^$' -bench Kernel -benchtime=1x .
+echo "==> all gates green" >&2
