@@ -23,6 +23,7 @@ import (
 	"heteropart/internal/machine"
 	"heteropart/internal/matrix"
 	"heteropart/internal/measure"
+	"heteropart/internal/plancache"
 	"heteropart/internal/pool"
 	"heteropart/internal/speed"
 )
@@ -177,6 +178,7 @@ func BenchmarkGridPartition2D(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := grid.Partition2D(6000, 6000, fns, grid.Options{}); err != nil {
@@ -200,6 +202,7 @@ func BenchmarkPartitionBasic(b *testing.B) {
 	for _, p := range []int{12, 128, 1024} {
 		fns := benchCluster(b, p)
 		b.Run(benchName("p", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Basic(1_000_000_000, fns); err != nil {
 					b.Fatal(err)
@@ -213,6 +216,7 @@ func BenchmarkPartitionModified(b *testing.B) {
 	for _, p := range []int{12, 128, 1024} {
 		fns := benchCluster(b, p)
 		b.Run(benchName("p", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Modified(1_000_000_000, fns); err != nil {
 					b.Fatal(err)
@@ -226,6 +230,7 @@ func BenchmarkPartitionCombined(b *testing.B) {
 	for _, p := range []int{12, 128, 1024} {
 		fns := benchCluster(b, p)
 		b.Run(benchName("p", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Combined(1_000_000_000, fns); err != nil {
 					b.Fatal(err)
@@ -240,6 +245,7 @@ func BenchmarkSingleNumber(b *testing.B) {
 	for i := range speeds {
 		speeds[i] = float64(1 + i%97)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.SingleNumber(1_000_000_000, speeds); err != nil {
@@ -255,9 +261,12 @@ func BenchmarkSpeedBuilder(b *testing.B) {
 		b.Fatal(err)
 	}
 	oracle := func(x float64) (float64, error) { return truth.Eval(x), nil }
+	// The builder is invariant across iterations; constructing it inside the
+	// loop would charge its (tiny) setup to every Build measurement.
+	builder := speed.Builder{LogDomain: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		builder := speed.Builder{LogDomain: true}
 		if _, _, err := builder.Build(oracle, 1e4, truth.Max); err != nil {
 			b.Fatal(err)
 		}
@@ -276,9 +285,97 @@ func BenchmarkPWLIntersect(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fn.IntersectRay(1e-3 / float64(1+i%1000))
+	}
+}
+
+// benchPWLCluster samples the synthetic analytic cluster into piecewise
+// linear functions, the representation the serving hot path is built
+// around (precomputed ratio tables, binary-search IntersectRay).
+func benchPWLCluster(b *testing.B, p int) []speed.Function {
+	b.Helper()
+	fns := benchCluster(b, p)
+	out := make([]speed.Function, p)
+	for i, f := range fns {
+		pts := make([]speed.Point, 0, 16)
+		for x := 1e3; x < f.MaxSize(); x *= 4 {
+			pts = append(pts, speed.Point{X: x, Y: f.Eval(x)})
+		}
+		pts = append(pts, speed.Point{X: f.MaxSize(), Y: f.Eval(f.MaxSize())})
+		out[i] = speed.MustPiecewiseLinear(speed.EnforceShape(pts))
+	}
+	return out
+}
+
+// BenchmarkPartitionThroughput measures one partition request through each
+// serving tier: a cold free-function call (allocates its result and runs the
+// full bisection), a warm reusable Partitioner seeded with the previous
+// optimum's slope (the zero-allocation hot path — allocs/op must print 0),
+// a plan-cache exact hit, and a cache near-miss that is warm-started from a
+// neighboring size's cached slope. scripts/bench_partition.sh records these
+// rows into BENCH_partition.json, and scripts/ci.sh fails the build if the
+// warm path ever allocates again.
+func BenchmarkPartitionThroughput(b *testing.B) {
+	const n = 1_000_000_000
+	for _, p := range []int{12, 64, 256} {
+		fns := benchPWLCluster(b, p)
+		b.Run(benchName("p", p), func(b *testing.B) {
+			seed, err := core.Combined(n, fns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run("cold", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Combined(n, fns); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("warm", func(b *testing.B) {
+				pr := core.NewPartitioner()
+				dst := make(core.Allocation, p)
+				warm := core.WithWarmStart(seed.Slope, 0.05)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pr.PartitionInto(dst, core.AlgoCombined, n, fns, warm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("cached", func(b *testing.B) {
+				c := plancache.New(0)
+				if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("nearmiss", func(b *testing.B) {
+				c := plancache.New(0)
+				if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Every size is new to the cache, so each iteration is a
+					// genuine miss warm-started from the n's cached slope.
+					if _, err := c.Get(core.AlgoCombined, n+int64(i)+1, fns); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
 	}
 }
 
@@ -289,6 +386,7 @@ func BenchmarkMMPartitionTable2(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mm.PartitionFPM(25000, fns); err != nil {
@@ -302,6 +400,7 @@ func BenchmarkLUVariableGroupBlock(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := lu.VariableGroupBlock(16000, 64, fns); err != nil {
@@ -432,6 +531,7 @@ func BenchmarkPartitionExact(b *testing.B) {
 	for _, p := range []int{12, 128} {
 		fns := benchCluster(b, p)
 		b.Run(benchName("p", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Exact(1_000_000_000, fns); err != nil {
 					b.Fatal(err)

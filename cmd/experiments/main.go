@@ -5,39 +5,79 @@
 // Usage:
 //
 //	experiments [-quick] [-skip-real] [-csv]
+//	experiments -quick -cpuprofile cpu.out -memprofile mem.out
 //
 // -quick trims the sweeps so the suite finishes in seconds; the default
 // regenerates the full paper-sized rows (the real-host Tables 3–4 halves
 // then take a few minutes of serial matrix arithmetic).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run —
+// the zero-allocation claims of the partitioner hot path were established
+// with exactly these profiles (`go tool pprof -list`).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"heteropart/internal/experiments"
 	"heteropart/internal/pool"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		quick    = flag.Bool("quick", false, "trimmed sweeps (seconds instead of minutes)")
-		skipReal = flag.Bool("skip-real", false, "skip the real-host measurements of Tables 3-4")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		markdown = flag.Bool("markdown", false, "emit Markdown tables")
-		charts   = flag.Bool("charts", false, "render the Figure 1 and Figure 22 series as ASCII charts and exit")
-		only     = flag.String("only", "", "run only artifacts whose name contains this substring (e.g. fig22, ablation)")
-		workers  = flag.Int("workers", 0, "worker pool width for concurrent artifacts and parallel kernels (0 = GOMAXPROCS)")
+		quick      = flag.Bool("quick", false, "trimmed sweeps (seconds instead of minutes)")
+		skipReal   = flag.Bool("skip-real", false, "skip the real-host measurements of Tables 3-4")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		markdown   = flag.Bool("markdown", false, "emit Markdown tables")
+		charts     = flag.Bool("charts", false, "render the Figure 1 and Figure 22 series as ASCII charts and exit")
+		only       = flag.String("only", "", "run only artifacts whose name contains this substring (e.g. fig22, ablation)")
+		workers    = flag.Int("workers", 0, "worker pool width for concurrent artifacts and parallel kernels (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
 	pool.SetDefault(*workers)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before the heap dump
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			}
+		}()
+	}
 	opt := experiments.Options{Quick: *quick, SkipReal: *skipReal, Only: *only, Workers: *workers}
 	if *charts {
 		f1, err := experiments.Fig1Charts()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		var mmNs, luNs []int
 		if *quick {
@@ -46,19 +86,17 @@ func main() {
 		}
 		f22, err := experiments.Fig22Charts(mmNs, luNs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		for _, c := range append(f1, f22...) {
 			fmt.Println(c)
 		}
-		return
+		return nil
 	}
 	if *csv || *markdown {
 		tables, err := experiments.RunAll(nil, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		for _, t := range tables {
 			if *markdown {
@@ -67,10 +105,8 @@ func main() {
 				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
 			}
 		}
-		return
+		return nil
 	}
-	if _, err := experiments.RunAll(os.Stdout, opt); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
+	_, err := experiments.RunAll(os.Stdout, opt)
+	return err
 }

@@ -8,6 +8,7 @@
 //	hetpart -n 100000000 -machines cluster.json -limits 1e7,5e8,...   # bounded
 //	hetpart -grid 8000x8000 -machines cluster.json                    # 2D rectangles
 //	hetpart -n 100000000 -machines cluster.json -fail p3@t=1.5s       # fault drill
+//	hetpart -n 100000000 -machines cluster.json -serve -bench-requests 100000  # serving engine
 //
 // The cluster file holds a list of processors, each with a piecewise
 // linear speed function ("points"), a constant speed ("speed"/"max"), a
@@ -56,7 +57,14 @@ func run() error {
 		grace    = flag.Float64("grace", 1.5, "failure-detection timeout as a multiple of the predicted finish time")
 		drift    = flag.Float64("drift", 0, "EWMA relative-error threshold of the model drift detector; >0 adds drift-aware makespan notes to fault drills")
 		workers  = flag.Int("workers", 0, "worker pool width for any real kernel execution (0 = GOMAXPROCS)")
-		fail     repeatedFlag
+
+		serveMode   = flag.Bool("serve", false, "benchmark the partition-serving engine instead of printing one plan (requires -bench-requests)")
+		benchReqs   = flag.Int("bench-requests", 0, "with -serve: total partition requests to fire through the engine")
+		reqWorkers  = flag.Int("req-workers", 8, "with -serve: concurrent request submitters")
+		reqSpread   = flag.Float64("req-spread", 0.2, "with -serve: relative spread of request sizes around -n, in [0, 1)")
+		reqDistinct = flag.Int("req-distinct", 16, "with -serve: distinct request sizes in the stream")
+
+		fail repeatedFlag
 	)
 	flag.Var(&fail, "fail", "fault spec, repeatable: p3@t=1.5s, X2@t=1s,slow=0.4,for=2s, p1@t=2s,stall,for=0.5s, link@t=0.5s,for=1s (see internal/faults); added to the cluster file's own \"faults\"")
 	flag.Parse()
@@ -73,6 +81,20 @@ func run() error {
 	}
 	if *n <= 0 {
 		return fmt.Errorf("-n must be positive")
+	}
+	if *serveMode {
+		al, err := parseAlgo(*algo)
+		if err != nil {
+			return err
+		}
+		return runServeBench(cluster, *n, serveBenchOptions{
+			Requests: *benchReqs,
+			Workers:  *reqWorkers,
+			Distinct: *reqDistinct,
+			Spread:   *reqSpread,
+			Algo:     al,
+			CSV:      *csv,
+		})
 	}
 	fns, names, err := cluster.Functions(float64(*n))
 	if err != nil {

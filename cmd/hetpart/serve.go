@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"heteropart/internal/clusterio"
+	"heteropart/internal/core"
+	"heteropart/internal/report"
+	"heteropart/internal/serve"
+)
+
+// serveBenchOptions shapes the request stream of runServeBench.
+type serveBenchOptions struct {
+	Requests int     // total requests to fire
+	Workers  int     // concurrent submitters
+	Distinct int     // distinct problem sizes in the stream
+	Spread   float64 // relative size spread around n, e.g. 0.2 = ±20%
+	Algo     core.Algorithm
+	CSV      bool
+}
+
+// runServeBench stands up a partition-serving engine over the cluster and
+// drives it with a synthetic request stream: Distinct sizes spread ±Spread
+// around n, fired by Workers concurrent clients. The stream is the shape an
+// adaptive executor or a simulation grid produces — a handful of distinct
+// plans requested over and over — so the engine's batching, coalescing, and
+// cache tiers all get exercised, and the report shows how much of the load
+// each tier absorbed.
+func runServeBench(cluster *clusterio.Cluster, n int64, opt serveBenchOptions) error {
+	if opt.Requests <= 0 {
+		return fmt.Errorf("-bench-requests must be positive")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	if opt.Distinct <= 0 {
+		opt.Distinct = 16
+	}
+	if opt.Spread < 0 || opt.Spread >= 1 {
+		return fmt.Errorf("-req-spread must be in [0, 1)")
+	}
+	fns, _, err := cluster.Functions(float64(n))
+	if err != nil {
+		return err
+	}
+	sizes := requestSizes(n, opt.Distinct, opt.Spread)
+
+	e := serve.New(serve.Config{})
+	defer e.Close()
+	// One cold request primes nothing but validates the cluster before the
+	// clock starts; its plan is evicted from the measurement by resetting
+	// nothing — it is simply part of warm-up reality, counted like any other.
+	if _, err := e.Partition(serve.Request{Algo: opt.Algo, N: sizes[0], Fns: fns}); err != nil {
+		return err
+	}
+
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+	)
+	var firstErr error
+	start := time.Now()
+	per := opt.Requests / opt.Workers
+	extra := opt.Requests % opt.Workers
+	for w := 0; w < opt.Workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				sz := sizes[(w+i*opt.Workers)%len(sizes)]
+				if _, err := e.Partition(serve.Request{Algo: opt.Algo, N: sz, Fns: fns}); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}(w, count)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	m := e.Metrics()
+	t := report.New(
+		fmt.Sprintf("Partition-serving engine: %d requests, %d workers, %d distinct sizes (±%.0f%% around %d)",
+			opt.Requests, opt.Workers, len(sizes), 100*opt.Spread, n),
+		"metric", "value")
+	t.AddRow("throughput (req/s)", float64(opt.Requests)/elapsed.Seconds())
+	t.AddRow("mean latency (µs)", float64(m.AvgLatency.Nanoseconds())/1e3)
+	t.AddRow("batches", float64(m.Batches))
+	t.AddRow("mean batch size", m.AvgBatch)
+	t.AddRow("max batch size", float64(m.MaxBatch))
+	t.AddRow("coalesced in batch", float64(m.Coalesced))
+	t.AddRow("cache hits", float64(m.Cache.Hits))
+	t.AddRow("cache misses", float64(m.Cache.Misses))
+	t.AddRow("warm-started misses", float64(m.Cache.WarmStarts))
+	t.AddRow("shared in-flight", float64(m.Cache.Shared))
+	t.AddNote("cache hit rate: %.1f%%; only %d of %d requests computed a plan from scratch",
+		100*m.Cache.HitRate(), m.Cache.Misses, m.Requests)
+	return emit(t, opt.CSV)
+}
+
+// requestSizes spreads count problem sizes deterministically over
+// [n·(1-spread), n·(1+spread)]; the first size is always n itself.
+func requestSizes(n int64, count int, spread float64) []int64 {
+	sizes := make([]int64, 0, count)
+	sizes = append(sizes, n)
+	rng := uint32(0x9747b28c)
+	for len(sizes) < count {
+		rng = rng*1664525 + 1013904223
+		f := 1 + spread*(2*float64(rng%10_000)/10_000-1)
+		sz := int64(float64(n) * f)
+		if sz < 1 {
+			sz = 1
+		}
+		sizes = append(sizes, sz)
+	}
+	return sizes
+}
+
+// parseAlgo maps the -algo flag onto a serving-engine algorithm.
+func parseAlgo(name string) (core.Algorithm, error) {
+	switch name {
+	case "basic":
+		return core.AlgoBasic, nil
+	case "modified":
+		return core.AlgoModified, nil
+	case "combined":
+		return core.AlgoCombined, nil
+	default:
+		return 0, fmt.Errorf("-serve supports basic, modified, combined; got %q", name)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"heteropart/internal/core"
 	"heteropart/internal/faults"
 	"heteropart/internal/matrix"
+	"heteropart/internal/serve"
 	"heteropart/internal/speed"
 )
 
@@ -26,6 +27,12 @@ type AdaptiveConfig struct {
 	// optimal redistribution would improve the makespan by less than this
 	// fraction moves nothing. Default 0.05.
 	Slack float64
+	// Engine, when set, serves the repartition optima through the
+	// partition-serving engine: repeated repartitions over an unchanged
+	// model hit the plan cache, and a drift refresh invalidates the stale
+	// model's plans. Results are bit-identical either way; nil keeps the
+	// direct core.Repartition path.
+	Engine *serve.Engine
 }
 
 func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
@@ -96,6 +103,9 @@ func ExecuteAdaptive(ctx context.Context, p Plan, a, b *matrix.Dense, flopRates 
 	dead := make([]bool, nw)
 	staleSeen := make([]bool, nw)
 	rows := make([][]int, nw)
+	// lastServed remembers the model set whose plans the serving engine
+	// may be caching, so a drift refresh can invalidate them.
+	var lastServed []speed.Function
 	var left int
 	for w, s := range stripes {
 		for r := s[0]; r < s[1]; r++ {
@@ -162,7 +172,12 @@ func ExecuteAdaptive(ctx context.Context, p Plan, a, b *matrix.Dense, flopRates 
 				newStale = true
 				rep.Stale = append(rep.Stale, w)
 				// Refresh the stale model from the observation and let the
-				// detector track the refreshed model from scratch.
+				// detector track the refreshed model from scratch. Plans the
+				// engine cached for the now-stale model set are dropped.
+				if acfg.Engine != nil && lastServed != nil {
+					acfg.Engine.Invalidate(lastServed)
+					lastServed = nil
+				}
 				obsSpeed := float64(done) / observed
 				rowFns[w] = refreshModel(rowFns[w], float64(done), obsSpeed)
 				acfg.Drift.Reset(w)
@@ -198,7 +213,14 @@ func ExecuteAdaptive(ctx context.Context, p Plan, a, b *matrix.Dense, flopRates 
 			// move regardless of slack.
 			slack = 0
 		}
-		alloc, moved, err := core.Repartition(current, capped, slack)
+		var alloc core.Allocation
+		var moved int64
+		if acfg.Engine != nil {
+			alloc, moved, err = acfg.Engine.Repartition(current, capped, slack)
+			lastServed = capped
+		} else {
+			alloc, moved, err = core.Repartition(current, capped, slack)
+		}
 		if err != nil {
 			return nil, rep, fmt.Errorf("mm: repartitioning %d remaining rows: %w", len(stranded), err)
 		}

@@ -1,0 +1,72 @@
+package mm
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"heteropart/internal/faults"
+	"heteropart/internal/serve"
+	"heteropart/internal/speed"
+)
+
+// TestExecuteAdaptiveEngineNoFaults pins down that wiring a serving engine
+// into a fault-free, drift-free run changes nothing: the engine path only
+// activates at repartition points, and there are none.
+func TestExecuteAdaptiveEngineNoFaults(t *testing.T) {
+	plan, fns, a, b, want := supervisedFixture(t, 96)
+	e := serve.New(serve.Config{})
+	defer e.Close()
+	acfg := AdaptiveConfig{Drift: &speed.Drift{Threshold: math.Inf(1)}, Engine: e}
+	c, rep, err := ExecuteAdaptive(context.Background(), plan, a, b, fns, nil, faults.Config{}, acfg)
+	if err != nil {
+		t.Fatalf("ExecuteAdaptive: %v", err)
+	}
+	if len(rep.Failed) != 0 || len(rep.Stale) != 0 {
+		t.Errorf("fault-free report = %+v", rep)
+	}
+	if !bitEqual(c, want) {
+		t.Error("engine-wired fault-free product differs from Execute")
+	}
+}
+
+// TestExecuteAdaptiveEngineCrashRepartitions reruns the PR 1 acceptance
+// scenario — a seeded crash of the fastest machine mid-run — with the
+// repartition optima served through the engine. The executor's contract is
+// unchanged (complete, bit-exact product via the survivors), and the engine
+// metrics prove the plan really was served, not computed directly.
+func TestExecuteAdaptiveEngineCrashRepartitions(t *testing.T) {
+	const n = 160
+	plan, fns, a, b, want := supervisedFixture(t, n)
+	fastest, best := -1, 0.0
+	for i, f := range fns {
+		if v := f.Eval(math.Min(3*float64(plan.Rows[i])*n, f.MaxSize())); v > best {
+			fastest, best = i, v
+		}
+	}
+	pln, err := faults.NewPlan(faults.Fault{Kind: faults.Crash, Proc: fastest, At: 5e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(pln, len(fns), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := serve.New(serve.Config{})
+	defer e.Close()
+	acfg := AdaptiveConfig{Drift: &speed.Drift{Threshold: math.Inf(1)}, Engine: e}
+	cfg := faults.Config{MaxRetries: 1}
+	c, rep, err := ExecuteAdaptive(context.Background(), plan, a, b, fns, inj, cfg, acfg)
+	if err != nil {
+		t.Fatalf("ExecuteAdaptive: %v", err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != fastest {
+		t.Fatalf("failed = %v, want [%d]", rep.Failed, fastest)
+	}
+	if !bitEqual(c, want) {
+		t.Error("engine-served recovery product is not bit-identical to the fault-free one")
+	}
+	if m := e.Metrics(); m.Requests == 0 {
+		t.Fatalf("crash recovery repartitioned without touching the engine: %+v", m)
+	}
+}

@@ -20,21 +20,7 @@ import (
 // algorithm needs O(log₂ n) steps of O(p) intersections each; for graphs
 // flattening exponentially it can degrade (the motivation for Modified).
 func Basic(n int64, fns []speed.Function, opts ...Option) (Result, error) {
-	st, err := newState(n, fns, "basic", opts)
-	if err != nil {
-		return Result{}, err
-	}
-	if res, done := st.trivial(); done {
-		return res, nil
-	}
-	b, err := st.openBounds()
-	if err != nil {
-		return Result{}, err
-	}
-	if err := st.runBasic(b); err != nil {
-		return Result{}, err
-	}
-	return st.finalize(b), nil
+	return pooledPartition(AlgoBasic, n, fns, opts)
 }
 
 // bounds tracks the current search region between two rays.
@@ -43,43 +29,39 @@ type bounds struct {
 	xSteep, xShallow []float64    // cached intersections of the two rays
 }
 
-// trivial handles n == 0 and p == 1 without any geometry.
+// trivial handles n == 0 and p == 1 without any geometry. The allocation
+// is written into the destination buffer prepared by reset.
 func (s *state) trivial() (Result, bool) {
-	p := len(s.fns)
 	if s.n == 0 {
-		return Result{Alloc: make(Allocation, p), Stats: s.stats}, true
+		return Result{Alloc: s.dst, Stats: s.stats}, true
 	}
-	if p == 1 {
-		alloc := Allocation{int64(s.n)}
+	if len(s.fns) == 1 {
+		s.dst[0] = int64(s.n)
 		slope := 0.0
 		if sp := s.fns[0].Eval(s.n); sp > 0 {
 			slope = sp / s.n
 		}
-		return Result{Alloc: alloc, Slope: slope, Stats: s.stats}, true
+		return Result{Alloc: s.dst, Slope: slope, Stats: s.stats}, true
 	}
 	return Result{}, false
 }
 
 // openBounds establishes the initial rays of Figure 18 and their cached
-// intersections.
-func (s *state) openBounds() (*bounds, error) {
+// intersections in the reusable region s.b.
+func (s *state) openBounds() error {
 	steep, shallow, err := s.initialRays()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	b := &bounds{
-		steep:    steep,
-		shallow:  shallow,
-		xSteep:   make([]float64, len(s.fns)),
-		xShallow: make([]float64, len(s.fns)),
+	s.b.steep = steep
+	s.b.shallow = shallow
+	if _, err := s.intersect(steep, s.b.xSteep); err != nil {
+		return err
 	}
-	if _, err := s.intersect(steep, b.xSteep); err != nil {
-		return nil, err
+	if _, err := s.intersect(shallow, s.b.xShallow); err != nil {
+		return err
 	}
-	if _, err := s.intersect(shallow, b.xShallow); err != nil {
-		return nil, err
-	}
-	return b, nil
+	return nil
 }
 
 // replace installs the mid ray as the new steep or shallow bound depending
@@ -96,7 +78,8 @@ func (b *bounds) replace(mid geometry.Ray, xs []float64, sum, n float64) {
 
 // runBasic executes ray bisection until the stopping criterion is met or
 // the slope interval is numerically exhausted.
-func (s *state) runBasic(b *bounds) error {
+func (s *state) runBasic() error {
+	b := &s.b
 	for s.stats.Steps < s.cfg.maxSteps {
 		if converged(b.xSteep, b.xShallow) {
 			return nil
@@ -118,7 +101,8 @@ func (s *state) runBasic(b *bounds) error {
 }
 
 // finalize converts the final region into the integer result.
-func (s *state) finalize(b *bounds) Result {
+func (s *state) finalize() Result {
+	b := &s.b
 	var alloc Allocation
 	if s.cfg.fineTune {
 		alloc = s.fineTune(b.xSteep)

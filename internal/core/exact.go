@@ -21,8 +21,8 @@ import (
 // processor at most its cap at that T; surplus capacity is trimmed from
 // the processors with the largest time first.
 func Exact(n int64, fns []speed.Function, opts ...Option) (Result, error) {
-	st, err := newState(n, fns, "exact", opts)
-	if err != nil {
+	st := new(state)
+	if err := st.reset(make(Allocation, len(fns)), n, fns, "exact", opts); err != nil {
 		return Result{}, err
 	}
 	if res, done := st.trivial(); done {

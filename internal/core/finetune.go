@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -13,10 +12,17 @@ import (
 // the least — the O(p·log₂ p) counterpart of the paper's "sort the 2p
 // candidate execution times and keep the p best" (see DESIGN.md for why
 // this reading is used).
+//
+// The allocation is written into the caller's destination buffer and the
+// heap lives in the state's scratch slice, so a warm run allocates
+// nothing. The heap helpers below replicate container/heap's algorithm
+// operation for operation, so element movement — and therefore tie-breaking
+// among equal times — is identical to the previous implementation.
 func (s *state) fineTune(xSteep []float64) Allocation {
 	p := len(s.fns)
-	alloc := make(Allocation, p)
-	caps := make([]int64, p)
+	alloc := s.dst
+	s.caps = growInts(s.caps, p)
+	caps := s.caps
 	var total int64
 	for i, f := range s.fns {
 		caps[i] = int64(math.Floor(f.MaxSize()))
@@ -35,29 +41,109 @@ func (s *state) fineTune(xSteep []float64) Allocation {
 		// Flooring an under-allocation cannot overshoot, but guard against
 		// callers with degenerate inputs: shave from the slowest.
 		s.shave(alloc, -deficit)
+		s.stabilize(alloc, caps)
 		return alloc
 	}
-	h := make(incrementHeap, 0, p)
+	if cap(s.heap) < p {
+		s.heap = make([]incrementCandidate, 0, p)
+	}
+	h := s.heap[:0]
 	for i := range s.fns {
 		if alloc[i] < caps[i] {
 			h = append(h, incrementCandidate{idx: i, time: s.timeAt(i, alloc[i]+1)})
 		}
 	}
-	heap.Init(&h)
-	for deficit > 0 && h.Len() > 0 {
-		c := h[0]
-		i := c.idx
+	heapInit(h)
+	for deficit > 0 && len(h) > 0 {
+		i := h[0].idx
 		alloc[i]++
 		deficit--
 		s.stats.FineTuneMoves++
 		if alloc[i] < caps[i] {
 			h[0].time = s.timeAt(i, alloc[i]+1)
-			heap.Fix(&h, 0)
+			heapFixTop(h)
 		} else {
-			heap.Pop(&h)
+			h = heapPopTop(h)
 		}
 	}
+	s.heap = h[:0]
+	s.stabilize(alloc, caps)
 	return alloc
+}
+
+// stabilize drives the allocation to the canonical fixed point of
+// fine-tuning: exchange single units from the processor with the largest
+// execution time to the processor whose time grows least while that
+// strictly reduces the maximum, then, at the critical level where the
+// largest time exactly equals the smallest increment (an exact tie),
+// migrate boundary units toward lower processor indices.
+//
+// The greedy fill above reaches a stable allocation already, but its
+// starting base comes from the geometry of whatever region the search
+// converged in, and different searches (cold, warm-started, capped at
+// different step budgets) converge in different regions. Two failure
+// modes of path independence remain:
+//
+//   - floating-point rounding at the region boundary can shift a unit
+//     between two processors whose marginal times are within an ulp —
+//     these allocations are not stable, and the strict exchange repairs
+//     them (absent ties the stable allocation is unique: two stable
+//     allocations force an equality chain through the strictly
+//     increasing t_i);
+//   - exact ties (commensurate speeds, physically identical machines)
+//     admit several stable allocations that differ by which tied
+//     processor holds a boundary unit. Stability implies any such tie
+//     sits exactly at max time == min increment, so a deterministic rule
+//     at that single level — the boundary unit belongs to the lowest
+//     eligible index — picks one allocation out of the tied family.
+//
+// Together the two rules give every search path the same integer
+// allocation bit for bit, which is the property the plan cache's
+// warm-start tier relies on. All allocations involved have identical
+// makespans, so the pass never trades quality for canonicality.
+func (s *state) stabilize(alloc Allocation, caps []int64) {
+	// Strict exchanges shrink the sorted time multiset lexicographically
+	// and tie moves strictly decrease Σ i·alloc[i], so the loop
+	// terminates; p·64 rounds is far beyond what a converged region needs
+	// (typically zero or one).
+	for iter := 0; iter < len(alloc)*64; iter++ {
+		// Donor: the highest index attaining the maximum time.
+		imax, tmax := -1, 0.0
+		for i, x := range alloc {
+			if x <= 0 {
+				continue
+			}
+			if t := s.timeAt(i, x); t >= tmax {
+				imax, tmax = i, t
+			}
+		}
+		if imax < 0 {
+			return
+		}
+		// Receiver: the lowest index attaining the minimum increment.
+		jmin, tmin := -1, math.Inf(1)
+		for j := range alloc {
+			if alloc[j] >= caps[j] {
+				continue
+			}
+			if t := s.timeAt(j, alloc[j]+1); t < tmin {
+				jmin, tmin = j, t
+			}
+		}
+		// t_j(x+1) > t_j(x) for every processor, so jmin ≠ imax whenever a
+		// move fires: tmin < tmax rules it out directly, and in the tie
+		// case equality of a processor's own time and increment is
+		// impossible.
+		if jmin < 0 {
+			return
+		}
+		if !(tmin < tmax) && !(tmin == tmax && jmin < imax) {
+			return
+		}
+		alloc[imax]--
+		alloc[jmin]++
+		s.stats.FineTuneMoves++
+	}
 }
 
 // timeAt is the execution time of processor i at allocation x.
@@ -98,8 +184,53 @@ type incrementCandidate struct {
 	time float64
 }
 
+// heapDown is container/heap's sift-down on a min-heap over time, limited
+// to the first n elements.
+func heapDown(h []incrementCandidate, i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].time < h[j1].time {
+			j = j2
+		}
+		if !(h[j].time < h[i].time) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// heapInit establishes the heap invariant (container/heap's Init).
+func heapInit(h []incrementCandidate) {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		heapDown(h, i, n)
+	}
+}
+
+// heapFixTop restores the invariant after h[0] changed (container/heap's
+// Fix at index 0, where sift-up is a no-op).
+func heapFixTop(h []incrementCandidate) {
+	heapDown(h, 0, len(h))
+}
+
+// heapPopTop removes the minimum element (container/heap's Pop) and
+// returns the shortened slice.
+func heapPopTop(h []incrementCandidate) []incrementCandidate {
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	heapDown(h, 0, n)
+	return h[:n]
+}
+
 // incrementHeap is a min-heap over the time a processor would exhibit
-// after receiving one more element.
+// after receiving one more element, kept on the container/heap interface
+// for the non-hot-path single-number baseline.
 type incrementHeap []incrementCandidate
 
 func (h incrementHeap) Len() int           { return len(h) }
@@ -117,10 +248,12 @@ func (h *incrementHeap) Pop() any {
 // roundLargestRemainder converts a continuous solution xs (whose sum may
 // deviate slightly from n) into an integer allocation summing to n by
 // proportional scaling and largest-remainder rounding, respecting domain
-// capacities. It is used when fine-tuning is disabled.
+// capacities. It is used when fine-tuning is disabled; unlike the default
+// path it still allocates (the remainder sort), which is acceptable off
+// the hot path.
 func (s *state) roundLargestRemainder(xs []float64) Allocation {
 	p := len(xs)
-	alloc := make(Allocation, p)
+	alloc := s.dst
 	var sum float64
 	for _, x := range xs {
 		sum += x
@@ -128,7 +261,8 @@ func (s *state) roundLargestRemainder(xs []float64) Allocation {
 	n := int64(s.n)
 	if sum <= 0 {
 		// No information in the continuous solution; fall back to even.
-		return evenAllocation(n, p)
+		fillEven(alloc, n)
+		return alloc
 	}
 	type frac struct {
 		idx int
@@ -136,7 +270,8 @@ func (s *state) roundLargestRemainder(xs []float64) Allocation {
 	}
 	fracs := make([]frac, p)
 	var total int64
-	caps := make([]int64, p)
+	s.caps = growInts(s.caps, p)
+	caps := s.caps
 	for i, x := range xs {
 		caps[i] = int64(math.Floor(s.fns[i].MaxSize()))
 		t := x * s.n / sum
@@ -168,16 +303,23 @@ func (s *state) roundLargestRemainder(xs []float64) Allocation {
 	return alloc
 }
 
-// evenAllocation distributes n as evenly as possible over p processors.
-func evenAllocation(n int64, p int) Allocation {
-	alloc := make(Allocation, p)
-	base := n / int64(p)
-	rem := n % int64(p)
+// fillEven writes the even distribution of n over len(alloc) processors
+// into alloc.
+func fillEven(alloc Allocation, n int64) {
+	p := int64(len(alloc))
+	base := n / p
+	rem := n % p
 	for i := range alloc {
 		alloc[i] = base
 		if int64(i) < rem {
 			alloc[i]++
 		}
 	}
+}
+
+// evenAllocation distributes n as evenly as possible over p processors.
+func evenAllocation(n int64, p int) Allocation {
+	alloc := make(Allocation, p)
+	fillEven(alloc, n)
 	return alloc
 }

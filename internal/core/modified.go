@@ -23,21 +23,7 @@ import (
 // provably drops by at least 50 %, so no more than p·log₂ n steps are ever
 // needed — O(p²·log₂ n) in total, regardless of the shape of the graphs.
 func Modified(n int64, fns []speed.Function, opts ...Option) (Result, error) {
-	st, err := newState(n, fns, "modified", opts)
-	if err != nil {
-		return Result{}, err
-	}
-	if res, done := st.trivial(); done {
-		return res, nil
-	}
-	b, err := st.openBounds()
-	if err != nil {
-		return Result{}, err
-	}
-	if err := st.runModified(b); err != nil {
-		return Result{}, err
-	}
-	return st.finalize(b), nil
+	return pooledPartition(AlgoModified, n, fns, opts)
 }
 
 // integerSpan returns the number of integer abscissas strictly available
@@ -54,7 +40,8 @@ func integerSpan(lo, hi float64) (count int64, mid float64) {
 
 // runModified executes solution-space bisection until the stopping
 // criterion is met.
-func (s *state) runModified(b *bounds) error {
+func (s *state) runModified() error {
+	b := &s.b
 	for s.stats.Steps < s.cfg.maxSteps {
 		if converged(b.xSteep, b.xShallow) {
 			return nil
@@ -104,41 +91,32 @@ func (s *state) runModified(b *bounds) error {
 // graph is locally so steep that slope bisection stalls, the modified
 // algorithm takes over.
 func Combined(n int64, fns []speed.Function, opts ...Option) (Result, error) {
-	st, err := newState(n, fns, "combined", opts)
-	if err != nil {
-		return Result{}, err
-	}
-	if res, done := st.trivial(); done {
-		return res, nil
-	}
-	b, err := st.openBounds()
-	if err != nil {
-		return Result{}, err
-	}
+	return pooledPartition(AlgoCombined, n, fns, opts)
+}
+
+// runCombined executes Combined's probe-then-delegate strategy on an
+// opened region.
+func (s *state) runCombined() error {
+	b := &s.b
 	// Probe: one bisection of the region, as in the first step of Basic.
-	probe := st.cfg.rule.Bisect(b.shallow, b.steep)
+	probe := s.cfg.rule.Bisect(b.shallow, b.steep)
 	useModified := false
 	if probe.Slope() > b.shallow.Slope() && probe.Slope() < b.steep.Slope() {
-		sum, err := st.intersect(probe, st.xs)
+		sum, err := s.intersect(probe, s.xs)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		st.stats.Steps++
-		if st.maxElasticity(st.xs) > st.cfg.elasticity {
+		s.stats.Steps++
+		if s.maxElasticity(s.xs) > s.cfg.elasticity {
 			useModified = true
 		}
-		b.replace(probe, st.xs, sum, st.n)
+		b.replace(probe, s.xs, sum, s.n)
 	}
 	if useModified {
-		st.stats.UsedModified = true
-		err = st.runModified(b)
-	} else {
-		err = st.runBasic(b)
+		s.stats.UsedModified = true
+		return s.runModified()
 	}
-	if err != nil {
-		return Result{}, err
-	}
-	return st.finalize(b), nil
+	return s.runBasic()
 }
 
 // maxElasticity estimates the largest |d ln s / d ln x| across processors

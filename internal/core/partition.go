@@ -92,6 +92,33 @@ var (
 	ErrZeroSpeed = errors.New("core: all processors have zero speed")
 )
 
+// Algorithm selects one of the paper's searching algorithms when running
+// through a reusable Partitioner.
+type Algorithm int
+
+const (
+	// AlgoBasic is ray bisection (Figures 7–8).
+	AlgoBasic Algorithm = iota
+	// AlgoModified is solution-space bisection (Figures 10–12).
+	AlgoModified
+	// AlgoCombined is the practical combination (Figure 15).
+	AlgoCombined
+)
+
+// String implements fmt.Stringer; the names match Stats.Algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoBasic:
+		return "basic"
+	case AlgoModified:
+		return "modified"
+	case AlgoCombined:
+		return "combined"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
 // Option configures a partitioning run.
 type Option func(*config)
 
@@ -100,6 +127,8 @@ type config struct {
 	fineTune   bool
 	maxSteps   int
 	elasticity float64 // Combined's flatness threshold
+	warmSlope  float64 // warm-start hint: slope of a nearby known solution
+	warmSpread float64 // relative half-width of the warm bracket
 }
 
 func defaultConfig() config {
@@ -146,50 +175,141 @@ func WithElasticityThreshold(e float64) Option {
 	}
 }
 
-// state carries one partitioning run.
+// WithWarmStart seeds the bisection with the slope of a previously known
+// nearby solution (same cluster model, nearby n): after the Figure 18
+// initial rays are opened, the two rays at slope·(1±spread) are probed and
+// installed as tighter bounds wherever they bracket the optimum, so
+// convergence drops to a few steps. The hint is verified by intersection —
+// a wrong or stale hint only costs up to two extra rays and never changes
+// the result: the fine-tuning step reaches the same integer allocation
+// from any converged region (see DESIGN §8).
+func WithWarmStart(slope, spread float64) Option {
+	return func(c *config) {
+		if slope > 0 && !math.IsInf(slope, 0) && !math.IsNaN(slope) {
+			c.warmSlope = slope
+			c.warmSpread = math.Max(spread, 0)
+		}
+	}
+}
+
+// OptionsKey returns a stable hash of the result-affecting options, for
+// keying partition plans in a cache. Two option lists with the same key
+// produce identical allocations on the same model and n. Warm-start hints
+// are deliberately excluded: they change the search path but never the
+// result (see WithWarmStart), so plans computed with different hints are
+// interchangeable.
+func OptionsKey(opts ...Option) uint64 {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(cfg.rule))
+	if cfg.fineTune {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(uint64(cfg.maxSteps))
+	mix(math.Float64bits(cfg.elasticity))
+	return h
+}
+
+// state carries one partitioning run. It is embedded in a Partitioner and
+// reused across runs: every slice below is scratch that survives between
+// calls, so a warm run allocates nothing.
 type state struct {
 	n     float64
 	fns   []speed.Function
 	cfg   config
 	stats Stats
+	// dst is the caller's allocation buffer the run writes into.
+	dst Allocation
 	// xs is a scratch buffer for intersection abscissas.
 	xs []float64
+	// b is the reusable search region between the two bounding rays.
+	b bounds
+	// caps and heap are the fine-tuning scratch buffers.
+	caps []int64
+	heap []incrementCandidate
 }
 
-// newState validates inputs and prepares a run.
-func newState(n int64, fns []speed.Function, algorithm string, opts []Option) (*state, error) {
+// growFloats returns a slice of length n, reusing s's backing array when
+// it is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInts is growFloats for int64 slices.
+func growInts(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// reset validates inputs and prepares the state for a run, reusing every
+// scratch buffer that is already large enough.
+func (s *state) reset(dst Allocation, n int64, fns []speed.Function, algorithm string, opts []Option) error {
 	if len(fns) == 0 {
-		return nil, ErrNoProcessors
+		return ErrNoProcessors
+	}
+	if len(dst) != len(fns) {
+		return fmt.Errorf("core: destination holds %d shares for %d processors", len(dst), len(fns))
 	}
 	if n < 0 {
-		return nil, fmt.Errorf("%w: %d", ErrBadN, n)
+		return fmt.Errorf("%w: %d", ErrBadN, n)
 	}
-	cfg := defaultConfig()
+	// Apply options onto the state's own config: a local escapes to the
+	// heap through the option funcs, which would cost one allocation per
+	// call on the warm path.
+	s.cfg = defaultConfig()
 	for _, o := range opts {
-		o(&cfg)
+		o(&s.cfg)
 	}
 	var capacity float64
 	for i, f := range fns {
 		if f == nil {
-			return nil, fmt.Errorf("core: nil speed function for processor %d", i)
+			return fmt.Errorf("core: nil speed function for processor %d", i)
 		}
 		if !(f.MaxSize() > 0) {
-			return nil, fmt.Errorf("core: processor %d has non-positive MaxSize %v", i, f.MaxSize())
+			return fmt.Errorf("core: processor %d has non-positive MaxSize %v", i, f.MaxSize())
 		}
 		capacity += math.Floor(f.MaxSize())
 	}
 	if float64(n) > capacity {
-		return nil, fmt.Errorf("%w: n=%d, capacity=%.0f", ErrInfeasible, n, capacity)
+		return fmt.Errorf("%w: n=%d, capacity=%.0f", ErrInfeasible, n, capacity)
 	}
-	return &state{
-		n:   float64(n),
-		fns: fns,
-		cfg: cfg,
-		stats: Stats{
-			Algorithm: algorithm,
-		},
-		xs: make([]float64, len(fns)),
-	}, nil
+	p := len(fns)
+	s.n = float64(n)
+	s.fns = fns
+	s.stats = Stats{Algorithm: algorithm}
+	s.dst = dst
+	for i := range dst {
+		dst[i] = 0
+	}
+	s.xs = growFloats(s.xs, p)
+	s.b.xSteep = growFloats(s.b.xSteep, p)
+	s.b.xShallow = growFloats(s.b.xShallow, p)
+	return nil
+}
+
+// release drops the borrowed references so a pooled Partitioner does not
+// pin the caller's speed functions or allocation between runs.
+func (s *state) release() {
+	s.fns = nil
+	s.dst = nil
 }
 
 // intersect fills dst with the intersection abscissas of the ray with
@@ -238,6 +358,37 @@ func (s *state) initialRays() (steep, shallow geometry.Ray, err error) {
 		return steep, shallow, err
 	}
 	return steep, shallow, nil
+}
+
+// applyWarmStart tightens freshly opened bounds with up to two verified
+// rays bracketing a previously known solution slope (WithWarmStart). Each
+// candidate strictly inside the current region is intersected once and
+// installed on whichever side its allocation sum puts it — exactly a
+// bisection step with a chosen ray, so correctness is unaffected and a bad
+// hint costs at most two rays.
+func (s *state) applyWarmStart() error {
+	w := s.cfg.warmSlope
+	if !(w > 0) {
+		return nil
+	}
+	steepC := w * (1 + s.cfg.warmSpread)
+	shallowC := w * (1 - s.cfg.warmSpread)
+	for _, c := range [2]float64{steepC, shallowC} {
+		if !(c > s.b.shallow.Slope()) || !(c < s.b.steep.Slope()) {
+			continue
+		}
+		ray, err := geometry.NewRay(c)
+		if err != nil {
+			continue
+		}
+		sum, err := s.intersect(ray, s.xs)
+		if err != nil {
+			return err
+		}
+		s.stats.Steps++
+		s.b.replace(ray, s.xs, sum, s.n)
+	}
+	return nil
 }
 
 // converged reports the paper's stopping criterion: the region between the

@@ -20,16 +20,10 @@ import (
 // enters the slack band (or no migration helps). The result always sums
 // to the same total as the input.
 func Repartition(old Allocation, fns []speed.Function, slack float64, opts ...Option) (Allocation, int64, error) {
-	if len(old) != len(fns) {
-		return nil, 0, fmt.Errorf("core: %d shares for %d processors", len(old), len(fns))
-	}
-	if slack < 0 {
-		return nil, 0, fmt.Errorf("core: negative slack %v", slack)
+	if err := checkRepartitionArgs(old, fns, slack); err != nil {
+		return nil, 0, err
 	}
 	n := old.Sum()
-	if n < 0 {
-		return nil, 0, fmt.Errorf("%w: allocation sums to %d", ErrBadN, n)
-	}
 	if n == 0 {
 		// Nothing to place: the empty allocation is trivially optimal, and
 		// the geometric partitioners cannot draw rays through n/p = 0.
@@ -39,6 +33,46 @@ func Repartition(old Allocation, fns []speed.Function, slack float64, opts ...Op
 	if err != nil {
 		return nil, 0, err
 	}
+	return repartitionToward(old, fns, slack, opt)
+}
+
+// RepartitionWith is Repartition with the optimal allocation for the new
+// model supplied by the caller — typically served from a plan cache — so
+// adapting an allocation costs only the migration planning, not a fresh
+// partitioner run. opt must be a result computed for the same fns and for
+// n equal to old.Sum() (the usual product of Combined or a cached copy of
+// it); it is not modified unless returned.
+func RepartitionWith(old Allocation, fns []speed.Function, slack float64, opt Result) (Allocation, int64, error) {
+	if err := checkRepartitionArgs(old, fns, slack); err != nil {
+		return nil, 0, err
+	}
+	n := old.Sum()
+	if n == 0 {
+		return make(Allocation, len(old)), 0, nil
+	}
+	if len(opt.Alloc) != len(fns) || opt.Alloc.Sum() != n {
+		return nil, 0, fmt.Errorf("core: supplied optimum has %d shares summing to %d, want %d over %d processors",
+			len(opt.Alloc), opt.Alloc.Sum(), n, len(fns))
+	}
+	return repartitionToward(old, fns, slack, opt)
+}
+
+func checkRepartitionArgs(old Allocation, fns []speed.Function, slack float64) error {
+	if len(old) != len(fns) {
+		return fmt.Errorf("core: %d shares for %d processors", len(old), len(fns))
+	}
+	if slack < 0 {
+		return fmt.Errorf("core: negative slack %v", slack)
+	}
+	if n := old.Sum(); n < 0 {
+		return fmt.Errorf("%w: allocation sums to %d", ErrBadN, n)
+	}
+	return nil
+}
+
+// repartitionToward migrates old toward the supplied optimum until the
+// makespan enters the slack band.
+func repartitionToward(old Allocation, fns []speed.Function, slack float64, opt Result) (Allocation, int64, error) {
 	target := repMakespan(opt.Alloc, fns) * (1 + slack)
 	if repMakespan(old, fns) <= target {
 		out := make(Allocation, len(old))

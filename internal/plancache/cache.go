@@ -1,0 +1,406 @@
+// Package plancache caches partition plans. The partitioner is cheap but
+// not free, and the dominant production workload — dynamic repartitioning
+// loops and per-request partition decisions — asks for the same or nearly
+// the same plan over and over. The cache serves three tiers:
+//
+//   - exact hit: the plan for (cluster-model fingerprint, n, options) was
+//     computed before and is returned as a copy, no geometry at all;
+//   - shared miss: another goroutine is computing exactly this plan right
+//     now; the request waits for that single computation (singleflight)
+//     instead of duplicating it;
+//   - warm miss: no plan for this n, but the same cluster has plans for
+//     nearby sizes; the nearest one's optimal-ray slope seeds the bisection
+//     (core.WithWarmStart), collapsing convergence to a few steps. The
+//     result is bit-identical to a cold run, so serving it from a warm
+//     start is indistinguishable from recomputing.
+//
+// Models are identified by speed.Fingerprint, which hashes function
+// values, not object identity — callers that rebuild their model slice per
+// request (as mm.ExecuteAdaptive does) still hit. When a model drifts
+// (speed.Drift flags it stale), Invalidate drops every plan and warm hint
+// derived from the old fingerprint.
+//
+// The cache is sharded by key hash: each shard has its own mutex, LRU list
+// and in-flight table, so concurrent requests for different plans do not
+// serialize. Sharding includes n, not just the model, because the expected
+// workload is many sizes against one cluster model.
+package plancache
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+const (
+	// numShards is a power of two so shard selection is a mask.
+	numShards = 16
+	// DefaultCapacity is the default total number of cached plans.
+	DefaultCapacity = 4096
+	// warmHintsPerModel bounds the per-model warm-start hint index.
+	warmHintsPerModel = 64
+	// warmSpreadFloor keeps the warm bracket open even for an exact-n hint
+	// from a different options key.
+	warmSpreadFloor = 1e-3
+	// warmSpreadCap bounds the bracket for far hints; beyond ±50 % the
+	// bracket rarely lands inside the initial region anyway.
+	warmSpreadCap = 0.5
+)
+
+// key identifies one plan.
+type key struct {
+	model uint64 // speed.Fingerprint of the cluster model
+	n     int64
+	algo  core.Algorithm
+	opts  uint64 // core.OptionsKey of the option list
+}
+
+// hash mixes the key fields into a shard/index hash (splitmix64 over the
+// xor-fold of the fields).
+func (k key) hash() uint64 {
+	x := k.model ^ uint64(k.n)*0x9e3779b97f4a7c15 ^ uint64(k.algo)<<32 ^ k.opts
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// entry is one cached plan in a shard's LRU list.
+type entry struct {
+	k          key
+	res        core.Result
+	prev, next *entry
+}
+
+// call is an in-flight computation other requests can wait on.
+type call struct {
+	done chan struct{}
+	res  core.Result
+	err  error
+}
+
+// shard is an independently locked slice of the cache.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[key]*entry
+	inflight map[key]*call
+	// Intrusive LRU list: head is most recent, tail least.
+	head, tail *entry
+	cap        int
+}
+
+// hint is one warm-start seed: the optimal-ray slope for size n.
+type hint struct {
+	n     int64
+	slope float64
+}
+
+// warmIndex holds per-model hints sorted by n.
+type warmIndex struct {
+	mu     sync.Mutex
+	models map[uint64][]hint
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits          uint64 // exact hits served from the LRU
+	Misses        uint64 // plans computed (cold or warm)
+	WarmStarts    uint64 // misses that ran with a warm-start hint
+	Shared        uint64 // requests that waited on another's computation
+	Evictions     uint64 // entries dropped by LRU pressure
+	Invalidations uint64 // entries dropped by Invalidate
+	Size          int    // entries currently cached
+}
+
+// HitRate returns the fraction of requests served without computing.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Shared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// Cache is a sharded LRU of partition plans. The zero value is not usable;
+// call New.
+type Cache struct {
+	shards [numShards]shard
+	warm   warmIndex
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	warmStarts    atomic.Uint64
+	shared        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+
+	partitioners sync.Pool
+}
+
+// New returns a cache holding up to capacity plans (DefaultCapacity when
+// capacity <= 0), spread over the shards.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := capacity / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[key]*entry)
+		c.shards[i].inflight = make(map[key]*call)
+		c.shards[i].cap = perShard
+	}
+	c.warm.models = make(map[uint64][]hint)
+	c.partitioners.New = func() any { return core.NewPartitioner() }
+	return c
+}
+
+// Get returns the plan for running algo over n elements on the cluster
+// described by fns with the given options, computing and caching it on a
+// miss. The returned Result owns its Alloc — callers may mutate it freely.
+func (c *Cache) Get(algo core.Algorithm, n int64, fns []speed.Function, opts ...core.Option) (core.Result, error) {
+	k := key{model: speed.Fingerprint(fns), n: n, algo: algo, opts: core.OptionsKey(opts...)}
+	sh := &c.shards[k.hash()&(numShards-1)]
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		sh.moveToFront(e)
+		res := copyResult(e.res)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return res, nil
+	}
+	if cl, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
+		<-cl.done
+		c.shared.Add(1)
+		if cl.err != nil {
+			return core.Result{}, cl.err
+		}
+		return copyResult(cl.res), nil
+	}
+	cl := &call{done: make(chan struct{})}
+	sh.inflight[k] = cl
+	sh.mu.Unlock()
+
+	cl.res, cl.err = c.compute(k, n, fns, opts)
+	close(cl.done)
+
+	sh.mu.Lock()
+	delete(sh.inflight, k)
+	if cl.err == nil {
+		c.evictions.Add(sh.insert(k, copyResult(cl.res)))
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	if cl.err != nil {
+		return core.Result{}, cl.err
+	}
+	if n > 0 {
+		c.rememberHint(k.model, n, cl.res.Slope)
+	}
+	return cl.res, nil
+}
+
+// compute runs the partitioner for a miss, warm-started from the nearest
+// cached hint for the same model when one exists.
+func (c *Cache) compute(k key, n int64, fns []speed.Function, opts []core.Option) (core.Result, error) {
+	runOpts := opts
+	if slope, spread, ok := c.warmHint(k.model, n); ok {
+		runOpts = make([]core.Option, len(opts), len(opts)+1)
+		copy(runOpts, opts)
+		runOpts = append(runOpts, core.WithWarmStart(slope, spread))
+		c.warmStarts.Add(1)
+	}
+	p := c.partitioners.Get().(*core.Partitioner)
+	dst := make(core.Allocation, len(fns))
+	res, err := p.PartitionInto(dst, k.algo, n, fns, runOpts...)
+	c.partitioners.Put(p)
+	return res, err
+}
+
+// warmHint returns the slope of the nearest cached solution for the model
+// and the bracket spread to search around it.
+func (c *Cache) warmHint(model uint64, n int64) (slope, spread float64, ok bool) {
+	c.warm.mu.Lock()
+	hints := c.warm.models[model]
+	if len(hints) == 0 {
+		c.warm.mu.Unlock()
+		return 0, 0, false
+	}
+	i := sort.Search(len(hints), func(i int) bool { return hints[i].n >= n })
+	best := i
+	if best == len(hints) || (i > 0 && n-hints[i-1].n < hints[i].n-n) {
+		best = i - 1
+	}
+	h := hints[best]
+	c.warm.mu.Unlock()
+	if !(h.slope > 0) || h.n <= 0 {
+		return 0, 0, false
+	}
+	// Relative distance in n maps to a relative slope bracket: the optimal
+	// slope scales roughly like speed(n/p)/(n/p), so doubling the distance
+	// doubles the bracket. The floor keeps the bracket open for exact-n
+	// hints (different options) and the cap keeps far hints cheap.
+	rel := float64(n-h.n) / float64(h.n)
+	if rel < 0 {
+		rel = -rel
+	}
+	spread = 2*rel + warmSpreadFloor
+	if spread > warmSpreadCap {
+		spread = warmSpreadCap
+	}
+	return h.slope, spread, true
+}
+
+// rememberHint records the optimal slope for (model, n), keeping the index
+// bounded and sorted by n.
+func (c *Cache) rememberHint(model uint64, n int64, slope float64) {
+	if !(slope > 0) {
+		return
+	}
+	c.warm.mu.Lock()
+	defer c.warm.mu.Unlock()
+	hints := c.warm.models[model]
+	i := sort.Search(len(hints), func(i int) bool { return hints[i].n >= n })
+	if i < len(hints) && hints[i].n == n {
+		hints[i].slope = slope
+		return
+	}
+	if len(hints) >= warmHintsPerModel {
+		// Replace the neighbor instead of growing: nearby hints are nearly
+		// interchangeable as warm-start seeds.
+		if i == len(hints) {
+			i--
+		}
+		hints[i] = hint{n: n, slope: slope}
+		sort.Slice(hints, func(a, b int) bool { return hints[a].n < hints[b].n })
+		return
+	}
+	hints = append(hints, hint{})
+	copy(hints[i+1:], hints[i:])
+	hints[i] = hint{n: n, slope: slope}
+	c.warm.models[model] = hints
+}
+
+// Invalidate drops every cached plan and warm hint for the cluster model
+// described by fns. Call it when speed.Drift (or any other monitor) flags
+// the model as stale; in-flight computations for the old model are left to
+// finish and their results are still installed — callers race with them
+// anyway, and the next Invalidate sweeps them out.
+func (c *Cache) Invalidate(fns []speed.Function) int {
+	return c.InvalidateFingerprint(speed.Fingerprint(fns))
+}
+
+// InvalidateFingerprint is Invalidate for a precomputed fingerprint.
+func (c *Cache) InvalidateFingerprint(model uint64) int {
+	var dropped int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if k.model == model {
+				sh.unlink(e)
+				delete(sh.entries, k)
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.warm.mu.Lock()
+	delete(c.warm.models, model)
+	c.warm.mu.Unlock()
+	c.invalidations.Add(uint64(dropped))
+	return dropped
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		WarmStarts:    c.warmStarts.Load(),
+		Shared:        c.shared.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Size += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// insert adds a fresh entry at the front, evicting from the tail when the
+// shard is full; it returns the number of evictions. Callers hold mu.
+func (sh *shard) insert(k key, res core.Result) uint64 {
+	if e, ok := sh.entries[k]; ok {
+		// A concurrent computation of the same key finished first; results
+		// are identical, keep the resident entry.
+		sh.moveToFront(e)
+		return 0
+	}
+	var evicted uint64
+	for len(sh.entries) >= sh.cap && sh.tail != nil {
+		old := sh.tail
+		sh.unlink(old)
+		delete(sh.entries, old.k)
+		evicted++
+	}
+	e := &entry{k: k, res: res}
+	sh.entries[k] = e
+	sh.pushFront(e)
+	return evicted
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// copyResult deep-copies the allocation so cached plans are immune to
+// caller mutation.
+func copyResult(r core.Result) core.Result {
+	out := r
+	out.Alloc = append(core.Allocation(nil), r.Alloc...)
+	return out
+}

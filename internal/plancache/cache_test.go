@@ -1,0 +1,290 @@
+package plancache
+
+import (
+	"sync"
+	"testing"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+// testCluster builds PWL speed functions from sampled analytic curves so
+// the cache exercises the analytic ray-intersection fast path.
+func testCluster(p int, seed uint32) []speed.Function {
+	fns := make([]speed.Function, p)
+	s := seed
+	for i := range fns {
+		s = s*1664525 + 1013904223
+		peak := 1e7 * (1 + float64(s%900)/100)
+		s = s*1664525 + 1013904223
+		paging := 1e7 * (1 + float64(s%50))
+		a := &speed.Analytic{
+			Peak: peak, HalfRise: 1e3, CacheEdge: 1e5, CacheDecay: 0.8,
+			PagingPoint: paging, PagingWidth: paging / 5, PagingFloor: 0.02,
+			Max: 2e9,
+		}
+		pts := make([]speed.Point, 0, 12)
+		for x := 1e3; x < a.Max; x *= 8 {
+			pts = append(pts, speed.Point{X: x, Y: a.Eval(x)})
+		}
+		pts = append(pts, speed.Point{X: a.Max, Y: a.Eval(a.Max)})
+		fns[i] = speed.MustPiecewiseLinear(speed.EnforceShape(pts))
+	}
+	return fns
+}
+
+func TestCacheHitReturnsIdenticalPlan(t *testing.T) {
+	c := New(0)
+	fns := testCluster(12, 1)
+	first, err := c.Get(core.AlgoCombined, 1_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Get(core.AlgoCombined, 1_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Alloc {
+		if first.Alloc[i] != second.Alloc[i] {
+			t.Fatalf("proc %d: %d != %d", i, first.Alloc[i], second.Alloc[i])
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+	// Mutating the returned plan must not corrupt the cache.
+	second.Alloc[0] = -999
+	third, err := c.Get(core.AlgoCombined, 1_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Alloc[0] != first.Alloc[0] {
+		t.Fatal("cached plan was mutated through a returned copy")
+	}
+}
+
+func TestCacheKeying(t *testing.T) {
+	c := New(0)
+	fns := testCluster(8, 2)
+	other := testCluster(8, 3)
+	base, err := c.Get(core.AlgoCombined, 500_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different n, algorithm, options, and model must all miss.
+	if _, err := c.Get(core.AlgoCombined, 500_001, fns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(core.AlgoBasic, 500_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(core.AlgoCombined, 500_000, fns, core.WithoutFineTune()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(core.AlgoCombined, 500_000, other); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 5 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 5 distinct misses", st)
+	}
+	// A rebuilt (value-identical) model slice must hit.
+	rebuilt := testCluster(8, 2)
+	again, err := c.Get(core.AlgoCombined, 500_000, rebuilt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("rebuilt model missed: %+v", st)
+	}
+	for i := range base.Alloc {
+		if base.Alloc[i] != again.Alloc[i] {
+			t.Fatalf("proc %d differs after rebuild", i)
+		}
+	}
+}
+
+func TestWarmStartServedPlansBitIdentical(t *testing.T) {
+	c := New(0)
+	fns := testCluster(16, 4)
+	// Populate hints across a range of sizes, then request in-between
+	// sizes; every plan must equal a cold Combined run exactly.
+	for n := int64(1_000_000); n <= 16_000_000; n *= 2 {
+		if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := int64(1_100_000); n <= 15_000_000; n = n * 3 / 2 {
+		got, err := c.Get(core.AlgoCombined, n, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := core.Combined(n, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cold.Alloc {
+			if got.Alloc[i] != cold.Alloc[i] {
+				t.Fatalf("n=%d proc %d: cached=%d cold=%d", n, i, got.Alloc[i], cold.Alloc[i])
+			}
+		}
+	}
+	if st := c.Stats(); st.WarmStarts == 0 {
+		t.Fatalf("no warm starts recorded: %+v", st)
+	}
+}
+
+func TestSingleflightSharesComputation(t *testing.T) {
+	c := New(0)
+	fns := testCluster(32, 5)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]core.Result, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = c.Get(core.AlgoCombined, 9_000_000, fns)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		for i := range results[0].Alloc {
+			if results[g].Alloc[i] != results[0].Alloc[i] {
+				t.Fatalf("goroutine %d diverges at proc %d", g, i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses+st.Shared+st.Hits != goroutines {
+		t.Fatalf("counters do not add up: %+v", st)
+	}
+	if st.Misses == goroutines {
+		t.Fatalf("no sharing at all: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(numShards) // one entry per shard
+	fns := testCluster(4, 6)
+	for n := int64(10_000); n < 10_000+200; n++ {
+		if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Size > numShards {
+		t.Fatalf("size %d exceeds capacity %d", st.Size, numShards)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(0)
+	fns := testCluster(8, 7)
+	other := testCluster(8, 8)
+	for n := int64(100_000); n <= 400_000; n += 100_000 {
+		if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Get(core.AlgoCombined, n, other); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := c.Invalidate(fns)
+	if dropped != 4 {
+		t.Fatalf("dropped %d plans, want 4", dropped)
+	}
+	st := c.Stats()
+	if st.Size != 4 {
+		t.Fatalf("size %d after invalidate, want 4 (other model intact)", st.Size)
+	}
+	// The invalidated model recomputes; the other still hits.
+	if _, err := c.Get(core.AlgoCombined, 100_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(core.AlgoCombined, 100_000, other); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	if after.Hits != st.Hits+1 || after.Misses != st.Misses+1 {
+		t.Fatalf("post-invalidate stats wrong: %+v -> %+v", st, after)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(0)
+	fns := testCluster(4, 9)
+	// Infeasible n: errors must propagate and not poison the cache.
+	if _, err := c.Get(core.AlgoCombined, 1<<62, fns); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if _, err := c.Get(core.AlgoCombined, 1<<62, fns); err == nil {
+		t.Fatal("expected infeasibility error on retry")
+	}
+	st := c.Stats()
+	if st.Size != 0 {
+		t.Fatalf("error cached: %+v", st)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("errors should recompute every time: %+v", st)
+	}
+}
+
+// TestConcurrentHammer drives the cache from many goroutines across
+// overlapping models, sizes, and invalidations; run with -race.
+func TestConcurrentHammer(t *testing.T) {
+	c := New(64)
+	models := [][]speed.Function{
+		testCluster(6, 10), testCluster(6, 11), testCluster(6, 12),
+	}
+	colds := make(map[int]map[int64]core.Allocation)
+	sizes := []int64{50_000, 60_000, 70_000, 80_000, 90_000}
+	for mi, m := range models {
+		colds[mi] = make(map[int64]core.Allocation)
+		for _, n := range sizes {
+			res, err := core.Combined(n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			colds[mi][n] = res.Alloc
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := uint32(g + 1)
+			for i := 0; i < 300; i++ {
+				rng = rng*1664525 + 1013904223
+				mi := int(rng % uint32(len(models)))
+				rng = rng*1664525 + 1013904223
+				n := sizes[rng%uint32(len(sizes))]
+				if rng%97 == 0 {
+					c.Invalidate(models[mi])
+					continue
+				}
+				got, err := c.Get(core.AlgoCombined, n, models[mi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := colds[mi][n]
+				for j := range want {
+					if got.Alloc[j] != want[j] {
+						t.Errorf("model %d n=%d proc %d: %d != %d", mi, n, j, got.Alloc[j], want[j])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

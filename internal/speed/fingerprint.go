@@ -1,0 +1,124 @@
+package speed
+
+import "math"
+
+// Model fingerprinting for the partition plan cache: a cluster model (an
+// ordered list of speed functions) is reduced to a stable 64-bit FNV-1a
+// hash of the exact parameters of every function. Two calls with the same
+// processor order and the same function values always produce the same
+// fingerprint, even when the Function objects themselves were rebuilt
+// (fresh wrappers around the same knots hash identically), so a cache
+// keyed by fingerprint survives callers that reconstruct their model
+// slices per request.
+//
+// Known representations hash their defining parameters; any other Function
+// falls back to hashing MaxSize plus Eval at a fixed set of log-spaced
+// probe sizes, which is deterministic and distinguishes models that differ
+// anywhere near the probes. The fallback is an approximation by design: a
+// collision only makes the cache serve a plan computed for a function that
+// agrees with the requested one at every probe, which is exactly the class
+// of near-identical models a speed-function cache is meant to coalesce.
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Type tags keep e.g. Constant(5, 10) and a 2-knot line through the same
+// numbers from colliding.
+const (
+	tagPWL = iota + 1
+	tagConstant
+	tagScale
+	tagScaledSpeed
+	tagAnalytic
+	tagStep
+	tagSampled
+)
+
+// fingerprintProbes is the number of Eval samples the fallback hashes.
+const fingerprintProbes = 8
+
+// Fingerprint returns the fingerprint of an ordered cluster model.
+func Fingerprint(fns []Function) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvU64(h, uint64(len(fns)))
+	for _, f := range fns {
+		h = fingerprintFn(h, f)
+	}
+	return h
+}
+
+// FingerprintOne returns the fingerprint of a single speed function.
+func FingerprintOne(f Function) uint64 {
+	return fingerprintFn(fnvOffset64, f)
+}
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvF64(h uint64, v float64) uint64 {
+	return fnvU64(h, math.Float64bits(v))
+}
+
+func fingerprintFn(h uint64, f Function) uint64 {
+	switch g := f.(type) {
+	case *PiecewiseLinear:
+		h = fnvU64(h, tagPWL)
+		h = fnvU64(h, uint64(len(g.pts)))
+		for _, p := range g.pts {
+			h = fnvF64(h, p.X)
+			h = fnvF64(h, p.Y)
+		}
+	case Constant:
+		h = fnvU64(h, tagConstant)
+		h = fnvF64(h, g.speed)
+		h = fnvF64(h, g.max)
+	case *Scale:
+		h = fnvU64(h, tagScale)
+		h = fnvF64(h, g.XFactor)
+		h = fingerprintFn(h, g.F)
+	case *scaledFunction:
+		h = fnvU64(h, tagScaledSpeed)
+		h = fnvF64(h, g.factor)
+		h = fingerprintFn(h, g.f)
+	case *Analytic:
+		h = fnvU64(h, tagAnalytic)
+		h = fnvF64(h, g.Peak)
+		h = fnvF64(h, g.HalfRise)
+		h = fnvF64(h, g.CacheEdge)
+		h = fnvF64(h, g.CacheDecay)
+		h = fnvF64(h, g.PagingPoint)
+		h = fnvF64(h, g.PagingWidth)
+		h = fnvF64(h, g.PagingFloor)
+		h = fnvF64(h, g.Max)
+	case *Step:
+		h = fnvU64(h, tagStep)
+		h = fnvU64(h, uint64(len(g.levels)))
+		for _, l := range g.levels {
+			h = fnvF64(h, l.UpTo)
+			h = fnvF64(h, l.Y)
+		}
+	default:
+		h = fnvU64(h, tagSampled)
+		maxX := f.MaxSize()
+		h = fnvF64(h, maxX)
+		if maxX > 0 && !math.IsInf(maxX, 0) {
+			lo := maxX * 1e-6
+			ratio := math.Pow(maxX/lo, 1/float64(fingerprintProbes-1))
+			x := lo
+			for i := 0; i < fingerprintProbes; i++ {
+				h = fnvF64(h, f.Eval(x))
+				x *= ratio
+			}
+		}
+	}
+	return h
+}

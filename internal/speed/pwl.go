@@ -21,6 +21,17 @@ type Point struct {
 // last speed.
 type PiecewiseLinear struct {
 	pts []Point
+	// Precomputed monotone tables that make the partitioner hot path
+	// allocation-free: ratios[i] = pts[i].Y / pts[i].X is strictly
+	// decreasing (the shape constraint), so IntersectRay can binary-search
+	// the crossing segment over ratios instead of scanning segments and
+	// recomputing d_i = Y_i − slope·X_i per call. slopes[i] and icepts[i]
+	// hold the slope and y-intercept of the segment ending at knot i
+	// (index 0 unused), computed once with the same expressions the per-call
+	// arithmetic used, so the intersection abscissas are bit-identical.
+	ratios []float64
+	slopes []float64
+	icepts []float64
 }
 
 // NewPiecewiseLinear builds a piecewise linear speed function from the
@@ -53,7 +64,26 @@ func NewPiecewiseLinear(points []Point) (*PiecewiseLinear, error) {
 				ErrShape, i-1, pts[i-1].X, pts[i-1].Y, i, pts[i].X, pts[i].Y)
 		}
 	}
-	return &PiecewiseLinear{pts: pts}, nil
+	f := &PiecewiseLinear{pts: pts}
+	f.precompute()
+	return f, nil
+}
+
+// precompute fills the knot-ratio and per-segment slope/intercept tables.
+func (f *PiecewiseLinear) precompute() {
+	pts := f.pts
+	f.ratios = make([]float64, len(pts))
+	f.slopes = make([]float64, len(pts))
+	f.icepts = make([]float64, len(pts))
+	for i, p := range pts {
+		f.ratios[i] = p.Y / p.X
+		if i > 0 {
+			a, b := pts[i-1], pts[i]
+			m := (b.Y - a.Y) / (b.X - a.X)
+			f.slopes[i] = m
+			f.icepts[i] = a.Y - m*a.X
+		}
+	}
 }
 
 // MustPiecewiseLinear is like NewPiecewiseLinear but panics on error.
@@ -107,11 +137,35 @@ func (f *PiecewiseLinear) Eval(x float64) float64 {
 	if x >= pts[last].X {
 		return pts[last].Y
 	}
-	// Binary search for the segment containing x.
-	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
-	a, b := pts[i-1], pts[i]
+	// Binary search for the segment containing x: smallest i with
+	// pts[i].X >= x (an inlined sort.Search, closure-free).
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pts[mid].X < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	a, b := pts[lo-1], pts[lo]
 	t := (x - a.X) / (b.X - a.X)
 	return a.Y + t*(b.Y-a.Y)
+}
+
+// EvalBatch evaluates the function at every abscissa in xs, writing the
+// results into dst (reused when it has capacity, grown otherwise) and
+// returning it. It is the amortized form of Eval for callers probing many
+// sizes against one model.
+func (f *PiecewiseLinear) EvalBatch(xs, dst []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[i] = f.Eval(x)
+	}
+	return dst
 }
 
 // MaxSize implements Function.
@@ -132,27 +186,52 @@ func (f *PiecewiseLinear) IntersectRay(slope float64) (float64, bool) {
 		return pts[0].Y / slope, true
 	}
 	// Find the first knot at or below the ray; the crossing is inside the
-	// segment ending there. d(x) = s(x) − slope·x is positive at knot 0.
-	for i := 1; i <= last; i++ {
-		di := pts[i].Y - slope*pts[i].X
-		if di > 0 {
-			continue
+	// segment ending there. The knot ratios Y/X are strictly decreasing
+	// (shape constraint), so "knot at or below the ray" (Y/X ≤ slope) is a
+	// monotone predicate and the segment is found by binary search over the
+	// precomputed ratio table instead of a per-call segment scan.
+	lo, hi := 1, last+1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.ratios[mid] > slope {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		a, b := pts[i-1], pts[i]
-		m := (b.Y - a.Y) / (b.X - a.X)
-		// Solve a.Y + m(x − a.X) = slope·x. The denominator cannot vanish:
-		// a sign change on the segment forces m ≠ slope, but guard anyway.
-		den := slope - m
-		if den == 0 {
-			return b.X, true
-		}
-		x := (a.Y - m*a.X) / den
-		// Numerical safety: keep the root inside the segment.
-		return math.Min(math.Max(x, a.X), b.X), true
 	}
-	// Ray above zero everywhere up to the last knot? Then it crosses the
-	// right constant extension s = lastY at x = lastY/slope > MaxSize.
-	return pts[last].X, false
+	if lo > last {
+		// Ray above the graph everywhere up to the last knot? Then it
+		// crosses the right constant extension s = lastY at
+		// x = lastY/slope > MaxSize.
+		return pts[last].X, false
+	}
+	a, b := pts[lo-1], pts[lo]
+	// Solve a.Y + m(x − a.X) = slope·x with the precomputed segment slope
+	// and intercept. The denominator cannot vanish: a sign change on the
+	// segment forces m ≠ slope, but guard anyway.
+	m := f.slopes[lo]
+	den := slope - m
+	if den == 0 {
+		return b.X, true
+	}
+	x := f.icepts[lo] / den
+	// Numerical safety: keep the root inside the segment.
+	return math.Min(math.Max(x, a.X), b.X), true
+}
+
+// IntersectRayBatch intersects every ray slope in slopes with the graph,
+// writing the abscissas into dst (reused when it has capacity) and
+// returning it. Non-crossing rays clamp to the domain like IntersectRay's
+// false case; callers needing the hit flag use the scalar form.
+func (f *PiecewiseLinear) IntersectRayBatch(slopes, dst []float64) []float64 {
+	if cap(dst) < len(slopes) {
+		dst = make([]float64, len(slopes))
+	}
+	dst = dst[:len(slopes)]
+	for i, s := range slopes {
+		dst[i], _ = f.IntersectRay(s)
+	}
+	return dst
 }
 
 // MarshalJSON implements json.Marshaler, emitting the knot list.
@@ -170,7 +249,7 @@ func (f *PiecewiseLinear) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	f.pts = g.pts
+	*f = *g
 	return nil
 }
 

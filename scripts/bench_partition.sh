@@ -1,0 +1,55 @@
+#!/bin/sh
+# bench_partition.sh — run the partition-serving benchmarks and emit a JSON
+# baseline so later PRs have a perf trajectory for the partitioner hot path,
+# plan cache, and warm-start tiers.
+#
+# Usage:
+#
+#	scripts/bench_partition.sh [output.json]
+#
+# Environment:
+#
+#	BENCHTIME   value for -benchtime (default 100x: enough iterations that
+#	            the warm path's one-time scratch growth amortizes to zero
+#	            allocs/op; use e.g. 2s for stable numbers on a quiet host)
+#	BENCH       -bench pattern (default PartitionThroughput)
+#
+# The JSON is an array of objects:
+#
+#	{"name": "...", "n": <iterations>, "ns_per_op": ..., "b_per_op": ...,
+#	 "allocs_per_op": ...}
+#
+# plus a leading metadata object with the host description.
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_partition.json}"
+benchtime="${BENCHTIME:-100x}"
+pattern="${BENCH:-PartitionThroughput}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN { printf "[\n" }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, "", $0); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = bop = allocs = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	rows[nrows++] = sprintf("{\"name\": \"%s\", \"n\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, bop, allocs)
+}
+END {
+	printf "  {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"benchtime\": \"%s\"}", goos, goarch, cpu, benchtime
+	for (i = 0; i < nrows; i++) printf ",\n  %s", rows[i]
+	printf "\n]\n"
+}' "$tmp" > "$out"
+echo "wrote $out" >&2

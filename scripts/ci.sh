@@ -11,7 +11,14 @@
 #      the kernel-perf pair (pool, kernels) and the robustness pair
 #      (faults, measure) — the latter exercises deadline abandonment,
 #      retry backoff and the drift detector under the race detector
-#   5. benchmark smoke: every kernel benchmark runs once
+#   5. explicit race pass for the partition-serving pair (plancache,
+#      serve) — a sharded cache with singleflight and a batching engine
+#      are the most lock-ordering-sensitive code in the tree
+#   6. benchmark smoke: every kernel benchmark and every partition-serving
+#      benchmark runs once
+#   7. allocation regression guard: the warm partitioner hot path must
+#      report exactly 0 allocs/op, the property the serving engine's
+#      throughput rests on
 #
 # Usage: scripts/ci.sh
 set -e
@@ -29,6 +36,26 @@ echo "==> go test -race ./internal/pool/... ./internal/kernels/... (kernel-perf 
 go test -race ./internal/pool/... ./internal/kernels/...
 echo "==> go test -race ./internal/faults/... ./internal/measure/... (robustness gate)" >&2
 go test -race ./internal/faults/... ./internal/measure/...
+echo "==> go test -race ./internal/plancache/... ./internal/serve/... (partition-serving gate)" >&2
+go test -race ./internal/plancache/... ./internal/serve/...
 echo "==> benchmark smoke: go test -run '^$' -bench Kernel -benchtime=1x ." >&2
 go test -run '^$' -bench Kernel -benchtime=1x .
+echo "==> benchmark smoke: go test -run '^$' -bench PartitionThroughput -benchtime=1x ." >&2
+go test -run '^$' -bench PartitionThroughput -benchtime=1x .
+echo "==> allocs/op guard: warm partitioner hot path must not allocate" >&2
+# 100x amortizes the one-time scratch growth of iteration 1; any steady-state
+# allocation pushes the reported allocs/op above 0 and fails the gate.
+go test -run '^$' -bench 'PartitionThroughput/.*/warm' -benchtime=100x -benchmem . |
+awk '
+/^Benchmark.*\/warm/ {
+	seen++
+	allocs = "?"
+	for (i = 3; i < NF; i++) if ($(i+1) == "allocs/op") allocs = $i
+	printf "    %s: %s allocs/op\n", $1, allocs
+	if (allocs != 0) { bad = 1 }
+}
+END {
+	if (bad) { print "FAIL: warm partition path allocates" > "/dev/stderr"; exit 1 }
+	if (!seen) { print "FAIL: no warm benchmark output parsed" > "/dev/stderr"; exit 1 }
+}'
 echo "==> all gates green" >&2
