@@ -63,6 +63,8 @@ func run() error {
 		reqWorkers  = flag.Int("req-workers", 8, "with -serve: concurrent request submitters")
 		reqSpread   = flag.Float64("req-spread", 0.2, "with -serve: relative spread of request sizes around -n, in [0, 1)")
 		reqDistinct = flag.Int("req-distinct", 16, "with -serve: distinct request sizes in the stream")
+		reqAlgos    = flag.String("req-algos", "", "with -serve: comma-separated algorithms cycled through the stream, or \"mixed\" for all three (default: the -algo value)")
+		reqMixOpts  = flag.Bool("req-mix-options", false, "with -serve: also cycle partitioner option sets through the stream")
 
 		fail repeatedFlag
 	)
@@ -83,17 +85,22 @@ func run() error {
 		return fmt.Errorf("-n must be positive")
 	}
 	if *serveMode {
-		al, err := parseAlgo(*algo)
+		list := *reqAlgos
+		if list == "" {
+			list = *algo
+		}
+		algos, err := parseAlgos(list)
 		if err != nil {
 			return err
 		}
 		return runServeBench(cluster, *n, serveBenchOptions{
-			Requests: *benchReqs,
-			Workers:  *reqWorkers,
-			Distinct: *reqDistinct,
-			Spread:   *reqSpread,
-			Algo:     al,
-			CSV:      *csv,
+			Requests:   *benchReqs,
+			Workers:    *reqWorkers,
+			Distinct:   *reqDistinct,
+			Spread:     *reqSpread,
+			Algos:      algos,
+			MixOptions: *reqMixOpts,
+			CSV:        *csv,
 		})
 	}
 	fns, names, err := cluster.Functions(float64(*n))

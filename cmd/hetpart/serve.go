@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,8 +18,21 @@ type serveBenchOptions struct {
 	Workers  int     // concurrent submitters
 	Distinct int     // distinct problem sizes in the stream
 	Spread   float64 // relative size spread around n, e.g. 0.2 = ±20%
-	Algo     core.Algorithm
-	CSV      bool
+	// Algos is cycled through per request, so a multi-entry list produces
+	// a mixed-algorithm stream (distinct cache keys per algorithm).
+	Algos []core.Algorithm
+	// MixOptions additionally cycles result-affecting option sets through
+	// the stream, multiplying the distinct plans requested.
+	MixOptions bool
+	CSV        bool
+}
+
+// benchOptionVariants are the option sets a -req-mix-options stream cycles
+// through; each produces its own cache key on the same (model, n, algo).
+var benchOptionVariants = [][]core.Option{
+	nil,
+	{core.WithoutFineTune()},
+	{core.WithMaxSteps(64)},
 }
 
 // runServeBench stands up a partition-serving engine over the cluster and
@@ -41,6 +55,9 @@ func runServeBench(cluster *clusterio.Cluster, n int64, opt serveBenchOptions) e
 	if opt.Spread < 0 || opt.Spread >= 1 {
 		return fmt.Errorf("-req-spread must be in [0, 1)")
 	}
+	if len(opt.Algos) == 0 {
+		opt.Algos = []core.Algorithm{core.AlgoCombined}
+	}
 	fns, _, err := cluster.Functions(float64(n))
 	if err != nil {
 		return err
@@ -52,7 +69,7 @@ func runServeBench(cluster *clusterio.Cluster, n int64, opt serveBenchOptions) e
 	// One cold request primes nothing but validates the cluster before the
 	// clock starts; its plan is evicted from the measurement by resetting
 	// nothing — it is simply part of warm-up reality, counted like any other.
-	if _, err := e.Partition(serve.Request{Algo: opt.Algo, N: sizes[0], Fns: fns}); err != nil {
+	if _, err := e.Partition(serve.Request{Algo: opt.Algos[0], N: sizes[0], Fns: fns}); err != nil {
 		return err
 	}
 
@@ -73,8 +90,16 @@ func runServeBench(cluster *clusterio.Cluster, n int64, opt serveBenchOptions) e
 		go func(w, count int) {
 			defer wg.Done()
 			for i := 0; i < count; i++ {
-				sz := sizes[(w+i*opt.Workers)%len(sizes)]
-				if _, err := e.Partition(serve.Request{Algo: opt.Algo, N: sz, Fns: fns}); err != nil {
+				seq := w + i*opt.Workers
+				req := serve.Request{
+					Algo: opt.Algos[seq%len(opt.Algos)],
+					N:    sizes[seq%len(sizes)],
+					Fns:  fns,
+				}
+				if opt.MixOptions {
+					req.Opts = benchOptionVariants[seq%len(benchOptionVariants)]
+				}
+				if _, err := e.Partition(req); err != nil {
 					errMu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -91,10 +116,18 @@ func runServeBench(cluster *clusterio.Cluster, n int64, opt serveBenchOptions) e
 		return firstErr
 	}
 
+	algoNames := make([]string, len(opt.Algos))
+	for i, a := range opt.Algos {
+		algoNames[i] = a.String()
+	}
+	mixNote := ""
+	if opt.MixOptions {
+		mixNote = fmt.Sprintf(", %d option sets", len(benchOptionVariants))
+	}
 	m := e.Metrics()
 	t := report.New(
-		fmt.Sprintf("Partition-serving engine: %d requests, %d workers, %d distinct sizes (±%.0f%% around %d)",
-			opt.Requests, opt.Workers, len(sizes), 100*opt.Spread, n),
+		fmt.Sprintf("Partition-serving engine: %d requests, %d workers, %d distinct sizes (±%.0f%% around %d), algorithms %s%s",
+			opt.Requests, opt.Workers, len(sizes), 100*opt.Spread, n, strings.Join(algoNames, "+"), mixNote),
 		"metric", "value")
 	t.AddRow("throughput (req/s)", float64(opt.Requests)/elapsed.Seconds())
 	t.AddRow("mean latency (µs)", float64(m.AvgLatency.Nanoseconds())/1e3)
@@ -106,6 +139,21 @@ func runServeBench(cluster *clusterio.Cluster, n int64, opt serveBenchOptions) e
 	t.AddRow("cache misses", float64(m.Cache.Misses))
 	t.AddRow("warm-started misses", float64(m.Cache.WarmStarts))
 	t.AddRow("shared in-flight", float64(m.Cache.Shared))
+	if m.Cache.Rejected > 0 {
+		t.AddRow("doorkeeper rejected", float64(m.Cache.Rejected))
+	}
+	// Per-algorithm breakdown, in stable algorithm order.
+	names := make([]string, 0, len(m.ByAlgo))
+	for _, a := range []core.Algorithm{core.AlgoBasic, core.AlgoModified, core.AlgoCombined} {
+		if _, ok := m.ByAlgo[a.String()]; ok {
+			names = append(names, a.String())
+		}
+	}
+	for _, name := range names {
+		a := m.ByAlgo[name]
+		t.AddRow(fmt.Sprintf("%s requests", name), float64(a.Requests))
+		t.AddRow(fmt.Sprintf("%s hit rate (%%)", name), 100*a.HitRate())
+	}
 	t.AddNote("cache hit rate: %.1f%%; only %d of %d requests computed a plan from scratch",
 		100*m.Cache.HitRate(), m.Cache.Misses, m.Requests)
 	return emit(t, opt.CSV)
@@ -141,4 +189,21 @@ func parseAlgo(name string) (core.Algorithm, error) {
 	default:
 		return 0, fmt.Errorf("-serve supports basic, modified, combined; got %q", name)
 	}
+}
+
+// parseAlgos maps the -req-algos flag onto the stream's algorithm cycle:
+// a comma-separated list, or "mixed" for all three.
+func parseAlgos(list string) ([]core.Algorithm, error) {
+	if list == "mixed" {
+		return []core.Algorithm{core.AlgoBasic, core.AlgoModified, core.AlgoCombined}, nil
+	}
+	var algos []core.Algorithm
+	for _, name := range strings.Split(list, ",") {
+		a, err := parseAlgo(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		algos = append(algos, a)
+	}
+	return algos, nil
 }

@@ -1,0 +1,64 @@
+// Command hetpartd is the partition-serving daemon: it keeps cluster speed
+// models and served plans in a crash-safe store and answers partition
+// requests over HTTP, restarting with a warm cache after any crash.
+//
+// Usage:
+//
+//	hetpartd -dir /var/lib/hetpartd [-addr 127.0.0.1:7411]
+//
+// Upload a model, then partition against it:
+//
+//	curl -X POST --data-binary @cluster.json 'localhost:7411/v1/models?label=lab'
+//	curl -X POST -d '{"model":"lab","n":100000000}' localhost:7411/v1/partition
+//
+// SIGTERM drains in-flight requests and folds the write-ahead log into a
+// final snapshot; SIGKILL at any moment loses at most the requests that
+// were never answered. See internal/rpc for the endpoints and internal/
+// store for the durability design (DESIGN §9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heteropart/internal/rpc"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7411", "listen address (use :0 for an ephemeral port)")
+		dir        = flag.String("dir", "", "store directory (required; created if missing)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		cacheCap   = flag.Int("cache", 0, "plan cache capacity (0 = default)")
+		noDoor     = flag.Bool("no-doorkeeper", false, "admit plans on first miss instead of second")
+		maxBatch   = flag.Int("max-batch", 0, "max requests per engine dispatch cycle (0 = default)")
+		queueDepth = flag.Int("queue", 0, "request queue depth (0 = default)")
+		compactAt  = flag.Int64("compact-at", 0, "WAL bytes that trigger snapshot compaction (0 = default 4MiB)")
+		syncEvery  = flag.Int("sync-every", 0, "fsync the WAL every N records (0 = default 64, 1 = every record)")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "hetpartd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	err := rpc.Run(rpc.Config{
+		Addr:          *addr,
+		Dir:           *dir,
+		AddrFile:      *addrFile,
+		CacheCapacity: *cacheCap,
+		NoDoorkeeper:  *noDoor,
+		MaxBatch:      *maxBatch,
+		QueueDepth:    *queueDepth,
+		CompactAt:     *compactAt,
+		SyncEvery:     *syncEvery,
+		DrainTimeout:  *drain,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetpartd:", err)
+		os.Exit(1)
+	}
+}

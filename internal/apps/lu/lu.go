@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"heteropart/internal/core"
+	"heteropart/internal/serve"
 	"heteropart/internal/sim"
 	"heteropart/internal/speed"
 )
@@ -61,6 +62,34 @@ func (d Distribution) BlocksOwnedAfter(k int, p int) []int {
 //  5. In the last group, processors are reordered so the fastest comes
 //     last, for load balance at the tail of the factorization.
 func VariableGroupBlock(n, b int, flopRates []speed.Function, opts ...core.Option) (Distribution, error) {
+	return variableGroupBlock(n, b, flopRates, directPartition, opts)
+}
+
+// VariableGroupBlockEngine builds the same distribution but serves every
+// per-group partition through a shared serving engine: a sweep over block
+// widths b (or repeated distributions of similar matrices) re-partitions
+// the same trailing sizes over and over, so routing the calls through the
+// engine's plan cache turns most of them into exact hits and warm-started
+// misses. The distribution is bit-identical to VariableGroupBlock's —
+// cached and warm-started plans reproduce the cold allocation exactly.
+func VariableGroupBlockEngine(e *serve.Engine, n, b int, flopRates []speed.Function, opts ...core.Option) (Distribution, error) {
+	if e == nil {
+		return VariableGroupBlock(n, b, flopRates, opts...)
+	}
+	return variableGroupBlock(n, b, flopRates, func(elements int64, fns []speed.Function, opts []core.Option) (core.Result, error) {
+		return e.Partition(serve.Request{Algo: core.AlgoCombined, N: elements, Fns: fns, Opts: opts})
+	}, opts)
+}
+
+// partitionFunc computes the optimal partition of elements over the
+// processors — directly, or through a serving engine.
+type partitionFunc func(elements int64, fns []speed.Function, opts []core.Option) (core.Result, error)
+
+func directPartition(elements int64, fns []speed.Function, opts []core.Option) (core.Result, error) {
+	return core.Combined(elements, fns, opts...)
+}
+
+func variableGroupBlock(n, b int, flopRates []speed.Function, part partitionFunc, opts []core.Option) (Distribution, error) {
 	if n <= 0 || b <= 0 || b > n {
 		return Distribution{}, fmt.Errorf("lu: invalid sizes n=%d b=%d", n, b)
 	}
@@ -73,7 +102,7 @@ func VariableGroupBlock(n, b int, flopRates []speed.Function, opts ...core.Optio
 	remainingBlocks := totalBlocks
 	remainingCols := n
 	for remainingBlocks > 0 {
-		speeds, err := speedsAt(remainingCols, flopRates, opts)
+		speeds, err := speedsAt(remainingCols, flopRates, part, opts)
 		if err != nil {
 			return Distribution{}, err
 		}
@@ -107,12 +136,12 @@ func VariableGroupBlock(n, b int, flopRates []speed.Function, opts ...core.Optio
 // speedsAt partitions the elements of an m×m trailing matrix with the
 // functional model and returns each processor's absolute speed at its
 // optimal share — the speeds the paper uses to size and fill a group.
-func speedsAt(m int, flopRates []speed.Function, opts []core.Option) ([]float64, error) {
+func speedsAt(m int, flopRates []speed.Function, part partitionFunc, opts []core.Option) ([]float64, error) {
 	elements := int64(m) * int64(m)
 	if elements == 0 {
 		elements = 1
 	}
-	res, err := core.Combined(elements, flopRates, opts...)
+	res, err := part(elements, flopRates, opts)
 	if err != nil {
 		return nil, fmt.Errorf("lu: partitioning %d elements: %w", elements, err)
 	}
@@ -297,7 +326,7 @@ func GroupBlock(n, b int, flopRates []speed.Function, opts ...core.Option) (Dist
 	if p == 0 {
 		return Distribution{}, core.ErrNoProcessors
 	}
-	speeds, err := speedsAt(n, flopRates, opts)
+	speeds, err := speedsAt(n, flopRates, directPartition, opts)
 	if err != nil {
 		return Distribution{}, err
 	}

@@ -40,6 +40,10 @@ const (
 	numShards = 16
 	// DefaultCapacity is the default total number of cached plans.
 	DefaultCapacity = 4096
+	// doorkeeperScale sizes each shard's doorkeeper generation relative to
+	// its LRU capacity: remembering 8× more once-seen keys than resident
+	// plans lets a second miss arrive well after the first even under churn.
+	doorkeeperScale = 8
 	// warmHintsPerModel bounds the per-model warm-start hint index.
 	warmHintsPerModel = 64
 	// warmSpreadFloor keeps the warm bracket open even for an exact-n hint
@@ -84,6 +88,30 @@ type call struct {
 	err  error
 }
 
+// doorkeeper is a two-generation membership filter implementing the cache
+// admission policy: a plan is only inserted once its key has missed before,
+// so one-shot sizes never displace resident plans. Generations rotate when
+// the current one fills, bounding memory while keeping recent history.
+type doorkeeper struct {
+	cap       int
+	cur, prev map[uint64]struct{}
+}
+
+func (d *doorkeeper) seen(h uint64) bool {
+	if _, ok := d.cur[h]; ok {
+		return true
+	}
+	_, ok := d.prev[h]
+	return ok
+}
+
+func (d *doorkeeper) remember(h uint64) {
+	if len(d.cur) >= d.cap {
+		d.prev, d.cur = d.cur, make(map[uint64]struct{}, d.cap)
+	}
+	d.cur[h] = struct{}{}
+}
+
 // shard is an independently locked slice of the cache.
 type shard struct {
 	mu       sync.Mutex
@@ -92,6 +120,8 @@ type shard struct {
 	// Intrusive LRU list: head is most recent, tail least.
 	head, tail *entry
 	cap        int
+	// door is nil unless the admission policy is enabled.
+	door *doorkeeper
 }
 
 // hint is one warm-start seed: the optimal-ray slope for size n.
@@ -114,6 +144,8 @@ type Stats struct {
 	Shared        uint64 // requests that waited on another's computation
 	Evictions     uint64 // entries dropped by LRU pressure
 	Invalidations uint64 // entries dropped by Invalidate
+	Admitted      uint64 // computed plans inserted into the LRU
+	Rejected      uint64 // computed plans the doorkeeper kept out (first miss)
 	Size          int    // entries currently cached
 }
 
@@ -124,6 +156,18 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// Config tunes a Cache built with NewWithConfig.
+type Config struct {
+	// Capacity is the total number of cached plans (DefaultCapacity when
+	// <= 0).
+	Capacity int
+	// Doorkeeper enables the admission policy: a plan is only inserted on
+	// its second miss, so one-shot sizes pass through without evicting
+	// anything. Warm-start hints are still recorded on every computed miss,
+	// so a rejected size's neighbors keep seeding the bisection.
+	Doorkeeper bool
 }
 
 // Cache is a sharded LRU of partition plans. The zero value is not usable;
@@ -138,13 +182,28 @@ type Cache struct {
 	shared        atomic.Uint64
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
+	admitted      atomic.Uint64
+	rejected      atomic.Uint64
+
+	// insertTap and invalidateTap observe admitted insertions and model
+	// invalidations (see SetInsertTap); loaded atomically so taps can be
+	// installed before traffic without locking the hot path.
+	insertTap     atomic.Pointer[func(PlanRecord)]
+	invalidateTap atomic.Pointer[func(uint64)]
 
 	partitioners sync.Pool
 }
 
 // New returns a cache holding up to capacity plans (DefaultCapacity when
-// capacity <= 0), spread over the shards.
+// capacity <= 0), spread over the shards, with the admission policy off —
+// every computed plan is inserted, the behavior embedded callers expect.
 func New(capacity int) *Cache {
+	return NewWithConfig(Config{Capacity: capacity})
+}
+
+// NewWithConfig returns a cache tuned by cfg.
+func NewWithConfig(cfg Config) *Cache {
+	capacity := cfg.Capacity
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
@@ -157,18 +216,49 @@ func New(capacity int) *Cache {
 		c.shards[i].entries = make(map[key]*entry)
 		c.shards[i].inflight = make(map[key]*call)
 		c.shards[i].cap = perShard
+		if cfg.Doorkeeper {
+			dcap := perShard * doorkeeperScale
+			if dcap < 64 {
+				dcap = 64
+			}
+			c.shards[i].door = &doorkeeper{
+				cap: dcap,
+				cur: make(map[uint64]struct{}),
+			}
+		}
 	}
 	c.warm.models = make(map[uint64][]hint)
 	c.partitioners.New = func() any { return core.NewPartitioner() }
 	return c
 }
 
+// Tier classifies how a request was served.
+type Tier uint8
+
+const (
+	// TierMiss means the plan was computed (cold or warm-started).
+	TierMiss Tier = iota
+	// TierHit means the plan was served from the LRU.
+	TierHit
+	// TierShared means the request waited on another's in-flight computation.
+	TierShared
+)
+
 // Get returns the plan for running algo over n elements on the cluster
 // described by fns with the given options, computing and caching it on a
 // miss. The returned Result owns its Alloc — callers may mutate it freely.
 func (c *Cache) Get(algo core.Algorithm, n int64, fns []speed.Function, opts ...core.Option) (core.Result, error) {
+	res, _, err := c.GetTier(algo, n, fns, opts...)
+	return res, err
+}
+
+// GetTier is Get plus the serving tier of this particular request, for
+// callers keeping their own hit-rate accounting (the serving engine reports
+// per-algorithm rates from it).
+func (c *Cache) GetTier(algo core.Algorithm, n int64, fns []speed.Function, opts ...core.Option) (core.Result, Tier, error) {
 	k := key{model: speed.Fingerprint(fns), n: n, algo: algo, opts: core.OptionsKey(opts...)}
-	sh := &c.shards[k.hash()&(numShards-1)]
+	h := k.hash()
+	sh := &c.shards[h&(numShards-1)]
 
 	sh.mu.Lock()
 	if e, ok := sh.entries[k]; ok {
@@ -176,16 +266,16 @@ func (c *Cache) Get(algo core.Algorithm, n int64, fns []speed.Function, opts ...
 		res := copyResult(e.res)
 		sh.mu.Unlock()
 		c.hits.Add(1)
-		return res, nil
+		return res, TierHit, nil
 	}
 	if cl, ok := sh.inflight[k]; ok {
 		sh.mu.Unlock()
 		<-cl.done
 		c.shared.Add(1)
 		if cl.err != nil {
-			return core.Result{}, cl.err
+			return core.Result{}, TierShared, cl.err
 		}
-		return copyResult(cl.res), nil
+		return copyResult(cl.res), TierShared, nil
 	}
 	cl := &call{done: make(chan struct{})}
 	sh.inflight[k] = cl
@@ -194,20 +284,40 @@ func (c *Cache) Get(algo core.Algorithm, n int64, fns []speed.Function, opts ...
 	cl.res, cl.err = c.compute(k, n, fns, opts)
 	close(cl.done)
 
+	var inserted, doorRejected bool
 	sh.mu.Lock()
 	delete(sh.inflight, k)
 	if cl.err == nil {
-		c.evictions.Add(sh.insert(k, copyResult(cl.res)))
+		if sh.door == nil || sh.door.seen(h) {
+			var evicted uint64
+			evicted, inserted = sh.insert(k, copyResult(cl.res))
+			c.evictions.Add(evicted)
+		} else {
+			sh.door.remember(h)
+			doorRejected = true
+		}
 	}
 	sh.mu.Unlock()
 	c.misses.Add(1)
 	if cl.err != nil {
-		return core.Result{}, cl.err
+		return core.Result{}, TierMiss, cl.err
+	}
+	if inserted {
+		c.admitted.Add(1)
+		if tap := c.insertTap.Load(); tap != nil {
+			(*tap)(PlanRecord{
+				Model: k.model, N: n, Algo: algo, OptsKey: k.opts,
+				Slope: cl.res.Slope, Alloc: append(core.Allocation(nil), cl.res.Alloc...),
+				Stats: cl.res.Stats,
+			})
+		}
+	} else if doorRejected {
+		c.rejected.Add(1)
 	}
 	if n > 0 {
 		c.rememberHint(k.model, n, cl.res.Slope)
 	}
-	return cl.res, nil
+	return cl.res, TierMiss, nil
 }
 
 // compute runs the partitioner for a miss, warm-started from the nearest
@@ -319,6 +429,9 @@ func (c *Cache) InvalidateFingerprint(model uint64) int {
 	delete(c.warm.models, model)
 	c.warm.mu.Unlock()
 	c.invalidations.Add(uint64(dropped))
+	if tap := c.invalidateTap.Load(); tap != nil {
+		(*tap)(model)
+	}
 	return dropped
 }
 
@@ -331,6 +444,8 @@ func (c *Cache) Stats() Stats {
 		Shared:        c.shared.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Admitted:      c.admitted.Load(),
+		Rejected:      c.rejected.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -342,13 +457,14 @@ func (c *Cache) Stats() Stats {
 }
 
 // insert adds a fresh entry at the front, evicting from the tail when the
-// shard is full; it returns the number of evictions. Callers hold mu.
-func (sh *shard) insert(k key, res core.Result) uint64 {
+// shard is full; it returns the number of evictions and whether a new entry
+// actually went in. Callers hold mu.
+func (sh *shard) insert(k key, res core.Result) (uint64, bool) {
 	if e, ok := sh.entries[k]; ok {
 		// A concurrent computation of the same key finished first; results
 		// are identical, keep the resident entry.
 		sh.moveToFront(e)
-		return 0
+		return 0, false
 	}
 	var evicted uint64
 	for len(sh.entries) >= sh.cap && sh.tail != nil {
@@ -360,7 +476,7 @@ func (sh *shard) insert(k key, res core.Result) uint64 {
 	e := &entry{k: k, res: res}
 	sh.entries[k] = e
 	sh.pushFront(e)
-	return evicted
+	return evicted, true
 }
 
 func (sh *shard) pushFront(e *entry) {

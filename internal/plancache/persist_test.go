@@ -1,0 +1,216 @@
+package plancache
+
+import (
+	"sync"
+	"testing"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+func TestDoorkeeperAdmitsOnSecondMiss(t *testing.T) {
+	c := NewWithConfig(Config{Doorkeeper: true})
+	fns := testCluster(8, 21)
+	// First request: computed but not inserted.
+	if _, tier, err := c.GetTier(core.AlgoCombined, 700_000, fns); err != nil || tier != TierMiss {
+		t.Fatalf("first request: tier=%v err=%v", tier, err)
+	}
+	st := c.Stats()
+	if st.Size != 0 || st.Rejected != 1 || st.Admitted != 0 {
+		t.Fatalf("after first miss: %+v, want rejected=1 size=0", st)
+	}
+	// Second request: still a miss, but now admitted.
+	first, tier, err := c.GetTier(core.AlgoCombined, 700_000, fns)
+	if err != nil || tier != TierMiss {
+		t.Fatalf("second request: tier=%v err=%v", tier, err)
+	}
+	st = c.Stats()
+	if st.Size != 1 || st.Admitted != 1 {
+		t.Fatalf("after second miss: %+v, want admitted=1 size=1", st)
+	}
+	// Third request: an exact hit, bit-identical.
+	got, tier, err := c.GetTier(core.AlgoCombined, 700_000, fns)
+	if err != nil || tier != TierHit {
+		t.Fatalf("third request: tier=%v err=%v", tier, err)
+	}
+	for i := range first.Alloc {
+		if got.Alloc[i] != first.Alloc[i] {
+			t.Fatalf("proc %d: hit %d != computed %d", i, got.Alloc[i], first.Alloc[i])
+		}
+	}
+}
+
+func TestDoorkeeperStillRecordsWarmHints(t *testing.T) {
+	c := NewWithConfig(Config{Doorkeeper: true})
+	fns := testCluster(8, 22)
+	// One-shot sizes: never inserted, but their hints must still seed
+	// nearby misses.
+	for n := int64(1_000_000); n <= 8_000_000; n *= 2 {
+		if _, err := c.Get(core.AlgoCombined, n, fns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get(core.AlgoCombined, 3_000_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Size != 0 {
+		t.Fatalf("one-shot sizes were inserted: %+v", st)
+	}
+	if st.WarmStarts == 0 {
+		t.Fatalf("rejected sizes left no warm hints: %+v", st)
+	}
+}
+
+func TestDoorkeeperGenerationsRotate(t *testing.T) {
+	d := &doorkeeper{cap: 4, cur: make(map[uint64]struct{})}
+	for h := uint64(0); h < 8; h++ {
+		d.remember(h)
+	}
+	// cap 4: after 8 inserts one rotation happened; the last 8 keys must
+	// still be remembered across cur+prev.
+	for h := uint64(0); h < 8; h++ {
+		if !d.seen(h) {
+			t.Fatalf("key %d forgotten too early", h)
+		}
+	}
+	for h := uint64(8); h < 16; h++ {
+		d.remember(h)
+	}
+	if d.seen(0) {
+		t.Fatal("key 0 survived two generations")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	c := New(0)
+	fns := testCluster(10, 23)
+	sizes := []int64{200_000, 300_000, 400_000, 500_000}
+	want := make(map[int64]core.Result)
+	for _, n := range sizes {
+		res, err := c.Get(core.AlgoCombined, n, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = res
+	}
+	plans, hints := c.Export()
+	if len(plans) != len(sizes) {
+		t.Fatalf("exported %d plans, want %d", len(plans), len(sizes))
+	}
+	if len(hints) == 0 {
+		t.Fatal("no warm hints exported")
+	}
+
+	fresh := New(0)
+	if got := fresh.Import(plans, hints); got != len(sizes) {
+		t.Fatalf("imported %d plans, want %d", got, len(sizes))
+	}
+	for _, n := range sizes {
+		got, tier, err := fresh.GetTier(core.AlgoCombined, n, fns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tier != TierHit {
+			t.Fatalf("n=%d not served from imported cache (tier %v)", n, tier)
+		}
+		if got.Slope != want[n].Slope || got.Stats != want[n].Stats {
+			t.Fatalf("n=%d: slope/stats differ after import", n)
+		}
+		for i := range want[n].Alloc {
+			if got.Alloc[i] != want[n].Alloc[i] {
+				t.Fatalf("n=%d proc %d: %d != %d", n, i, got.Alloc[i], want[n].Alloc[i])
+			}
+		}
+	}
+	// Imported hints must warm-start new sizes.
+	if _, err := fresh.Get(core.AlgoCombined, 350_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	if st := fresh.Stats(); st.WarmStarts == 0 {
+		t.Fatalf("imported hints unused: %+v", st)
+	}
+}
+
+func TestImportRejectsInvalidRecords(t *testing.T) {
+	c := New(0)
+	good := PlanRecord{Model: 7, N: 10, Algo: core.AlgoCombined, Slope: 1, Alloc: core.Allocation{4, 6}}
+	bad := []PlanRecord{
+		{Model: 7, N: 10, Alloc: core.Allocation{4, 7}},   // sum mismatch
+		{Model: 7, N: 10, Alloc: nil},                     // empty alloc
+		{Model: 7, N: 10, Alloc: core.Allocation{-1, 11}}, // negative share
+	}
+	if got := c.Import(append(bad, good), nil); got != 1 {
+		t.Fatalf("imported %d records, want only the valid one", got)
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Fatalf("size %d after import, want 1", st.Size)
+	}
+}
+
+func TestInsertTapSeesAdmittedPlans(t *testing.T) {
+	c := New(0)
+	fns := testCluster(6, 24)
+	var mu sync.Mutex
+	var tapped []PlanRecord
+	c.SetInsertTap(func(r PlanRecord) {
+		mu.Lock()
+		tapped = append(tapped, r)
+		mu.Unlock()
+	})
+	var invalidated []uint64
+	c.SetInvalidateTap(func(model uint64) {
+		mu.Lock()
+		invalidated = append(invalidated, model)
+		mu.Unlock()
+	})
+	res, err := c.Get(core.AlgoCombined, 600_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(core.AlgoCombined, 600_000, fns); err != nil { // hit: no tap
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(tapped) != 1 {
+		mu.Unlock()
+		t.Fatalf("tap fired %d times, want 1", len(tapped))
+	}
+	rec := tapped[0]
+	mu.Unlock()
+	if rec.Model != speed.Fingerprint(fns) || rec.N != 600_000 || !rec.Valid() {
+		t.Fatalf("tap record wrong: %+v", rec)
+	}
+	for i := range res.Alloc {
+		if rec.Alloc[i] != res.Alloc[i] {
+			t.Fatalf("tap alloc differs at %d", i)
+		}
+	}
+	// Mutating the tapped record must not corrupt the cache.
+	rec.Alloc[0] = -5
+	again, _ := c.Get(core.AlgoCombined, 600_000, fns)
+	if again.Alloc[0] != res.Alloc[0] {
+		t.Fatal("tap record aliases the cached plan")
+	}
+
+	c.Invalidate(fns)
+	mu.Lock()
+	if len(invalidated) != 1 || invalidated[0] != speed.Fingerprint(fns) {
+		mu.Unlock()
+		t.Fatalf("invalidate tap got %v", invalidated)
+	}
+	mu.Unlock()
+
+	// Removing the taps stops the callbacks.
+	c.SetInsertTap(nil)
+	c.SetInvalidateTap(nil)
+	if _, err := c.Get(core.AlgoCombined, 601_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate(fns)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(tapped) != 1 || len(invalidated) != 1 {
+		t.Fatalf("taps fired after removal: %d/%d", len(tapped), len(invalidated))
+	}
+}

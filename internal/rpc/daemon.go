@@ -1,0 +1,239 @@
+// Package rpc is the network face of the partition server: a long-running
+// HTTP daemon (cmd/hetpartd) that keeps cluster models and served plans in
+// a durable store (internal/store), serves partition requests through the
+// batching engine (internal/serve), and survives being killed at any
+// moment — on restart it replays the store and answers its first requests
+// from a warm cache, bit-identical to the plans the previous process
+// served.
+//
+// Endpoints:
+//
+//	POST /v1/models?label=L[&defaultMax=F]  upload/refresh a clusterio doc
+//	GET  /v1/models                         list stored models
+//	POST /v1/partition                      one request or {"requests":[…]}
+//	GET  /v1/stats                          engine+cache+store counters
+//	GET  /healthz                           liveness
+//
+// Wiring: the plan cache's insert tap appends every admitted plan to the
+// store's WAL before the response leaves the process, so any answered
+// request is recoverable; the invalidate tap logs drift invalidations; the
+// store's hint source pulls the cache's warm index into every snapshot.
+// Graceful shutdown (SIGTERM/SIGINT) drains in-flight HTTP requests,
+// closes the engine, and folds the WAL into a final snapshot.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"heteropart/internal/plancache"
+	"heteropart/internal/serve"
+	"heteropart/internal/speed"
+	"heteropart/internal/store"
+)
+
+// Config tunes a Daemon.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:7411").
+	Addr string
+	// Dir is the store directory. Required.
+	Dir string
+	// AddrFile, when set, receives the bound address once the listener is
+	// up — how tests and scripts find a ":0" daemon.
+	AddrFile string
+
+	// CacheCapacity sizes the plan cache (0 = plancache default).
+	CacheCapacity int
+	// NoDoorkeeper disables the cache admission policy (admit on first
+	// miss, as a private engine would). The daemon defaults to doorkeeper
+	// admission: a network-facing cache sees one-shot scans that would
+	// otherwise wash out the working set.
+	NoDoorkeeper bool
+
+	// MaxBatch and QueueDepth pass through to serve.Config.
+	MaxBatch   int
+	QueueDepth int
+
+	// CompactAt and SyncEvery pass through to store.Options.
+	CompactAt int64
+	SyncEvery int
+
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+}
+
+// Daemon is the running server. Construct with New, start with Listen +
+// Serve (or the Run convenience wrapper), stop with Shutdown.
+type Daemon struct {
+	cfg    Config
+	store  *store.Store
+	cache  *plancache.Cache
+	engine *serve.Engine
+
+	// registry mirrors the store's models for lock-cheap request-time
+	// lookup by label or fingerprint.
+	regMu  sync.RWMutex
+	byFP   map[uint64][]speed.Function
+	byName map[string]uint64
+
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New opens the store, seeds the cache from it, and wires the persistence
+// taps. The daemon is not listening yet.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("rpc: Config.Dir is required")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:7411"
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	st, err := store.Open(store.Options{
+		Dir:       cfg.Dir,
+		CompactAt: cfg.CompactAt,
+		SyncEvery: cfg.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cache := plancache.NewWithConfig(plancache.Config{
+		Capacity:   cfg.CacheCapacity,
+		Doorkeeper: !cfg.NoDoorkeeper,
+	})
+	// Seed before installing the taps: imported plans are already in the
+	// store and must not be re-logged.
+	cache.Import(st.Plans(), st.Hints())
+	cache.SetInsertTap(func(r plancache.PlanRecord) { _ = st.AppendPlan(r) })
+	cache.SetInvalidateTap(func(model uint64) { _ = st.AppendInvalidate(model) })
+	st.SetHintSource(func() []plancache.HintRecord {
+		_, hints := cache.Export()
+		return hints
+	})
+
+	d := &Daemon{
+		cfg:    cfg,
+		store:  st,
+		cache:  cache,
+		engine: serve.New(serve.Config{Cache: cache, MaxBatch: cfg.MaxBatch, QueueDepth: cfg.QueueDepth}),
+		byFP:   make(map[uint64][]speed.Function),
+		byName: make(map[string]uint64),
+		start:  time.Now(),
+	}
+	for _, mi := range st.Models() {
+		if fns, ok := st.Model(mi.Fingerprint); ok {
+			d.byFP[mi.Fingerprint] = fns
+			d.byName[mi.Label] = mi.Fingerprint
+		}
+	}
+	d.srv = &http.Server{
+		Handler:           d.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return d, nil
+}
+
+// Store exposes the daemon's store (tests and stats).
+func (d *Daemon) Store() *store.Store { return d.store }
+
+// Engine exposes the daemon's serving engine.
+func (d *Daemon) Engine() *serve.Engine { return d.engine }
+
+// Listen binds the configured address and, when AddrFile is set, publishes
+// the bound address there.
+func (d *Daemon) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: %w", err)
+	}
+	d.ln = ln
+	if d.cfg.AddrFile != "" {
+		if err := os.WriteFile(d.cfg.AddrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("rpc: %w", err)
+		}
+	}
+	return ln.Addr(), nil
+}
+
+// Serve blocks serving HTTP until Shutdown. A graceful shutdown returns
+// nil.
+func (d *Daemon) Serve() error {
+	if d.ln == nil {
+		if _, err := d.Listen(); err != nil {
+			return err
+		}
+	}
+	err := d.srv.Serve(d.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight HTTP requests, closes the engine, and folds
+// the WAL into a final snapshot. Idempotent.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.closeOnce.Do(func() {
+		var first error
+		if err := d.srv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		d.engine.Close()
+		// The engine is drained: the cache fires no more taps, so the
+		// final snapshot is complete.
+		if err := d.store.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.closeErr = first
+	})
+	return d.closeErr
+}
+
+// Run is the daemon main: listen, serve, and drain on SIGTERM/SIGINT.
+func Run(cfg Config) error {
+	d, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	addr, err := d.Listen()
+	if err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		defer cancel()
+		d.Shutdown(ctx)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hetpartd: serving on %s (store %s)\n", addr, cfg.Dir)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+
+	errc := make(chan error, 1)
+	go func() { errc <- d.Serve() }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "hetpartd: %v, draining\n", sig)
+	case err := <-errc:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer cancel()
+	return d.Shutdown(ctx)
+}

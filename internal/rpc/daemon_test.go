@@ -1,0 +1,331 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"heteropart/internal/clusterio"
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+	"heteropart/internal/store"
+)
+
+// testClusterDoc builds a deterministic clusterio document whose
+// processors carry measured points, so the daemon and the test expand the
+// exact same speed functions.
+func testClusterDoc(t *testing.T, p int, seed uint32) []byte {
+	t.Helper()
+	doc := clusterio.Cluster{}
+	s := seed
+	for i := 0; i < p; i++ {
+		s = s*1664525 + 1013904223
+		peak := 1e7 * (1 + float64(s%900)/100)
+		s = s*1664525 + 1013904223
+		paging := 1e7 * (1 + float64(s%50))
+		a := &speed.Analytic{
+			Peak: peak, HalfRise: 1e3, CacheEdge: 1e5, CacheDecay: 0.8,
+			PagingPoint: paging, PagingWidth: paging / 5, PagingFloor: 0.02,
+			Max: 2e9,
+		}
+		pts := make([]speed.Point, 0, 12)
+		for x := 1e3; x < a.Max; x *= 8 {
+			pts = append(pts, speed.Point{X: x, Y: a.Eval(x)})
+		}
+		pts = append(pts, speed.Point{X: a.Max, Y: a.Eval(a.Max)})
+		doc.Processors = append(doc.Processors, clusterio.Processor{
+			Name:   fmt.Sprintf("p%d", i),
+			Points: speed.EnforceShape(pts),
+		})
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// docFunctions expands the document exactly as the daemon does.
+func docFunctions(t *testing.T, doc []byte) []speed.Function {
+	t.Helper()
+	c, err := clusterio.Load(bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns, _, err := c.Functions(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fns
+}
+
+// startDaemon runs an in-process daemon on an ephemeral port.
+func startDaemon(t *testing.T, cfg Config) (*Daemon, string) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Serve()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		d.Shutdown(ctx)
+	})
+	return d, "http://" + addr.String()
+}
+
+func postJSON(t *testing.T, url string, body []byte, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("POST %s: bad body %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	doc := testClusterDoc(t, 9, 7)
+	fns := docFunctions(t, doc)
+	_, base := startDaemon(t, Config{Dir: t.TempDir()})
+
+	var up modelReply
+	if code := postJSON(t, base+"/v1/models?label=lab", doc, &up); code != 200 {
+		t.Fatalf("upload: HTTP %d", code)
+	}
+	if up.Processors != 9 || up.Replaced {
+		t.Fatalf("upload reply: %+v", up)
+	}
+
+	var models []modelReply
+	if code := getJSON(t, base+"/v1/models", &models); code != 200 || len(models) != 1 {
+		t.Fatalf("models list: %+v", models)
+	}
+	if models[0].Fingerprint != fpString(speed.Fingerprint(fns)) {
+		t.Fatalf("fingerprint %s != local %s", models[0].Fingerprint, fpString(speed.Fingerprint(fns)))
+	}
+
+	// The daemon runs doorkeeper admission: miss, miss (admitted), hit.
+	const n = 700_000
+	ask := []byte(fmt.Sprintf(`{"model":"lab","n":%d}`, n))
+	var first, second, third partitionReply
+	postJSON(t, base+"/v1/partition", ask, &first)
+	postJSON(t, base+"/v1/partition", ask, &second)
+	if code := postJSON(t, base+"/v1/partition", ask, &third); code != 200 {
+		t.Fatalf("partition: HTTP %d", code)
+	}
+	if first.Tier != "miss" || second.Tier != "miss" || third.Tier != "hit" {
+		t.Fatalf("tiers %s/%s/%s, want miss/miss/hit", first.Tier, second.Tier, third.Tier)
+	}
+	// The served allocation is bit-identical to a cold local computation
+	// (warm starts change the search path and its slope by-product, never
+	// the allocation — see core.WithWarmStart).
+	want, err := core.Combined(n, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Alloc {
+		if third.Alloc[i] != want.Alloc[i] {
+			t.Fatalf("share %d: served %d != cold %d", i, third.Alloc[i], want.Alloc[i])
+		}
+	}
+	if third.Slope != second.Slope {
+		t.Fatalf("hit slope %v != computed slope %v", third.Slope, second.Slope)
+	}
+
+	// Fingerprint addressing works too.
+	byFP := []byte(fmt.Sprintf(`{"model":"%s","n":%d}`, fpString(speed.Fingerprint(fns)), n))
+	var viaFP partitionReply
+	if code := postJSON(t, base+"/v1/partition", byFP, &viaFP); code != 200 || viaFP.Tier != "hit" {
+		t.Fatalf("by fingerprint: HTTP %d, tier %s", code, viaFP.Tier)
+	}
+
+	// Batched mixed algorithms and options in one POST.
+	batch := []byte(fmt.Sprintf(`{"requests":[
+		{"model":"lab","n":%d},
+		{"model":"lab","n":%d,"algo":"basic"},
+		{"model":"lab","n":%d,"algo":"modified","options":{"fineTune":false}},
+		{"model":"lab","n":%d,"algo":"combined","options":{"bisection":"angles","maxSteps":64}},
+		{"model":"nope","n":1}
+	]}`, n, n, n, n))
+	var batched struct {
+		Responses []partitionReply `json:"responses"`
+	}
+	if code := postJSON(t, base+"/v1/partition", batch, &batched); code != 200 {
+		t.Fatalf("batch: HTTP %d", code)
+	}
+	if len(batched.Responses) != 5 {
+		t.Fatalf("batch answered %d", len(batched.Responses))
+	}
+	if batched.Responses[0].Tier != "hit" {
+		t.Fatalf("batched repeat not a hit: %+v", batched.Responses[0])
+	}
+	for i := 1; i <= 3; i++ {
+		r := batched.Responses[i]
+		if r.Error != "" || len(r.Alloc) != 9 {
+			t.Fatalf("batch response %d: %+v", i, r)
+		}
+		var sum int64
+		for _, x := range r.Alloc {
+			sum += x
+		}
+		if sum != n {
+			t.Fatalf("batch response %d sums to %d", i, sum)
+		}
+	}
+	if batched.Responses[4].Error == "" {
+		t.Fatal("unknown model answered without error")
+	}
+
+	// Per-algorithm tiers show up in stats, and the WAL has the plans.
+	var stats statsReply
+	if code := getJSON(t, base+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	if stats.Engine.ByAlgo["combined"].Requests == 0 ||
+		stats.Engine.ByAlgo["basic"].Requests == 0 ||
+		stats.Engine.ByAlgo["modified"].Requests == 0 {
+		t.Fatalf("per-algo stats: %+v", stats.Engine.ByAlgo)
+	}
+	if stats.Engine.ByAlgo["combined"].Hits == 0 {
+		t.Fatalf("combined hits missing: %+v", stats.Engine.ByAlgo)
+	}
+	if stats.Store.WALRecords == 0 {
+		t.Fatalf("no WAL records after admitted plans: %+v", stats.Store)
+	}
+	if stats.Cache.Rejected == 0 || stats.Cache.Admitted == 0 {
+		t.Fatalf("doorkeeper counters flat: %+v", stats.Cache)
+	}
+
+	// Health.
+	var health map[string]any
+	if code := getJSON(t, base+"/healthz", &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, health)
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	doc := testClusterDoc(t, 3, 8)
+	_, base := startDaemon(t, Config{Dir: t.TempDir()})
+	if code := postJSON(t, base+"/v1/models", doc, nil); code != 400 {
+		t.Fatalf("upload without label: HTTP %d", code)
+	}
+	if code := postJSON(t, base+"/v1/models?label=lab", []byte("{"), nil); code != 400 {
+		t.Fatalf("bad JSON model: HTTP %d", code)
+	}
+	postJSON(t, base+"/v1/models?label=lab", doc, nil)
+	for _, body := range []string{
+		`{"model":"lab","n":-5}`,
+		`{"model":"lab","n":10,"algo":"newton"}`,
+		`{"model":"lab","n":10,"options":{"bisection":"sideways"}}`,
+		`{"model":"ghost","n":10}`,
+		`not json`,
+	} {
+		if code := postJSON(t, base+"/v1/partition", []byte(body), nil); code == 200 {
+			t.Fatalf("accepted %q", body)
+		}
+	}
+}
+
+func TestDaemonModelRefreshInvalidates(t *testing.T) {
+	docA := testClusterDoc(t, 5, 9)
+	docB := testClusterDoc(t, 5, 10)
+	d, base := startDaemon(t, Config{Dir: t.TempDir()})
+
+	postJSON(t, base+"/v1/models?label=lab", docA, nil)
+	ask := []byte(`{"model":"lab","n":500000}`)
+	var r1, r2 partitionReply
+	postJSON(t, base+"/v1/partition", ask, &r1)
+	postJSON(t, base+"/v1/partition", ask, &r2) // admitted
+
+	var up modelReply
+	if code := postJSON(t, base+"/v1/models?label=lab", docB, &up); code != 200 || !up.Replaced {
+		t.Fatalf("refresh: HTTP %d %+v", code, up)
+	}
+	if up.Invalidated == 0 {
+		t.Fatalf("refresh invalidated no plans: %+v", up)
+	}
+	// The label now serves the new model from scratch.
+	var r3 partitionReply
+	postJSON(t, base+"/v1/partition", ask, &r3)
+	if r3.Tier != "miss" {
+		t.Fatalf("stale plan served after refresh: %+v", r3)
+	}
+	// The store dropped the old model too.
+	if got := len(d.Store().Models()); got != 1 {
+		t.Fatalf("%d stored models after refresh", got)
+	}
+}
+
+func TestDaemonGracefulShutdownSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	doc := testClusterDoc(t, 6, 11)
+	d, base := startDaemon(t, Config{Dir: dir})
+	postJSON(t, base+"/v1/models?label=lab", doc, nil)
+	for i := 0; i < 2; i++ { // twice: admitted past the doorkeeper
+		postJSON(t, base+"/v1/partition", []byte(`{"model":"lab","n":400000}`), nil)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	st.Close()
+	if !stats.LoadedFromSnapshot || stats.WALBytes != 0 {
+		t.Fatalf("graceful shutdown left no clean snapshot: %+v", stats)
+	}
+	if stats.Plans == 0 || stats.Models != 1 {
+		t.Fatalf("snapshot missing state: %+v", stats)
+	}
+
+	// A second daemon on the same dir serves the plan as an immediate hit.
+	_, base2 := startDaemon(t, Config{Dir: dir})
+	var warm partitionReply
+	if code := postJSON(t, base2+"/v1/partition", []byte(`{"model":"lab","n":400000}`), &warm); code != 200 {
+		t.Fatalf("warm daemon: HTTP %d", code)
+	}
+	if warm.Tier != "hit" {
+		t.Fatalf("restarted daemon's first answer is %q, want hit", warm.Tier)
+	}
+}

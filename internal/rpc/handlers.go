@@ -1,0 +1,368 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"heteropart/internal/clusterio"
+	"heteropart/internal/core"
+	"heteropart/internal/geometry"
+	"heteropart/internal/plancache"
+	"heteropart/internal/serve"
+	"heteropart/internal/speed"
+	"heteropart/internal/store"
+)
+
+// maxBodyBytes bounds every request body.
+const maxBodyBytes = 8 << 20
+
+func (d *Daemon) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", d.handleHealth)
+	mux.HandleFunc("/v1/stats", d.handleStats)
+	mux.HandleFunc("/v1/models", d.handleModels)
+	mux.HandleFunc("/v1/partition", d.handlePartition)
+	return mux
+}
+
+// httpError answers a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(d.start).String(),
+	})
+}
+
+// statsReply is the /v1/stats document.
+type statsReply struct {
+	Uptime string          `json:"uptime"`
+	Engine engineStats     `json:"engine"`
+	Cache  plancache.Stats `json:"cache"`
+	Store  store.Stats     `json:"store"`
+	Models int             `json:"models"`
+}
+
+type engineStats struct {
+	Requests     uint64                     `json:"requests"`
+	Batches      uint64                     `json:"batches"`
+	Coalesced    uint64                     `json:"coalesced"`
+	MaxBatch     int                        `json:"maxBatch"`
+	AvgBatch     float64                    `json:"avgBatch"`
+	AvgLatencyUs float64                    `json:"avgLatencyUs"`
+	ByAlgo       map[string]serve.AlgoTiers `json:"byAlgo"`
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := d.engine.Metrics()
+	d.regMu.RLock()
+	models := len(d.byFP)
+	d.regMu.RUnlock()
+	writeJSON(w, statsReply{
+		Uptime: time.Since(d.start).String(),
+		Engine: engineStats{
+			Requests:     m.Requests,
+			Batches:      m.Batches,
+			Coalesced:    m.Coalesced,
+			MaxBatch:     m.MaxBatch,
+			AvgBatch:     m.AvgBatch,
+			AvgLatencyUs: float64(m.AvgLatency.Nanoseconds()) / 1e3,
+			ByAlgo:       m.ByAlgo,
+		},
+		Cache:  m.Cache,
+		Store:  d.store.Stats(),
+		Models: models,
+	})
+}
+
+// modelReply describes one stored model on the wire; fingerprints travel
+// as fixed-width hex.
+type modelReply struct {
+	Label       string `json:"label"`
+	Fingerprint string `json:"fingerprint"`
+	Processors  int    `json:"processors"`
+	Replaced    bool   `json:"replaced,omitempty"`
+	Invalidated int    `json:"invalidatedPlans,omitempty"`
+}
+
+func fpString(fp uint64) string { return fmt.Sprintf("%016x", fp) }
+
+func (d *Daemon) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		d.regMu.RLock()
+		out := make([]modelReply, 0, len(d.byName))
+		for label, fp := range d.byName {
+			out = append(out, modelReply{Label: label, Fingerprint: fpString(fp), Processors: len(d.byFP[fp])})
+		}
+		d.regMu.RUnlock()
+		// Stable order for scripts and tests.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j].Label < out[j-1].Label; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		writeJSON(w, out)
+	case http.MethodPost:
+		d.handleModelUpload(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleModelUpload ingests a clusterio document: expand, fingerprint,
+// persist, and — when the label refreshes an existing model — invalidate
+// the old model's plans in cache and store (the durable drift path).
+func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	label := r.URL.Query().Get("label")
+	if label == "" {
+		httpError(w, http.StatusBadRequest, "missing ?label=")
+		return
+	}
+	defaultMax := 1e9
+	if s := r.URL.Query().Get("defaultMax"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || !(v > 0) {
+			httpError(w, http.StatusBadRequest, "bad defaultMax %q", s)
+			return
+		}
+		defaultMax = v
+	}
+	cluster, err := clusterio.Load(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fns, _, err := cluster.Functions(defaultMax)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	old, hadOld := d.store.ModelByLabel(label)
+	fp, replaced, err := d.store.PutModel(label, fns)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	var invalidated int
+	if replaced && hadOld {
+		// Dropping the cache entries fires the invalidate tap, which logs
+		// the drift to the WAL as well.
+		invalidated = d.cache.InvalidateFingerprint(old)
+	}
+	d.regMu.Lock()
+	if replaced && hadOld {
+		delete(d.byFP, old)
+	}
+	d.byFP[fp] = fns
+	d.byName[label] = fp
+	d.regMu.Unlock()
+	writeJSON(w, modelReply{
+		Label: label, Fingerprint: fpString(fp), Processors: len(fns),
+		Replaced: replaced, Invalidated: invalidated,
+	})
+}
+
+// partitionRequest is one partition ask on the wire.
+type partitionRequest struct {
+	// Model names the cluster: a stored label or a hex fingerprint.
+	Model string `json:"model"`
+	N     int64  `json:"n"`
+	// Algo is "basic", "modified" or "combined" (the default).
+	Algo    string          `json:"algo,omitempty"`
+	Options *requestOptions `json:"options,omitempty"`
+}
+
+// requestOptions maps the result-affecting partitioner options onto JSON.
+type requestOptions struct {
+	FineTune   *bool   `json:"fineTune,omitempty"`   // default true
+	MaxSteps   int     `json:"maxSteps,omitempty"`   // default 256
+	Elasticity float64 `json:"elasticity,omitempty"` // Combined's threshold
+	Bisection  string  `json:"bisection,omitempty"`  // "tangents" | "angles"
+}
+
+func (o *requestOptions) toOpts() ([]core.Option, error) {
+	if o == nil {
+		return nil, nil
+	}
+	var opts []core.Option
+	if o.FineTune != nil && !*o.FineTune {
+		opts = append(opts, core.WithoutFineTune())
+	}
+	if o.MaxSteps < 0 {
+		return nil, fmt.Errorf("maxSteps must be positive")
+	}
+	if o.MaxSteps > 0 {
+		opts = append(opts, core.WithMaxSteps(o.MaxSteps))
+	}
+	if o.Elasticity < 0 {
+		return nil, fmt.Errorf("elasticity must be positive")
+	}
+	if o.Elasticity > 0 {
+		opts = append(opts, core.WithElasticityThreshold(o.Elasticity))
+	}
+	switch o.Bisection {
+	case "":
+	case "tangents":
+		opts = append(opts, core.WithBisection(geometry.BisectTangents))
+	case "angles":
+		opts = append(opts, core.WithBisection(geometry.BisectAngles))
+	default:
+		return nil, fmt.Errorf("unknown bisection %q (want tangents or angles)", o.Bisection)
+	}
+	return opts, nil
+}
+
+func parseAlgoName(name string) (core.Algorithm, error) {
+	switch name {
+	case "", "combined":
+		return core.AlgoCombined, nil
+	case "basic":
+		return core.AlgoBasic, nil
+	case "modified":
+		return core.AlgoModified, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func tierName(t plancache.Tier) string {
+	switch t {
+	case plancache.TierHit:
+		return "hit"
+	case plancache.TierShared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// partitionReply is one answered plan.
+type partitionReply struct {
+	Alloc []int64    `json:"alloc,omitempty"`
+	Slope float64    `json:"slope,omitempty"`
+	Tier  string     `json:"tier,omitempty"`
+	Stats core.Stats `json:"stats"`
+	Error string     `json:"error,omitempty"`
+}
+
+// partitionBatch wraps multiple requests in one POST.
+type partitionBatch struct {
+	Requests []partitionRequest `json:"requests"`
+}
+
+// resolveModel maps the wire model name onto speed functions.
+func (d *Daemon) resolveModel(name string) ([]speed.Function, bool) {
+	d.regMu.RLock()
+	defer d.regMu.RUnlock()
+	if fp, ok := d.byName[name]; ok {
+		return d.byFP[fp], true
+	}
+	if fp, err := strconv.ParseUint(strings.TrimPrefix(name, "0x"), 16, 64); err == nil {
+		if fns, ok := d.byFP[fp]; ok {
+			return fns, true
+		}
+	}
+	return nil, false
+}
+
+// toServeRequest validates one wire request.
+func (d *Daemon) toServeRequest(pr partitionRequest) (serve.Request, error) {
+	if pr.Model == "" {
+		return serve.Request{}, fmt.Errorf("missing model")
+	}
+	if pr.N < 0 {
+		return serve.Request{}, fmt.Errorf("negative n %d", pr.N)
+	}
+	fns, ok := d.resolveModel(pr.Model)
+	if !ok {
+		return serve.Request{}, fmt.Errorf("unknown model %q (upload it via /v1/models)", pr.Model)
+	}
+	algo, err := parseAlgoName(pr.Algo)
+	if err != nil {
+		return serve.Request{}, err
+	}
+	opts, err := pr.Options.toOpts()
+	if err != nil {
+		return serve.Request{}, err
+	}
+	return serve.Request{Algo: algo, N: pr.N, Fns: fns, Opts: opts}, nil
+}
+
+func toReply(resp serve.Response) partitionReply {
+	if resp.Err != nil {
+		return partitionReply{Error: resp.Err.Error()}
+	}
+	return partitionReply{
+		Alloc: resp.Result.Alloc,
+		Slope: resp.Result.Slope,
+		Tier:  tierName(resp.Tier),
+		Stats: resp.Result.Stats,
+	}
+}
+
+// handlePartition answers one request or a batch. Batched requests are all
+// submitted before any reply is awaited, so they land in the same engine
+// dispatch cycle and coalesce.
+func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var raw json.RawMessage
+	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	var batch partitionBatch
+	if err := json.Unmarshal(raw, &batch); err == nil && len(batch.Requests) > 0 {
+		replies := make([]partitionReply, len(batch.Requests))
+		waits := make([]<-chan serve.Response, len(batch.Requests))
+		for i, pr := range batch.Requests {
+			req, err := d.toServeRequest(pr)
+			if err != nil {
+				replies[i] = partitionReply{Error: err.Error()}
+				continue
+			}
+			waits[i] = d.engine.Submit(req)
+		}
+		for i, ch := range waits {
+			if ch != nil {
+				replies[i] = toReply(<-ch)
+			}
+		}
+		writeJSON(w, map[string][]partitionReply{"responses": replies})
+		return
+	}
+	var pr partitionRequest
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	req, err := d.toServeRequest(pr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := <-d.engine.Submit(req)
+	if resp.Err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", resp.Err)
+		return
+	}
+	writeJSON(w, toReply(resp))
+}

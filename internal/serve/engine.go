@@ -39,9 +39,11 @@ type Request struct {
 }
 
 // Response carries the plan (or the partitioner's error) back to the
-// submitter.
+// submitter. Tier reports how the cache served it; requests coalesced into
+// another request's computation inherit that computation's tier.
 type Response struct {
 	Result core.Result
+	Tier   plancache.Tier
 	Err    error
 }
 
@@ -68,6 +70,26 @@ type Metrics struct {
 	AvgBatch   float64       // mean requests per batch
 	AvgLatency time.Duration // mean submit→answer latency
 	Cache      plancache.Stats
+	// ByAlgo breaks request outcomes down per algorithm (keyed by
+	// core.Algorithm.String()), so a mixed request stream shows which
+	// algorithms the cache absorbs and which still compute.
+	ByAlgo map[string]AlgoTiers
+}
+
+// AlgoTiers counts how one algorithm's requests were served.
+type AlgoTiers struct {
+	Requests uint64 `json:"requests"`
+	Hits     uint64 `json:"hits"`   // exact cache hits
+	Shared   uint64 `json:"shared"` // joined an in-flight computation
+	Misses   uint64 `json:"misses"` // computed (possibly warm-started)
+}
+
+// HitRate is the fraction of requests answered without computing.
+func (a AlgoTiers) HitRate() float64 {
+	if a.Requests == 0 {
+		return 0
+	}
+	return float64(a.Hits+a.Shared) / float64(a.Requests)
 }
 
 type pending struct {
@@ -98,6 +120,18 @@ type Engine struct {
 	maxSeen    atomic.Int64
 	latencyNs  atomic.Int64
 	batchedReq atomic.Uint64
+
+	// algoTiers[algo][tier] counts answered requests: rows are the three
+	// algorithms plus a spillover row, columns follow plancache.Tier.
+	algoTiers [4][3]atomic.Uint64
+}
+
+// algoRow maps an algorithm onto its counter row.
+func algoRow(a core.Algorithm) int {
+	if a >= 0 && int(a) < 3 {
+		return int(a)
+	}
+	return 3
 }
 
 // New starts an engine with one dispatcher goroutine.
@@ -202,6 +236,20 @@ func (e *Engine) Metrics() Metrics {
 	if m.Batches > 0 {
 		m.AvgBatch = float64(e.batchedReq.Load()) / float64(m.Batches)
 	}
+	m.ByAlgo = make(map[string]AlgoTiers, 4)
+	for row := 0; row < 4; row++ {
+		a := AlgoTiers{
+			Misses: e.algoTiers[row][plancache.TierMiss].Load(),
+			Hits:   e.algoTiers[row][plancache.TierHit].Load(),
+			Shared: e.algoTiers[row][plancache.TierShared].Load(),
+		}
+		a.Requests = a.Misses + a.Hits + a.Shared
+		if a.Requests == 0 {
+			continue
+		}
+		name := core.Algorithm(row).String()
+		m.ByAlgo[name] = a
+	}
 	return m
 }
 
@@ -283,9 +331,12 @@ func (e *Engine) runBatch(batch []*pending) {
 	e.pool.Run(len(order), func(i int) {
 		members := groups[order[i]]
 		first := members[0].req
-		res, err := e.cache.Get(first.Algo, first.N, first.Fns, first.Opts...)
+		res, tier, err := e.cache.GetTier(first.Algo, first.N, first.Fns, first.Opts...)
+		if err == nil {
+			e.algoTiers[algoRow(first.Algo)][tier].Add(uint64(len(members)))
+		}
 		for _, p := range members {
-			resp := Response{Err: err}
+			resp := Response{Err: err, Tier: tier}
 			if err == nil {
 				resp.Result = copyResult(res)
 			}

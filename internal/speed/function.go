@@ -69,6 +69,10 @@ func MustConstant(s, maxSize float64) Constant {
 // Eval implements Function.
 func (c Constant) Eval(x float64) float64 { return c.speed }
 
+// Speed returns the constant speed, for serializers that must reproduce
+// the function exactly (the store's binary model codec).
+func (c Constant) Speed() float64 { return c.speed }
+
 // MaxSize implements Function.
 func (c Constant) MaxSize() float64 { return c.max }
 

@@ -1,0 +1,831 @@
+// Package store is the crash-safe persistence layer under the partition
+// serving stack: speed models and the plan cache's contents (plans + warm
+// index) survive process restarts, so a rebooted server answers its first
+// requests from a warm cache instead of recomputing every plan.
+//
+// Durability follows the classic snapshot + write-ahead-log pattern:
+//
+//   - a versioned binary snapshot holds the full state (models, plans,
+//     warm hints) in CRC-checked frames, written to a temp file and
+//     renamed into place, so a crash mid-snapshot never destroys the
+//     previous one;
+//   - an append-only WAL records what happens between snapshots — model
+//     upserts, admitted plan insertions (the cache's insert tap), and
+//     drift invalidations — each record framed and CRC-checked, written
+//     with a single write(2) call so a SIGKILL leaves at most one partial
+//     frame at the tail;
+//   - replay-on-open loads the snapshot, applies the WAL on top, and
+//     validates everything: models must reproduce their recorded
+//     speed.Fingerprint, plans must reference a known model and sum
+//     exactly to their n. Anything that fails is quarantined (counted and
+//     dropped, corrupt files renamed aside) — a wrong plan is never
+//     served;
+//   - compaction folds the WAL into a fresh snapshot whenever it outgrows
+//     Options.CompactAt, and Close writes a final snapshot so a graceful
+//     shutdown restarts with an empty log.
+//
+// The store is single-process, single-writer; all methods are safe for
+// concurrent use within that process.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"heteropart/internal/core"
+	"heteropart/internal/plancache"
+	"heteropart/internal/speed"
+)
+
+// File names inside the store directory.
+const (
+	snapshotFile = "snapshot.bin"
+	snapshotTmp  = "snapshot.tmp"
+	walFile      = "wal.log"
+)
+
+// 8-byte magics versioning the two file formats.
+const (
+	snapMagic = "HPSNAP1\n"
+	walMagic  = "HPWAL01\n"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Dir is the store directory (created if missing). Required.
+	Dir string
+	// CompactAt triggers snapshot compaction when the WAL exceeds this
+	// many bytes (default 4 MiB; <0 disables automatic compaction).
+	CompactAt int64
+	// SyncEvery fsyncs the WAL every N appended records (default 64;
+	// 1 syncs on every append). Appends always reach the kernel
+	// immediately — a process crash loses nothing, only a machine crash
+	// can lose the records appended since the last sync.
+	SyncEvery int
+	// MaxPlans bounds the plan mirror (default 16384); the oldest plans
+	// are dropped first, mirroring LRU pressure in the cache.
+	MaxPlans int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactAt == 0 {
+		o.CompactAt = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	if o.MaxPlans <= 0 {
+		o.MaxPlans = 16384
+	}
+	return o
+}
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	Models int `json:"models"`
+	Plans  int `json:"plans"`
+	Hints  int `json:"hints"`
+
+	WALRecords  uint64 `json:"walRecords"`  // records appended this run
+	WALBytes    int64  `json:"walBytes"`    // current WAL size past the header
+	Compactions uint64 `json:"compactions"` // snapshots written this run
+
+	ReplayedModels int `json:"replayedModels"` // records applied on Open
+	ReplayedPlans  int `json:"replayedPlans"`
+	ReplayedHints  int `json:"replayedHints"`
+
+	QuarantinedRecords  int   `json:"quarantinedRecords"`  // records dropped by validation
+	QuarantinedTail     int64 `json:"quarantinedTail"`     // WAL bytes cut off a corrupt tail
+	SnapshotQuarantined bool  `json:"snapshotQuarantined"` // snapshot failed its checks and was set aside
+	LoadedFromSnapshot  bool  `json:"loadedFromSnapshot"`
+}
+
+// ModelInfo describes one stored model.
+type ModelInfo struct {
+	Fingerprint uint64
+	Label       string
+	Processors  int
+}
+
+type modelEntry struct {
+	label string
+	fns   []speed.Function
+}
+
+type planKey struct {
+	model uint64
+	n     int64
+	algo  core.Algorithm
+	opts  uint64
+}
+
+type hintKey struct {
+	model uint64
+	n     int64
+}
+
+// Store is the durable model/plan store. Construct with Open; Close writes
+// the final snapshot.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+
+	models map[uint64]*modelEntry
+	labels map[string]uint64
+
+	plans     map[planKey]plancache.PlanRecord
+	planOrder []planKey
+	hints     map[hintKey]float64
+
+	// hintSource, when set, supplies the warm index at snapshot time
+	// (wired to the live cache's Export); nil falls back to the mirror.
+	hintSource func() []plancache.HintRecord
+
+	wal       *os.File
+	walBytes  int64
+	unsynced  int
+	walTotal  uint64
+	compacted uint64
+
+	replayedModels, replayedPlans, replayedHints int
+	quarantined                                  int
+	quarantinedTail                              int64
+	snapQuarantined                              bool
+	loadedSnapshot                               bool
+
+	closed bool
+}
+
+// Open loads (or creates) the store in opts.Dir: snapshot first, WAL
+// replayed on top, corruption quarantined, and the WAL compacted into a
+// fresh snapshot when it is oversized or had a damaged tail.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		opts:   opts,
+		models: make(map[uint64]*modelEntry),
+		labels: make(map[string]uint64),
+		plans:  make(map[planKey]plancache.PlanRecord),
+		hints:  make(map[hintKey]float64),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	// A damaged tail or an oversized log folds into a fresh snapshot now,
+	// so the next crash replays from a clean base.
+	if s.quarantinedTail > 0 || (s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt) {
+		if err := s.compactLocked(); err != nil {
+			s.wal.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SetHintSource installs the warm-index supplier consulted at snapshot
+// time (typically the live cache's Export). Call before serving traffic.
+func (s *Store) SetHintSource(fn func() []plancache.HintRecord) {
+	s.mu.Lock()
+	s.hintSource = fn
+	s.mu.Unlock()
+}
+
+// PutModel registers (or refreshes) a labeled model and logs it to the
+// WAL. When the label previously mapped to a different model, the old
+// model's plans and hints are dropped and an invalidation is logged — the
+// durable form of a drift refresh. It returns the model's fingerprint and
+// whether an older model was replaced.
+func (s *Store) PutModel(label string, fns []speed.Function) (uint64, bool, error) {
+	if len(fns) == 0 {
+		return 0, false, fmt.Errorf("store: empty model")
+	}
+	payload, fp, err := encodeModelChecked(label, fns)
+	if err != nil {
+		return 0, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false, fmt.Errorf("store: closed")
+	}
+	old, replaced := s.labels[label]
+	if replaced && old == fp {
+		// Same label, same model: nothing to refresh.
+		return fp, false, nil
+	}
+	if err := s.appendLocked(payload); err != nil {
+		return 0, false, err
+	}
+	if replaced {
+		if err := s.appendLocked(encodeInvalidate(old)); err != nil {
+			return 0, false, err
+		}
+		s.dropModelState(old)
+	}
+	s.models[fp] = &modelEntry{label: label, fns: append([]speed.Function(nil), fns...)}
+	s.labels[label] = fp
+	return fp, replaced, nil
+}
+
+// encodeModelChecked fingerprints fns and encodes the model record.
+func encodeModelChecked(label string, fns []speed.Function) ([]byte, uint64, error) {
+	fp := speed.Fingerprint(fns)
+	payload, err := encodeModel(fp, label, fns)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, fp, nil
+}
+
+// AppendPlan logs one admitted plan insertion (the cache's insert tap).
+// Plans for models the store does not know are dropped silently — they
+// could not be validated on replay anyway.
+func (s *Store) AppendPlan(r plancache.PlanRecord) error {
+	if !r.Valid() {
+		return fmt.Errorf("store: invalid plan record (n=%d, %d shares)", r.N, len(r.Alloc))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.models[r.Model]; !ok {
+		return nil
+	}
+	if err := s.appendLocked(encodePlan(r)); err != nil {
+		return err
+	}
+	s.putPlanLocked(r)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// AppendInvalidate logs a drift invalidation: every stored plan and hint
+// for the model is dropped. The model itself stays registered until a
+// refresh replaces it.
+func (s *Store) AppendInvalidate(model uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := s.appendLocked(encodeInvalidate(model)); err != nil {
+		return err
+	}
+	s.dropPlansLocked(model)
+	s.maybeCompactLocked()
+	return nil
+}
+
+// Model returns the speed functions of a stored model.
+func (s *Store) Model(fp uint64) ([]speed.Function, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[fp]
+	if !ok {
+		return nil, false
+	}
+	return append([]speed.Function(nil), m.fns...), true
+}
+
+// ModelByLabel returns the fingerprint a label currently maps to.
+func (s *Store) ModelByLabel(label string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp, ok := s.labels[label]
+	return fp, ok
+}
+
+// Models lists the stored models, sorted by label then fingerprint.
+func (s *Store) Models() []ModelInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ModelInfo, 0, len(s.models))
+	for fp, m := range s.models {
+		out = append(out, ModelInfo{Fingerprint: fp, Label: m.label, Processors: len(m.fns)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// Plans returns the stored plans in insertion order, ready for
+// plancache.Import.
+func (s *Store) Plans() []plancache.PlanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]plancache.PlanRecord, 0, len(s.plans))
+	for _, k := range s.planOrder {
+		if r, ok := s.plans[k]; ok {
+			r.Alloc = append(core.Allocation(nil), r.Alloc...)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Hints returns the stored warm-start hints.
+func (s *Store) Hints() []plancache.HintRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hintsLocked()
+}
+
+func (s *Store) hintsLocked() []plancache.HintRecord {
+	out := make([]plancache.HintRecord, 0, len(s.hints))
+	for k, slope := range s.hints {
+		out = append(out, plancache.HintRecord{Model: k.model, N: k.n, Slope: slope})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].N < out[j].N
+	})
+	return out
+}
+
+// Sync forces the WAL to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.wal == nil {
+		return nil
+	}
+	s.unsynced = 0
+	return s.wal.Sync()
+}
+
+// Snapshot writes a full snapshot and resets the WAL.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactLocked()
+}
+
+// Close writes a final snapshot (the graceful-drain path: the WAL is
+// flushed into it) and releases the files. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.compactLocked()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Models:              len(s.models),
+		Plans:               len(s.plans),
+		Hints:               len(s.hints),
+		WALRecords:          s.walTotal,
+		WALBytes:            s.walBytes,
+		Compactions:         s.compacted,
+		ReplayedModels:      s.replayedModels,
+		ReplayedPlans:       s.replayedPlans,
+		ReplayedHints:       s.replayedHints,
+		QuarantinedRecords:  s.quarantined,
+		QuarantinedTail:     s.quarantinedTail,
+		SnapshotQuarantined: s.snapQuarantined,
+		LoadedFromSnapshot:  s.loadedSnapshot,
+	}
+}
+
+// --- in-memory state transitions (callers hold mu) ---
+
+// putPlanLocked installs a plan in the mirror, FIFO-bounded.
+func (s *Store) putPlanLocked(r plancache.PlanRecord) {
+	k := planKey{model: r.Model, n: r.N, algo: r.Algo, opts: r.OptsKey}
+	if _, exists := s.plans[k]; !exists {
+		s.planOrder = append(s.planOrder, k)
+	}
+	s.plans[k] = r
+	s.hints[hintKey{model: r.Model, n: r.N}] = r.Slope
+	for len(s.plans) > s.opts.MaxPlans && len(s.planOrder) > 0 {
+		oldest := s.planOrder[0]
+		s.planOrder = s.planOrder[1:]
+		delete(s.plans, oldest)
+	}
+}
+
+// dropPlansLocked removes every plan and hint derived from a model.
+func (s *Store) dropPlansLocked(model uint64) {
+	kept := s.planOrder[:0]
+	for _, k := range s.planOrder {
+		if k.model == model {
+			delete(s.plans, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	s.planOrder = kept
+	for k := range s.hints {
+		if k.model == model {
+			delete(s.hints, k)
+		}
+	}
+}
+
+// dropModelState removes a model and everything derived from it.
+func (s *Store) dropModelState(model uint64) {
+	if m, ok := s.models[model]; ok {
+		if s.labels[m.label] == model {
+			delete(s.labels, m.label)
+		}
+		delete(s.models, model)
+	}
+	s.dropPlansLocked(model)
+}
+
+// --- replay validation (shared by snapshot load and WAL replay) ---
+
+// applyModel validates and installs a replayed model record: the decoded
+// functions must reproduce the recorded fingerprint, else the record is
+// quarantined (a stale or corrupted model must never validate plans).
+func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) {
+	if speed.Fingerprint(fns) != fp || label == "" {
+		s.quarantined++
+		return
+	}
+	if old, ok := s.labels[label]; ok && old != fp {
+		s.dropModelState(old)
+	}
+	s.models[fp] = &modelEntry{label: label, fns: fns}
+	s.labels[label] = fp
+	s.replayedModels++
+}
+
+// applyPlan validates and installs a replayed plan record.
+func (s *Store) applyPlan(r plancache.PlanRecord) {
+	m, ok := s.models[r.Model]
+	if !ok || !r.Valid() || len(r.Alloc) != len(m.fns) {
+		s.quarantined++
+		return
+	}
+	s.putPlanLocked(r)
+	s.replayedPlans++
+}
+
+// applyHint validates and installs a replayed warm hint.
+func (s *Store) applyHint(h plancache.HintRecord) {
+	if _, ok := s.models[h.Model]; !ok || h.N <= 0 || !(h.Slope > 0) {
+		s.quarantined++
+		return
+	}
+	s.hints[hintKey{model: h.Model, n: h.N}] = h.Slope
+	s.replayedHints++
+}
+
+// applyRecord dispatches one replayed payload. Unknown record types are
+// quarantined, not fatal — a newer writer's records degrade gracefully.
+func (s *Store) applyRecord(payload []byte) {
+	d := &decoder{buf: payload}
+	switch d.u8() {
+	case recModel:
+		fp, label, fns, err := decodeModel(d)
+		if err != nil || !d.done() {
+			s.quarantined++
+			return
+		}
+		s.applyModel(fp, label, fns)
+	case recPlan:
+		r, err := decodePlan(d)
+		if err != nil || !d.done() {
+			s.quarantined++
+			return
+		}
+		s.applyPlan(r)
+	case recHint:
+		h, err := decodeHint(d)
+		if err != nil || !d.done() {
+			s.quarantined++
+			return
+		}
+		s.applyHint(h)
+	case recInvalidate:
+		model, err := decodeInvalidate(d)
+		if err != nil || !d.done() {
+			s.quarantined++
+			return
+		}
+		s.dropPlansLocked(model)
+	default:
+		s.quarantined++
+	}
+}
+
+// --- WAL ---
+
+// openWAL opens (creating if needed) and replays the log.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.opts.Dir, walFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.wal = f
+		return nil
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
+		// Unrecognized log: set it aside and start fresh rather than guess.
+		f.Close()
+		if err := quarantineFile(path); err != nil {
+			return err
+		}
+		s.quarantinedTail += info.Size()
+		return s.openWAL()
+	}
+	// Replay frames; stop at the first corrupt one and cut the tail there.
+	r := bufio.NewReader(f)
+	good := int64(len(walMagic))
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.quarantinedTail += info.Size() - good
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return fmt.Errorf("store: truncating corrupt WAL tail: %w", err)
+			}
+			break
+		}
+		s.applyRecord(payload)
+		good += int64(8 + len(payload))
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	s.walBytes = good - int64(len(walMagic))
+	return nil
+}
+
+// appendLocked frames and writes one record to the WAL in a single write
+// call, syncing every SyncEvery records.
+func (s *Store) appendLocked(payload []byte) error {
+	n, err := writeFrame(s.wal, payload)
+	s.walBytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	s.walTotal++
+	s.unsynced++
+	if s.unsynced >= s.opts.SyncEvery {
+		s.unsynced = 0
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: WAL sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// maybeCompactLocked compacts when the WAL has outgrown CompactAt.
+func (s *Store) maybeCompactLocked() {
+	if s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt {
+		// Compaction failure must not fail the append that triggered it;
+		// the WAL keeps growing and the next append retries.
+		_ = s.compactLocked()
+	}
+}
+
+// --- snapshot ---
+
+// compactLocked writes the full state to a fresh snapshot (atomically:
+// temp file, fsync, rename, fsync dir) and resets the WAL.
+func (s *Store) compactLocked() error {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	var nModels, nPlans, nHints int
+
+	models := make([]ModelInfo, 0, len(s.models))
+	for fp, m := range s.models {
+		models = append(models, ModelInfo{Fingerprint: fp, Label: m.label})
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].Fingerprint < models[j].Fingerprint })
+	for _, mi := range models {
+		m := s.models[mi.Fingerprint]
+		payload, err := encodeModel(mi.Fingerprint, m.label, m.fns)
+		if err != nil {
+			return err
+		}
+		if _, err := writeFrame(&buf, payload); err != nil {
+			return err
+		}
+		nModels++
+	}
+	for _, k := range s.planOrder {
+		r, ok := s.plans[k]
+		if !ok {
+			continue
+		}
+		if _, err := writeFrame(&buf, encodePlan(r)); err != nil {
+			return err
+		}
+		nPlans++
+	}
+	hints := s.hintsLocked()
+	if s.hintSource != nil {
+		if fresh := s.hintSource(); fresh != nil {
+			hints = fresh
+		}
+	}
+	for _, h := range hints {
+		if _, ok := s.models[h.Model]; !ok {
+			continue
+		}
+		if _, err := writeFrame(&buf, encodeHint(h)); err != nil {
+			return err
+		}
+		s.hints[hintKey{model: h.Model, n: h.N}] = h.Slope
+		nHints++
+	}
+	if _, err := writeFrame(&buf, encodeSnapEnd(nModels, nPlans, nHints)); err != nil {
+		return err
+	}
+
+	tmp := filepath.Join(s.opts.Dir, snapshotTmp)
+	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
+		return err
+	}
+	final := filepath.Join(s.opts.Dir, snapshotFile)
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return err
+	}
+	// The snapshot now covers everything; restart the log.
+	if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walBytes = 0
+	s.unsynced = 0
+	s.compacted++
+	return nil
+}
+
+// loadSnapshot reads the snapshot if present. Any corruption — bad magic,
+// bad frame, decode failure, missing or inconsistent terminator —
+// quarantines the whole file (renamed aside) and starts empty: WAL records
+// depending on snapshot state then quarantine individually during replay.
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.opts.Dir, snapshotFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	ok := func() bool {
+		if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+			return false
+		}
+		r := bytes.NewReader(data[len(snapMagic):])
+		for {
+			payload, err := readFrame(r)
+			if err == io.EOF {
+				return false // no terminator: truncated snapshot
+			}
+			if err != nil {
+				return false
+			}
+			if payload[0] == recSnapEnd {
+				d := &decoder{buf: payload[1:]}
+				wantModels, wantPlans, wantHints, err := decodeSnapEnd(d)
+				if err != nil || !d.done() || r.Len() != 0 {
+					return false
+				}
+				// The terminator counts every record written; every record
+				// seen was either applied or quarantined. Any other total
+				// means frames went missing without breaking a CRC.
+				seen := s.replayedModels + s.replayedPlans + s.replayedHints + s.quarantined
+				return seen == wantModels+wantPlans+wantHints
+			}
+			s.applyRecord(payload)
+		}
+	}()
+	if !ok {
+		// Reset whatever half-applied state the bad snapshot left behind.
+		s.models = make(map[uint64]*modelEntry)
+		s.labels = make(map[string]uint64)
+		s.plans = make(map[planKey]plancache.PlanRecord)
+		s.planOrder = nil
+		s.hints = make(map[hintKey]float64)
+		s.replayedModels, s.replayedPlans, s.replayedHints = 0, 0, 0
+		s.quarantined = 0
+		s.snapQuarantined = true
+		if err := quarantineFile(path); err != nil {
+			return err
+		}
+		return nil
+	}
+	s.loadedSnapshot = true
+	return nil
+}
+
+// --- file helpers ---
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// quarantineFile renames a corrupt file aside (never deletes it), picking
+// the first free .corrupt[.k] name.
+func quarantineFile(path string) error {
+	target := path + ".corrupt"
+	for k := 1; ; k++ {
+		if _, err := os.Stat(target); os.IsNotExist(err) {
+			break
+		}
+		target = fmt.Sprintf("%s.corrupt.%d", path, k)
+	}
+	if err := os.Rename(path, target); err != nil {
+		return fmt.Errorf("store: quarantining %s: %w", path, err)
+	}
+	return nil
+}

@@ -14,11 +14,18 @@
 #   5. explicit race pass for the partition-serving pair (plancache,
 #      serve) — a sharded cache with singleflight and a batching engine
 #      are the most lock-ordering-sensitive code in the tree
-#   6. benchmark smoke: every kernel benchmark and every partition-serving
+#   6. explicit race pass for the durability pair (store, rpc) — WAL
+#      appends race against snapshot compaction, and the daemon's taps
+#      cross the cache/store boundary on every admitted plan
+#   7. kill-and-restart gate: SIGKILL the daemon mid-load, restart on the
+#      same store, and require every answered plan to come back as an
+#      exact, bit-identical cache hit
+#   8. benchmark smoke: every kernel benchmark and every partition-serving
 #      benchmark runs once
-#   7. allocation regression guard: the warm partitioner hot path must
+#   9. allocation regression guard: the warm partitioner hot path must
 #      report exactly 0 allocs/op, the property the serving engine's
-#      throughput rests on
+#      throughput rests on (the store's persistence taps fire off the
+#      hot path, so this gate also guards the daemon's serving loop)
 #
 # Usage: scripts/ci.sh
 set -e
@@ -38,6 +45,10 @@ echo "==> go test -race ./internal/faults/... ./internal/measure/... (robustness
 go test -race ./internal/faults/... ./internal/measure/...
 echo "==> go test -race ./internal/plancache/... ./internal/serve/... (partition-serving gate)" >&2
 go test -race ./internal/plancache/... ./internal/serve/...
+echo "==> go test -race ./internal/store/... ./internal/rpc/... (durability gate)" >&2
+go test -race ./internal/store/... ./internal/rpc/...
+echo "==> kill-and-restart gate: go test -race -run KillAndRestart ./internal/rpc/" >&2
+go test -race -count=1 -run KillAndRestart ./internal/rpc/
 echo "==> benchmark smoke: go test -run '^$' -bench Kernel -benchtime=1x ." >&2
 go test -run '^$' -bench Kernel -benchtime=1x .
 echo "==> benchmark smoke: go test -run '^$' -bench PartitionThroughput -benchtime=1x ." >&2
