@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hetpartd -dir /var/lib/hetpartd [-addr 127.0.0.1:7411]
+//	hetpartd -dir /var/lib/hetpartd2 -addr :7412 -replica-of http://127.0.0.1:7411
 //
 // Upload a model, then partition against it:
 //
@@ -38,6 +39,9 @@ func main() {
 		compactAt  = flag.Int64("compact-at", 0, "WAL bytes that trigger snapshot compaction (0 = default 4MiB)")
 		syncEvery  = flag.Int("sync-every", 0, "fsync the WAL every N records (0 = default 64, 1 = every record)")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+		replicaOf  = flag.String("replica-of", "", "follow the primary hetpartd at this base URL (read-only until promoted)")
+		reconnect  = flag.Duration("reconnect-base", 0, "base pause of the follower's jittered reconnect backoff (0 = default 100ms)")
+		replicaWt  = flag.Duration("replica-wait", 0, "long-poll hold when streaming the primary's WAL (0 = default 2s)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -55,6 +59,9 @@ func main() {
 		QueueDepth:    *queueDepth,
 		CompactAt:     *compactAt,
 		SyncEvery:     *syncEvery,
+		ReplicaOf:     *replicaOf,
+		ReconnectBase: *reconnect,
+		ReplicaWait:   *replicaWt,
 		DrainTimeout:  *drain,
 	})
 	if err != nil {

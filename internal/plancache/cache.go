@@ -147,6 +147,7 @@ type Stats struct {
 	Admitted      uint64 // computed plans inserted into the LRU
 	Rejected      uint64 // computed plans the doorkeeper kept out (first miss)
 	Size          int    // entries currently cached
+	ReadOnly      bool   // admission suspended (replica mirroring a primary)
 }
 
 // HitRate returns the fraction of requests served without computing.
@@ -190,6 +191,12 @@ type Cache struct {
 	// installed before traffic without locking the hot path.
 	insertTap     atomic.Pointer[func(PlanRecord)]
 	invalidateTap atomic.Pointer[func(uint64)]
+
+	// readOnly suspends admission: misses still compute and return, but
+	// nothing is inserted, no doorkeeper state advances, no taps fire and
+	// no hints are remembered. Import and Invalidate are unaffected — they
+	// ARE the write path while a replica mirrors its primary.
+	readOnly atomic.Bool
 
 	partitioners sync.Pool
 }
@@ -284,10 +291,11 @@ func (c *Cache) GetTier(algo core.Algorithm, n int64, fns []speed.Function, opts
 	cl.res, cl.err = c.compute(k, n, fns, opts)
 	close(cl.done)
 
+	readOnly := c.readOnly.Load()
 	var inserted, doorRejected bool
 	sh.mu.Lock()
 	delete(sh.inflight, k)
-	if cl.err == nil {
+	if cl.err == nil && !readOnly {
 		if sh.door == nil || sh.door.seen(h) {
 			var evicted uint64
 			evicted, inserted = sh.insert(k, copyResult(cl.res))
@@ -314,7 +322,7 @@ func (c *Cache) GetTier(algo core.Algorithm, n int64, fns []speed.Function, opts
 	} else if doorRejected {
 		c.rejected.Add(1)
 	}
-	if n > 0 {
+	if n > 0 && !readOnly {
 		c.rememberHint(k.model, n, cl.res.Slope)
 	}
 	return cl.res, TierMiss, nil
@@ -435,6 +443,35 @@ func (c *Cache) InvalidateFingerprint(model uint64) int {
 	return dropped
 }
 
+// Reset drops every cached plan and warm hint without firing taps or
+// counting invalidations — the mirror-rebuild primitive a replica uses
+// after a snapshot handoff replaced its store's state wholesale (the
+// handoff's contents are re-Imported right after). In-flight computations
+// are left to finish; their results are simply not admitted into the
+// post-reset cache until recomputed.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[key]*entry)
+		sh.head, sh.tail = nil, nil
+		sh.mu.Unlock()
+	}
+	c.warm.mu.Lock()
+	c.warm.models = make(map[uint64][]hint)
+	c.warm.mu.Unlock()
+}
+
+// SetReadOnly toggles read-only admission. While set, misses still compute
+// and return correct plans, but the cache's contents change only through
+// Import and Invalidate — the replication feed — so a replica's cache stays
+// a faithful mirror of its primary's instead of diverging on local traffic.
+// Promotion flips it back off.
+func (c *Cache) SetReadOnly(ro bool) { c.readOnly.Store(ro) }
+
+// ReadOnly reports whether admission is suspended.
+func (c *Cache) ReadOnly() bool { return c.readOnly.Load() }
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	s := Stats{
@@ -446,6 +483,7 @@ func (c *Cache) Stats() Stats {
 		Invalidations: c.invalidations.Load(),
 		Admitted:      c.admitted.Load(),
 		Rejected:      c.rejected.Load(),
+		ReadOnly:      c.readOnly.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

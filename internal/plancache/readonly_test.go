@@ -1,0 +1,117 @@
+package plancache
+
+import (
+	"testing"
+
+	"heteropart/internal/core"
+	"heteropart/internal/speed"
+)
+
+func TestReadOnlySuspendsAdmissionButNotCorrectness(t *testing.T) {
+	c := New(0)
+	c.SetReadOnly(true)
+	fns := testCluster(8, 41)
+
+	res, tier, err := c.GetTier(core.AlgoCombined, 1_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != TierMiss {
+		t.Fatalf("tier %v, want miss", tier)
+	}
+	if got := res.Alloc.Sum(); got != 1_000_000 {
+		t.Fatalf("read-only miss returned a wrong plan: sum %d", got)
+	}
+	// Nothing was admitted, no hint remembered: the same ask misses again
+	// and computes cold (no warm start).
+	_, tier2, err := c.GetTier(core.AlgoCombined, 1_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier2 != TierMiss {
+		t.Fatalf("read-only cache admitted a plan (second ask: %v)", tier2)
+	}
+	st := c.Stats()
+	if st.Admitted != 0 || st.Size != 0 || st.WarmStarts != 0 || !st.ReadOnly {
+		t.Fatalf("read-only cache leaked state: %+v", st)
+	}
+}
+
+func TestReadOnlyTapsNeverFire(t *testing.T) {
+	c := New(0)
+	var taps int
+	c.SetInsertTap(func(PlanRecord) { taps++ })
+	c.SetReadOnly(true)
+	fns := testCluster(6, 42)
+	if _, err := c.Get(core.AlgoCombined, 2_000_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	if taps != 0 {
+		t.Fatalf("insert tap fired %d times on a read-only cache", taps)
+	}
+}
+
+func TestReadOnlyImportStillWrites(t *testing.T) {
+	c := New(0)
+	c.SetReadOnly(true)
+	fns := testCluster(8, 43)
+	fp := speed.Fingerprint(fns)
+
+	// Import is the replication feed: it must admit records even when the
+	// local miss path is sealed.
+	res, err := core.Combined(3_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Import([]PlanRecord{{
+		Model: fp, N: 3_000_000, Algo: core.AlgoCombined, OptsKey: core.OptionsKey(),
+		Slope: res.Slope, Alloc: res.Alloc, Stats: res.Stats,
+	}}, []HintRecord{{Model: fp, N: 3_000_000, Slope: res.Slope}})
+	if n != 1 {
+		t.Fatalf("Import admitted %d, want 1", n)
+	}
+	got, tier, err := c.GetTier(core.AlgoCombined, 3_000_000, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tier != TierHit {
+		t.Fatalf("imported plan not served as hit (tier %v)", tier)
+	}
+	for i := range got.Alloc {
+		if got.Alloc[i] != res.Alloc[i] {
+			t.Fatalf("hit not bit-identical at %d: %d vs %d", i, got.Alloc[i], res.Alloc[i])
+		}
+	}
+
+	// Invalidate also still works — it is the other half of the feed.
+	if dropped := c.InvalidateFingerprint(fp); dropped != 1 {
+		t.Fatalf("InvalidateFingerprint dropped %d, want 1", dropped)
+	}
+}
+
+func TestResetDropsEverythingSilently(t *testing.T) {
+	c := New(0)
+	var invalidations int
+	c.SetInvalidateTap(func(uint64) { invalidations++ })
+	fns := testCluster(8, 44)
+	if _, err := c.Get(core.AlgoCombined, 1_000_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Size == 0 {
+		t.Fatal("nothing cached to reset")
+	}
+	c.Reset()
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("Reset left %d entries", st.Size)
+	}
+	if invalidations != 0 {
+		t.Fatalf("Reset fired the invalidate tap %d times", invalidations)
+	}
+	// The warm index is gone too: the next miss computes cold.
+	if _, err := c.Get(core.AlgoCombined, 1_100_000, fns); err != nil {
+		t.Fatal(err)
+	}
+	if ws := c.Stats().WarmStarts; ws != 0 {
+		t.Fatalf("warm index survived Reset (%d warm starts)", ws)
+	}
+}

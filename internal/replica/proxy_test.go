@@ -1,0 +1,88 @@
+package replica
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyProxy is a TCP pass-through whose link can be cut: while down, new
+// connections are refused and established ones are severed — the follower
+// sees exactly what a network partition looks like, mid-response included.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+	down   atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+func newFlakyProxy(t *testing.T, targetURL string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{
+		ln:     ln,
+		target: strings.TrimPrefix(targetURL, "http://"),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	t.Cleanup(func() { ln.Close(); p.setDown(true) })
+	go p.accept()
+	return p
+}
+
+func (p *flakyProxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// setDown cuts (true) or restores (false) the link; cutting severs every
+// established connection so in-flight reads fail mid-body.
+func (p *flakyProxy) setDown(down bool) {
+	p.down.Store(down)
+	if down {
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.conns = make(map[net.Conn]struct{})
+		p.mu.Unlock()
+	}
+}
+
+func (p *flakyProxy) accept() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.down.Load() {
+			client.Close()
+			continue
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns[client] = struct{}{}
+		p.conns[upstream] = struct{}{}
+		p.mu.Unlock()
+		go p.pipe(client, upstream)
+		go p.pipe(upstream, client)
+	}
+}
+
+func (p *flakyProxy) pipe(dst, src net.Conn) {
+	io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+	p.mu.Lock()
+	delete(p.conns, dst)
+	delete(p.conns, src)
+	p.mu.Unlock()
+}

@@ -1,0 +1,91 @@
+// Package replica replicates a hetpartd store over HTTP. The store's WAL
+// is already a replication log — self-delimiting CRC32C frames — so the
+// primary side (Shipper) serves a snapshot handoff plus the raw frame
+// stream, and the follower side (Follower) replays both through the
+// store's validated-replay path into its own snapshot+WAL. The follower
+// moves through an explicit state machine:
+//
+//	syncing → caught-up → serving-reads → promoted
+//
+// syncing: handoff applied, draining the frame backlog. caught-up: the
+// confirmed offset reached the primary's end at least once. serving-reads:
+// sticky once caught up — the daemon may answer reads (possibly stale
+// during an outage, never wrong: every byte served was validated). promoted:
+// the follower sealed its log, bumped the fencing epoch and accepts writes;
+// a zombie primary's late frames are rejected by the epoch fence.
+package replica
+
+import (
+	"hash/fnv"
+)
+
+// State is a follower's position in the replication lifecycle.
+type State int32
+
+const (
+	// StateSyncing: applying the snapshot handoff or draining the frame
+	// backlog behind the primary's committed end.
+	StateSyncing State = iota
+	// StateCaughtUp: the confirmed offset reached the primary's end.
+	StateCaughtUp
+	// StateServingReads: caught up at least once; reads are safe to serve
+	// and stay safe (possibly stale) across reconnects.
+	StateServingReads
+	// StatePromoted: the follower sealed its WAL, bumped the epoch and
+	// accepts writes; it no longer follows anyone.
+	StatePromoted
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSyncing:
+		return "syncing"
+	case StateCaughtUp:
+		return "caught-up"
+	case StateServingReads:
+		return "serving-reads"
+	case StatePromoted:
+		return "promoted"
+	}
+	return "unknown"
+}
+
+// Status is an observable snapshot of a follower, shaped for /v1/stats:
+// both sides' log positions plus the derived lag, and the counters that
+// explain how the stream has behaved.
+type Status struct {
+	State   string `json:"state"`
+	Primary string `json:"primary"`
+
+	Epoch     uint64 `json:"epoch"`     // local fencing epoch
+	Gen       uint64 `json:"gen"`       // WAL generation being streamed
+	Confirmed int64  `json:"confirmed"` // local confirmed WAL offset (bytes)
+	Frames    int64  `json:"frames"`    // local confirmed frames
+
+	PrimaryOffset int64 `json:"primaryOffset"` // primary's committed end (bytes)
+	PrimaryFrames int64 `json:"primaryFrames"`
+	LagBytes      int64 `json:"lagBytes"`
+	LagFrames     int64 `json:"lagFrames"`
+
+	Connected  bool  `json:"connected"`
+	Handoffs   int64 `json:"handoffs"`   // snapshot handoffs applied
+	Resyncs    int64 `json:"resyncs"`    // re-handoffs after generation loss
+	Reconnects int64 `json:"reconnects"` // stream reconnect attempts
+	Fenced     int64 `json:"fenced"`     // chunks rejected by the epoch fence
+	Corrupt    int64 `json:"corrupt"`    // bit-flipped frames rejected mid-stream
+	Torn       int64 `json:"torn"`       // chunks that arrived with a partial tail
+	Applied    int64 `json:"applied"`    // records mirrored into the live cache
+}
+
+// BackoffKey derives the follower's deterministic jitter key from its
+// primary's address. The supervisor keys its retry schedule by
+// seed^worker-index — small integers xor a seed — so the follower hashes
+// the address and forces the top bit, placing its jitter stream in a part
+// of the key space no worker index reaches; reconnect retries never share
+// an instant with the supervisor's restarts (see TestReconnectBackoff
+// NoCollision).
+func BackoffKey(primary string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("replica:" + primary))
+	return h.Sum64() | 1<<63
+}

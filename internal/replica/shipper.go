@@ -1,0 +1,226 @@
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heteropart/internal/store"
+)
+
+// Position headers on every replication response: the primary's committed
+// end (epoch, generation, byte offset, frame count), so the follower can
+// fence, address its next read and report its lag from the same reply.
+const (
+	hdrEpoch   = "X-Hetpart-Epoch"
+	hdrGen     = "X-Hetpart-Gen"
+	hdrOffset  = "X-Hetpart-Offset"
+	hdrFrames  = "X-Hetpart-Frames"
+	hdrSession = "X-Hetpart-Session"
+)
+
+// DefaultPinLease bounds how long a snapshot handoff pins compaction when
+// the follower never comes back for the frame stream. A crashed follower
+// must not be able to wedge the primary's WAL at unbounded size; after the
+// lease the pin is released and a late follower simply gets 410 and a
+// fresh handoff.
+const DefaultPinLease = 15 * time.Second
+
+// Shipper is the primary side of replication: it serves snapshot handoffs
+// (pinned against compaction for the gap between handoff and first frame
+// read) and the live WAL frame stream as long-polled chunk reads.
+type Shipper struct {
+	st    *store.Store
+	lease time.Duration
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextID   atomic.Uint64
+
+	handoffs atomic.Int64
+	chunks   atomic.Int64
+}
+
+type session struct {
+	release func()
+	timer   *time.Timer
+}
+
+// NewShipper serves st's log. A non-positive pinLease uses DefaultPinLease.
+func NewShipper(st *store.Store, pinLease time.Duration) *Shipper {
+	if pinLease <= 0 {
+		pinLease = DefaultPinLease
+	}
+	return &Shipper{st: st, lease: pinLease, sessions: make(map[uint64]*session)}
+}
+
+// ShipperStatus is the primary-side replication view for /v1/stats.
+type ShipperStatus struct {
+	Epoch    uint64 `json:"epoch"`
+	Gen      uint64 `json:"gen"`
+	Offset   int64  `json:"offset"`
+	Frames   int64  `json:"frames"`
+	Handoffs int64  `json:"handoffs"` // snapshot handoffs served
+	Chunks   int64  `json:"chunks"`   // WAL chunk reads served
+	Pinned   int    `json:"pinned"`   // handoff sessions still pinning compaction
+}
+
+// Status reports the committed end of the log and shipping counters.
+func (sh *Shipper) Status() ShipperStatus {
+	pos := sh.st.ReplicationPos()
+	sh.mu.Lock()
+	pinned := len(sh.sessions)
+	sh.mu.Unlock()
+	return ShipperStatus{
+		Epoch: pos.Epoch, Gen: pos.Gen, Offset: pos.Offset, Frames: pos.Frames,
+		Handoffs: sh.handoffs.Load(), Chunks: sh.chunks.Load(), Pinned: pinned,
+	}
+}
+
+// Handler returns the replication endpoints, relative to wherever the
+// caller mounts them (the daemon uses /v1/replication/):
+//
+//	GET snapshot          → full state in snapshot format + position headers
+//	GET wal?gen=&offset=  → raw frame bytes from offset (long-poll)
+//	GET status            → ShipperStatus as JSON
+func (sh *Shipper) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/snapshot", sh.handleSnapshot)
+	mux.HandleFunc("/wal", sh.handleWAL)
+	mux.HandleFunc("/status", sh.handleStatus)
+	return mux
+}
+
+func (sh *Shipper) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Pin before encoding so the position the snapshot is consistent with
+	// cannot be compacted away while the bytes travel; the pin is released
+	// by the first WAL read of this session, or by the lease if the
+	// follower never returns.
+	release := sh.st.PinCompaction()
+	data, pos, err := sh.st.HandoffSnapshot()
+	if err != nil {
+		release()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	id := sh.nextID.Add(1)
+	s := &session{release: release}
+	s.timer = time.AfterFunc(sh.lease, func() { sh.endSession(id) })
+	sh.mu.Lock()
+	sh.sessions[id] = s
+	sh.mu.Unlock()
+	sh.handoffs.Add(1)
+
+	writePos(w.Header(), pos)
+	w.Header().Set(hdrSession, strconv.FormatUint(id, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// endSession releases the compaction pin for a handoff session; idempotent.
+func (sh *Shipper) endSession(id uint64) {
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		s.timer.Stop()
+		s.release()
+	}
+}
+
+func (sh *Shipper) handleWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	gen, err1 := strconv.ParseUint(q.Get("gen"), 10, 64)
+	offset, err2 := strconv.ParseInt(q.Get("offset"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "gen and offset required", http.StatusBadRequest)
+		return
+	}
+	// The follower made it to the frame stream: its handoff session (if
+	// any) has served its purpose, unpin compaction.
+	if sid, err := strconv.ParseUint(q.Get("session"), 10, 64); err == nil {
+		sh.endSession(sid)
+	}
+	maxBytes := 1 << 20
+	if m, err := strconv.Atoi(q.Get("max")); err == nil && m > 0 {
+		maxBytes = m
+	}
+	var wait time.Duration
+	if ms, err := strconv.Atoi(q.Get("wait")); err == nil && ms > 0 {
+		wait = time.Duration(ms) * time.Millisecond
+	}
+
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the notify channel before reading so an append between the
+		// read and the wait cannot be missed.
+		notify := sh.st.AppendWait()
+		chunk, pos, err := sh.st.ReadWALChunk(gen, offset, maxBytes)
+		if errors.Is(err, store.ErrGenGone) {
+			writePos(w.Header(), pos)
+			http.Error(w, "WAL generation gone; re-handoff", http.StatusGone)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(chunk) > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			sh.chunks.Add(1)
+			writePos(w.Header(), pos)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(chunk)))
+			w.Write(chunk)
+			return
+		}
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-notify:
+			t.Stop()
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+func (sh *Shipper) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sh.Status())
+}
+
+func writePos(h http.Header, pos store.ReplPos) {
+	h.Set(hdrEpoch, strconv.FormatUint(pos.Epoch, 10))
+	h.Set(hdrGen, strconv.FormatUint(pos.Gen, 10))
+	h.Set(hdrOffset, strconv.FormatInt(pos.Offset, 10))
+	h.Set(hdrFrames, strconv.FormatInt(pos.Frames, 10))
+}
+
+func readPos(h http.Header) (store.ReplPos, error) {
+	epoch, err1 := strconv.ParseUint(h.Get(hdrEpoch), 10, 64)
+	gen, err2 := strconv.ParseUint(h.Get(hdrGen), 10, 64)
+	offset, err3 := strconv.ParseInt(h.Get(hdrOffset), 10, 64)
+	frames, err4 := strconv.ParseInt(h.Get(hdrFrames), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return store.ReplPos{}, fmt.Errorf("replica: malformed position headers")
+	}
+	return store.ReplPos{Epoch: epoch, Gen: gen, Offset: offset, Frames: frames}, nil
+}

@@ -11,15 +11,23 @@
 //	POST /v1/models?label=L[&defaultMax=F]  upload/refresh a clusterio doc
 //	GET  /v1/models                         list stored models
 //	POST /v1/partition                      one request or {"requests":[…]}
-//	GET  /v1/stats                          engine+cache+store counters
-//	GET  /healthz                           liveness
+//	GET  /v1/stats                          engine+cache+store+replication
+//	GET  /healthz                           liveness (process is up)
+//	GET  /readyz                            readiness (caught up, serving)
+//	GET  /v1/replication/{snapshot,wal,status}  the log-shipping feed
+//	POST /v1/replication/promote            promote a replica to primary
 //
 // Wiring: the plan cache's insert tap appends every admitted plan to the
 // store's WAL before the response leaves the process, so any answered
 // request is recoverable; the invalidate tap logs drift invalidations; the
 // store's hint source pulls the cache's warm index into every snapshot.
-// Graceful shutdown (SIGTERM/SIGINT) drains in-flight HTTP requests,
-// closes the engine, and folds the WAL into a final snapshot.
+// With -replica-of the daemon instead starts as a read-only follower of
+// another hetpartd: it bootstraps from a snapshot handoff, streams the
+// primary's WAL frames into its own store through the validated-replay
+// path, mirrors them into its cache, answers reads once caught up, and
+// rejects writes with 503 until promoted (see internal/replica and
+// DESIGN §10). Graceful shutdown (SIGTERM/SIGINT) drains in-flight HTTP
+// requests, closes the engine, and folds the WAL into a final snapshot.
 package rpc
 
 import (
@@ -31,10 +39,12 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"heteropart/internal/plancache"
+	"heteropart/internal/replica"
 	"heteropart/internal/serve"
 	"heteropart/internal/speed"
 	"heteropart/internal/store"
@@ -66,6 +76,17 @@ type Config struct {
 	CompactAt int64
 	SyncEvery int
 
+	// ReplicaOf, when set, starts the daemon as a read-only follower of
+	// the primary at this base URL (e.g. "http://127.0.0.1:7411"): the
+	// cache admits nothing locally, writes answer 503, and state arrives
+	// only over the replication stream until promotion.
+	ReplicaOf string
+	// ReconnectBase seeds the follower's deterministic reconnect backoff
+	// (default 100ms; see faults.JitterBackoff).
+	ReconnectBase time.Duration
+	// ReplicaWait is the follower's long-poll hold (default 2s).
+	ReplicaWait time.Duration
+
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
 }
@@ -77,6 +98,25 @@ type Daemon struct {
 	store  *store.Store
 	cache  *plancache.Cache
 	engine *serve.Engine
+
+	// shipper serves this daemon's replicated log; followers attach to it,
+	// and it keeps serving after a replica's promotion so the pair can be
+	// re-formed the other way around.
+	shipper *replica.Shipper
+	// follower is non-nil iff the daemon started with ReplicaOf.
+	follower   *replica.Follower
+	followerWG sync.WaitGroup
+
+	// booted flips once the store is open and replayed; until then every
+	// data route answers 503 (Run listens before booting so a long WAL
+	// replay is observable on /readyz rather than a connection refusal).
+	booted atomic.Bool
+	// ready gates /readyz and the partition path: true for a primary once
+	// booted, for a replica once caught up (sticky, like serving-reads).
+	ready atomic.Bool
+	// primary is true when this daemon accepts writes (born primary, or
+	// promoted).
+	primary atomic.Bool
 
 	// registry mirrors the store's models for lock-cheap request-time
 	// lookup by label or fingerprint.
@@ -93,8 +133,23 @@ type Daemon struct {
 }
 
 // New opens the store, seeds the cache from it, and wires the persistence
-// taps. The daemon is not listening yet.
+// taps (or, with ReplicaOf, the replication stream). The daemon is not
+// listening yet.
 func New(cfg Config) (*Daemon, error) {
+	d, err := newShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.boot(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// newShell validates cfg and builds the HTTP surface without touching the
+// store, so Run can bind and answer health probes while boot replays a
+// large WAL.
+func newShell(cfg Config) (*Daemon, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("rpc: Config.Dir is required")
 	}
@@ -104,42 +159,11 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
-	st, err := store.Open(store.Options{
-		Dir:       cfg.Dir,
-		CompactAt: cfg.CompactAt,
-		SyncEvery: cfg.SyncEvery,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cache := plancache.NewWithConfig(plancache.Config{
-		Capacity:   cfg.CacheCapacity,
-		Doorkeeper: !cfg.NoDoorkeeper,
-	})
-	// Seed before installing the taps: imported plans are already in the
-	// store and must not be re-logged.
-	cache.Import(st.Plans(), st.Hints())
-	cache.SetInsertTap(func(r plancache.PlanRecord) { _ = st.AppendPlan(r) })
-	cache.SetInvalidateTap(func(model uint64) { _ = st.AppendInvalidate(model) })
-	st.SetHintSource(func() []plancache.HintRecord {
-		_, hints := cache.Export()
-		return hints
-	})
-
 	d := &Daemon{
 		cfg:    cfg,
-		store:  st,
-		cache:  cache,
-		engine: serve.New(serve.Config{Cache: cache, MaxBatch: cfg.MaxBatch, QueueDepth: cfg.QueueDepth}),
 		byFP:   make(map[uint64][]speed.Function),
 		byName: make(map[string]uint64),
 		start:  time.Now(),
-	}
-	for _, mi := range st.Models() {
-		if fns, ok := st.Model(mi.Fingerprint); ok {
-			d.byFP[mi.Fingerprint] = fns
-			d.byName[mi.Label] = mi.Fingerprint
-		}
 	}
 	d.srv = &http.Server{
 		Handler:           d.routes(),
@@ -148,27 +172,201 @@ func New(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
+// boot opens the store (replaying its WAL), seeds the cache, and wires
+// either the primary persistence taps or the follower stream.
+func (d *Daemon) boot() error {
+	cfg := d.cfg
+	st, err := store.Open(store.Options{
+		Dir:       cfg.Dir,
+		CompactAt: cfg.CompactAt,
+		SyncEvery: cfg.SyncEvery,
+	})
+	if err != nil {
+		return err
+	}
+	cache := plancache.NewWithConfig(plancache.Config{
+		Capacity:   cfg.CacheCapacity,
+		Doorkeeper: !cfg.NoDoorkeeper,
+	})
+	// Seed before installing the taps: imported plans are already in the
+	// store and must not be re-logged.
+	cache.Import(st.Plans(), st.Hints())
+
+	d.store = st
+	d.cache = cache
+	d.engine = serve.New(serve.Config{Cache: cache, MaxBatch: cfg.MaxBatch, QueueDepth: cfg.QueueDepth})
+	d.shipper = replica.NewShipper(st, 0)
+	d.rebuildRegistry()
+
+	if cfg.ReplicaOf == "" {
+		d.installPrimaryTaps()
+		d.primary.Store(true)
+		d.ready.Store(true)
+	} else {
+		// A follower's cache changes only through the replication feed;
+		// its own WAL is written by IngestChunk/ApplyHandoff, so the taps
+		// stay out — they would double-log every streamed record.
+		cache.SetReadOnly(true)
+		f, err := replica.NewFollower(replica.Config{
+			Primary:     cfg.ReplicaOf,
+			Store:       st,
+			BackoffBase: cfg.ReconnectBase,
+			Wait:        cfg.ReplicaWait,
+			OnReset:     func(store.Replicated) { d.mirrorReset() },
+			OnApply:     d.mirrorApply,
+			OnState: func(s replica.State) {
+				if s == replica.StateServingReads {
+					d.ready.Store(true)
+				}
+			},
+		})
+		if err != nil {
+			d.engine.Close()
+			st.Close()
+			return err
+		}
+		d.follower = f
+		d.followerWG.Add(1)
+		go func() {
+			defer d.followerWG.Done()
+			f.Run(context.Background())
+		}()
+	}
+	d.booted.Store(true)
+	return nil
+}
+
+// installPrimaryTaps wires the cache→store persistence path a writable
+// daemon needs: admitted plans and drift invalidations reach the WAL
+// before the response leaves, and snapshots fold the warm index in.
+func (d *Daemon) installPrimaryTaps() {
+	st, cache := d.store, d.cache
+	cache.SetInsertTap(func(r plancache.PlanRecord) { _ = st.AppendPlan(r) })
+	cache.SetInvalidateTap(func(model uint64) { _ = st.AppendInvalidate(model) })
+	st.SetHintSource(func() []plancache.HintRecord {
+		_, hints := cache.Export()
+		return hints
+	})
+}
+
+// rebuildRegistry reloads the label/fingerprint mirror from the store.
+func (d *Daemon) rebuildRegistry() {
+	d.regMu.Lock()
+	defer d.regMu.Unlock()
+	d.byFP = make(map[uint64][]speed.Function)
+	d.byName = make(map[string]uint64)
+	for _, mi := range d.store.Models() {
+		if fns, ok := d.store.Model(mi.Fingerprint); ok {
+			d.byFP[mi.Fingerprint] = fns
+			d.byName[mi.Label] = mi.Fingerprint
+		}
+	}
+}
+
+// mirrorReset rebuilds the live mirror (registry + cache) from the store
+// after a snapshot handoff replaced its state wholesale.
+func (d *Daemon) mirrorReset() {
+	d.rebuildRegistry()
+	d.cache.Reset()
+	d.cache.Import(d.store.Plans(), d.store.Hints())
+}
+
+// mirrorApply folds one ingested chunk into the live mirror: models join
+// the registry, plans and hints are imported (Import bypasses read-only
+// admission — it IS the replication write path), invalidations drop the
+// same entries the primary dropped.
+func (d *Daemon) mirrorApply(rep store.Replicated) {
+	if len(rep.Models) > 0 {
+		d.regMu.Lock()
+		for _, m := range rep.Models {
+			if old, ok := d.byName[m.Label]; ok && old != m.Fingerprint {
+				delete(d.byFP, old)
+			}
+			d.byFP[m.Fingerprint] = m.Fns
+			d.byName[m.Label] = m.Fingerprint
+		}
+		d.regMu.Unlock()
+	}
+	if len(rep.Plans) > 0 || len(rep.Hints) > 0 {
+		hints := rep.Hints
+		for _, p := range rep.Plans {
+			hints = append(hints, plancache.HintRecord{Model: p.Model, N: p.N, Slope: p.Slope})
+		}
+		d.cache.Import(rep.Plans, hints)
+	}
+	for _, fp := range rep.Invalidated {
+		d.cache.InvalidateFingerprint(fp)
+	}
+}
+
 // Store exposes the daemon's store (tests and stats).
 func (d *Daemon) Store() *store.Store { return d.store }
 
 // Engine exposes the daemon's serving engine.
 func (d *Daemon) Engine() *serve.Engine { return d.engine }
 
-// Listen binds the configured address and, when AddrFile is set, publishes
-// the bound address there.
+// Follower exposes the replication follower (nil on a primary).
+func (d *Daemon) Follower() *replica.Follower { return d.follower }
+
+// Ready reports whether the daemon would answer 200 on /readyz.
+func (d *Daemon) Ready() bool { return d.ready.Load() }
+
+// role names the daemon's current write role for stats and errors.
+func (d *Daemon) role() string {
+	if d.primary.Load() {
+		return "primary"
+	}
+	return "replica"
+}
+
+// Promote turns a replica into the primary: the follower stops streaming,
+// the store seals its WAL under a bumped fencing epoch (late frames from
+// the dead primary are rejected from here on), and the write path —
+// persistence taps, cache admission — is switched on. Returns the new
+// epoch. Errors if the daemon is already a primary.
+func (d *Daemon) Promote() (uint64, error) {
+	if d.follower == nil || d.primary.Load() {
+		return 0, fmt.Errorf("rpc: not a replica")
+	}
+	epoch, err := d.follower.Promote()
+	if err != nil {
+		return 0, err
+	}
+	d.followerWG.Wait()
+	d.installPrimaryTaps()
+	d.cache.SetReadOnly(false)
+	d.primary.Store(true)
+	d.ready.Store(true)
+	return epoch, nil
+}
+
+// Listen binds the configured address and, when AddrFile is set and the
+// daemon is already booted, publishes the bound address there. (Run
+// listens before booting and publishes afterwards, so an address file
+// never points at a daemon that would answer 503 to its first request.)
 func (d *Daemon) Listen() (net.Addr, error) {
 	ln, err := net.Listen("tcp", d.cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: %w", err)
 	}
 	d.ln = ln
-	if d.cfg.AddrFile != "" {
-		if err := os.WriteFile(d.cfg.AddrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+	if d.cfg.AddrFile != "" && d.booted.Load() {
+		if err := d.publishAddr(); err != nil {
 			ln.Close()
-			return nil, fmt.Errorf("rpc: %w", err)
+			return nil, err
 		}
 	}
 	return ln.Addr(), nil
+}
+
+func (d *Daemon) publishAddr() error {
+	if d.cfg.AddrFile == "" {
+		return nil
+	}
+	if err := os.WriteFile(d.cfg.AddrFile, []byte(d.ln.Addr().String()), 0o644); err != nil {
+		return fmt.Errorf("rpc: %w", err)
+	}
+	return nil
 }
 
 // Serve blocks serving HTTP until Shutdown. A graceful shutdown returns
@@ -186,46 +384,67 @@ func (d *Daemon) Serve() error {
 	return err
 }
 
-// Shutdown drains in-flight HTTP requests, closes the engine, and folds
-// the WAL into a final snapshot. Idempotent.
+// Shutdown drains in-flight HTTP requests, stops the follower, closes the
+// engine, and folds the WAL into a final snapshot. Idempotent.
 func (d *Daemon) Shutdown(ctx context.Context) error {
 	d.closeOnce.Do(func() {
 		var first error
 		if err := d.srv.Shutdown(ctx); err != nil && first == nil {
 			first = err
 		}
-		d.engine.Close()
+		if d.follower != nil {
+			d.follower.Stop()
+			d.followerWG.Wait()
+		}
+		if d.engine != nil {
+			d.engine.Close()
+		}
 		// The engine is drained: the cache fires no more taps, so the
 		// final snapshot is complete.
-		if err := d.store.Close(); err != nil && first == nil {
-			first = err
+		if d.store != nil {
+			if err := d.store.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 		d.closeErr = first
 	})
 	return d.closeErr
 }
 
-// Run is the daemon main: listen, serve, and drain on SIGTERM/SIGINT.
+// Run is the daemon main: listen, boot, serve, and drain on SIGTERM or
+// SIGINT. The listener comes up before the store replays, so liveness and
+// readiness are observable during a long boot; the address file is
+// published only once the daemon is actually answering.
 func Run(cfg Config) error {
-	d, err := New(cfg)
+	d, err := newShell(cfg)
 	if err != nil {
 		return err
 	}
 	addr, err := d.Listen()
 	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- d.Serve() }()
+
+	if err := d.boot(); err != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 		defer cancel()
 		d.Shutdown(ctx)
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "hetpartd: serving on %s (store %s)\n", addr, cfg.Dir)
+	if err := d.publishAddr(); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		defer cancel()
+		d.Shutdown(ctx)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hetpartd: serving on %s as %s (store %s)\n", addr, d.role(), cfg.Dir)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	defer signal.Stop(sigc)
-
-	errc := make(chan error, 1)
-	go func() { errc <- d.Serve() }()
 
 	select {
 	case sig := <-sigc:

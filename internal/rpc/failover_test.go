@@ -1,0 +1,269 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"heteropart/internal/core"
+	"heteropart/internal/store"
+)
+
+// waitStatus polls url until it answers want, failing after 15s.
+func waitStatus(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never answered %d", url, want)
+}
+
+// TestFailoverPromotedReplicaServesBitIdenticalPlans is the headline
+// partition-tolerance test: a real hetpartd process is SIGKILLed under
+// batched load, its replica is promoted over HTTP, and every plan the dead
+// primary answered must come back from the new primary as a warm,
+// bit-identical hit — also equal to an unreplicated cold computation. The
+// restarted zombie's late frames are rejected by the epoch fence.
+func TestFailoverPromotedReplicaServesBitIdenticalPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	pdir := t.TempDir()
+	doc := testClusterDoc(t, 10, 99)
+	fns := docFunctions(t, doc)
+
+	cmd, base := spawnDaemon(t, pdir)
+	if code := postJSON(t, base+"/v1/models?label=lab", doc, nil); code != 200 {
+		t.Fatalf("upload: HTTP %d", code)
+	}
+
+	// Answer a mixed workload on the primary; ask twice so the doorkeeper
+	// admits and the answers are durable (and therefore replicable).
+	cases := []*coldCase{
+		{n: 400_000, algo: core.AlgoCombined, body: []byte(`{"model":"lab","n":400000}`)},
+		{n: 600_000, algo: core.AlgoBasic, body: []byte(`{"model":"lab","n":600000,"algo":"basic"}`)},
+		{n: 800_000, algo: core.AlgoModified, body: []byte(`{"model":"lab","n":800000,"algo":"modified"}`)},
+		{n: 500_000, algo: core.AlgoCombined,
+			body: []byte(`{"model":"lab","n":500000,"options":{"fineTune":false}}`),
+			opts: []core.Option{core.WithoutFineTune()}},
+	}
+	for _, c := range cases {
+		if code := postJSON(t, base+"/v1/partition", c.body, nil); code != 200 {
+			t.Fatalf("first ask HTTP %d for %s", code, c.body)
+		}
+		if code := postJSON(t, base+"/v1/partition", c.body, &c.got); code != 200 {
+			t.Fatalf("second ask HTTP %d for %s", code, c.body)
+		}
+	}
+
+	// Attach an in-process replica (in-process so the fencing check below
+	// can reach its store directly) and wait for readiness.
+	fd, fbase := startDaemon(t, Config{
+		Dir:           t.TempDir(),
+		ReplicaOf:     base,
+		ReplicaWait:   50 * time.Millisecond,
+		ReconnectBase: 5 * time.Millisecond,
+		SyncEvery:     1,
+	})
+	waitStatus(t, fbase+"/readyz", 200)
+
+	var stats statsReply
+	if code := getJSON(t, fbase+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("replica stats: HTTP %d", code)
+	}
+	if stats.Replication.Role != "replica" || stats.Replication.Follower == nil {
+		t.Fatalf("replica stats wrong: %+v", stats.Replication)
+	}
+	if stats.Replication.Follower.LagBytes != 0 {
+		t.Fatalf("ready replica reports lag: %+v", stats.Replication.Follower)
+	}
+	// Writes are fenced while following.
+	if code := postJSON(t, fbase+"/v1/models?label=other", doc, nil); code != 503 {
+		t.Fatalf("replica accepted a write: HTTP %d", code)
+	}
+
+	// Batched load on the primary, then SIGKILL mid-flight.
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		client := &http.Client{Timeout: 2 * time.Second}
+		for i := 0; i < 10_000; i++ {
+			body := fmt.Sprintf(`{"requests":[{"model":"lab","n":%d},{"model":"lab","n":%d},{"model":"lab","n":%d}]}`,
+				1_000_000+i*3_000, 1_001_000+i*3_000, 1_002_000+i*3_000)
+			resp, err := client.Post(base+"/v1/partition", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	<-stopped
+
+	// Promote the replica over HTTP: higher epoch, ready, role primary.
+	var prom struct {
+		Promoted bool   `json:"promoted"`
+		Epoch    uint64 `json:"epoch"`
+		Role     string `json:"role"`
+	}
+	if code := postJSON(t, fbase+"/v1/replication/promote", []byte(`{}`), &prom); code != 200 {
+		t.Fatalf("promote: HTTP %d", code)
+	}
+	if !prom.Promoted || prom.Epoch != 2 || prom.Role != "primary" {
+		t.Fatalf("promote reply %+v, want epoch 2 primary", prom)
+	}
+	waitStatus(t, fbase+"/readyz", 200)
+	if code := getJSON(t, fbase+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats: HTTP %d", code)
+	}
+	if stats.Replication.Role != "primary" || stats.Replication.Shipper.Epoch != 2 {
+		t.Fatalf("promoted stats wrong: %+v", stats.Replication)
+	}
+	// A second promote is a conflict, not a second epoch bump.
+	if code := postJSON(t, fbase+"/v1/replication/promote", []byte(`{}`), nil); code != 409 {
+		t.Fatalf("double promote: HTTP %d, want 409", code)
+	}
+
+	// Every pre-kill answer comes back warm and bit-identical — to the
+	// dead primary's reply AND to an unreplicated cold computation.
+	for _, c := range cases {
+		var again partitionReply
+		if code := postJSON(t, fbase+"/v1/partition", c.body, &again); code != 200 {
+			t.Fatalf("failover ask HTTP %d for %s", code, c.body)
+		}
+		if again.Tier != "hit" {
+			t.Fatalf("promoted replica answered %q (want hit) for %s", again.Tier, c.body)
+		}
+		var cold core.Result
+		var err error
+		switch c.algo {
+		case core.AlgoBasic:
+			cold, err = core.Basic(c.n, fns, c.opts...)
+		case core.AlgoModified:
+			cold, err = core.Modified(c.n, fns, c.opts...)
+		default:
+			cold, err = core.Combined(c.n, fns, c.opts...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Slope != c.got.Slope {
+			t.Fatalf("slope drift for %s: primary %v, promoted %v", c.body, c.got.Slope, again.Slope)
+		}
+		for i := range cold.Alloc {
+			if again.Alloc[i] != c.got.Alloc[i] || again.Alloc[i] != cold.Alloc[i] {
+				t.Fatalf("share %d drift for %s: primary %d, promoted %d, cold %d",
+					i, c.body, c.got.Alloc[i], again.Alloc[i], cold.Alloc[i])
+			}
+		}
+	}
+
+	// The new primary accepts writes now.
+	if code := postJSON(t, fbase+"/v1/models?label=second", testClusterDoc(t, 6, 7), nil); code != 200 {
+		t.Fatalf("promoted primary refused a write: HTTP %d", code)
+	}
+
+	// The zombie returns on its old directory and keeps writing under the
+	// old epoch. Pull its late frames the way a follower would and try to
+	// apply them to the promoted store: the epoch fence must reject them.
+	_, zbase := spawnDaemon(t, pdir)
+	if code := postJSON(t, zbase+"/v1/partition", []byte(`{"model":"lab","n":123456}`), nil); code != 200 {
+		t.Fatalf("zombie ask: HTTP %d", code)
+	}
+	if code := postJSON(t, zbase+"/v1/partition", []byte(`{"model":"lab","n":123456}`), nil); code != 200 {
+		t.Fatalf("zombie ask: HTTP %d", code)
+	}
+	var zst struct {
+		Epoch  uint64 `json:"epoch"`
+		Gen    uint64 `json:"gen"`
+		Offset int64  `json:"offset"`
+	}
+	if code := getJSON(t, zbase+"/v1/replication/status", &zst); code != 200 {
+		t.Fatalf("zombie status: HTTP %d", code)
+	}
+	if zst.Epoch != 1 {
+		t.Fatalf("zombie epoch %d, want 1", zst.Epoch)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/replication/wal?gen=%d&offset=0&max=%d&wait=0",
+		zbase, zst.Gen, zst.Offset+1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(chunk) == 0 {
+		t.Fatalf("zombie WAL read: %v (%d bytes)", err, len(chunk))
+	}
+	before := len(fd.Store().Plans())
+	if _, err := fd.Store().IngestChunk(zst.Epoch, chunk); !errors.Is(err, store.ErrFencedEpoch) {
+		t.Fatalf("zombie frames into promoted store: got %v, want ErrFencedEpoch", err)
+	}
+	if got := len(fd.Store().Plans()); got != before {
+		t.Fatalf("fenced zombie frames changed state: %d → %d plans", before, got)
+	}
+}
+
+// TestFailoverReadyzTracksReplicaLifecycle pins the liveness/readiness
+// split on a replica that can never catch up: its primary is unreachable.
+func TestFailoverReadyzTracksReplicaLifecycle(t *testing.T) {
+	_, base := startDaemon(t, Config{
+		Dir:           t.TempDir(),
+		ReplicaOf:     "http://127.0.0.1:1", // nothing listens here
+		ReconnectBase: 5 * time.Millisecond,
+		ReplicaWait:   50 * time.Millisecond,
+	})
+
+	// Liveness: up. Readiness: not until caught up, with the reason.
+	waitStatus(t, base+"/healthz", 200)
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, base+"/readyz", &errBody); code != 503 {
+		t.Fatalf("/readyz on syncing replica: HTTP %d, want 503", code)
+	}
+	if !strings.Contains(errBody.Error, "replica") || !strings.Contains(errBody.Error, "syncing") {
+		t.Fatalf("/readyz reason %q does not explain the sync state", errBody.Error)
+	}
+
+	// Reads and writes both fence while syncing.
+	if code := postJSON(t, base+"/v1/partition", []byte(`{"model":"x","n":1000}`), nil); code != 503 {
+		t.Fatalf("partition on syncing replica: HTTP %d, want 503", code)
+	}
+	if code := postJSON(t, base+"/v1/models?label=x", testClusterDoc(t, 4, 3), nil); code != 503 {
+		t.Fatalf("model upload on replica: HTTP %d, want 503", code)
+	}
+
+	// The follower keeps retrying on the deterministic backoff schedule.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var stats statsReply
+		if code := getJSON(t, base+"/v1/stats", &stats); code != 200 {
+			t.Fatalf("stats: HTTP %d", code)
+		}
+		if f := stats.Replication.Follower; f != nil && f.Reconnects >= 2 && !f.Connected {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("follower never reported reconnect attempts")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

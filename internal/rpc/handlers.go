@@ -12,6 +12,7 @@ import (
 	"heteropart/internal/core"
 	"heteropart/internal/geometry"
 	"heteropart/internal/plancache"
+	"heteropart/internal/replica"
 	"heteropart/internal/serve"
 	"heteropart/internal/speed"
 	"heteropart/internal/store"
@@ -23,10 +24,45 @@ const maxBodyBytes = 8 << 20
 func (d *Daemon) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", d.handleHealth)
-	mux.HandleFunc("/v1/stats", d.handleStats)
-	mux.HandleFunc("/v1/models", d.handleModels)
-	mux.HandleFunc("/v1/partition", d.handlePartition)
+	mux.HandleFunc("/readyz", d.handleReady)
+	mux.HandleFunc("/v1/stats", d.booting(d.handleStats))
+	mux.HandleFunc("/v1/models", d.booting(d.handleModels))
+	mux.HandleFunc("/v1/partition", d.booting(d.handlePartition))
+	mux.HandleFunc("/v1/replication/promote", d.booting(d.handlePromote))
+	mux.Handle("/v1/replication/", http.StripPrefix("/v1/replication",
+		http.HandlerFunc(d.booting(d.handleReplication))))
 	return mux
+}
+
+// booting guards a data route for the window where Run is listening but
+// the store is still replaying: nothing behind the route exists yet.
+func (d *Daemon) booting(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !d.booted.Load() {
+			httpError(w, http.StatusServiceUnavailable, "booting: store replaying")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleReplication forwards to the shipper's snapshot/wal/status feed.
+func (d *Daemon) handleReplication(w http.ResponseWriter, r *http.Request) {
+	d.shipper.Handler().ServeHTTP(w, r)
+}
+
+// handlePromote turns a replica into the primary (POST, no body).
+func (d *Daemon) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	epoch, err := d.Promote()
+	if err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"promoted": true, "epoch": epoch, "role": d.role()})
 }
 
 // httpError answers a JSON error body.
@@ -41,6 +77,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// handleHealth is pure liveness: the process is up and serving HTTP. It
+// answers 200 even while booting or syncing — restarting a daemon because
+// it is still catching up would be self-inflicted unavailability. Routing
+// decisions belong on /readyz.
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status": "ok",
@@ -48,13 +88,53 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReady is readiness: 200 only when this daemon will answer
+// partition requests — a primary once its store has replayed, a replica
+// once it has caught up to its primary at least once. Until then 503 with
+// the reason, so a load balancer keeps traffic off a daemon that would
+// answer with errors or a cold cache.
+func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !d.booted.Load() {
+		httpError(w, http.StatusServiceUnavailable, "booting: store replaying")
+		return
+	}
+	if !d.ready.Load() {
+		reason := "not ready"
+		if f := d.follower; f != nil {
+			st := f.Status()
+			reason = fmt.Sprintf("replica %s: lag %d bytes (%d frames) behind %s",
+				st.State, st.LagBytes, st.LagFrames, st.Primary)
+		}
+		httpError(w, http.StatusServiceUnavailable, "%s", reason)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"status": "ready",
+		"role":   d.role(),
+		"uptime": time.Since(d.start).String(),
+	})
+}
+
 // statsReply is the /v1/stats document.
 type statsReply struct {
-	Uptime string          `json:"uptime"`
-	Engine engineStats     `json:"engine"`
-	Cache  plancache.Stats `json:"cache"`
-	Store  store.Stats     `json:"store"`
-	Models int             `json:"models"`
+	Uptime      string           `json:"uptime"`
+	Engine      engineStats      `json:"engine"`
+	Cache       plancache.Stats  `json:"cache"`
+	Store       store.Stats      `json:"store"`
+	Models      int              `json:"models"`
+	Replication replicationStats `json:"replication"`
+}
+
+// replicationStats reports both sides of the log: this daemon's committed
+// end (shipper — every daemon ships, so a promoted replica can seed the
+// next follower), and, on a replica, the follower's confirmed position
+// against its primary's, with the lag in frames and bytes that failover
+// tuning needs.
+type replicationStats struct {
+	Role     string                `json:"role"`
+	Ready    bool                  `json:"ready"`
+	Shipper  replica.ShipperStatus `json:"shipper"`
+	Follower *replica.Status       `json:"follower,omitempty"`
 }
 
 type engineStats struct {
@@ -86,6 +166,18 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:  m.Cache,
 		Store:  d.store.Stats(),
 		Models: models,
+		Replication: func() replicationStats {
+			rs := replicationStats{
+				Role:    d.role(),
+				Ready:   d.ready.Load(),
+				Shipper: d.shipper.Status(),
+			}
+			if f := d.follower; f != nil && !d.primary.Load() {
+				st := f.Status()
+				rs.Follower = &st
+			}
+			return rs
+		}(),
 	})
 }
 
@@ -128,6 +220,14 @@ func (d *Daemon) handleModels(w http.ResponseWriter, r *http.Request) {
 // persist, and — when the label refreshes an existing model — invalidate
 // the old model's plans in cache and store (the durable drift path).
 func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	// A replica's state arrives only over the replication stream; a local
+	// write would diverge from the primary and be thrown away by the next
+	// handoff. 503 (not 4xx): after promotion the same request succeeds.
+	if !d.primary.Load() {
+		httpError(w, http.StatusServiceUnavailable,
+			"read-only replica of %s; write to the primary or promote", d.cfg.ReplicaOf)
+		return
+	}
 	label := r.URL.Query().Get("label")
 	if label == "" {
 		httpError(w, http.StatusBadRequest, "missing ?label=")
@@ -321,6 +421,14 @@ func toReply(resp serve.Response) partitionReply {
 func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	// A syncing replica would answer from a cold, half-mirrored cache —
+	// not wrong, but not the warm bit-identical plans replication exists
+	// to preserve. Stay 503 until caught up (readiness), then serve reads
+	// for good.
+	if !d.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "replica syncing; retry when /readyz is 200")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)

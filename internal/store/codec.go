@@ -31,6 +31,7 @@ import (
 //	hint       := model u64 | n i64 | slope f64
 //	invalidate := model u64
 //	snapEnd    := models u32 | plans u32 | hints u32
+//	meta       := epoch u64 | gen u64
 //	str        := len u16 | bytes
 //
 // Speed functions are type-tagged like the records:
@@ -47,6 +48,7 @@ const (
 	recHint       = 3
 	recInvalidate = 4
 	recSnapEnd    = 5
+	recMeta       = 6
 )
 
 const (
@@ -425,6 +427,22 @@ func encodeInvalidate(model uint64) []byte {
 func decodeInvalidate(d *decoder) (uint64, error) {
 	model := d.u64()
 	return model, d.err
+}
+
+// encodeMeta builds the replication meta record: the fencing epoch and the
+// compaction generation. It is the first frame of every snapshot and is
+// appended to the WAL whenever the epoch is bumped (promotion).
+func encodeMeta(epoch, gen uint64) []byte {
+	e := &encoder{}
+	e.u8(recMeta)
+	e.u64(epoch)
+	e.u64(gen)
+	return e.buf
+}
+
+func decodeMeta(d *decoder) (epoch, gen uint64, err error) {
+	epoch, gen = d.u64(), d.u64()
+	return epoch, gen, d.err
 }
 
 // encodeSnapEnd builds the snapshot terminator carrying the record counts.

@@ -1,0 +1,443 @@
+package store
+
+// Replication surface of the store. The WAL is already a replication log —
+// self-delimiting CRC32C frames appended with single write calls — so a
+// replica is bootstrapped with a snapshot handoff (the full state in
+// snapshot format, pinned against compaction while it travels) and then
+// kept current by shipping the raw frame bytes that follow. Positions are
+// (generation, byte offset): every compaction starts a new generation, so
+// an offset is only meaningful within the generation it was issued for,
+// and a streamer holding a dead generation must re-handoff.
+//
+// Two invariants carry the failover guarantees:
+//
+//   - epoch fencing: every store carries a monotonic epoch (persisted in
+//     the snapshot meta frame and in WAL meta records). A follower ingests
+//     only chunks stamped with an epoch >= its own; promotion bumps the
+//     epoch, so a zombie primary's late frames — stamped with the old
+//     epoch — are rejected, never applied.
+//   - validated replay everywhere: streamed frames go through the exact
+//     applyRecord path boot-time replay uses, so a lying record is
+//     quarantined on a replica exactly as it would be locally, and a
+//     torn or bit-flipped frame is cut off, never half-applied.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"heteropart/internal/plancache"
+	"heteropart/internal/speed"
+)
+
+// Replication errors.
+var (
+	// ErrGenGone reports a WAL position from a generation that no longer
+	// exists (the source compacted); the streamer must re-handoff.
+	ErrGenGone = errors.New("store: WAL generation gone")
+	// ErrFencedEpoch reports a replication payload stamped with an epoch
+	// older than the store's own — a zombie primary's late frames.
+	ErrFencedEpoch = errors.New("store: fenced epoch")
+)
+
+// ReplPos is a position in a store's replicated log.
+type ReplPos struct {
+	Epoch  uint64 `json:"epoch"`
+	Gen    uint64 `json:"gen"`
+	Offset int64  `json:"offset"` // WAL bytes past the header
+	Frames int64  `json:"frames"` // frames in the WAL this generation
+}
+
+// ReplModel is one replicated model in decoded form, ready for a replica's
+// model registry.
+type ReplModel struct {
+	Fingerprint uint64
+	Label       string
+	Fns         []speed.Function
+}
+
+// Replicated reports what one ingested snapshot or chunk installed, so the
+// replica can mirror the changes into its live cache and registry.
+type Replicated struct {
+	Models      []ReplModel
+	Plans       []plancache.PlanRecord
+	Hints       []plancache.HintRecord
+	Invalidated []uint64
+
+	Frames      int   // complete valid frames applied
+	Bytes       int64 // bytes of those frames (the confirmed-offset advance)
+	Quarantined int   // records that failed validation and were dropped
+}
+
+// Epoch returns the store's fencing epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// ReplicationPos returns the current end of the replicated log.
+func (s *Store) ReplicationPos() ReplPos {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.posLocked()
+}
+
+func (s *Store) posLocked() ReplPos {
+	return ReplPos{Epoch: s.epoch, Gen: s.gen, Offset: s.walBytes, Frames: s.walFrames}
+}
+
+// AppendWait returns a channel closed at the next change of the committed
+// log (an append or a compaction) — the long-poll primitive for WAL
+// streamers. Grab the channel, read the chunk; if it was empty, wait.
+func (s *Store) AppendWait() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notify
+}
+
+// PinCompaction defers automatic WAL compaction until the returned release
+// runs, keeping a handed-off (gen, offset) position alive while the
+// snapshot travels to a replica. Pins nest; explicit Snapshot and Close
+// still compact (a closing store owes nothing to its streamers — they
+// re-handoff). Release is idempotent.
+func (s *Store) PinCompaction() (release func()) {
+	s.mu.Lock()
+	s.pins++
+	s.mu.Unlock()
+	released := false
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		s.pins--
+	}
+}
+
+// HandoffSnapshot encodes the full state in snapshot format and returns it
+// with the log position it is consistent with: the frames that follow
+// pos.Offset in pos.Gen are exactly the delta. It does not reset the WAL.
+// Callers that cannot tolerate a re-handoff should PinCompaction around
+// the window between this call and the replica's first chunk read.
+func (s *Store) HandoffSnapshot() ([]byte, ReplPos, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ReplPos{}, fmt.Errorf("store: closed")
+	}
+	buf, err := s.encodeStateLocked(s.epoch, s.gen)
+	if err != nil {
+		return nil, ReplPos{}, err
+	}
+	return buf.Bytes(), s.posLocked(), nil
+}
+
+// ReadWALChunk reads up to maxBytes of raw frame bytes starting at offset
+// in generation gen, ending on a frame boundary (at least one whole frame
+// when any is available, regardless of maxBytes). It returns the chunk and
+// the current end position, so the reader can compute its lag. A stale
+// generation or an out-of-range offset returns ErrGenGone — the caller's
+// position no longer names committed bytes and a re-handoff is required.
+func (s *Store) ReadWALChunk(gen uint64, offset int64, maxBytes int) ([]byte, ReplPos, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ReplPos{}, fmt.Errorf("store: closed")
+	}
+	if gen != s.gen || offset < 0 || offset > s.walBytes {
+		return nil, s.posLocked(), ErrGenGone
+	}
+	avail := s.walBytes - offset
+	if avail == 0 {
+		return nil, s.posLocked(), nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	n := avail
+	if n > int64(maxBytes) {
+		n = int64(maxBytes)
+	}
+	chunk := make([]byte, n)
+	if _, err := s.wal.ReadAt(chunk, int64(len(walMagic))+offset); err != nil {
+		return nil, s.posLocked(), fmt.Errorf("store: reading WAL: %w", err)
+	}
+	// Trim to the last complete frame inside the cap; everything in
+	// [offset, walBytes) is whole frames, so walking lengths suffices.
+	if whole := frameBoundary(chunk); whole > 0 {
+		return chunk[:whole], s.posLocked(), nil
+	}
+	// The first frame alone exceeds maxBytes: return it whole.
+	frameLen := int64(8) + int64(binary.LittleEndian.Uint32(chunk[0:4]))
+	if frameLen > avail {
+		return nil, s.posLocked(), fmt.Errorf("store: WAL frame overruns committed bytes")
+	}
+	chunk = make([]byte, frameLen)
+	if _, err := s.wal.ReadAt(chunk, int64(len(walMagic))+offset); err != nil {
+		return nil, s.posLocked(), fmt.Errorf("store: reading WAL: %w", err)
+	}
+	return chunk, s.posLocked(), nil
+}
+
+// frameBoundary returns the byte length of the longest prefix of b that is
+// a sequence of complete frames (by length walk only; checksums are the
+// ingester's job).
+func frameBoundary(b []byte) int {
+	off := 0
+	for off+8 <= len(b) {
+		n := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		if n > maxFrame || off+8+n > len(b) {
+			break
+		}
+		off += 8 + n
+	}
+	return off
+}
+
+// IngestChunk applies one chunk of streamed frame bytes: each complete,
+// CRC-valid frame is appended to the local WAL verbatim and replayed
+// through the validated-apply path; a trailing partial frame (the primary
+// died mid-send) is kept on disk past the committed boundary so a later
+// promotion seals it off exactly like boot-time replay, while the ingester
+// re-requests from the confirmed offset. A complete frame with a wrong
+// checksum stops the chunk: the valid prefix is applied, the corrupt frame
+// and everything after it are dropped, and ErrCorruptFrame tells the
+// caller to resync from the (advanced) confirmed offset — a corrupt frame
+// is never applied.
+//
+// epoch stamps the chunk's origin; a stamp older than the store's own
+// epoch returns ErrFencedEpoch without touching anything.
+func (s *Store) IngestChunk(epoch uint64, chunk []byte) (Replicated, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep Replicated
+	if s.closed {
+		return rep, fmt.Errorf("store: closed")
+	}
+	if epoch < s.epoch {
+		return rep, ErrFencedEpoch
+	}
+	if len(chunk) == 0 {
+		return rep, nil
+	}
+	// A previous chunk left a torn tail on disk; the caller re-requested
+	// from the confirmed offset, so those bytes arrive again — drop them
+	// first.
+	if s.tornBytes > 0 {
+		if err := s.truncateTornLocked(); err != nil {
+			return rep, err
+		}
+	}
+	// Split the chunk: valid whole frames | torn tail | (corrupt rest).
+	var (
+		payloads [][]byte
+		valid    int
+		corrupt  bool
+	)
+	for valid+8 <= len(chunk) {
+		n := int(binary.LittleEndian.Uint32(chunk[valid : valid+4]))
+		if n > maxFrame || n == 0 {
+			corrupt = true
+			break
+		}
+		if valid+8+n > len(chunk) {
+			break // torn tail
+		}
+		payload := chunk[valid+8 : valid+8+n]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(chunk[valid+4:valid+8]) {
+			corrupt = true
+			break
+		}
+		payloads = append(payloads, payload)
+		valid += 8 + n
+	}
+	tail := chunk[valid:]
+	if corrupt {
+		tail = nil // never persist a frame that failed its checksum
+	}
+	// One write call for the valid prefix plus the torn tail, mirroring
+	// the appender's single-write discipline.
+	if n := valid + len(tail); n > 0 {
+		if _, err := s.wal.Write(chunk[:valid+len(tail)]); err != nil {
+			return rep, fmt.Errorf("store: ingest append: %w", err)
+		}
+	}
+	quarBefore := s.quarantined
+	for _, p := range payloads {
+		s.applyRecord(p, &rep)
+	}
+	rep.Frames = len(payloads)
+	rep.Bytes = int64(valid)
+	rep.Quarantined = s.quarantined - quarBefore
+	s.walBytes += int64(valid)
+	s.walFrames += int64(len(payloads))
+	s.walTotal += uint64(len(payloads))
+	s.tornBytes = int64(len(tail))
+	s.unsynced += len(payloads)
+	if s.unsynced >= s.opts.SyncEvery {
+		s.unsynced = 0
+		if err := s.wal.Sync(); err != nil {
+			return rep, fmt.Errorf("store: WAL sync: %w", err)
+		}
+	}
+	if len(payloads) > 0 {
+		s.notifyLocked()
+	}
+	s.maybeCompactLocked()
+	if corrupt {
+		return rep, fmt.Errorf("%w: bit-flipped streamed frame", ErrCorruptFrame)
+	}
+	return rep, nil
+}
+
+// truncateTornLocked cuts the un-applied tail bytes off the WAL file,
+// restoring the committed frame boundary.
+func (s *Store) truncateTornLocked() error {
+	if err := s.wal.Truncate(int64(len(walMagic)) + s.walBytes); err != nil {
+		return fmt.Errorf("store: truncating torn stream tail: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.tornBytes = 0
+	return nil
+}
+
+// ApplyHandoff replaces the store's state with a handed-off snapshot: the
+// bytes are validated end to end (magic, checksums, terminator counts)
+// while being applied through the validated-replay path, persisted as the
+// local snapshot file, and the local WAL is reset — the follower's
+// durability now starts from this state. Divergent local state (anything
+// the snapshot does not contain) is dropped; a handoff stamped with an
+// epoch older than the store's own returns ErrFencedEpoch untouched, so a
+// promoted store can never be re-absorbed by a zombie primary.
+func (s *Store) ApplyHandoff(data []byte) (Replicated, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep Replicated
+	if s.closed {
+		return rep, fmt.Errorf("store: closed")
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return rep, fmt.Errorf("%w: handoff snapshot magic", ErrCorruptFrame)
+	}
+	// Fence before touching state: the meta frame leads every snapshot.
+	if epoch, ok := peekMetaEpoch(data[len(snapMagic):]); ok && epoch < s.epoch {
+		return rep, ErrFencedEpoch
+	}
+	// From here on the old state is gone; a bad snapshot leaves the store
+	// empty and the caller retries the handoff.
+	s.resetStateLocked()
+	quarBefore := s.quarantined
+	ok := func() bool {
+		r := bytes.NewReader(data[len(snapMagic):])
+		for {
+			payload, err := readFrame(r)
+			if err != nil {
+				return false // io.EOF means no terminator: truncated
+			}
+			if payload[0] == recSnapEnd {
+				d := &decoder{buf: payload[1:]}
+				wantModels, wantPlans, wantHints, err := decodeSnapEnd(d)
+				if err != nil || !d.done() || r.Len() != 0 {
+					return false
+				}
+				seen := len(rep.Models) + len(rep.Plans) + len(rep.Hints) + (s.quarantined - quarBefore)
+				return seen == wantModels+wantPlans+wantHints
+			}
+			s.applyRecord(payload, &rep)
+		}
+	}()
+	if !ok {
+		s.resetStateLocked()
+		return Replicated{}, fmt.Errorf("%w: handoff snapshot invalid", ErrCorruptFrame)
+	}
+	rep.Quarantined = s.quarantined - quarBefore
+	// Persist: the received bytes are already in snapshot format.
+	tmp := filepath.Join(s.opts.Dir, snapshotTmp)
+	if err := writeFileSync(tmp, data); err != nil {
+		return rep, err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotFile)); err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.opts.Dir); err != nil {
+		return rep, err
+	}
+	if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekEnd); err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return rep, fmt.Errorf("store: %w", err)
+	}
+	s.walBytes, s.walFrames, s.tornBytes, s.unsynced = 0, 0, 0, 0
+	s.loadedSnapshot = true
+	s.notifyLocked()
+	return rep, nil
+}
+
+// resetStateLocked drops the in-memory mirror (models, plans, hints) but
+// keeps the epoch/gen fences — a reset must never weaken them.
+func (s *Store) resetStateLocked() {
+	s.models = make(map[uint64]*modelEntry)
+	s.labels = make(map[string]uint64)
+	s.plans = make(map[planKey]plancache.PlanRecord)
+	s.planOrder = nil
+	s.hints = make(map[hintKey]float64)
+}
+
+// peekMetaEpoch extracts the epoch from the leading meta frame without
+// applying anything.
+func peekMetaEpoch(frames []byte) (uint64, bool) {
+	payload, err := readFrame(bytes.NewReader(frames))
+	if err != nil || len(payload) == 0 || payload[0] != recMeta {
+		return 0, false
+	}
+	d := &decoder{buf: payload[1:]}
+	epoch, _, err := decodeMeta(d)
+	if err != nil {
+		return 0, false
+	}
+	return epoch, true
+}
+
+// Promote seals the store for independent writes after primary loss: the
+// torn stream tail (if any) is cut off exactly like boot-time replay cuts
+// a torn WAL tail, the epoch is bumped and logged (fencing every frame the
+// dead primary may still emit), and the state is folded into a fresh
+// snapshot so the new primary restarts clean. It returns the new epoch.
+func (s *Store) Promote() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	if s.tornBytes > 0 {
+		if err := s.truncateTornLocked(); err != nil {
+			return 0, err
+		}
+	}
+	s.epoch++
+	if err := s.appendLocked(encodeMeta(s.epoch, s.gen)); err != nil {
+		return 0, err
+	}
+	s.unsynced = 0
+	if err := s.wal.Sync(); err != nil {
+		return 0, fmt.Errorf("store: WAL sync: %w", err)
+	}
+	if err := s.compactLocked(); err != nil {
+		return 0, err
+	}
+	return s.epoch, nil
+}

@@ -94,7 +94,11 @@ type Stats struct {
 
 	WALRecords  uint64 `json:"walRecords"`  // records appended this run
 	WALBytes    int64  `json:"walBytes"`    // current WAL size past the header
+	WALFrames   int64  `json:"walFrames"`   // frames in the WAL this generation
 	Compactions uint64 `json:"compactions"` // snapshots written this run
+
+	Epoch uint64 `json:"epoch"` // replication fencing epoch
+	Gen   uint64 `json:"gen"`   // compaction generation (WAL stream identity)
 
 	ReplayedModels int `json:"replayedModels"` // records applied on Open
 	ReplayedPlans  int `json:"replayedPlans"`
@@ -153,6 +157,22 @@ type Store struct {
 	walTotal  uint64
 	compacted uint64
 
+	// Replication state (see replication.go). epoch fences a promoted
+	// replica against a zombie primary; gen identifies the WAL stream a
+	// byte offset is valid in (each compaction starts a new one);
+	// walFrames counts the frames in the current generation; tornBytes
+	// are ingested stream bytes past the last complete frame, kept on
+	// disk so a promotion seals them off exactly like boot-time replay;
+	// pins defers automatic compaction during snapshot handoffs; notify
+	// is closed and replaced on every append (and compaction) so WAL
+	// streamers can long-poll.
+	epoch     uint64
+	gen       uint64
+	walFrames int64
+	tornBytes int64
+	pins      int
+	notify    chan struct{}
+
 	replayedModels, replayedPlans, replayedHints int
 	quarantined                                  int
 	quarantinedTail                              int64
@@ -179,6 +199,8 @@ func Open(opts Options) (*Store, error) {
 		labels: make(map[string]uint64),
 		plans:  make(map[planKey]plancache.PlanRecord),
 		hints:  make(map[hintKey]float64),
+		epoch:  1,
+		notify: make(chan struct{}),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -473,10 +495,10 @@ func (s *Store) dropModelState(model uint64) {
 // applyModel validates and installs a replayed model record: the decoded
 // functions must reproduce the recorded fingerprint, else the record is
 // quarantined (a stale or corrupted model must never validate plans).
-func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) {
+func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) bool {
 	if speed.Fingerprint(fns) != fp || label == "" {
 		s.quarantined++
-		return
+		return false
 	}
 	if old, ok := s.labels[label]; ok && old != fp {
 		s.dropModelState(old)
@@ -484,32 +506,39 @@ func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) {
 	s.models[fp] = &modelEntry{label: label, fns: fns}
 	s.labels[label] = fp
 	s.replayedModels++
+	return true
 }
 
 // applyPlan validates and installs a replayed plan record.
-func (s *Store) applyPlan(r plancache.PlanRecord) {
+func (s *Store) applyPlan(r plancache.PlanRecord) bool {
 	m, ok := s.models[r.Model]
 	if !ok || !r.Valid() || len(r.Alloc) != len(m.fns) {
 		s.quarantined++
-		return
+		return false
 	}
 	s.putPlanLocked(r)
 	s.replayedPlans++
+	return true
 }
 
 // applyHint validates and installs a replayed warm hint.
-func (s *Store) applyHint(h plancache.HintRecord) {
+func (s *Store) applyHint(h plancache.HintRecord) bool {
 	if _, ok := s.models[h.Model]; !ok || h.N <= 0 || !(h.Slope > 0) {
 		s.quarantined++
-		return
+		return false
 	}
 	s.hints[hintKey{model: h.Model, n: h.N}] = h.Slope
 	s.replayedHints++
+	return true
 }
 
-// applyRecord dispatches one replayed payload. Unknown record types are
-// quarantined, not fatal — a newer writer's records degrade gracefully.
-func (s *Store) applyRecord(payload []byte) {
+// applyRecord dispatches one replayed payload, through the exact same
+// validation whether it came from the local snapshot, the local WAL, or a
+// replication stream. Unknown record types are quarantined, not fatal — a
+// newer writer's records degrade gracefully. When cap is non-nil, every
+// record that validated and was installed is also captured there, so a
+// replica can mirror the change into its live cache and model registry.
+func (s *Store) applyRecord(payload []byte, cap *Replicated) {
 	d := &decoder{buf: payload}
 	switch d.u8() {
 	case recModel:
@@ -518,21 +547,27 @@ func (s *Store) applyRecord(payload []byte) {
 			s.quarantined++
 			return
 		}
-		s.applyModel(fp, label, fns)
+		if s.applyModel(fp, label, fns) && cap != nil {
+			cap.Models = append(cap.Models, ReplModel{Fingerprint: fp, Label: label, Fns: fns})
+		}
 	case recPlan:
 		r, err := decodePlan(d)
 		if err != nil || !d.done() {
 			s.quarantined++
 			return
 		}
-		s.applyPlan(r)
+		if s.applyPlan(r) && cap != nil {
+			cap.Plans = append(cap.Plans, r)
+		}
 	case recHint:
 		h, err := decodeHint(d)
 		if err != nil || !d.done() {
 			s.quarantined++
 			return
 		}
-		s.applyHint(h)
+		if s.applyHint(h) && cap != nil {
+			cap.Hints = append(cap.Hints, h)
+		}
 	case recInvalidate:
 		model, err := decodeInvalidate(d)
 		if err != nil || !d.done() {
@@ -540,6 +575,23 @@ func (s *Store) applyRecord(payload []byte) {
 			return
 		}
 		s.dropPlansLocked(model)
+		if cap != nil {
+			cap.Invalidated = append(cap.Invalidated, model)
+		}
+	case recMeta:
+		epoch, gen, err := decodeMeta(d)
+		if err != nil || !d.done() {
+			s.quarantined++
+			return
+		}
+		// Meta never regresses the epoch: a replayed or streamed record
+		// from before a promotion must not undo the fence.
+		if epoch > s.epoch {
+			s.epoch = epoch
+		}
+		if gen > s.gen {
+			s.gen = gen
+		}
 	default:
 		s.quarantined++
 	}
@@ -597,8 +649,9 @@ func (s *Store) openWAL() error {
 			}
 			break
 		}
-		s.applyRecord(payload)
+		s.applyRecord(payload, nil)
 		good += int64(8 + len(payload))
+		s.walFrames++
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
@@ -618,7 +671,9 @@ func (s *Store) appendLocked(payload []byte) error {
 		return fmt.Errorf("store: WAL append: %w", err)
 	}
 	s.walTotal++
+	s.walFrames++
 	s.unsynced++
+	s.notifyLocked()
 	if s.unsynced >= s.opts.SyncEvery {
 		s.unsynced = 0
 		if err := s.wal.Sync(); err != nil {
@@ -628,70 +683,35 @@ func (s *Store) appendLocked(payload []byte) error {
 	return nil
 }
 
-// maybeCompactLocked compacts when the WAL has outgrown CompactAt.
+// maybeCompactLocked compacts when the WAL has outgrown CompactAt. Pinned
+// stores (a snapshot handoff is mid-flight, see PinCompaction) defer: the
+// WAL keeps growing and the next append retries after the pin lifts.
 func (s *Store) maybeCompactLocked() {
-	if s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt {
+	if s.pins == 0 && s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt {
 		// Compaction failure must not fail the append that triggered it;
 		// the WAL keeps growing and the next append retries.
 		_ = s.compactLocked()
 	}
 }
 
+// notifyLocked wakes every WAL-stream long-poller: the committed region of
+// the log changed (an append or a generation change).
+func (s *Store) notifyLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
 // --- snapshot ---
 
 // compactLocked writes the full state to a fresh snapshot (atomically:
-// temp file, fsync, rename, fsync dir) and resets the WAL.
+// temp file, fsync, rename, fsync dir) and resets the WAL, starting a new
+// generation: byte offsets into the previous WAL are no longer valid, and
+// attached replication streams must re-handoff.
 func (s *Store) compactLocked() error {
-	var buf bytes.Buffer
-	buf.WriteString(snapMagic)
-	var nModels, nPlans, nHints int
-
-	models := make([]ModelInfo, 0, len(s.models))
-	for fp, m := range s.models {
-		models = append(models, ModelInfo{Fingerprint: fp, Label: m.label})
-	}
-	sort.Slice(models, func(i, j int) bool { return models[i].Fingerprint < models[j].Fingerprint })
-	for _, mi := range models {
-		m := s.models[mi.Fingerprint]
-		payload, err := encodeModel(mi.Fingerprint, m.label, m.fns)
-		if err != nil {
-			return err
-		}
-		if _, err := writeFrame(&buf, payload); err != nil {
-			return err
-		}
-		nModels++
-	}
-	for _, k := range s.planOrder {
-		r, ok := s.plans[k]
-		if !ok {
-			continue
-		}
-		if _, err := writeFrame(&buf, encodePlan(r)); err != nil {
-			return err
-		}
-		nPlans++
-	}
-	hints := s.hintsLocked()
-	if s.hintSource != nil {
-		if fresh := s.hintSource(); fresh != nil {
-			hints = fresh
-		}
-	}
-	for _, h := range hints {
-		if _, ok := s.models[h.Model]; !ok {
-			continue
-		}
-		if _, err := writeFrame(&buf, encodeHint(h)); err != nil {
-			return err
-		}
-		s.hints[hintKey{model: h.Model, n: h.N}] = h.Slope
-		nHints++
-	}
-	if _, err := writeFrame(&buf, encodeSnapEnd(nModels, nPlans, nHints)); err != nil {
+	buf, err := s.encodeStateLocked(s.epoch, s.gen+1)
+	if err != nil {
 		return err
 	}
-
 	tmp := filepath.Join(s.opts.Dir, snapshotTmp)
 	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
 		return err
@@ -713,10 +733,74 @@ func (s *Store) compactLocked() error {
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	s.gen++
 	s.walBytes = 0
+	s.walFrames = 0
+	s.tornBytes = 0
 	s.unsynced = 0
 	s.compacted++
+	s.notifyLocked()
 	return nil
+}
+
+// encodeStateLocked renders the full state in snapshot format (magic, meta
+// frame, models, plans, hints, terminator) for the given epoch and
+// generation — compaction stamps the next generation, a replication
+// handoff the current one.
+func (s *Store) encodeStateLocked(epoch, gen uint64) (*bytes.Buffer, error) {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	if _, err := writeFrame(&buf, encodeMeta(epoch, gen)); err != nil {
+		return nil, err
+	}
+	var nModels, nPlans, nHints int
+
+	models := make([]ModelInfo, 0, len(s.models))
+	for fp, m := range s.models {
+		models = append(models, ModelInfo{Fingerprint: fp, Label: m.label})
+	}
+	sort.Slice(models, func(i, j int) bool { return models[i].Fingerprint < models[j].Fingerprint })
+	for _, mi := range models {
+		m := s.models[mi.Fingerprint]
+		payload, err := encodeModel(mi.Fingerprint, m.label, m.fns)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := writeFrame(&buf, payload); err != nil {
+			return nil, err
+		}
+		nModels++
+	}
+	for _, k := range s.planOrder {
+		r, ok := s.plans[k]
+		if !ok {
+			continue
+		}
+		if _, err := writeFrame(&buf, encodePlan(r)); err != nil {
+			return nil, err
+		}
+		nPlans++
+	}
+	hints := s.hintsLocked()
+	if s.hintSource != nil {
+		if fresh := s.hintSource(); fresh != nil {
+			hints = fresh
+		}
+	}
+	for _, h := range hints {
+		if _, ok := s.models[h.Model]; !ok {
+			continue
+		}
+		if _, err := writeFrame(&buf, encodeHint(h)); err != nil {
+			return nil, err
+		}
+		s.hints[hintKey{model: h.Model, n: h.N}] = h.Slope
+		nHints++
+	}
+	if _, err := writeFrame(&buf, encodeSnapEnd(nModels, nPlans, nHints)); err != nil {
+		return nil, err
+	}
+	return &buf, nil
 }
 
 // loadSnapshot reads the snapshot if present. Any corruption — bad magic,
@@ -757,7 +841,7 @@ func (s *Store) loadSnapshot() error {
 				seen := s.replayedModels + s.replayedPlans + s.replayedHints + s.quarantined
 				return seen == wantModels+wantPlans+wantHints
 			}
-			s.applyRecord(payload)
+			s.applyRecord(payload, nil)
 		}
 	}()
 	if !ok {
@@ -769,6 +853,7 @@ func (s *Store) loadSnapshot() error {
 		s.hints = make(map[hintKey]float64)
 		s.replayedModels, s.replayedPlans, s.replayedHints = 0, 0, 0
 		s.quarantined = 0
+		s.epoch, s.gen = 1, 0
 		s.snapQuarantined = true
 		if err := quarantineFile(path); err != nil {
 			return err

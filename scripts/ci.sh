@@ -20,9 +20,16 @@
 #   7. kill-and-restart gate: SIGKILL the daemon mid-load, restart on the
 #      same store, and require every answered plan to come back as an
 #      exact, bit-identical cache hit
-#   8. benchmark smoke: every kernel benchmark and every partition-serving
+#   8. explicit race pass for the replication layer (replica) — the
+#      follower's stream loop races against promotion, reconnect backoff
+#      and the shipper's long-poll notify channel
+#   9. failover gate: SIGKILL a loaded primary, promote its replica, and
+#      require bit-identical warm hits under a higher epoch with zombie
+#      frames fenced; plus the link-down/recover plan the pair must
+#      survive without divergence
+#  10. benchmark smoke: every kernel benchmark and every partition-serving
 #      benchmark runs once
-#   9. allocation regression guard: the warm partitioner hot path must
+#  11. allocation regression guard: the warm partitioner hot path must
 #      report exactly 0 allocs/op, the property the serving engine's
 #      throughput rests on (the store's persistence taps fire off the
 #      hot path, so this gate also guards the daemon's serving loop)
@@ -49,6 +56,11 @@ echo "==> go test -race ./internal/store/... ./internal/rpc/... (durability gate
 go test -race ./internal/store/... ./internal/rpc/...
 echo "==> kill-and-restart gate: go test -race -run KillAndRestart ./internal/rpc/" >&2
 go test -race -count=1 -run KillAndRestart ./internal/rpc/
+echo "==> go test -race ./internal/replica/... (replication gate)" >&2
+go test -race ./internal/replica/...
+echo "==> failover gate: go test -race -run Failover ./internal/rpc/ + link-down pair" >&2
+go test -race -count=1 -run Failover ./internal/rpc/
+go test -race -count=1 -run 'LinkDown' ./internal/replica/
 echo "==> benchmark smoke: go test -run '^$' -bench Kernel -benchtime=1x ." >&2
 go test -run '^$' -bench Kernel -benchtime=1x .
 echo "==> benchmark smoke: go test -run '^$' -bench PartitionThroughput -benchtime=1x ." >&2
