@@ -9,6 +9,7 @@
 package heteropart_test
 
 import (
+	"math"
 	"strconv"
 	"testing"
 
@@ -26,6 +27,7 @@ import (
 	"heteropart/internal/plancache"
 	"heteropart/internal/pool"
 	"heteropart/internal/speed"
+	"heteropart/internal/store"
 )
 
 // --- Paper artifacts -----------------------------------------------------
@@ -374,6 +376,138 @@ func BenchmarkPartitionThroughput(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+			})
+		})
+	}
+}
+
+// refreshBenchModels builds the drift pair for BenchmarkModelRefresh: a
+// piecewise linear cluster and a twin in which processor 0's two tail
+// knots slowed down — allocations below the tail provably cannot move, so
+// a delta refresh keeps their plans. The returned sizes put most plans in
+// the surviving region and the rest near capacity, where processor 0 is
+// pushed into the drifted knots.
+func refreshBenchModels(b *testing.B, p int) (fnsA, fnsB []speed.Function, sizes []int64) {
+	b.Helper()
+	fnsA = benchPWLCluster(b, p)
+	pts := append([]speed.Point(nil), fnsA[0].(*speed.PiecewiseLinear).Points()...)
+	pts[len(pts)-1].Y *= 0.5
+	pts[len(pts)-2].Y *= 0.7
+	fnsB = append([]speed.Function(nil), fnsA...)
+	fnsB[0] = speed.MustPiecewiseLinear(speed.EnforceShape(pts))
+
+	var capacity float64
+	for _, f := range fnsA {
+		capacity += f.MaxSize()
+	}
+	lo, hi := 1e5, capacity/256
+	for i := 0; i < 36; i++ {
+		sizes = append(sizes, int64(lo*math.Pow(hi/lo, float64(i)/35)))
+	}
+	for i := 0; i < 12; i++ {
+		sizes = append(sizes, int64(capacity*(0.75+0.2*float64(i)/11)))
+	}
+	return fnsA, fnsB, sizes
+}
+
+// BenchmarkModelRefresh compares the two ways a drifted processor reaches a
+// serving daemon: a full model re-upload (full model + invalidation WAL
+// records, every cached plan dropped) against the per-processor delta path
+// (one O(one processor) delta record; plans whose allocation provably
+// cannot change survive the refresh). Reported per op: ns, WAL bytes
+// appended, and the percentage of cached plans invalidated.
+// scripts/bench_refresh.sh records the rows into BENCH_refresh.json.
+func BenchmarkModelRefresh(b *testing.B) {
+	for _, p := range []int{12, 64, 256} {
+		fnsA, fnsB, sizes := refreshBenchModels(b, p)
+		b.Run(benchName("p", p), func(b *testing.B) {
+			// Probe the drift scenario once, untimed: the delta path's whole
+			// point is selectivity, so the benchmark refuses to measure a
+			// degenerate split (everything kept, or everything dropped).
+			probe := plancache.New(0)
+			for _, n := range sizes {
+				if _, err := probe.Get(core.AlgoCombined, n, fnsA); err != nil {
+					b.Fatal(err)
+				}
+			}
+			kept, dropped := probe.Refresh(fnsA, fnsB)
+			if kept < len(sizes)/2 || dropped == 0 {
+				b.Fatalf("drift scenario off target: kept=%d dropped=%d of %d plans", kept, dropped, len(sizes))
+			}
+
+			newStore := func(b *testing.B) *store.Store {
+				st, err := store.Open(store.Options{Dir: b.TempDir()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(func() { st.Close() })
+				if _, _, err := st.PutModel("bench", fnsA); err != nil {
+					b.Fatal(err)
+				}
+				return st
+			}
+			newCache := func(b *testing.B) *plancache.Cache {
+				c := plancache.New(0)
+				for _, n := range sizes {
+					if _, err := c.Get(core.AlgoCombined, n, fnsA); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return c
+			}
+
+			b.Run("delta", func(b *testing.B) {
+				st, c := newStore(b), newCache(b)
+				step := func(i int) {
+					old, next := fnsA, fnsB
+					if i%2 == 1 {
+						old, next = fnsB, fnsA
+					}
+					if _, _, err := st.RefreshProcessor("bench", 0, next[0]); err != nil {
+						b.Fatal(err)
+					}
+					c.Refresh(old, next)
+				}
+				// One untimed toggle pair measures WAL bytes per refresh while
+				// the log is far from its compaction threshold; the timed loop
+				// then runs with compaction live (its periodic cost is part of
+				// the serving price) where the WAL counter saw-tooths.
+				w0 := st.Stats().WALBytes
+				step(0)
+				step(1)
+				walPerOp := float64(st.Stats().WALBytes-w0) / 2
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					step(i)
+				}
+				b.ReportMetric(walPerOp, "WALbytes/op")
+				b.ReportMetric(100*float64(dropped)/float64(len(sizes)), "%invalidated")
+			})
+			b.Run("full", func(b *testing.B) {
+				st, c := newStore(b), newCache(b)
+				fps := [2]uint64{speed.Fingerprint(fnsA), speed.Fingerprint(fnsB)}
+				step := func(i int) {
+					next := fnsB
+					if i%2 == 1 {
+						next = fnsA
+					}
+					if _, _, err := st.PutModel("bench", next); err != nil {
+						b.Fatal(err)
+					}
+					c.InvalidateFingerprint(fps[i%2])
+				}
+				w0 := st.Stats().WALBytes
+				step(0)
+				step(1)
+				walPerOp := float64(st.Stats().WALBytes-w0) / 2
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					step(i)
+				}
+				b.ReportMetric(walPerOp, "WALbytes/op")
+				b.ReportMetric(100, "%invalidated")
 			})
 		})
 	}

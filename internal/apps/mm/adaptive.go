@@ -172,14 +172,20 @@ func ExecuteAdaptive(ctx context.Context, p Plan, a, b *matrix.Dense, flopRates 
 				newStale = true
 				rep.Stale = append(rep.Stale, w)
 				// Refresh the stale model from the observation and let the
-				// detector track the refreshed model from scratch. Plans the
-				// engine cached for the now-stale model set are dropped.
-				if acfg.Engine != nil && lastServed != nil {
-					acfg.Engine.Invalidate(lastServed)
-					lastServed = nil
-				}
+				// detector track the refreshed model from scratch.
 				obsSpeed := float64(done) / observed
-				rowFns[w] = refreshModel(rowFns[w], float64(done), obsSpeed)
+				refreshed := refreshModel(rowFns[w], float64(done), obsSpeed)
+				// One drifted worker is a delta, not a new cluster: migrate
+				// the engine's cached plans across the refresh instead of
+				// dropping them all — plans this worker's drift provably
+				// cannot move keep serving as exact hits.
+				if acfg.Engine != nil && lastServed != nil {
+					newServed := append([]speed.Function(nil), lastServed...)
+					newServed[w] = refreshed
+					acfg.Engine.Refresh(lastServed, newServed)
+					lastServed = newServed
+				}
+				rowFns[w] = refreshed
 				acfg.Drift.Reset(w)
 			}
 		}

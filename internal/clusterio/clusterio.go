@@ -124,14 +124,22 @@ func (c *Cluster) Validate() error {
 			if len(p.Points) == 0 {
 				return fmt.Errorf("clusterio: processor %s: qualities without points", name)
 			}
+			if len(p.Qualities) > len(p.Points) {
+				return fmt.Errorf("clusterio: processor %s: %d qualities for %d points; at most one quality per knot", name, len(p.Qualities), len(p.Points))
+			}
 			sizes := make(map[float64]bool, len(p.Points))
 			for _, pt := range p.Points {
 				sizes[pt.X] = true
 			}
+			seen := make(map[float64]bool, len(p.Qualities))
 			for j, pq := range p.Qualities {
 				if !sizes[pq.X] {
 					return fmt.Errorf("clusterio: processor %s: quality %d is for size %v, which is not a points knot", name, j, pq.X)
 				}
+				if seen[pq.X] {
+					return fmt.Errorf("clusterio: processor %s: duplicate quality for size %v; the qualities vector must pair each knot at most once", name, pq.X)
+				}
+				seen[pq.X] = true
 				if pq.Quality.Samples < 0 || pq.Quality.Rejected < 0 || pq.Quality.Retries < 0 || pq.Quality.RelWidth < 0 {
 					return fmt.Errorf("clusterio: processor %s: quality %d has negative fields (%+v)", name, j, pq.Quality)
 				}

@@ -192,6 +192,22 @@ func WithWarmStart(slope, spread float64) Option {
 	}
 }
 
+// WithWarmStartVar is WithWarmStart with late-bound parameters: the option
+// reads *slope and *spread when it is applied, not when it is built. A
+// caller that seeds warm starts on every request (the plan cache's miss
+// path) constructs the option once next to two reusable fields and pays no
+// per-call closure allocation. Semantics match WithWarmStart exactly,
+// including the rejection of non-positive, infinite and NaN slopes.
+func WithWarmStartVar(slope, spread *float64) Option {
+	return func(c *config) {
+		s := *slope
+		if s > 0 && !math.IsInf(s, 0) && !math.IsNaN(s) {
+			c.warmSlope = s
+			c.warmSpread = math.Max(*spread, 0)
+		}
+	}
+}
+
 // OptionsKey returns a stable hash of the result-affecting options, for
 // keying partition plans in a cache. Two option lists with the same key
 // produce identical allocations on the same model and n. Warm-start hints

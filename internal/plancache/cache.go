@@ -81,7 +81,12 @@ type entry struct {
 	prev, next *entry
 }
 
-// call is an in-flight computation other requests can wait on.
+// call is an in-flight computation other requests can wait on. done is
+// created lazily, under the shard lock, by the first waiter — the common
+// uncontended miss never allocates a channel — and the computing goroutine
+// closes it only if it exists. A call that attracted no waiter is recycled
+// through the call pool; one that did is abandoned to its waiters (they
+// read res/err at their leisure after done closes).
 type call struct {
 	done chan struct{}
 	res  core.Result
@@ -146,8 +151,16 @@ type Stats struct {
 	Invalidations uint64 // entries dropped by Invalidate
 	Admitted      uint64 // computed plans inserted into the LRU
 	Rejected      uint64 // computed plans the doorkeeper kept out (first miss)
-	Size          int    // entries currently cached
-	ReadOnly      bool   // admission suspended (replica mirroring a primary)
+
+	// Delta-refresh counters (see Refresh): a one-processor model refresh
+	// re-keys the plans whose allocation provably cannot change and drops
+	// only the rest, instead of invalidating the whole model.
+	Refreshes      uint64 // model refreshes applied through the delta path
+	RefreshKept    uint64 // plans that survived refreshes (re-keyed, not recomputed)
+	RefreshDropped uint64 // plans a refresh invalidated (allocation could change)
+
+	Size     int  // entries currently cached
+	ReadOnly bool // admission suspended (replica mirroring a primary)
 }
 
 // HitRate returns the fraction of requests served without computing.
@@ -177,14 +190,17 @@ type Cache struct {
 	shards [numShards]shard
 	warm   warmIndex
 
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	warmStarts    atomic.Uint64
-	shared        atomic.Uint64
-	evictions     atomic.Uint64
-	invalidations atomic.Uint64
-	admitted      atomic.Uint64
-	rejected      atomic.Uint64
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	warmStarts     atomic.Uint64
+	shared         atomic.Uint64
+	evictions      atomic.Uint64
+	invalidations  atomic.Uint64
+	admitted       atomic.Uint64
+	rejected       atomic.Uint64
+	refreshes      atomic.Uint64
+	refreshKept    atomic.Uint64
+	refreshDropped atomic.Uint64
 
 	// insertTap and invalidateTap observe admitted insertions and model
 	// invalidations (see SetInsertTap); loaded atomically so taps can be
@@ -198,7 +214,25 @@ type Cache struct {
 	// ARE the write path while a replica mirrors its primary.
 	readOnly atomic.Bool
 
-	partitioners sync.Pool
+	// scratch pools the per-miss compute state (partitioner, option slice,
+	// warm-start seed fields); calls pools singleflight call structs that
+	// never attracted a waiter. Together they keep the near-miss path at a
+	// couple of allocations per computed plan.
+	scratch sync.Pool
+	calls   sync.Pool
+}
+
+// missScratch bundles what the miss path would otherwise allocate per
+// request: the partitioner, a reusable option slice, and a pre-built
+// late-bound warm-start option (core.WithWarmStartVar) that reads the
+// slope/spread fields at apply time, so seeding a warm start costs no
+// closure allocation.
+type missScratch struct {
+	p      *core.Partitioner
+	opts   []core.Option
+	slope  float64
+	spread float64
+	warm   core.Option
 }
 
 // New returns a cache holding up to capacity plans (DefaultCapacity when
@@ -235,7 +269,12 @@ func NewWithConfig(cfg Config) *Cache {
 		}
 	}
 	c.warm.models = make(map[uint64][]hint)
-	c.partitioners.New = func() any { return core.NewPartitioner() }
+	c.scratch.New = func() any {
+		sc := &missScratch{p: core.NewPartitioner()}
+		sc.warm = core.WithWarmStartVar(&sc.slope, &sc.spread)
+		return sc
+	}
+	c.calls.New = func() any { return new(call) }
 	return c
 }
 
@@ -276,29 +315,37 @@ func (c *Cache) GetTier(algo core.Algorithm, n int64, fns []speed.Function, opts
 		return res, TierHit, nil
 	}
 	if cl, ok := sh.inflight[k]; ok {
+		if cl.done == nil {
+			cl.done = make(chan struct{})
+		}
+		done := cl.done
 		sh.mu.Unlock()
-		<-cl.done
+		<-done
 		c.shared.Add(1)
 		if cl.err != nil {
 			return core.Result{}, TierShared, cl.err
 		}
 		return copyResult(cl.res), TierShared, nil
 	}
-	cl := &call{done: make(chan struct{})}
+	cl := c.calls.Get().(*call)
 	sh.inflight[k] = cl
 	sh.mu.Unlock()
 
-	cl.res, cl.err = c.compute(k, n, fns, opts)
-	close(cl.done)
+	// Publish the result into the call before taking the lock: a waiter
+	// that registered during compute reads cl.res only after done closes,
+	// and done closes after these writes.
+	res, err := c.compute(k, n, fns, opts)
+	cl.res, cl.err = res, err
 
 	readOnly := c.readOnly.Load()
 	var inserted, doorRejected bool
 	sh.mu.Lock()
 	delete(sh.inflight, k)
-	if cl.err == nil && !readOnly {
+	done := cl.done
+	if err == nil && !readOnly {
 		if sh.door == nil || sh.door.seen(h) {
 			var evicted uint64
-			evicted, inserted = sh.insert(k, copyResult(cl.res))
+			evicted, inserted = sh.insert(k, copyResult(res))
 			c.evictions.Add(evicted)
 		} else {
 			sh.door.remember(h)
@@ -306,42 +353,56 @@ func (c *Cache) GetTier(algo core.Algorithm, n int64, fns []speed.Function, opts
 		}
 	}
 	sh.mu.Unlock()
+	if done != nil {
+		// Waiters hold the call; closing hands it to them for good.
+		close(done)
+	} else {
+		// No waiter ever saw this call (none can after the inflight
+		// delete), so recycle it.
+		cl.res, cl.err = core.Result{}, nil
+		c.calls.Put(cl)
+	}
 	c.misses.Add(1)
-	if cl.err != nil {
-		return core.Result{}, TierMiss, cl.err
+	if err != nil {
+		return core.Result{}, TierMiss, err
 	}
 	if inserted {
 		c.admitted.Add(1)
 		if tap := c.insertTap.Load(); tap != nil {
 			(*tap)(PlanRecord{
 				Model: k.model, N: n, Algo: algo, OptsKey: k.opts,
-				Slope: cl.res.Slope, Alloc: append(core.Allocation(nil), cl.res.Alloc...),
-				Stats: cl.res.Stats,
+				Slope: res.Slope, Alloc: append(core.Allocation(nil), res.Alloc...),
+				Stats: res.Stats,
 			})
 		}
 	} else if doorRejected {
 		c.rejected.Add(1)
 	}
 	if n > 0 && !readOnly {
-		c.rememberHint(k.model, n, cl.res.Slope)
+		c.rememberHint(k.model, n, res.Slope)
 	}
-	return cl.res, TierMiss, nil
+	return res, TierMiss, nil
 }
 
 // compute runs the partitioner for a miss, warm-started from the nearest
 // cached hint for the same model when one exists.
 func (c *Cache) compute(k key, n int64, fns []speed.Function, opts []core.Option) (core.Result, error) {
+	sc := c.scratch.Get().(*missScratch)
 	runOpts := opts
 	if slope, spread, ok := c.warmHint(k.model, n); ok {
-		runOpts = make([]core.Option, len(opts), len(opts)+1)
-		copy(runOpts, opts)
-		runOpts = append(runOpts, core.WithWarmStart(slope, spread))
+		sc.slope, sc.spread = slope, spread
+		sc.opts = append(sc.opts[:0], opts...)
+		sc.opts = append(sc.opts, sc.warm)
+		runOpts = sc.opts
 		c.warmStarts.Add(1)
 	}
-	p := c.partitioners.Get().(*core.Partitioner)
 	dst := make(core.Allocation, len(fns))
-	res, err := p.PartitionInto(dst, k.algo, n, fns, runOpts...)
-	c.partitioners.Put(p)
+	res, err := sc.p.PartitionInto(dst, k.algo, n, fns, runOpts...)
+	for i := range sc.opts {
+		sc.opts[i] = nil // release caller option references
+	}
+	sc.opts = sc.opts[:0]
+	c.scratch.Put(sc)
 	return res, err
 }
 
@@ -395,12 +456,14 @@ func (c *Cache) rememberHint(model uint64, n int64, slope float64) {
 	}
 	if len(hints) >= warmHintsPerModel {
 		// Replace the neighbor instead of growing: nearby hints are nearly
-		// interchangeable as warm-start seeds.
+		// interchangeable as warm-start seeds. sort.Search already proved
+		// hints[i-1].n < n < hints[i].n (exact matches returned above), so
+		// overwriting slot i — or the last slot when n lies past the end —
+		// keeps the index sorted without a re-sort.
 		if i == len(hints) {
 			i--
 		}
 		hints[i] = hint{n: n, slope: slope}
-		sort.Slice(hints, func(a, b int) bool { return hints[a].n < hints[b].n })
 		return
 	}
 	hints = append(hints, hint{})
@@ -484,6 +547,10 @@ func (c *Cache) Stats() Stats {
 		Admitted:      c.admitted.Load(),
 		Rejected:      c.rejected.Load(),
 		ReadOnly:      c.readOnly.Load(),
+
+		Refreshes:      c.refreshes.Load(),
+		RefreshKept:    c.refreshKept.Load(),
+		RefreshDropped: c.refreshDropped.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -505,13 +572,21 @@ func (sh *shard) insert(k key, res core.Result) (uint64, bool) {
 		return 0, false
 	}
 	var evicted uint64
+	var free *entry
 	for len(sh.entries) >= sh.cap && sh.tail != nil {
 		old := sh.tail
 		sh.unlink(old)
 		delete(sh.entries, old.k)
+		free = old
 		evicted++
 	}
-	e := &entry{k: k, res: res}
+	// Reuse an evicted entry struct: once the shard is full, the steady
+	// state inserts without allocating.
+	e := free
+	if e == nil {
+		e = &entry{}
+	}
+	e.k, e.res = k, res
 	sh.entries[k] = e
 	sh.pushFront(e)
 	return evicted, true

@@ -272,9 +272,17 @@ func (d *Daemon) mirrorReset() {
 }
 
 // mirrorApply folds one ingested chunk into the live mirror: models join
-// the registry, plans and hints are imported (Import bypasses read-only
-// admission — it IS the replication write path), invalidations drop the
-// same entries the primary dropped.
+// the registry, delta refreshes migrate it (and the cache) the same way
+// the primary's did, plans and hints are imported (Import bypasses
+// read-only admission — it IS the replication write path), invalidations
+// drop the same entries the primary dropped.
+//
+// Replicated flattens a chunk by record type, so the interleaving of plans
+// and deltas inside one chunk is lost here (the store replayed them in
+// true order). When a chunk carries deltas, plans keyed under a
+// fingerprint the deltas retired are skipped rather than imported under a
+// dead model; a later request for such a plan misses and recomputes
+// bit-identically, so this loses warmth, never correctness.
 func (d *Daemon) mirrorApply(rep store.Replicated) {
 	if len(rep.Models) > 0 {
 		d.regMu.Lock()
@@ -287,12 +295,53 @@ func (d *Daemon) mirrorApply(rep store.Replicated) {
 		}
 		d.regMu.Unlock()
 	}
+	for _, del := range rep.Deltas {
+		d.regMu.Lock()
+		oldFns := d.byFP[del.OldFP]
+		var newFns []speed.Function
+		if del.Proc >= 0 && del.Proc < len(oldFns) {
+			newFns = append([]speed.Function(nil), oldFns...)
+			newFns[del.Proc] = del.Fn
+			delete(d.byFP, del.OldFP)
+			d.byFP[del.NewFP] = newFns
+			for label, fp := range d.byName {
+				if fp == del.OldFP {
+					d.byName[label] = del.NewFP
+				}
+			}
+		}
+		d.regMu.Unlock()
+		if newFns != nil {
+			d.cache.Refresh(oldFns, newFns)
+		} else {
+			// The registry never saw this model (e.g. it predates a handoff
+			// race); drop whatever the cache holds under it.
+			d.cache.InvalidateFingerprint(del.OldFP)
+		}
+	}
 	if len(rep.Plans) > 0 || len(rep.Hints) > 0 {
-		hints := rep.Hints
-		for _, p := range rep.Plans {
+		plans, hints := rep.Plans, rep.Hints
+		if len(rep.Deltas) > 0 {
+			d.regMu.RLock()
+			keep := plans[:0:0]
+			for _, p := range plans {
+				if _, ok := d.byFP[p.Model]; ok {
+					keep = append(keep, p)
+				}
+			}
+			keepH := hints[:0:0]
+			for _, h := range hints {
+				if _, ok := d.byFP[h.Model]; ok {
+					keepH = append(keepH, h)
+				}
+			}
+			d.regMu.RUnlock()
+			plans, hints = keep, keepH
+		}
+		for _, p := range plans {
 			hints = append(hints, plancache.HintRecord{Model: p.Model, N: p.N, Slope: p.Slope})
 		}
-		d.cache.Import(rep.Plans, hints)
+		d.cache.Import(plans, hints)
 	}
 	for _, fp := range rep.Invalidated {
 		d.cache.InvalidateFingerprint(fp)

@@ -27,6 +27,7 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("/readyz", d.handleReady)
 	mux.HandleFunc("/v1/stats", d.booting(d.handleStats))
 	mux.HandleFunc("/v1/models", d.booting(d.handleModels))
+	mux.HandleFunc("/v1/models/", d.booting(d.handleModelSub))
 	mux.HandleFunc("/v1/partition", d.booting(d.handlePartition))
 	mux.HandleFunc("/v1/replication/promote", d.booting(d.handlePromote))
 	mux.Handle("/v1/replication/", http.StripPrefix("/v1/replication",
@@ -275,6 +276,127 @@ func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		Label: label, Fingerprint: fpString(fp), Processors: len(fns),
 		Replaced: replaced, Invalidated: invalidated,
 	})
+}
+
+// handleModelSub routes the per-model subresources under /v1/models/;
+// today that is POST /v1/models/{label}/refresh.
+func (d *Daemon) handleModelSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	label, action, ok := strings.Cut(rest, "/")
+	if !ok || label == "" || action != "refresh" {
+		httpError(w, http.StatusNotFound, "unknown model route %q (want /v1/models/{label}/refresh)", r.URL.Path)
+		return
+	}
+	d.handleModelRefresh(w, r, label)
+}
+
+// refreshRequest replaces one processor of a stored model.
+type refreshRequest struct {
+	// Proc is the processor index to replace (required — 0 is a valid
+	// index, so absence is an error, not a default).
+	Proc *int `json:"proc"`
+	// Processor is the replacement in the clusterio schema.
+	Processor clusterio.Processor `json:"processor"`
+}
+
+// refreshReply reports a delta refresh: the fingerprint move and how the
+// cached plans fared (kept = re-keyed and still serving as exact hits,
+// dropped = will recompute warm-started on next request).
+type refreshReply struct {
+	Label          string `json:"label"`
+	Fingerprint    string `json:"fingerprint"`
+	OldFingerprint string `json:"oldFingerprint"`
+	Proc           int    `json:"proc"`
+	Changed        bool   `json:"changed"`
+	KeptPlans      int    `json:"keptPlans"`
+	DroppedPlans   int    `json:"droppedPlans"`
+}
+
+// handleModelRefresh is the delta drift path: replace one processor's
+// speed function in a stored model without re-uploading the cluster. The
+// store appends a compact delta record (not the whole model), and the plan
+// cache migrates instead of resetting — plans whose allocation provably
+// cannot change survive under the new fingerprint.
+func (d *Daemon) handleModelRefresh(w http.ResponseWriter, r *http.Request, label string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if !d.primary.Load() {
+		httpError(w, http.StatusServiceUnavailable,
+			"read-only replica of %s; write to the primary or promote", d.cfg.ReplicaOf)
+		return
+	}
+	defaultMax := 1e9
+	if s := r.URL.Query().Get("defaultMax"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || !(v > 0) {
+			httpError(w, http.StatusBadRequest, "bad defaultMax %q", s)
+			return
+		}
+		defaultMax = v
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req refreshRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Proc == nil {
+		httpError(w, http.StatusBadRequest, "missing proc (the processor index to replace)")
+		return
+	}
+	// Expand through a one-processor cluster so the replacement gets the
+	// same validation and expansion as an upload.
+	one := clusterio.Cluster{Processors: []clusterio.Processor{req.Processor}}
+	if err := one.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fns1, _, err := one.Functions(defaultMax)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fn := fns1[0]
+
+	oldFP, okLabel := d.store.ModelByLabel(label)
+	if !okLabel {
+		httpError(w, http.StatusNotFound, "unknown model %q (upload it via /v1/models)", label)
+		return
+	}
+	d.regMu.RLock()
+	oldFns := d.byFP[oldFP]
+	d.regMu.RUnlock()
+	proc := *req.Proc
+	if proc < 0 || proc >= len(oldFns) {
+		httpError(w, http.StatusBadRequest, "proc %d out of range for model %q with %d processors", proc, label, len(oldFns))
+		return
+	}
+	oldFP, newFP, err := d.store.RefreshProcessor(label, proc, fn)
+	if err != nil {
+		// Label and index were validated above; what remains is an
+		// encode/append failure.
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	reply := refreshReply{
+		Label: label, Proc: proc,
+		Fingerprint: fpString(newFP), OldFingerprint: fpString(oldFP),
+		Changed: newFP != oldFP,
+	}
+	if reply.Changed {
+		newFns := append([]speed.Function(nil), oldFns...)
+		newFns[proc] = fn
+		reply.KeptPlans, reply.DroppedPlans = d.cache.Refresh(oldFns, newFns)
+		d.regMu.Lock()
+		delete(d.byFP, oldFP)
+		d.byFP[newFP] = newFns
+		d.byName[label] = newFP
+		d.regMu.Unlock()
+	}
+	writeJSON(w, reply)
 }
 
 // partitionRequest is one partition ask on the wire.

@@ -209,6 +209,17 @@ func (e *Engine) Invalidate(fns []speed.Function) int {
 	return e.cache.Invalidate(fns)
 }
 
+// Refresh migrates cached plans across an in-place model refresh (same
+// processor count, typically one drifted function): plans whose allocation
+// provably cannot change re-key to the new model and keep serving as exact
+// hits, the rest drop and recompute warm-started from their previous
+// slopes. This is the delta path drift-triggered refreshes should prefer
+// over Invalidate — it preserves most of a warm cache instead of resetting
+// the hit rate to zero. Returns how many plans were kept and dropped.
+func (e *Engine) Refresh(oldFns, newFns []speed.Function) (kept, dropped int) {
+	return e.cache.Refresh(oldFns, newFns)
+}
+
 // Close stops the dispatcher. Requests already queued are answered
 // ErrClosed; in-flight batches complete normally first.
 func (e *Engine) Close() {

@@ -40,8 +40,31 @@ const (
 // fingerprintProbes is the number of Eval samples the fallback hashes.
 const fingerprintProbes = 8
 
-// Fingerprint returns the fingerprint of an ordered cluster model.
+// Fingerprint returns the fingerprint of an ordered cluster model. It is
+// compositional: the model hash is an FNV-1a fold over the per-processor
+// fingerprints (FingerprintOne), so Fingerprint(fns) == Compose(PerProcessor(fns))
+// always holds, and replacing one processor's function changes exactly one
+// term of the composition. This is what makes single-processor delta
+// records cheap: a refresh carries one function plus the new composed
+// fingerprint, and any layer can verify the composition without rehashing
+// the unchanged processors' parameters.
 func Fingerprint(fns []Function) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvU64(h, uint64(len(fns)))
+	for _, f := range fns {
+		h = fnvU64(h, fingerprintFn(fnvOffset64, f))
+	}
+	return h
+}
+
+// FingerprintLegacy is the pre-delta (store format v1) model fingerprint:
+// a single FNV-1a chain threaded through every function's parameters. It
+// is not compositional — one processor's change perturbs the running hash
+// for all subsequent processors — which is why the delta path replaced it.
+// It is kept only so v1 snapshots and WALs replay: the store accepts a
+// model record whose stamped fingerprint matches either scheme and aliases
+// the legacy value to the composed one for the records that follow.
+func FingerprintLegacy(fns []Function) uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvU64(h, uint64(len(fns)))
 	for _, f := range fns {
@@ -53,6 +76,42 @@ func Fingerprint(fns []Function) uint64 {
 // FingerprintOne returns the fingerprint of a single speed function.
 func FingerprintOne(f Function) uint64 {
 	return fingerprintFn(fnvOffset64, f)
+}
+
+// PerProcessor returns the per-processor fingerprint vector of a model.
+func PerProcessor(fns []Function) []uint64 {
+	fps := make([]uint64, len(fns))
+	for i, f := range fns {
+		fps[i] = fingerprintFn(fnvOffset64, f)
+	}
+	return fps
+}
+
+// Compose folds a per-processor fingerprint vector into the composed model
+// fingerprint. Compose(PerProcessor(fns)) == Fingerprint(fns).
+func Compose(fps []uint64) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvU64(h, uint64(len(fps)))
+	for _, fp := range fps {
+		h = fnvU64(h, fp)
+	}
+	return h
+}
+
+// Diff compares two models processor by processor and returns the indices
+// whose fingerprints differ. ok is false when the models have different
+// lengths, in which case no index list is meaningful (every consumer must
+// treat the whole model as changed).
+func Diff(old, new []Function) (changed []int, ok bool) {
+	if len(old) != len(new) {
+		return nil, false
+	}
+	for i := range old {
+		if FingerprintOne(old[i]) != FingerprintOne(new[i]) {
+			changed = append(changed, i)
+		}
+	}
+	return changed, true
 }
 
 func fnvU64(h, v uint64) uint64 {

@@ -32,6 +32,7 @@ import (
 //	invalidate := model u64
 //	snapEnd    := models u32 | plans u32 | hints u32
 //	meta       := epoch u64 | gen u64
+//	delta      := oldFP u64 | newFP u64 | proc u32 | fn
 //	str        := len u16 | bytes
 //
 // Speed functions are type-tagged like the records:
@@ -49,6 +50,12 @@ const (
 	recInvalidate = 4
 	recSnapEnd    = 5
 	recMeta       = 6
+	// recModelDelta (format v2) refreshes one processor of an existing
+	// model in place: O(one speed function) on the wire where recModel is
+	// O(cluster). The new composed fingerprint travels with the record and
+	// is re-derived on replay — a delta that does not reproduce it is
+	// quarantined, never applied.
+	recModelDelta = 7
 )
 
 const (
@@ -427,6 +434,36 @@ func encodeInvalidate(model uint64) []byte {
 func decodeInvalidate(d *decoder) (uint64, error) {
 	model := d.u64()
 	return model, d.err
+}
+
+// encodeDelta builds a one-processor model refresh record: the composed
+// fingerprint of the model being patched, the composed fingerprint the
+// patched model must hash to, the processor index and its new function.
+func encodeDelta(oldFP, newFP uint64, proc int, fn speed.Function) ([]byte, error) {
+	e := &encoder{}
+	e.u8(recModelDelta)
+	e.u64(oldFP)
+	e.u64(newFP)
+	e.u32(uint32(proc))
+	if err := encodeFunction(e, fn); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// decodeDelta parses a delta record body (after the type byte).
+func decodeDelta(d *decoder) (oldFP, newFP uint64, proc int, fn speed.Function, err error) {
+	oldFP = d.u64()
+	newFP = d.u64()
+	proc = int(d.u32())
+	fn, err = decodeFunction(d)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	if d.err != nil {
+		return 0, 0, 0, nil, d.err
+	}
+	return oldFP, newFP, proc, fn, nil
 }
 
 // encodeMeta builds the replication meta record: the fencing epoch and the

@@ -61,6 +61,19 @@ type ReplModel struct {
 	Fns         []speed.Function
 }
 
+// ReplDelta is one replicated one-processor model refresh in decoded form:
+// OldFP is the composed fingerprint the refresh applied to (already
+// resolved through any legacy alias), NewFP the fingerprint the patched
+// model hashes to, and Fn the replacement function for processor Proc. The
+// mirror applies it with plancache.Cache.Refresh, which re-derives the
+// same survivor set the store kept.
+type ReplDelta struct {
+	OldFP uint64
+	NewFP uint64
+	Proc  int
+	Fn    speed.Function
+}
+
 // Replicated reports what one ingested snapshot or chunk installed, so the
 // replica can mirror the changes into its live cache and registry.
 type Replicated struct {
@@ -68,6 +81,7 @@ type Replicated struct {
 	Plans       []plancache.PlanRecord
 	Hints       []plancache.HintRecord
 	Invalidated []uint64
+	Deltas      []ReplDelta
 
 	Frames      int   // complete valid frames applied
 	Bytes       int64 // bytes of those frames (the confirmed-offset advance)
@@ -326,7 +340,8 @@ func (s *Store) ApplyHandoff(data []byte) (Replicated, error) {
 	if s.closed {
 		return rep, fmt.Errorf("store: closed")
 	}
-	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+	if len(data) < len(snapMagic) ||
+		(string(data[:len(snapMagic)]) != snapMagic && string(data[:len(snapMagic)]) != snapMagicV1) {
 		return rep, fmt.Errorf("%w: handoff snapshot magic", ErrCorruptFrame)
 	}
 	// Fence before touching state: the meta frame leads every snapshot.
@@ -392,6 +407,7 @@ func (s *Store) ApplyHandoff(data []byte) (Replicated, error) {
 func (s *Store) resetStateLocked() {
 	s.models = make(map[uint64]*modelEntry)
 	s.labels = make(map[string]uint64)
+	s.fpAlias = make(map[uint64]uint64)
 	s.plans = make(map[planKey]plancache.PlanRecord)
 	s.planOrder = nil
 	s.hints = make(map[hintKey]float64)

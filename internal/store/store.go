@@ -50,10 +50,16 @@ const (
 	walFile      = "wal.log"
 )
 
-// 8-byte magics versioning the two file formats.
+// 8-byte magics versioning the two file formats. v2 (delta refresh)
+// changed the model fingerprint scheme to the compositional one and added
+// the recModelDelta record; v1 files are still read — their models are
+// accepted under the legacy fingerprint and aliased to the composed one —
+// and the first compaction rewrites both files as v2.
 const (
-	snapMagic = "HPSNAP1\n"
-	walMagic  = "HPWAL01\n"
+	snapMagic   = "HPSNAP2\n"
+	walMagic    = "HPWAL02\n"
+	snapMagicV1 = "HPSNAP1\n"
+	walMagicV1  = "HPWAL01\n"
 )
 
 // Options tunes a Store.
@@ -100,6 +106,10 @@ type Stats struct {
 	Epoch uint64 `json:"epoch"` // replication fencing epoch
 	Gen   uint64 `json:"gen"`   // compaction generation (WAL stream identity)
 
+	// Refreshes counts one-processor delta refreshes applied this run —
+	// live RefreshProcessor calls plus replayed or streamed delta records.
+	Refreshes uint64 `json:"refreshes"`
+
 	ReplayedModels int `json:"replayedModels"` // records applied on Open
 	ReplayedPlans  int `json:"replayedPlans"`
 	ReplayedHints  int `json:"replayedHints"`
@@ -143,6 +153,12 @@ type Store struct {
 	models map[uint64]*modelEntry
 	labels map[string]uint64
 
+	// fpAlias maps a legacy (format v1, chained-FNV) model fingerprint to
+	// the composed fingerprint the same functions hash to today. Replay
+	// populates it when it accepts a v1 model record; the plan, hint,
+	// invalidation and delta records that follow resolve through it.
+	fpAlias map[uint64]uint64
+
 	plans     map[planKey]plancache.PlanRecord
 	planOrder []planKey
 	hints     map[hintKey]float64
@@ -174,10 +190,14 @@ type Store struct {
 	notify    chan struct{}
 
 	replayedModels, replayedPlans, replayedHints int
+	refreshes                                    uint64
 	quarantined                                  int
 	quarantinedTail                              int64
 	snapQuarantined                              bool
 	loadedSnapshot                               bool
+	// upgradeV1 is set when a v1 snapshot or WAL was read; Open compacts
+	// immediately so both files are rewritten in the current format.
+	upgradeV1 bool
 
 	closed bool
 }
@@ -194,13 +214,14 @@ func Open(opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		opts:   opts,
-		models: make(map[uint64]*modelEntry),
-		labels: make(map[string]uint64),
-		plans:  make(map[planKey]plancache.PlanRecord),
-		hints:  make(map[hintKey]float64),
-		epoch:  1,
-		notify: make(chan struct{}),
+		opts:    opts,
+		models:  make(map[uint64]*modelEntry),
+		labels:  make(map[string]uint64),
+		fpAlias: make(map[uint64]uint64),
+		plans:   make(map[planKey]plancache.PlanRecord),
+		hints:   make(map[hintKey]float64),
+		epoch:   1,
+		notify:  make(chan struct{}),
 	}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
@@ -208,9 +229,10 @@ func Open(opts Options) (*Store, error) {
 	if err := s.openWAL(); err != nil {
 		return nil, err
 	}
-	// A damaged tail or an oversized log folds into a fresh snapshot now,
-	// so the next crash replays from a clean base.
-	if s.quarantinedTail > 0 || (s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt) {
+	// A damaged tail, an oversized log or an old-format file folds into a
+	// fresh snapshot now, so the next crash replays from a clean base (and
+	// a v1 store is rewritten as v2 exactly once).
+	if s.quarantinedTail > 0 || s.upgradeV1 || (s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt) {
 		if err := s.compactLocked(); err != nil {
 			s.wal.Close()
 			return nil, err
@@ -272,6 +294,129 @@ func encodeModelChecked(label string, fns []speed.Function) ([]byte, uint64, err
 		return nil, 0, err
 	}
 	return payload, fp, nil
+}
+
+// RefreshProcessor replaces one processor's speed function in the model a
+// label maps to, appending an O(one processor) delta record to the WAL
+// instead of a full model record. The stored plans for the model are
+// migrated by the same selective rule the plan cache uses
+// (plancache.SurvivesProc): plans whose allocation provably cannot change
+// are re-keyed to the new fingerprint, the rest are dropped — no
+// per-survivor records are written, because every replayer re-derives the
+// same split deterministically from the delta alone. Returns the old and
+// new composed fingerprints; they are equal when the replacement function
+// fingerprints identically to the current one (a no-op, nothing logged).
+func (s *Store) RefreshProcessor(label string, proc int, fn speed.Function) (oldFP, newFP uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("store: closed")
+	}
+	fp, ok := s.labels[label]
+	if !ok {
+		return 0, 0, fmt.Errorf("store: no model labeled %q", label)
+	}
+	m := s.models[fp]
+	if proc < 0 || proc >= len(m.fns) {
+		return 0, 0, fmt.Errorf("store: model %q has %d processors, refresh asked for index %d", label, len(m.fns), proc)
+	}
+	newFns := make([]speed.Function, len(m.fns))
+	copy(newFns, m.fns)
+	newFns[proc] = fn
+	newFP = speed.Fingerprint(newFns)
+	if newFP == fp {
+		return fp, fp, nil
+	}
+	payload, err := encodeDelta(fp, newFP, proc, fn)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.appendLocked(payload); err != nil {
+		return 0, 0, err
+	}
+	s.refreshStateLocked(fp, newFP, proc, newFns)
+	s.refreshes++
+	s.maybeCompactLocked()
+	return fp, newFP, nil
+}
+
+// refreshStateLocked applies a validated one-processor refresh to the
+// in-memory mirror: the model moves to its new fingerprint, the label
+// follows, and plans/hints re-key or drop per the selective rule. Shared
+// by the live RefreshProcessor and delta-record replay, so disk replay and
+// the live path converge on identical state.
+func (s *Store) refreshStateLocked(oldFP, newFP uint64, proc int, newFns []speed.Function) {
+	m := s.models[oldFP]
+	oldFn := m.fns[proc]
+	delete(s.models, oldFP)
+	s.models[newFP] = &modelEntry{label: m.label, fns: newFns}
+	if s.labels[m.label] == oldFP {
+		s.labels[m.label] = newFP
+	}
+
+	kept := s.planOrder[:0]
+	for _, k := range s.planOrder {
+		if k.model != oldFP {
+			kept = append(kept, k)
+			continue
+		}
+		r := s.plans[k]
+		delete(s.plans, k)
+		if len(r.Alloc) != len(newFns) || !plancache.SurvivesProc(r.Alloc[proc], oldFn, newFns[proc]) {
+			continue
+		}
+		nk := k
+		nk.model = newFP
+		if _, dup := s.plans[nk]; dup {
+			continue // a plan under the new fingerprint already exists
+		}
+		r.Model = newFP
+		s.plans[nk] = r
+		kept = append(kept, nk)
+	}
+	s.planOrder = kept
+
+	for k, slope := range s.hints {
+		if k.model == oldFP {
+			delete(s.hints, k)
+			s.hints[hintKey{model: newFP, n: k.n}] = slope
+		}
+	}
+}
+
+// applyDelta validates and applies a replayed delta record: the referenced
+// model must exist (after legacy aliasing), the processor index must be in
+// range, and patching the function must reproduce the recorded composed
+// fingerprint — a delta whose fingerprint lies is quarantined, never
+// applied. Returns the resolved old fingerprint for stream capture.
+func (s *Store) applyDelta(oldFP, newFP uint64, proc int, fn speed.Function) (uint64, bool) {
+	oldFP = s.resolveFP(oldFP)
+	m, ok := s.models[oldFP]
+	if !ok || proc < 0 || proc >= len(m.fns) {
+		s.quarantined++
+		return 0, false
+	}
+	newFns := make([]speed.Function, len(m.fns))
+	copy(newFns, m.fns)
+	newFns[proc] = fn
+	if speed.Fingerprint(newFns) != newFP {
+		s.quarantined++
+		return 0, false
+	}
+	if newFP != oldFP {
+		s.refreshStateLocked(oldFP, newFP, proc, newFns)
+	}
+	s.refreshes++
+	return oldFP, true
+}
+
+// resolveFP maps a legacy model fingerprint to its composed equivalent;
+// current-format fingerprints pass through unchanged.
+func (s *Store) resolveFP(fp uint64) uint64 {
+	if canon, ok := s.fpAlias[fp]; ok {
+		return canon
+	}
+	return fp
 }
 
 // AppendPlan logs one admitted plan insertion (the cache's insert tap).
@@ -433,7 +578,11 @@ func (s *Store) Stats() Stats {
 		Hints:               len(s.hints),
 		WALRecords:          s.walTotal,
 		WALBytes:            s.walBytes,
+		WALFrames:           s.walFrames,
 		Compactions:         s.compacted,
+		Epoch:               s.epoch,
+		Gen:                 s.gen,
+		Refreshes:           s.refreshes,
 		ReplayedModels:      s.replayedModels,
 		ReplayedPlans:       s.replayedPlans,
 		ReplayedHints:       s.replayedHints,
@@ -493,24 +642,33 @@ func (s *Store) dropModelState(model uint64) {
 // --- replay validation (shared by snapshot load and WAL replay) ---
 
 // applyModel validates and installs a replayed model record: the decoded
-// functions must reproduce the recorded fingerprint, else the record is
-// quarantined (a stale or corrupted model must never validate plans).
-func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) bool {
-	if speed.Fingerprint(fns) != fp || label == "" {
+// functions must reproduce the recorded fingerprint — composed (current
+// format) or legacy chained (format v1) — else the record is quarantined
+// (a stale or corrupted model must never validate plans). A legacy match
+// installs the model under its composed fingerprint and records the alias
+// so the records that follow resolve. Returns the canonical fingerprint
+// the model was installed under.
+func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) (uint64, bool) {
+	canon := speed.Fingerprint(fns)
+	if label == "" || (fp != canon && speed.FingerprintLegacy(fns) != fp) {
 		s.quarantined++
-		return false
+		return 0, false
 	}
-	if old, ok := s.labels[label]; ok && old != fp {
+	if fp != canon {
+		s.fpAlias[fp] = canon
+	}
+	if old, ok := s.labels[label]; ok && old != canon {
 		s.dropModelState(old)
 	}
-	s.models[fp] = &modelEntry{label: label, fns: fns}
-	s.labels[label] = fp
+	s.models[canon] = &modelEntry{label: label, fns: fns}
+	s.labels[label] = canon
 	s.replayedModels++
-	return true
+	return canon, true
 }
 
 // applyPlan validates and installs a replayed plan record.
 func (s *Store) applyPlan(r plancache.PlanRecord) bool {
+	r.Model = s.resolveFP(r.Model)
 	m, ok := s.models[r.Model]
 	if !ok || !r.Valid() || len(r.Alloc) != len(m.fns) {
 		s.quarantined++
@@ -523,6 +681,7 @@ func (s *Store) applyPlan(r plancache.PlanRecord) bool {
 
 // applyHint validates and installs a replayed warm hint.
 func (s *Store) applyHint(h plancache.HintRecord) bool {
+	h.Model = s.resolveFP(h.Model)
 	if _, ok := s.models[h.Model]; !ok || h.N <= 0 || !(h.Slope > 0) {
 		s.quarantined++
 		return false
@@ -547,8 +706,8 @@ func (s *Store) applyRecord(payload []byte, cap *Replicated) {
 			s.quarantined++
 			return
 		}
-		if s.applyModel(fp, label, fns) && cap != nil {
-			cap.Models = append(cap.Models, ReplModel{Fingerprint: fp, Label: label, Fns: fns})
+		if canon, ok := s.applyModel(fp, label, fns); ok && cap != nil {
+			cap.Models = append(cap.Models, ReplModel{Fingerprint: canon, Label: label, Fns: fns})
 		}
 	case recPlan:
 		r, err := decodePlan(d)
@@ -556,6 +715,7 @@ func (s *Store) applyRecord(payload []byte, cap *Replicated) {
 			s.quarantined++
 			return
 		}
+		r.Model = s.resolveFP(r.Model)
 		if s.applyPlan(r) && cap != nil {
 			cap.Plans = append(cap.Plans, r)
 		}
@@ -565,6 +725,7 @@ func (s *Store) applyRecord(payload []byte, cap *Replicated) {
 			s.quarantined++
 			return
 		}
+		h.Model = s.resolveFP(h.Model)
 		if s.applyHint(h) && cap != nil {
 			cap.Hints = append(cap.Hints, h)
 		}
@@ -574,9 +735,19 @@ func (s *Store) applyRecord(payload []byte, cap *Replicated) {
 			s.quarantined++
 			return
 		}
+		model = s.resolveFP(model)
 		s.dropPlansLocked(model)
 		if cap != nil {
 			cap.Invalidated = append(cap.Invalidated, model)
+		}
+	case recModelDelta:
+		oldFP, newFP, proc, fn, err := decodeDelta(d)
+		if err != nil || !d.done() {
+			s.quarantined++
+			return
+		}
+		if resolved, ok := s.applyDelta(oldFP, newFP, proc, fn); ok && cap != nil {
+			cap.Deltas = append(cap.Deltas, ReplDelta{OldFP: resolved, NewFP: newFP, Proc: proc, Fn: fn})
 		}
 	case recMeta:
 		epoch, gen, err := decodeMeta(d)
@@ -624,7 +795,15 @@ func (s *Store) openWAL() error {
 		return nil
 	}
 	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != walMagic {
+	_, magicErr := io.ReadFull(f, magic[:])
+	switch {
+	case magicErr == nil && string(magic[:]) == walMagic:
+	case magicErr == nil && string(magic[:]) == walMagicV1:
+		// Previous-format log: records decode identically, models carry
+		// legacy fingerprints (applyModel aliases them). Open compacts
+		// right after replay, rewriting the file with the v2 magic.
+		s.upgradeV1 = true
+	default:
 		// Unrecognized log: set it aside and start fresh rather than guess.
 		f.Close()
 		if err := quarantineFile(path); err != nil {
@@ -723,11 +902,15 @@ func (s *Store) compactLocked() error {
 	if err := syncDir(s.opts.Dir); err != nil {
 		return err
 	}
-	// The snapshot now covers everything; restart the log.
-	if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
+	// The snapshot now covers everything; restart the log. The magic is
+	// rewritten, not preserved, so compacting a v1 log upgrades it.
+	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	if _, err := s.wal.Seek(0, io.SeekEnd); err != nil {
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.wal.Write([]byte(walMagic)); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
@@ -817,7 +1000,17 @@ func (s *Store) loadSnapshot() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	ok := func() bool {
-		if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		if len(data) < len(snapMagic) {
+			return false
+		}
+		switch string(data[:len(snapMagic)]) {
+		case snapMagic:
+		case snapMagicV1:
+			// Previous-format snapshot: frames decode identically, models
+			// carry legacy fingerprints (applyModel aliases them); Open
+			// compacts right after replay to rewrite the file as v2.
+			s.upgradeV1 = true
+		default:
 			return false
 		}
 		r := bytes.NewReader(data[len(snapMagic):])
@@ -848,6 +1041,7 @@ func (s *Store) loadSnapshot() error {
 		// Reset whatever half-applied state the bad snapshot left behind.
 		s.models = make(map[uint64]*modelEntry)
 		s.labels = make(map[string]uint64)
+		s.fpAlias = make(map[uint64]uint64)
 		s.plans = make(map[planKey]plancache.PlanRecord)
 		s.planOrder = nil
 		s.hints = make(map[hintKey]float64)

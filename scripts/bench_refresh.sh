@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_refresh.sh — run the model-refresh benchmarks (full re-upload vs
+# per-processor delta) and emit a JSON baseline so later PRs can track the
+# refresh path's latency, WAL write amplification, and plan-cache survival.
+#
+# Usage:
+#
+#	scripts/bench_refresh.sh [output.json]
+#
+# Environment:
+#
+#	BENCHTIME   value for -benchtime (default 200x; use e.g. 2s for stable
+#	            numbers on a quiet host)
+#	BENCH       -bench pattern (default ModelRefresh)
+#
+# The JSON is an array of objects:
+#
+#	{"name": "...", "n": <iterations>, "ns_per_op": ..., "b_per_op": ...,
+#	 "allocs_per_op": ..., "wal_bytes_per_op": ..., "pct_invalidated": ...}
+#
+# plus a leading metadata object with the host description.
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_refresh.json}"
+benchtime="${BENCHTIME:-200x}"
+pattern="${BENCH:-ModelRefresh}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN { printf "[\n" }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, "", $0); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = bop = allocs = wal = pct = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "WALbytes/op") wal = $i
+		if ($(i+1) == "%invalidated") pct = $i
+	}
+	rows[nrows++] = sprintf("{\"name\": \"%s\", \"n\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"wal_bytes_per_op\": %s, \"pct_invalidated\": %s}",
+		name, iters, ns, bop, allocs, wal, pct)
+}
+END {
+	printf "  {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"benchtime\": \"%s\"}", goos, goarch, cpu, benchtime
+	for (i = 0; i < nrows; i++) printf ",\n  %s", rows[i]
+	printf "\n]\n"
+}' "$tmp" > "$out"
+echo "wrote $out" >&2
