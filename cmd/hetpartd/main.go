@@ -12,20 +12,42 @@
 //	curl -X POST --data-binary @cluster.json 'localhost:7411/v1/models?label=lab'
 //	curl -X POST -d '{"model":"lab","n":100000000}' localhost:7411/v1/partition
 //
+// A three-node self-healing cluster: one primary, two watching followers
+// that gossip over -peers and elect a successor when the primary dies:
+//
+//	hetpartd -dir /var/lib/hp1 -addr :7411
+//	hetpartd -dir /var/lib/hp2 -addr :7412 -id b -replica-of http://127.0.0.1:7411 \
+//	         -watch -peers http://127.0.0.1:7413
+//	hetpartd -dir /var/lib/hp3 -addr :7413 -id c -replica-of http://127.0.0.1:7411 \
+//	         -watch -peers http://127.0.0.1:7412
+//
 // SIGTERM drains in-flight requests and folds the write-ahead log into a
 // final snapshot; SIGKILL at any moment loses at most the requests that
 // were never answered. See internal/rpc for the endpoints and internal/
-// store for the durability design (DESIGN §9).
+// store for the durability design (DESIGN §9, §12).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"heteropart/internal/rpc"
 )
+
+// splitPeers parses the -peers list, dropping empty entries so a trailing
+// comma is harmless.
+func splitPeers(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -42,6 +64,13 @@ func main() {
 		replicaOf  = flag.String("replica-of", "", "follow the primary hetpartd at this base URL (read-only until promoted)")
 		reconnect  = flag.Duration("reconnect-base", 0, "base pause of the follower's jittered reconnect backoff (0 = default 100ms)")
 		replicaWt  = flag.Duration("replica-wait", 0, "long-poll hold when streaming the primary's WAL (0 = default 2s)")
+		id         = flag.String("id", "", "stable member identity for elections (default: the listen address)")
+		peersCSV   = flag.String("peers", "", "comma-separated base URLs of the other cluster members (not the primary)")
+		watchFlag  = flag.Bool("watch", false, "run the failure detector: probe the primary and self-heal when it dies")
+		probeInt   = flag.Duration("probe-interval", 0, "failure-detector probe cadence (0 = default 500ms)")
+		probeTo    = flag.Duration("probe-timeout", 0, "deadline for one probe (0 = probe interval)")
+		suspectN   = flag.Int("suspect-after", 0, "consecutive probe misses before suspecting the primary (0 = default 3)")
+		handoverTo = flag.Duration("handover-timeout", 0, "planned-demotion wait for the successor to drain (0 = default 10s)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -50,19 +79,26 @@ func main() {
 		os.Exit(2)
 	}
 	err := rpc.Run(rpc.Config{
-		Addr:          *addr,
-		Dir:           *dir,
-		AddrFile:      *addrFile,
-		CacheCapacity: *cacheCap,
-		NoDoorkeeper:  *noDoor,
-		MaxBatch:      *maxBatch,
-		QueueDepth:    *queueDepth,
-		CompactAt:     *compactAt,
-		SyncEvery:     *syncEvery,
-		ReplicaOf:     *replicaOf,
-		ReconnectBase: *reconnect,
-		ReplicaWait:   *replicaWt,
-		DrainTimeout:  *drain,
+		Addr:            *addr,
+		Dir:             *dir,
+		AddrFile:        *addrFile,
+		CacheCapacity:   *cacheCap,
+		NoDoorkeeper:    *noDoor,
+		MaxBatch:        *maxBatch,
+		QueueDepth:      *queueDepth,
+		CompactAt:       *compactAt,
+		SyncEvery:       *syncEvery,
+		ReplicaOf:       *replicaOf,
+		ReconnectBase:   *reconnect,
+		ReplicaWait:     *replicaWt,
+		ID:              *id,
+		Peers:           splitPeers(*peersCSV),
+		Watch:           *watchFlag,
+		ProbeInterval:   *probeInt,
+		ProbeTimeout:    *probeTo,
+		SuspectAfter:    *suspectN,
+		HandoverTimeout: *handoverTo,
+		DrainTimeout:    *drain,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetpartd:", err)

@@ -42,6 +42,11 @@ const (
 	// LinkDown makes the shared communication medium unavailable during
 	// the window; transfers cannot start while it is down.
 	LinkDown
+	// LinkSlow multiplies the shared medium's effective speed by Factor
+	// during the window without cutting it: transfers (and failure-detector
+	// probes) still flow, just slower — the fault that makes a healthy
+	// primary look dead to a deadline-bounded heartbeat.
+	LinkSlow
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +60,8 @@ func (k Kind) String() string {
 		return "stall"
 	case LinkDown:
 		return "link"
+	case LinkSlow:
+		return "linkslow"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -85,14 +92,14 @@ func (f Fault) end() float64 {
 // String renders the fault in the spec syntax ParseSpec accepts.
 func (f Fault) String() string {
 	var b strings.Builder
-	if f.Kind == LinkDown {
+	if f.Kind == LinkDown || f.Kind == LinkSlow {
 		b.WriteString("link")
 	} else {
 		fmt.Fprintf(&b, "p%d", f.Proc)
 	}
 	fmt.Fprintf(&b, "@t=%gs", f.At)
 	switch f.Kind {
-	case Slow:
+	case Slow, LinkSlow:
 		fmt.Fprintf(&b, ",slow=%g", f.Factor)
 	case Stall:
 		b.WriteString(",stall")
@@ -139,6 +146,14 @@ func (p *Plan) Validate(procs int) error {
 		case LinkDown:
 			if f.Proc != -1 {
 				return fmt.Errorf("faults: fault %d: link fault names processor %d", i, f.Proc)
+			}
+			continue
+		case LinkSlow:
+			if f.Proc != -1 {
+				return fmt.Errorf("faults: fault %d: link fault names processor %d", i, f.Proc)
+			}
+			if !(f.Factor > 0 && f.Factor < 1) {
+				return fmt.Errorf("faults: fault %d: slow factor %v outside (0,1)", i, f.Factor)
 			}
 			continue
 		default:
@@ -287,6 +302,7 @@ func (p *Plan) FinishTime(proc int, start, need float64) float64 {
 
 // LinkDowns returns the link-unavailability windows as [start, end)
 // pairs, unmerged, in schedule order. Permanent outages have end +Inf.
+// LinkSlow windows are excluded: a slow link is degraded, not down.
 func (p *Plan) LinkDowns() [][2]float64 {
 	if p == nil {
 		return nil
@@ -300,6 +316,43 @@ func (p *Plan) LinkDowns() [][2]float64 {
 	return ws
 }
 
+// LinkDownAt reports whether the shared medium is unavailable at time t.
+func (p *Plan) LinkDownAt(t float64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.Faults {
+		if f.Kind == LinkDown && t >= f.At && t < f.end() {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkFactor returns the shared medium's instantaneous speed multiplier
+// at time t: zero while a LinkDown window is active, otherwise the
+// product of the active LinkSlow factors (1 when the link is healthy).
+// This is what a failure-detector test replays to decide whether a probe
+// issued at model time t completes within its deadline.
+func (p *Plan) LinkFactor(t float64) float64 {
+	if p == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, f := range p.Faults {
+		if t < f.At || t >= f.end() {
+			continue
+		}
+		switch f.Kind {
+		case LinkDown:
+			return 0
+		case LinkSlow:
+			factor *= f.Factor
+		}
+	}
+	return factor
+}
+
 // ErrSpec reports a malformed fault-spec string.
 var ErrSpec = errors.New("faults: bad fault spec")
 
@@ -311,6 +364,7 @@ var ErrSpec = errors.New("faults: bad fault spec")
 //	p2@t=1s,slow=0.4,for=2s   …for 2 s only
 //	p1@t=2s,stall,for=0.5s    processor 1 freezes for 0.5 s
 //	link@t=0.5s,for=1s        the shared medium is down for 1 s
+//	link@t=0.5s,slow=0.1,for=1s  the medium runs at 10 % speed for 1 s
 //
 // The processor token is either pN (zero-based index) or one of the
 // given names; names may be nil when only indexes are used.
@@ -340,9 +394,6 @@ func ParseSpec(spec string, names []string) (Fault, error) {
 		kv := strings.SplitN(strings.TrimSpace(raw), "=", 2)
 		switch kv[0] {
 		case "slow":
-			if f.Kind == LinkDown {
-				return Fault{}, fmt.Errorf("%w %q: link faults cannot slow", ErrSpec, spec)
-			}
 			if len(kv) != 2 {
 				return Fault{}, fmt.Errorf("%w %q: slow wants a factor", ErrSpec, spec)
 			}
@@ -350,9 +401,13 @@ func ParseSpec(spec string, names []string) (Fault, error) {
 			if err != nil || !(v > 0 && v < 1) {
 				return Fault{}, fmt.Errorf("%w %q: slow factor must lie in (0,1)", ErrSpec, spec)
 			}
-			f.Kind, f.Factor = Slow, v
+			if f.Proc < 0 {
+				f.Kind, f.Factor = LinkSlow, v
+			} else {
+				f.Kind, f.Factor = Slow, v
+			}
 		case "stall":
-			if f.Kind == LinkDown {
+			if f.Proc < 0 {
 				return Fault{}, fmt.Errorf("%w %q: link faults cannot stall", ErrSpec, spec)
 			}
 			f.Kind = Stall

@@ -79,6 +79,8 @@ func TestPlanValidate(t *testing.T) {
 		{Kind: Slow, Proc: 0, At: 1, Factor: 1.5},
 		{Kind: Slow, Proc: 0, At: 1, Factor: 0},
 		{Kind: LinkDown, Proc: 2, At: 1},
+		{Kind: LinkSlow, Proc: 2, At: 1, Factor: 0.5},
+		{Kind: LinkSlow, Proc: -1, At: 1, Factor: 1.5},
 		{Kind: Kind(42), Proc: 0, At: 1},
 		{Kind: Crash, Proc: 0, At: math.Inf(1)},
 		{Kind: Stall, Proc: 0, At: 1, Duration: -2},
@@ -110,6 +112,8 @@ func TestParseSpec(t *testing.T) {
 		{"p2@t=1s,slow=0.4,for=2s", Fault{Kind: Slow, Proc: 2, At: 1, Factor: 0.4, Duration: 2}},
 		{"p1@t=2s,stall,for=0.5s", Fault{Kind: Stall, Proc: 1, At: 2, Duration: 0.5}},
 		{"link@t=0.5s,for=1s", Fault{Kind: LinkDown, Proc: -1, At: 0.5, Duration: 1}},
+		{"link@t=1s,slow=0.5", Fault{Kind: LinkSlow, Proc: -1, At: 1, Factor: 0.5}},
+		{"link@t=0.5s,slow=0.1,for=1s", Fault{Kind: LinkSlow, Proc: -1, At: 0.5, Factor: 0.1, Duration: 1}},
 	}
 	for _, c := range cases {
 		got, err := ParseSpec(c.spec, names)
@@ -128,13 +132,58 @@ func TestParseSpec(t *testing.T) {
 	}
 	bad := []string{
 		"", "p1", "p1@", "@t=1", "bogus@t=1", "p1@t=-1", "p1@t=1,slow=2",
-		"p1@t=1,wat", "link@t=1,slow=0.5", "link@t=1,stall", "p1@t=1,for=2s",
+		"p1@t=1,wat", "link@t=1,slow=1.5", "link@t=1,stall", "p1@t=1,for=2s",
 		"p1@t=1,slow", "p1@t=1,for",
 	}
 	for _, s := range bad {
 		if f, err := ParseSpec(s, names); err == nil {
 			t.Errorf("ParseSpec(%q) accepted: %+v", s, f)
 		}
+	}
+}
+
+func TestLinkFactorAndLinkDownAt(t *testing.T) {
+	p, err := NewPlan(
+		Fault{Kind: LinkDown, Proc: -1, At: 1, Duration: 0.5},
+		Fault{Kind: LinkSlow, Proc: -1, At: 2, Duration: 1, Factor: 0.25},
+		Fault{Kind: LinkSlow, Proc: -1, At: 2.5, Duration: 1, Factor: 0.5},
+		Fault{Kind: Slow, Proc: 0, At: 0, Duration: 10, Factor: 0.5}, // processor fault, not link
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t      float64
+		down   bool
+		factor float64
+	}{
+		{0.5, false, 1},
+		{1.2, true, 0},
+		{1.6, false, 1},
+		{2.2, false, 0.25},
+		{2.7, false, 0.125}, // both slow windows active: 0.25 * 0.5
+		{3.2, false, 0.5},
+		{4.0, false, 1},
+	}
+	for _, c := range cases {
+		if got := p.LinkDownAt(c.t); got != c.down {
+			t.Errorf("LinkDownAt(%v) = %v, want %v", c.t, got, c.down)
+		}
+		if got := p.LinkFactor(c.t); got != c.factor {
+			t.Errorf("LinkFactor(%v) = %v, want %v", c.t, got, c.factor)
+		}
+	}
+	// LinkSlow windows do not count as outages.
+	if got := p.LinkDowns(); len(got) != 1 {
+		t.Errorf("LinkDowns = %v, want exactly the LinkDown window", got)
+	}
+	// The per-processor factor ignores link faults entirely.
+	if got := p.Factor(0, 2.2); got != 0.5 {
+		t.Errorf("Factor(0, 2.2) = %v, want 0.5", got)
+	}
+	var nilPlan *Plan
+	if nilPlan.LinkDownAt(1) || nilPlan.LinkFactor(1) != 1 {
+		t.Error("nil plan must report a healthy link")
 	}
 }
 

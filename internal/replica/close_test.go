@@ -1,0 +1,81 @@
+package replica
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutinesSettle polls until the goroutine count drops back to at most
+// base (the runtime needs a moment to retire exiting goroutines).
+func goroutinesSettle(t *testing.T, what string, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("%s: %d goroutines still running, started with %d\n%s",
+				what, runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFollowerCloseLeaksNothing: Close must join the reconnect/long-poll
+// goroutines — after Close returns (and idle HTTP connections are dropped),
+// the goroutine count is back where it started.
+func TestFollowerCloseLeaksNothing(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	// A dedicated client so the test can drop ITS idle keep-alive
+	// connections without touching other tests' transports.
+	tr := &http.Transport{}
+	p := newPair(t, 77, "", Config{
+		Client: &http.Client{Transport: tr},
+		Wait:   50 * time.Millisecond,
+	})
+	p.f.Start()
+	waitFor(t, "follower caught up", func() bool {
+		return p.f.State() == StateServingReads
+	})
+
+	p.f.Close()
+	p.f.Close() // idempotent
+	tr.CloseIdleConnections()
+	// The pair's stores and server stay open (cleaned up by t.Cleanup);
+	// only the follower's own goroutines must be gone. httptest's server
+	// goroutines park once the long-poll request is gone, so the count
+	// settles back to the pre-pair baseline plus the server's accept loop.
+	goroutinesSettle(t, "after Close", base+1)
+
+	if p.f.State() == StatePromoted {
+		t.Fatal("Close must not promote")
+	}
+}
+
+// TestFollowerStopBeforeStart: the stop signal is valid before Run ever
+// starts; a later Start returns immediately and Close joins it without
+// hanging.
+func TestFollowerStopBeforeStart(t *testing.T) {
+	p := newPair(t, 78, "", Config{})
+	p.f.Stop()
+	p.f.Start()
+	done := make(chan struct{})
+	go func() {
+		p.f.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after Stop-before-Start")
+	}
+	if got := p.f.Status().Handoffs; got != 0 {
+		t.Fatalf("stopped-before-start follower performed %d handoffs", got)
+	}
+}

@@ -77,9 +77,13 @@ type Follower struct {
 	// touched only by the Run goroutine.
 	session string
 
-	cancel context.CancelFunc
-	done   chan struct{}
-	once   sync.Once
+	// stop is closed by Stop; Run watches it and cancels its own context,
+	// so Stop is safe before Run, after Run, and from inside Run's
+	// callbacks (it never waits). runWG tracks the goroutine Start spawned;
+	// Close joins it.
+	stop     chan struct{}
+	stopOnce sync.Once
+	runWG    sync.WaitGroup
 }
 
 // NewFollower validates cfg and returns an idle follower; call Run to
@@ -113,7 +117,7 @@ func NewFollower(cfg Config) (*Follower, error) {
 		cfg:    cfg,
 		prefix: cfg.Primary + cfg.Prefix,
 		key:    BackoffKey(cfg.Primary),
-		done:   make(chan struct{}),
+		stop:   make(chan struct{}),
 	}, nil
 }
 
@@ -166,8 +170,24 @@ func (f *Follower) Status() Status {
 // with the deterministic jitter schedule on connection loss.
 func (f *Follower) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
-	f.cancel = cancel
-	defer close(f.done)
+	// The watcher translates Stop's signal into a context cancellation and
+	// is joined before Run returns, so a Close that has seen Run exit knows
+	// every goroutine Run owned is gone too.
+	runDone := make(chan struct{})
+	var watch sync.WaitGroup
+	watch.Add(1)
+	go func() {
+		defer watch.Done()
+		select {
+		case <-f.stop:
+		case <-runDone:
+		}
+		cancel()
+	}()
+	defer func() {
+		close(runDone)
+		watch.Wait()
+	}()
 	defer f.connected.Store(false)
 
 	attempt := 0
@@ -185,6 +205,14 @@ func (f *Follower) Run(ctx context.Context) error {
 	}
 
 	for {
+		// Check the stop signal directly (not only via the watcher's
+		// cancellation) so a Stop issued before Run starts is honored
+		// before the first handoff, deterministically.
+		select {
+		case <-f.stop:
+			return context.Canceled
+		default:
+		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -355,8 +383,12 @@ func (f *Follower) stream(ctx context.Context, pos store.ReplPos) error {
 // truncates a torn WAL, the epoch is bumped past the dead primary's, and
 // the state is folded into a fresh snapshot. Returns the new epoch. The
 // follower never follows again after promotion.
+//
+// Promote joins the Start goroutine before touching the store; a Run the
+// caller launched directly cannot be joined here, but the epoch bump makes
+// that safe — any chunk such a straggler still ingests is fenced.
 func (f *Follower) Promote() (uint64, error) {
-	f.Stop()
+	f.Close()
 	epoch, err := f.cfg.Store.Promote()
 	if err != nil {
 		return 0, err
@@ -365,13 +397,25 @@ func (f *Follower) Promote() (uint64, error) {
 	return epoch, nil
 }
 
-// Stop cancels Run and waits for it to return. Safe to call more than
-// once, or before Run (it then only marks the follower stopped).
+// Start launches Run in a goroutine that Close joins. Start at most once.
+func (f *Follower) Start() {
+	f.runWG.Add(1)
+	go func() {
+		defer f.runWG.Done()
+		f.Run(context.Background())
+	}()
+}
+
+// Stop signals Run to return. It never blocks, so it is safe to call more
+// than once, before Run ever starts, or from inside Run's own callbacks.
 func (f *Follower) Stop() {
-	f.once.Do(func() {
-		if f.cancel != nil {
-			f.cancel()
-			<-f.done
-		}
-	})
+	f.stopOnce.Do(func() { close(f.stop) })
+}
+
+// Close stops the follower and joins the goroutine Start spawned: when it
+// returns, no reconnect or long-poll goroutine of this follower is left
+// running. Idempotent; a no-op join for a follower that never Started.
+func (f *Follower) Close() {
+	f.Stop()
+	f.runWG.Wait()
 }

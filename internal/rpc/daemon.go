@@ -16,6 +16,8 @@
 //	GET  /readyz                            readiness (caught up, serving)
 //	GET  /v1/replication/{snapshot,wal,status}  the log-shipping feed
 //	POST /v1/replication/promote            promote a replica to primary
+//	GET  /v1/replication/peer               this member's election credentials
+//	POST /v1/replication/demote             planned handover to a successor
 //
 // Wiring: the plan cache's insert tap appends every admitted plan to the
 // store's WAL before the response leaves the process, so any answered
@@ -26,14 +28,20 @@
 // primary's WAL frames into its own store through the validated-replay
 // path, mirrors them into its cache, answers reads once caught up, and
 // rejects writes with 503 until promoted (see internal/replica and
-// DESIGN §10). Graceful shutdown (SIGTERM/SIGINT) drains in-flight HTTP
-// requests, closes the engine, and folds the WAL into a final snapshot.
+// DESIGN §10). With -watch a follower additionally runs the failure
+// detector (internal/watch): it probes the primary's /healthz, and when
+// the primary dies the least-lagged caught-up follower self-promotes while
+// the rest re-follow it — no operator POST (DESIGN §12). Graceful shutdown
+// (SIGTERM/SIGINT) drains in-flight HTTP requests, closes the engine, and
+// folds the WAL into a final snapshot.
 package rpc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -48,6 +56,7 @@ import (
 	"heteropart/internal/serve"
 	"heteropart/internal/speed"
 	"heteropart/internal/store"
+	"heteropart/internal/watch"
 )
 
 // Config tunes a Daemon.
@@ -87,6 +96,25 @@ type Config struct {
 	// ReplicaWait is the follower's long-poll hold (default 2s).
 	ReplicaWait time.Duration
 
+	// ID is this member's stable identity in the cluster — the election
+	// tiebreaker and the name shown in /v1/stats (default: Addr).
+	ID string
+	// Peers lists the OTHER cluster members' base URLs (not the primary):
+	// the gossip set for elections. Mutable at runtime via SetPeers.
+	Peers []string
+	// Watch starts the failure detector on a follower: probe the primary,
+	// and elect a successor without an operator when it dies.
+	Watch bool
+	// ProbeInterval is the detector's probe cadence (watch default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (watch default: ProbeInterval).
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-miss threshold (watch default 3).
+	SuspectAfter int
+	// HandoverTimeout bounds how long a planned demotion waits for the
+	// successor to drain to the sealed position (default 10s).
+	HandoverTimeout time.Duration
+
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
 }
@@ -103,9 +131,29 @@ type Daemon struct {
 	// and it keeps serving after a replica's promotion so the pair can be
 	// re-formed the other way around.
 	shipper *replica.Shipper
-	// follower is non-nil iff the daemon started with ReplicaOf.
-	follower   *replica.Follower
-	followerWG sync.WaitGroup
+	// follower is non-nil while the daemon follows a primary; it is
+	// swapped atomically when an election or a demotion re-points it.
+	follower atomic.Pointer[replica.Follower]
+	// watcher is the failure detector (Watch on a follower, or installed
+	// by a demotion); nil otherwise.
+	watcher atomic.Pointer[watch.Detector]
+
+	// roleMu serializes the role transitions — Promote, Follow, Demote —
+	// so two triggers (an election and an operator POST, say) cannot
+	// interleave their tap/read-only/follower rewiring.
+	roleMu sync.Mutex
+
+	// id is the member identity (Config.ID, default Addr).
+	id string
+	// peerMu guards peers, the other members' base URLs.
+	peerMu sync.RWMutex
+	peers  []string
+	// upstream is the base URL of the primary this daemon follows ("" when
+	// it is the primary itself).
+	upstream atomic.Value // string
+	// demoting is true during the sealed window of a planned handover.
+	demoting  atomic.Bool
+	handovers atomic.Int64
 
 	// booted flips once the store is open and replayed; until then every
 	// data route answers 503 (Run listens before booting so a long WAL
@@ -159,12 +207,21 @@ func newShell(cfg Config) (*Daemon, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.HandoverTimeout <= 0 {
+		cfg.HandoverTimeout = 10 * time.Second
+	}
+	if cfg.ID == "" {
+		cfg.ID = cfg.Addr
+	}
 	d := &Daemon{
 		cfg:    cfg,
+		id:     cfg.ID,
 		byFP:   make(map[uint64][]speed.Function),
 		byName: make(map[string]uint64),
 		start:  time.Now(),
 	}
+	d.upstream.Store("")
+	d.SetPeers(cfg.Peers)
 	d.srv = &http.Server{
 		Handler:           d.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -207,33 +264,64 @@ func (d *Daemon) boot() error {
 		// its own WAL is written by IngestChunk/ApplyHandoff, so the taps
 		// stay out — they would double-log every streamed record.
 		cache.SetReadOnly(true)
-		f, err := replica.NewFollower(replica.Config{
-			Primary:     cfg.ReplicaOf,
-			Store:       st,
-			BackoffBase: cfg.ReconnectBase,
-			Wait:        cfg.ReplicaWait,
-			OnReset:     func(store.Replicated) { d.mirrorReset() },
-			OnApply:     d.mirrorApply,
-			OnState: func(s replica.State) {
-				if s == replica.StateServingReads {
-					d.ready.Store(true)
-				}
-			},
-		})
+		f, err := d.newFollower(cfg.ReplicaOf)
 		if err != nil {
 			d.engine.Close()
 			st.Close()
 			return err
 		}
-		d.follower = f
-		d.followerWG.Add(1)
-		go func() {
-			defer d.followerWG.Done()
-			f.Run(context.Background())
-		}()
+		d.upstream.Store(cfg.ReplicaOf)
+		d.follower.Store(f)
+		f.Start()
+		if cfg.Watch {
+			wt, err := d.newWatcher(cfg.ReplicaOf)
+			if err != nil {
+				f.Close()
+				d.engine.Close()
+				st.Close()
+				return err
+			}
+			d.watcher.Store(wt)
+			wt.Start()
+		}
 	}
 	d.booted.Store(true)
 	return nil
+}
+
+// newFollower builds (but does not start) a follower streaming from the
+// primary at the given base URL, wired to this daemon's store and mirror.
+func (d *Daemon) newFollower(primary string) (*replica.Follower, error) {
+	return replica.NewFollower(replica.Config{
+		Primary:     primary,
+		Store:       d.store,
+		BackoffBase: d.cfg.ReconnectBase,
+		Wait:        d.cfg.ReplicaWait,
+		OnReset:     func(store.Replicated) { d.mirrorReset() },
+		OnApply:     d.mirrorApply,
+		OnState: func(s replica.State) {
+			if s == replica.StateServingReads {
+				d.ready.Store(true)
+			}
+		},
+	})
+}
+
+// newWatcher builds (but does not start) a failure detector watching the
+// given primary, wired to this daemon's election credentials and role
+// transitions.
+func (d *Daemon) newWatcher(primary string) (*watch.Detector, error) {
+	return watch.New(watch.Config{
+		ID:           d.id,
+		Primary:      primary,
+		Self:         d.peerInfo,
+		Peers:        d.peerList,
+		PromoteSelf:  func() error { _, err := d.Promote(); return err },
+		Follow:       d.Follow,
+		Interval:     d.cfg.ProbeInterval,
+		ProbeTimeout: d.cfg.ProbeTimeout,
+		SuspectAfter: d.cfg.SuspectAfter,
+	})
 }
 
 // installPrimaryTaps wires the cache→store persistence path a writable
@@ -355,7 +443,11 @@ func (d *Daemon) Store() *store.Store { return d.store }
 func (d *Daemon) Engine() *serve.Engine { return d.engine }
 
 // Follower exposes the replication follower (nil on a primary).
-func (d *Daemon) Follower() *replica.Follower { return d.follower }
+func (d *Daemon) Follower() *replica.Follower { return d.follower.Load() }
+
+// Watcher exposes the failure detector (nil when -watch is off or after
+// this daemon won an election).
+func (d *Daemon) Watcher() *watch.Detector { return d.watcher.Load() }
 
 // Ready reports whether the daemon would answer 200 on /readyz.
 func (d *Daemon) Ready() bool { return d.ready.Load() }
@@ -368,25 +460,247 @@ func (d *Daemon) role() string {
 	return "replica"
 }
 
+// SetPeers replaces the set of other cluster members' base URLs — the
+// gossip set elections poll. Safe at runtime; tests wire peers after the
+// ":0" listeners publish their ports.
+func (d *Daemon) SetPeers(peers []string) {
+	d.peerMu.Lock()
+	d.peers = append([]string(nil), peers...)
+	d.peerMu.Unlock()
+}
+
+// peerList snapshots the peer set for the detector.
+func (d *Daemon) peerList() []string {
+	d.peerMu.RLock()
+	defer d.peerMu.RUnlock()
+	return append([]string(nil), d.peers...)
+}
+
+// upstreamURL is the primary this daemon follows ("" when it is primary).
+func (d *Daemon) upstreamURL() string {
+	s, _ := d.upstream.Load().(string)
+	return s
+}
+
+// peerInfo reports this member's election credentials — the document
+// served on /v1/replication/peer and fed to the local detector. On a
+// follower the position is the confirmed offset in the *primary's* log
+// (the quantity elections compare); on a primary it is its own committed
+// end.
+func (d *Daemon) peerInfo() watch.PeerInfo {
+	pi := watch.PeerInfo{ID: d.id, Role: d.role()}
+	if f := d.follower.Load(); f != nil && !d.primary.Load() {
+		st := f.Status()
+		pi.State = st.State
+		pi.Primary = st.Primary
+		pi.Epoch = st.Epoch
+		pi.Gen = st.Gen
+		pi.Offset = st.Confirmed
+		pi.Frames = st.Frames
+		pi.LagBytes = st.LagBytes
+		pi.CaughtUp = st.State == replica.StateServingReads.String() || st.State == replica.StateCaughtUp.String()
+		if w := d.watcher.Load(); w != nil {
+			pi.SuspectsPrimary = w.Status().Suspected
+		}
+	} else {
+		pos := d.store.ReplicationPos()
+		pi.State = "primary"
+		pi.Epoch = pos.Epoch
+		pi.Gen = pos.Gen
+		pi.Offset = pos.Offset
+		pi.Frames = pos.Frames
+		pi.CaughtUp = true
+	}
+	return pi
+}
+
+// Role-transition errors, mapped onto HTTP codes by the handlers.
+var (
+	// ErrNotReplica: Promote on a daemon that is already primary.
+	ErrNotReplica = errors.New("rpc: not a replica")
+	// ErrNotPrimary: Demote on a daemon that does not hold the write role.
+	ErrNotPrimary = errors.New("rpc: not a primary")
+	// ErrHandoverTimeout: the successor did not reach the sealed position
+	// within the handover window; the demotion was rolled back.
+	ErrHandoverTimeout = errors.New("rpc: handover timed out waiting for successor to drain")
+	// ErrHandoverPromote: the successor refused promotion; rolled back.
+	ErrHandoverPromote = errors.New("rpc: promoting successor failed")
+)
+
 // Promote turns a replica into the primary: the follower stops streaming,
 // the store seals its WAL under a bumped fencing epoch (late frames from
 // the dead primary are rejected from here on), and the write path —
 // persistence taps, cache admission — is switched on. Returns the new
 // epoch. Errors if the daemon is already a primary.
+//
+// Called by the operator (POST /v1/replication/promote), by the failure
+// detector after winning an election, or by a demoting primary over HTTP.
+// The detector is only signalled, not joined — PromoteSelf runs on the
+// detector's own goroutine, which exits right after this returns.
 func (d *Daemon) Promote() (uint64, error) {
-	if d.follower == nil || d.primary.Load() {
-		return 0, fmt.Errorf("rpc: not a replica")
+	d.roleMu.Lock()
+	defer d.roleMu.Unlock()
+	f := d.follower.Load()
+	if f == nil || d.primary.Load() {
+		return 0, ErrNotReplica
 	}
-	epoch, err := d.follower.Promote()
+	// Signal-only: PromoteSelf runs on the detector's own goroutine, which
+	// exits right after this returns; the handle stays stored so Shutdown
+	// can join it.
+	if w := d.watcher.Load(); w != nil {
+		w.Stop()
+	}
+	epoch, err := f.Promote()
 	if err != nil {
 		return 0, err
 	}
-	d.followerWG.Wait()
 	d.installPrimaryTaps()
 	d.cache.SetReadOnly(false)
 	d.primary.Store(true)
 	d.ready.Store(true)
+	d.upstream.Store("")
 	return epoch, nil
+}
+
+// Follow re-points a replica at a new primary: the old follower is closed
+// (its goroutine joined), a fresh one streams from the winner, and
+// readiness stays sticky — reads keep serving from the warm mirror while
+// the new stream catches up. Called by the detector after losing an
+// election, or by tests/operators re-forming a pair.
+func (d *Daemon) Follow(primary string) error {
+	d.roleMu.Lock()
+	defer d.roleMu.Unlock()
+	if d.primary.Load() {
+		return fmt.Errorf("rpc: primary does not follow; demote it first")
+	}
+	f, err := d.newFollower(primary)
+	if err != nil {
+		return err
+	}
+	if old := d.follower.Load(); old != nil {
+		old.Close()
+	}
+	d.follower.Store(f)
+	d.upstream.Store(primary)
+	f.Start()
+	return nil
+}
+
+// Demote is the planned-handover path — the reverse of Promote, with zero
+// restarts and reads serving throughout. The primary fences writes and
+// seals its WAL at a frozen position, waits (bounded) for the successor to
+// confirm that exact position, promotes it over HTTP, then re-wires itself
+// as a read-only follower of the successor. Any failure before the
+// successor's promotion rolls back cleanly: unseal, writes resume here.
+func (d *Daemon) Demote(successor string, timeout time.Duration) (uint64, error) {
+	d.roleMu.Lock()
+	defer d.roleMu.Unlock()
+	if !d.primary.Load() {
+		return 0, ErrNotPrimary
+	}
+	if successor == "" {
+		return 0, fmt.Errorf("rpc: successor URL required")
+	}
+	if timeout <= 0 {
+		timeout = d.cfg.HandoverTimeout
+	}
+
+	d.demoting.Store(true)
+	d.cache.SetReadOnly(true)
+	sealed := d.store.Seal()
+	rollback := func() {
+		d.store.Unseal()
+		d.cache.SetReadOnly(false)
+		d.demoting.Store(false)
+	}
+
+	// The log is frozen; the successor's confirmed position is monotone, so
+	// poll until it reaches the sealed end (a later generation also counts:
+	// its snapshot contains everything this generation held).
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	caught := false
+	for time.Now().Before(deadline) {
+		pi, err := fetchPeerInfo(client, successor)
+		if err == nil && pi.Role == "replica" &&
+			(pi.Gen > sealed.Gen || (pi.Gen == sealed.Gen && pi.Offset >= sealed.Offset)) {
+			caught = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !caught {
+		rollback()
+		return 0, fmt.Errorf("%w: sealed at (gen=%d, offset=%d)", ErrHandoverTimeout, sealed.Gen, sealed.Offset)
+	}
+
+	epoch, err := postPromote(client, successor)
+	if err != nil {
+		rollback()
+		return 0, fmt.Errorf("%w: %v", ErrHandoverPromote, err)
+	}
+
+	// Point of no return: the successor holds a higher epoch, so this
+	// store's frames would be fenced anyway. Flip to follower; the first
+	// chunk ingested under the successor's epoch clears the seal.
+	d.cache.SetInsertTap(nil)
+	d.cache.SetInvalidateTap(nil)
+	d.store.SetHintSource(nil)
+	d.primary.Store(false)
+	d.upstream.Store(successor)
+	f, ferr := d.newFollower(successor)
+	if ferr == nil {
+		d.follower.Store(f)
+		f.Start()
+		if d.cfg.Watch {
+			if wt, werr := d.newWatcher(successor); werr == nil {
+				d.watcher.Store(wt)
+				wt.Start()
+			}
+		}
+	}
+	d.handovers.Add(1)
+	d.demoting.Store(false)
+	return epoch, ferr
+}
+
+// fetchPeerInfo GETs a member's /v1/replication/peer document.
+func fetchPeerInfo(client *http.Client, base string) (watch.PeerInfo, error) {
+	resp, err := client.Get(base + "/v1/replication/peer")
+	if err != nil {
+		return watch.PeerInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return watch.PeerInfo{}, fmt.Errorf("rpc: peer %s: %s", base, resp.Status)
+	}
+	var pi watch.PeerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&pi); err != nil {
+		return watch.PeerInfo{}, err
+	}
+	pi.URL = base
+	return pi, nil
+}
+
+// postPromote POSTs /v1/replication/promote and returns the new epoch.
+func postPromote(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Post(base+"/v1/replication/promote", "application/json", nil)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	var reply struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Epoch, nil
 }
 
 // Listen binds the configured address and, when AddrFile is set and the
@@ -441,9 +755,11 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		if err := d.srv.Shutdown(ctx); err != nil && first == nil {
 			first = err
 		}
-		if d.follower != nil {
-			d.follower.Stop()
-			d.followerWG.Wait()
+		if wt := d.watcher.Load(); wt != nil {
+			wt.Close()
+		}
+		if f := d.follower.Load(); f != nil {
+			f.Close()
 		}
 		if d.engine != nil {
 			d.engine.Close()

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 	"heteropart/internal/serve"
 	"heteropart/internal/speed"
 	"heteropart/internal/store"
+	"heteropart/internal/watch"
 )
 
 // maxBodyBytes bounds every request body.
@@ -30,6 +32,8 @@ func (d *Daemon) routes() http.Handler {
 	mux.HandleFunc("/v1/models/", d.booting(d.handleModelSub))
 	mux.HandleFunc("/v1/partition", d.booting(d.handlePartition))
 	mux.HandleFunc("/v1/replication/promote", d.booting(d.handlePromote))
+	mux.HandleFunc("/v1/replication/demote", d.booting(d.handleDemote))
+	mux.HandleFunc("/v1/replication/peer", d.booting(d.handlePeer))
 	mux.Handle("/v1/replication/", http.StripPrefix("/v1/replication",
 		http.HandlerFunc(d.booting(d.handleReplication))))
 	return mux
@@ -40,7 +44,7 @@ func (d *Daemon) routes() http.Handler {
 func (d *Daemon) booting(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !d.booted.Load() {
-			httpError(w, http.StatusServiceUnavailable, "booting: store replaying")
+			httpUnavailable(w, "booting: store replaying")
 			return
 		}
 		h(w, r)
@@ -66,11 +70,100 @@ func (d *Daemon) handlePromote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"promoted": true, "epoch": epoch, "role": d.role()})
 }
 
+// handlePeer serves this member's election credentials: the document the
+// failure detectors rank in an election, and the position a demoting
+// primary polls while its successor drains.
+func (d *Daemon) handlePeer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, d.peerInfo())
+}
+
+// demoteRequest is the planned-handover ask.
+type demoteRequest struct {
+	// Successor is the base URL of the follower to promote.
+	Successor string `json:"successor"`
+	// TimeoutMs bounds the drain wait (Config.HandoverTimeout when 0).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// handleDemote runs the planned handover: seal, wait for the successor to
+// drain, promote it, re-follow it. 409 when this daemon is not primary,
+// 504 when the successor never reached the sealed position (rolled back,
+// writes resumed here), 502 when it refused promotion (also rolled back).
+func (d *Daemon) handleDemote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req demoteRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Successor == "" {
+		httpError(w, http.StatusBadRequest, "missing successor")
+		return
+	}
+	epoch, err := d.Demote(req.Successor, time.Duration(req.TimeoutMs)*time.Millisecond)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNotPrimary):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, ErrHandoverTimeout):
+		httpError(w, http.StatusGatewayTimeout, "%v", err)
+		return
+	case errors.Is(err, ErrHandoverPromote):
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"demoted": true, "epoch": epoch, "role": d.role(), "primary": req.Successor,
+	})
+}
+
 // httpError answers a JSON error body.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// httpUnavailable answers 503 with a Retry-After hint: every transient
+// refusal (booting, syncing, fenced write, handover window) is one a
+// well-behaved client should retry, and elections resolve in about a
+// second — so say so instead of making clients guess a backoff.
+func httpUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// writeFenced answers the write-path 503s and reports whether the request
+// was fenced: during a handover's sealed window, and on any non-primary.
+// The demoting check comes first — a demoting daemon still reads as
+// primary until the point of no return.
+func (d *Daemon) writeFenced(w http.ResponseWriter) bool {
+	if d.demoting.Load() {
+		httpUnavailable(w, "handover in progress; retry and the new primary will answer")
+		return true
+	}
+	if !d.primary.Load() {
+		if up := d.upstreamURL(); up != "" {
+			httpUnavailable(w, "read-only replica of %s; write to the primary or promote", up)
+		} else {
+			httpUnavailable(w, "no primary: election in progress, retry shortly")
+		}
+		return true
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -96,17 +189,17 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 // answer with errors or a cold cache.
 func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
 	if !d.booted.Load() {
-		httpError(w, http.StatusServiceUnavailable, "booting: store replaying")
+		httpUnavailable(w, "booting: store replaying")
 		return
 	}
 	if !d.ready.Load() {
 		reason := "not ready"
-		if f := d.follower; f != nil {
+		if f := d.follower.Load(); f != nil {
 			st := f.Status()
 			reason = fmt.Sprintf("replica %s: lag %d bytes (%d frames) behind %s",
 				st.State, st.LagBytes, st.LagFrames, st.Primary)
 		}
-		httpError(w, http.StatusServiceUnavailable, "%s", reason)
+		httpUnavailable(w, "%s", reason)
 		return
 	}
 	writeJSON(w, map[string]any{
@@ -132,10 +225,18 @@ type statsReply struct {
 // against its primary's, with the lag in frames and bytes that failover
 // tuning needs.
 type replicationStats struct {
-	Role     string                `json:"role"`
-	Ready    bool                  `json:"ready"`
-	Shipper  replica.ShipperStatus `json:"shipper"`
-	Follower *replica.Status       `json:"follower,omitempty"`
+	ID    string `json:"id"`
+	Role  string `json:"role"`
+	Ready bool   `json:"ready"`
+	// Primary is the upstream this daemon follows ("" when it is primary).
+	Primary string `json:"primary,omitempty"`
+	// Handovers counts planned demotions completed by this daemon.
+	Handovers int64                 `json:"handovers"`
+	Shipper   replica.ShipperStatus `json:"shipper"`
+	Follower  *replica.Status       `json:"follower,omitempty"`
+	// Watch is the failure detector's view: suspicion count, last probe
+	// RTT, elections won/lost. Present only while a detector is watching.
+	Watch *watch.Status `json:"watch,omitempty"`
 }
 
 type engineStats struct {
@@ -169,13 +270,20 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 		Models: models,
 		Replication: func() replicationStats {
 			rs := replicationStats{
-				Role:    d.role(),
-				Ready:   d.ready.Load(),
-				Shipper: d.shipper.Status(),
+				ID:        d.id,
+				Role:      d.role(),
+				Ready:     d.ready.Load(),
+				Primary:   d.upstreamURL(),
+				Handovers: d.handovers.Load(),
+				Shipper:   d.shipper.Status(),
 			}
-			if f := d.follower; f != nil && !d.primary.Load() {
+			if f := d.follower.Load(); f != nil && !d.primary.Load() {
 				st := f.Status()
 				rs.Follower = &st
+			}
+			if wt := d.watcher.Load(); wt != nil && !d.primary.Load() {
+				ws := wt.Status()
+				rs.Watch = &ws
 			}
 			return rs
 		}(),
@@ -224,9 +332,7 @@ func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 	// A replica's state arrives only over the replication stream; a local
 	// write would diverge from the primary and be thrown away by the next
 	// handoff. 503 (not 4xx): after promotion the same request succeeds.
-	if !d.primary.Load() {
-		httpError(w, http.StatusServiceUnavailable,
-			"read-only replica of %s; write to the primary or promote", d.cfg.ReplicaOf)
+	if d.writeFenced(w) {
 		return
 	}
 	label := r.URL.Query().Get("label")
@@ -322,9 +428,7 @@ func (d *Daemon) handleModelRefresh(w http.ResponseWriter, r *http.Request, labe
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if !d.primary.Load() {
-		httpError(w, http.StatusServiceUnavailable,
-			"read-only replica of %s; write to the primary or promote", d.cfg.ReplicaOf)
+	if d.writeFenced(w) {
 		return
 	}
 	defaultMax := 1e9
@@ -550,7 +654,7 @@ func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
 	// to preserve. Stay 503 until caught up (readiness), then serve reads
 	// for good.
 	if !d.ready.Load() {
-		httpError(w, http.StatusServiceUnavailable, "replica syncing; retry when /readyz is 200")
+		httpUnavailable(w, "replica syncing; retry when /readyz is 200")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)

@@ -1,0 +1,125 @@
+package rpc
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestSelfHealLatencyMeasurement measures the detection→promotion→first-
+// answer pipeline for EXPERIMENTS.md. It is a measurement, not a gate —
+// opt in with HETPARTD_LATENCY=1; the numbers go to the test log.
+func TestSelfHealLatencyMeasurement(t *testing.T) {
+	if os.Getenv("HETPARTD_LATENCY") == "" {
+		t.Skip("measurement run; set HETPARTD_LATENCY=1")
+	}
+	doc := testClusterDoc(t, 10, 55)
+	warm := []byte(`{"model":"lab","n":400000}`)
+
+	type cfgCase struct {
+		interval time.Duration
+		after    int
+	}
+	for _, cc := range []cfgCase{
+		{10 * time.Millisecond, 3},
+		{25 * time.Millisecond, 3},
+		{100 * time.Millisecond, 3},
+		{500 * time.Millisecond, 3}, // the shipped defaults
+	} {
+		var detect, promote, answer []time.Duration
+		const runs = 5
+		for run := 0; run < runs; run++ {
+			func() {
+				pdir := t.TempDir()
+				cmd, base := spawnDaemon(t, pdir)
+				if code := postJSON(t, base+"/v1/models?label=lab", doc, nil); code != 200 {
+					t.Fatalf("upload: HTTP %d", code)
+				}
+				for i := 0; i < 2; i++ {
+					if code := postJSON(t, base+"/v1/partition", warm, nil); code != 200 {
+						t.Fatalf("warm ask: HTTP %d", code)
+					}
+				}
+				mk := func(id string) (*Daemon, string) {
+					return startDaemon(t, Config{
+						Dir: t.TempDir(), ID: id, ReplicaOf: base,
+						ReplicaWait: 50 * time.Millisecond, ReconnectBase: 5 * time.Millisecond,
+						SyncEvery: 1, Watch: true,
+						ProbeInterval: cc.interval, ProbeTimeout: 2 * cc.interval,
+						SuspectAfter: cc.after,
+					})
+				}
+				da, abase := mk("a")
+				db, bbase := mk("b")
+				da.SetPeers([]string{bbase})
+				db.SetPeers([]string{abase})
+				waitStatus(t, abase+"/readyz", 200)
+				waitStatus(t, bbase+"/readyz", 200)
+				for _, fb := range []string{abase, bbase} {
+					waitForCond(t, "lag 0", func() bool {
+						var st statsReply
+						getJSON(t, fb+"/v1/stats", &st)
+						return st.Replication.Follower != nil && st.Replication.Follower.LagBytes == 0
+					})
+				}
+
+				t0 := time.Now()
+				cmd.Process.Kill()
+				cmd.Wait()
+
+				// Suspicion timestamp: first daemon whose watch block reports
+				// suspected (or an election already decided).
+				var tDetect, tPromote time.Time
+				winner := ""
+				deadline := time.Now().Add(30 * time.Second)
+				for time.Now().Before(deadline) {
+					for _, fb := range []string{abase, bbase} {
+						var st statsReply
+						getJSON(t, fb+"/v1/stats", &st)
+						w := st.Replication.Watch
+						if tDetect.IsZero() && w != nil && w.Suspicions > 0 {
+							tDetect = time.Now()
+						}
+						if st.Replication.Role == "primary" {
+							if tDetect.IsZero() {
+								tDetect = time.Now()
+							}
+							tPromote = time.Now()
+							winner = fb
+						}
+					}
+					if winner != "" {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if winner == "" {
+					t.Fatal("no winner emerged")
+				}
+				// First warm answer from the new primary.
+				client := &http.Client{Timeout: time.Second}
+				for {
+					var pr partitionReply
+					if code := postJSON(t, winner+"/v1/partition", warm, &pr); code == 200 && pr.Tier == "hit" {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				tAnswer := time.Now()
+				_ = client
+				detect = append(detect, tDetect.Sub(t0))
+				promote = append(promote, tPromote.Sub(t0))
+				answer = append(answer, tAnswer.Sub(t0))
+			}()
+		}
+		med := func(ds []time.Duration) time.Duration {
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			return ds[len(ds)/2]
+		}
+		fmt.Printf("interval=%v after=%d  kill→suspected=%v  kill→promoted=%v  kill→warm-answer=%v\n",
+			cc.interval, cc.after, med(detect), med(promote), med(answer))
+	}
+}

@@ -43,6 +43,10 @@ var (
 	// ErrFencedEpoch reports a replication payload stamped with an epoch
 	// older than the store's own — a zombie primary's late frames.
 	ErrFencedEpoch = errors.New("store: fenced epoch")
+	// ErrSealed reports a mutation attempted while the store is sealed for
+	// a planned handover: the committed log end is frozen until the
+	// successor takes over (or the handover aborts and Unseals).
+	ErrSealed = errors.New("store: sealed for handover")
 )
 
 // ReplPos is a position in a store's replicated log.
@@ -398,6 +402,7 @@ func (s *Store) ApplyHandoff(data []byte) (Replicated, error) {
 	}
 	s.walBytes, s.walFrames, s.tornBytes, s.unsynced = 0, 0, 0, 0
 	s.loadedSnapshot = true
+	s.sealed = false // a demoted store re-enters life as a follower
 	s.notifyLocked()
 	return rep, nil
 }
@@ -428,6 +433,27 @@ func peekMetaEpoch(frames []byte) (uint64, bool) {
 	return epoch, true
 }
 
+// Seal freezes the committed log for a planned handover and returns the
+// final position of this primacy: every mutator (PutModel,
+// RefreshProcessor, AppendPlan, AppendInvalidate) refuses with ErrSealed
+// until Unseal, Promote, or ApplyHandoff. Streamers keep reading — the
+// whole point is that a successor can drain up to exactly the returned
+// position and know nothing more will ever follow it under this epoch.
+func (s *Store) Seal() ReplPos {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+	return s.posLocked()
+}
+
+// Unseal lifts a Seal without a handover — the abort path when the
+// designated successor never catches up.
+func (s *Store) Unseal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = false
+}
+
 // Promote seals the store for independent writes after primary loss: the
 // torn stream tail (if any) is cut off exactly like boot-time replay cuts
 // a torn WAL tail, the epoch is bumped and logged (fencing every frame the
@@ -455,5 +481,6 @@ func (s *Store) Promote() (uint64, error) {
 	if err := s.compactLocked(); err != nil {
 		return 0, err
 	}
+	s.sealed = false
 	return s.epoch, nil
 }

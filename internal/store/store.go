@@ -114,6 +114,8 @@ type Stats struct {
 	ReplayedPlans  int `json:"replayedPlans"`
 	ReplayedHints  int `json:"replayedHints"`
 
+	Sealed bool `json:"sealed"` // mutators fenced off for a planned handover
+
 	QuarantinedRecords  int   `json:"quarantinedRecords"`  // records dropped by validation
 	QuarantinedTail     int64 `json:"quarantinedTail"`     // WAL bytes cut off a corrupt tail
 	SnapshotQuarantined bool  `json:"snapshotQuarantined"` // snapshot failed its checks and was set aside
@@ -199,6 +201,12 @@ type Store struct {
 	// immediately so both files are rewritten in the current format.
 	upgradeV1 bool
 
+	// sealed freezes the committed log end for a planned handover: mutators
+	// refuse with ErrSealed so the position returned by Seal stays the final
+	// word of this primacy. Cleared by Unseal, by Promote, and by
+	// ApplyHandoff (the demoted store re-enters life as a follower).
+	sealed bool
+
 	closed bool
 }
 
@@ -267,6 +275,9 @@ func (s *Store) PutModel(label string, fns []speed.Function) (uint64, bool, erro
 	if s.closed {
 		return 0, false, fmt.Errorf("store: closed")
 	}
+	if s.sealed {
+		return 0, false, ErrSealed
+	}
 	old, replaced := s.labels[label]
 	if replaced && old == fp {
 		// Same label, same model: nothing to refresh.
@@ -311,6 +322,9 @@ func (s *Store) RefreshProcessor(label string, proc int, fn speed.Function) (old
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, 0, fmt.Errorf("store: closed")
+	}
+	if s.sealed {
+		return 0, 0, ErrSealed
 	}
 	fp, ok := s.labels[label]
 	if !ok {
@@ -431,6 +445,9 @@ func (s *Store) AppendPlan(r plancache.PlanRecord) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.sealed {
+		return ErrSealed
+	}
 	if _, ok := s.models[r.Model]; !ok {
 		return nil
 	}
@@ -450,6 +467,9 @@ func (s *Store) AppendInvalidate(model uint64) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("store: closed")
+	}
+	if s.sealed {
+		return ErrSealed
 	}
 	if err := s.appendLocked(encodeInvalidate(model)); err != nil {
 		return err
@@ -583,6 +603,7 @@ func (s *Store) Stats() Stats {
 		Epoch:               s.epoch,
 		Gen:                 s.gen,
 		Refreshes:           s.refreshes,
+		Sealed:              s.sealed,
 		ReplayedModels:      s.replayedModels,
 		ReplayedPlans:       s.replayedPlans,
 		ReplayedHints:       s.replayedHints,

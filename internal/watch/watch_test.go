@@ -1,0 +1,391 @@
+package watch
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heteropart/internal/faults"
+)
+
+// fakeMember is an httptest daemon answering /healthz and
+// /v1/replication/peer from a mutable PeerInfo.
+type fakeMember struct {
+	mu   sync.Mutex
+	info PeerInfo
+	dead atomic.Bool
+	srv  *httptest.Server
+}
+
+func newFakeMember(t *testing.T, info PeerInfo) *fakeMember {
+	t.Helper()
+	m := &fakeMember{info: info}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if m.dead.Load() {
+			http.Error(w, "dead", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/v1/replication/peer", func(w http.ResponseWriter, r *http.Request) {
+		if m.dead.Load() {
+			http.Error(w, "dead", http.StatusServiceUnavailable)
+			return
+		}
+		m.mu.Lock()
+		info := m.info
+		m.mu.Unlock()
+		json.NewEncoder(w).Encode(info)
+	})
+	m.srv = httptest.NewServer(mux)
+	t.Cleanup(m.srv.Close)
+	return m
+}
+
+func (m *fakeMember) set(mut func(*PeerInfo)) {
+	m.mu.Lock()
+	mut(&m.info)
+	m.mu.Unlock()
+}
+
+// harness wires a detector whose Self/PromoteSelf/Follow are recorded.
+type harness struct {
+	self     PeerInfo
+	selfMu   sync.Mutex
+	promoted atomic.Int64
+	followed atomic.Value // string
+	d        *Detector
+}
+
+func newHarness(t *testing.T, id string, primaryURL string, peers []string, self PeerInfo, opts ...func(*Config)) *harness {
+	t.Helper()
+	h := &harness{self: self}
+	h.followed.Store("")
+	cfg := Config{
+		ID:      id,
+		Primary: primaryURL,
+		Self: func() PeerInfo {
+			h.selfMu.Lock()
+			defer h.selfMu.Unlock()
+			return h.self
+		},
+		Peers:       func() []string { return peers },
+		PromoteSelf: func() error { h.promoted.Add(1); return nil },
+		Follow:      func(url string) error { h.followed.Store(url); return nil },
+
+		Interval:     10 * time.Millisecond,
+		ProbeTimeout: 30 * time.Millisecond,
+		SuspectAfter: 3,
+		PromoteWait:  2 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.d = d
+	t.Cleanup(d.Close)
+	return h
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestBetterOrdersCandidates(t *testing.T) {
+	base := PeerInfo{ID: "m", Epoch: 2, Gen: 3, Offset: 100}
+	cases := []struct {
+		name string
+		a    PeerInfo
+		want bool
+	}{
+		{"higher epoch wins", PeerInfo{ID: "z", Epoch: 3, Gen: 0, Offset: 0}, true},
+		{"lower epoch loses", PeerInfo{ID: "a", Epoch: 1, Gen: 9, Offset: 900}, false},
+		{"higher gen wins", PeerInfo{ID: "z", Epoch: 2, Gen: 4, Offset: 0}, true},
+		{"higher offset wins", PeerInfo{ID: "z", Epoch: 2, Gen: 3, Offset: 101}, true},
+		{"tie: lower ID wins", PeerInfo{ID: "a", Epoch: 2, Gen: 3, Offset: 100}, true},
+		{"tie: higher ID loses", PeerInfo{ID: "z", Epoch: 2, Gen: 3, Offset: 100}, false},
+	}
+	for _, c := range cases {
+		if got := Better(c.a, base); got != c.want {
+			t.Errorf("%s: Better(%+v, base) = %v, want %v", c.name, c.a, got, c.want)
+		}
+	}
+}
+
+// TestSelfPromotesWhenBestCandidate: the primary dies; this member is
+// caught up and outranks its peer → it promotes itself, once, with no
+// operator involved.
+func TestSelfPromotesWhenBestCandidate(t *testing.T) {
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	peer := newFakeMember(t, PeerInfo{
+		ID: "b", Role: "replica", Epoch: 1, Gen: 2, Offset: 50,
+		CaughtUp: true, SuspectsPrimary: true,
+	})
+	peer.set(func(pi *PeerInfo) { pi.Primary = primary.srv.URL })
+
+	h := newHarness(t, "a", primary.srv.URL, []string{peer.srv.URL},
+		PeerInfo{Role: "replica", Epoch: 1, Gen: 2, Offset: 80, CaughtUp: true, SuspectsPrimary: true})
+	h.d.Start()
+	waitFor(t, "healthy probes", func() bool { return h.d.Status().Probes > 2 })
+	if h.d.Status().Suspected {
+		t.Fatal("suspected a healthy primary")
+	}
+
+	primary.dead.Store(true)
+	waitFor(t, "self-promotion", func() bool { return h.promoted.Load() == 1 })
+	st := h.d.Status()
+	if st.ElectionsWon != 1 {
+		t.Fatalf("electionsWon = %d, want 1", st.ElectionsWon)
+	}
+	if st.Suspicions < 1 {
+		t.Fatalf("suspicions = %d, want >= 1", st.Suspicions)
+	}
+	if got := h.followed.Load().(string); got != "" {
+		t.Fatalf("winner followed %q", got)
+	}
+	// The detector retired itself: no more probes accrue.
+	n := h.d.Status().Probes
+	time.Sleep(50 * time.Millisecond)
+	if h.d.Status().Probes != n {
+		t.Fatal("detector kept probing after winning")
+	}
+}
+
+// TestDefersToBetterPeerThenFollows: the peer outranks this member; the
+// detector must wait for it to flip to primary, then re-follow it and keep
+// watching the new primary.
+func TestDefersToBetterPeerThenFollows(t *testing.T) {
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	peer := newFakeMember(t, PeerInfo{
+		ID: "a", Role: "replica", Epoch: 1, Gen: 2, Offset: 200,
+		CaughtUp: true, SuspectsPrimary: true,
+	})
+	peer.set(func(pi *PeerInfo) { pi.Primary = primary.srv.URL })
+
+	h := newHarness(t, "b", primary.srv.URL, []string{peer.srv.URL},
+		PeerInfo{Role: "replica", Epoch: 1, Gen: 2, Offset: 80, CaughtUp: true, SuspectsPrimary: true})
+	h.d.Start()
+	waitFor(t, "healthy probes", func() bool { return h.d.Status().Probes > 2 })
+
+	primary.dead.Store(true)
+	waitFor(t, "an election round", func() bool { return h.d.Status().Elections >= 1 })
+	if h.promoted.Load() != 0 {
+		t.Fatal("outranked member promoted itself")
+	}
+
+	// The winner takes over; the loser must follow it.
+	peer.set(func(pi *PeerInfo) { pi.Role, pi.Epoch, pi.Primary = "primary", 2, "" })
+	waitFor(t, "re-follow the winner", func() bool {
+		return h.followed.Load().(string) == peer.srv.URL
+	})
+	st := h.d.Status()
+	if st.ElectionsLost < 1 {
+		t.Fatalf("electionsLost = %d, want >= 1", st.ElectionsLost)
+	}
+	if st.Primary != peer.srv.URL {
+		t.Fatalf("detector watches %q, want the winner %q", st.Primary, peer.srv.URL)
+	}
+	if st.Suspected {
+		t.Fatal("still suspected after adopting the winner")
+	}
+	if h.promoted.Load() != 0 {
+		t.Fatal("loser promoted itself after following")
+	}
+}
+
+// TestTieBreaksOnLowestID: full positional tie — only the
+// lexicographically lowest ID may promote.
+func TestTieBreaksOnLowestID(t *testing.T) {
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	peer := newFakeMember(t, PeerInfo{
+		ID: "node-b", Role: "replica", Epoch: 1, Gen: 2, Offset: 100,
+		CaughtUp: true, SuspectsPrimary: true,
+	})
+	peer.set(func(pi *PeerInfo) { pi.Primary = primary.srv.URL })
+
+	h := newHarness(t, "node-a", primary.srv.URL, []string{peer.srv.URL},
+		PeerInfo{Role: "replica", Epoch: 1, Gen: 2, Offset: 100, CaughtUp: true, SuspectsPrimary: true})
+	h.d.Start()
+	primary.dead.Store(true)
+	waitFor(t, "lowest ID promotes on a tie", func() bool { return h.promoted.Load() == 1 })
+}
+
+// TestStandsDownWhilePeerSeesPrimaryHealthy: asymmetric partition — this
+// member cannot reach the primary but its peer can. No election may
+// conclude while the peer vouches for the primary.
+func TestStandsDownWhilePeerSeesPrimaryHealthy(t *testing.T) {
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	peer := newFakeMember(t, PeerInfo{
+		ID: "b", Role: "replica", Epoch: 1, Gen: 2, Offset: 999,
+		CaughtUp: true, SuspectsPrimary: false, // the peer sees it fine
+	})
+	peer.set(func(pi *PeerInfo) { pi.Primary = primary.srv.URL })
+
+	h := newHarness(t, "a", primary.srv.URL, []string{peer.srv.URL},
+		PeerInfo{Role: "replica", Epoch: 1, Gen: 2, Offset: 999, CaughtUp: true, SuspectsPrimary: true})
+	h.d.Start()
+	primary.dead.Store(true) // dead to us; the peer still vouches
+	waitFor(t, "stand-downs accrue", func() bool { return h.d.Status().StandDowns >= 3 })
+	if h.promoted.Load() != 0 {
+		t.Fatal("promoted despite a peer vouching for the primary")
+	}
+	if got := h.followed.Load().(string); got != "" {
+		t.Fatalf("followed %q during stand-down", got)
+	}
+
+	// The moment the peer agrees the primary is gone, the election runs.
+	peer.set(func(pi *PeerInfo) { pi.SuspectsPrimary = true; pi.Offset = 10 })
+	waitFor(t, "promotion after peer agrees", func() bool { return h.promoted.Load() == 1 })
+}
+
+// TestNoQuorumNeverPromotes: three-member cluster, both peers unreachable
+// — one responder out of three is a minority island and must wait.
+func TestNoQuorumNeverPromotes(t *testing.T) {
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	h := newHarness(t, "a", primary.srv.URL,
+		[]string{"http://127.0.0.1:1", "http://127.0.0.1:2"}, // nothing listens
+		PeerInfo{Role: "replica", Epoch: 1, Gen: 2, Offset: 80, CaughtUp: true, SuspectsPrimary: true},
+		func(c *Config) { c.ProbeTimeout = 20 * time.Millisecond })
+	h.d.Start()
+	primary.dead.Store(true)
+	waitFor(t, "no-quorum rounds", func() bool { return h.d.Status().NoQuorum >= 3 })
+	if h.promoted.Load() != 0 {
+		t.Fatal("promoted without a quorum")
+	}
+}
+
+// TestAdoptsExistingPrimary: the election already happened elsewhere — a
+// peer reports itself primary at a higher epoch. The detector must follow
+// it directly, never promote.
+func TestAdoptsExistingPrimary(t *testing.T) {
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	peer := newFakeMember(t, PeerInfo{ID: "w", Role: "primary", Epoch: 2, CaughtUp: true})
+
+	h := newHarness(t, "a", primary.srv.URL, []string{peer.srv.URL},
+		PeerInfo{Role: "replica", Epoch: 1, Gen: 9, Offset: 9999, CaughtUp: true, SuspectsPrimary: true})
+	h.d.Start()
+	primary.dead.Store(true)
+	waitFor(t, "adopt the existing primary", func() bool {
+		return h.followed.Load().(string) == peer.srv.URL
+	})
+	if h.promoted.Load() != 0 {
+		t.Fatal("promoted over an existing higher-epoch primary")
+	}
+}
+
+// linkTripper replays a faults plan against the probe stream: requests
+// fail while the link is down and are delayed by 1/factor while it is
+// slow, exactly the way the measurement layer's injector degrades a
+// worker.
+type linkTripper struct {
+	start time.Time
+	plan  *faults.Plan
+	rtt   time.Duration
+	next  http.RoundTripper
+}
+
+func (lt *linkTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	t := time.Since(lt.start).Seconds()
+	if lt.plan.LinkDownAt(t) {
+		return nil, context.DeadlineExceeded
+	}
+	delay := lt.rtt
+	if f := lt.plan.LinkFactor(t); f > 0 && f < 1 {
+		delay = time.Duration(float64(lt.rtt) / f)
+	}
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	}
+	return lt.next.RoundTrip(req)
+}
+
+// TestBlipsDoNotTriggerSuspicion: link blips shorter than the
+// consecutive-miss window must never accrue to a suspicion — the
+// false-suspicion storm the evidence threshold exists to absorb.
+func TestBlipsDoNotTriggerSuspicion(t *testing.T) {
+	// Three 30ms blips, well under SuspectAfter(4) × interval(20ms).
+	plan, err := faults.ParseSpecs([]string{
+		"link@t=0.1s,for=0.03s",
+		"link@t=0.25s,for=0.03s",
+		"link@t=0.4s,for=0.03s",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	h := newHarness(t, "a", primary.srv.URL, nil,
+		PeerInfo{Role: "replica", Epoch: 1, CaughtUp: false, SuspectsPrimary: true},
+		func(c *Config) {
+			c.Interval = 20 * time.Millisecond
+			c.ProbeTimeout = 10 * time.Millisecond
+			c.SuspectAfter = 4
+			c.Client = &http.Client{Transport: &linkTripper{
+				start: time.Now(), plan: plan, rtt: time.Millisecond, next: http.DefaultTransport,
+			}}
+		})
+	h.d.Start()
+	time.Sleep(600 * time.Millisecond) // ride out the whole plan
+	st := h.d.Status()
+	if st.Suspicions != 0 {
+		t.Fatalf("blips raised %d suspicions (misses %d of %d probes)", st.Suspicions, st.Misses, st.Probes)
+	}
+	if st.Misses == 0 {
+		t.Fatal("the plan produced no misses — the blips never hit a probe?")
+	}
+}
+
+// TestSlowLinkTriggersSuspicionThenRecovers: a LinkSlow window stretches
+// every probe past its deadline — the detector must suspect (the primary
+// is unreachable in time, which for a deadline-bounded protocol is what
+// "down" means) and then clear the suspicion when the link recovers.
+func TestSlowLinkTriggersSuspicionThenRecovers(t *testing.T) {
+	// 2ms nominal RTT ÷ 0.01 = 200ms per probe, far past the 10ms
+	// deadline, for 300ms.
+	plan, err := faults.ParseSpecs([]string{"link@t=0.1s,slow=0.01,for=0.3s"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary := newFakeMember(t, PeerInfo{ID: "p", Role: "primary", Epoch: 1})
+	h := newHarness(t, "a", primary.srv.URL, nil,
+		// Not caught up: elections run but never find a candidate, so the
+		// suspicion lifecycle is observable in isolation.
+		PeerInfo{Role: "replica", Epoch: 1, CaughtUp: false, SuspectsPrimary: true},
+		func(c *Config) {
+			c.Interval = 20 * time.Millisecond
+			c.ProbeTimeout = 10 * time.Millisecond
+			c.SuspectAfter = 3
+			c.Client = &http.Client{Transport: &linkTripper{
+				start: time.Now(), plan: plan, rtt: 2 * time.Millisecond, next: http.DefaultTransport,
+			}}
+		})
+	h.d.Start()
+	waitFor(t, "slow link raises suspicion", func() bool { return h.d.Status().Suspicions >= 1 })
+	waitFor(t, "suspicion clears after recovery", func() bool {
+		st := h.d.Status()
+		return !st.Suspected && st.Suspicions >= 1
+	})
+	if h.promoted.Load() != 0 {
+		t.Fatal("a not-caught-up member must never promote")
+	}
+}

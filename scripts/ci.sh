@@ -27,6 +27,15 @@
 #      require bit-identical warm hits under a higher epoch with zombie
 #      frames fenced; plus the link-down/recover plan the pair must
 #      survive without divergence
+#   9a. explicit race pass for the self-healing layer (watch) — the
+#      failure detector's probe loop, election rounds and retargeting
+#      all race against the counters /v1/stats reads
+#   9b. self-promotion gate: SIGKILL a loaded primary with two watching
+#      followers and require the cluster to heal itself — exactly one
+#      winner under a bumped epoch, no operator POST, bit-identical warm
+#      hits on both survivors, zombie frames fenced
+#   9c. handover gate: demote a live primary to its follower and require
+#      zero dropped reads, exactly swapped roles, and warm hits after
 #  10. explicit race pass for the model layer (speed) — fingerprints and
 #      the drift detector are read concurrently by every serving path
 #  11. delta-refresh gate: the per-processor refresh tests (delta WAL
@@ -68,6 +77,12 @@ go test -race ./internal/replica/...
 echo "==> failover gate: go test -race -run Failover ./internal/rpc/ + link-down pair" >&2
 go test -race -count=1 -run Failover ./internal/rpc/
 go test -race -count=1 -run 'LinkDown' ./internal/replica/
+echo "==> go test -race ./internal/watch/... (self-healing gate)" >&2
+go test -race ./internal/watch/...
+echo "==> self-promotion gate: go test -race -run SelfPromote ./internal/rpc/" >&2
+go test -race -count=1 -run SelfPromote ./internal/rpc/
+echo "==> handover gate: go test -race -run Handover ./internal/rpc/" >&2
+go test -race -count=1 -run Handover ./internal/rpc/
 echo "==> go test -race ./internal/speed/... (model-layer gate)" >&2
 go test -race ./internal/speed/...
 echo "==> delta-refresh gate: go test -race -run DeltaRefresh ./internal/store/ ./internal/plancache/" >&2
