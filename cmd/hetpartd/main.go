@@ -60,6 +60,7 @@ func main() {
 		queueDepth = flag.Int("queue", 0, "request queue depth (0 = default)")
 		compactAt  = flag.Int64("compact-at", 0, "WAL bytes that trigger snapshot compaction (0 = default 4MiB)")
 		syncEvery  = flag.Int("sync-every", 0, "fsync the WAL every N records (0 = default 64, 1 = every record)")
+		walSyncEv  = flag.Int("wal-sync-every", 0, "fsync the WAL every N records, must be >= 1 (preferred spelling of -sync-every; wins when both are set)")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		replicaOf  = flag.String("replica-of", "", "follow the primary hetpartd at this base URL (read-only until promoted)")
 		reconnect  = flag.Duration("reconnect-base", 0, "base pause of the follower's jittered reconnect backoff (0 = default 100ms)")
@@ -78,6 +79,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	sync := *syncEvery
+	walSyncSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "wal-sync-every" {
+			walSyncSet = true
+		}
+	})
+	if walSyncSet {
+		if *walSyncEv < 1 {
+			fmt.Fprintln(os.Stderr, "hetpartd: -wal-sync-every must be >= 1")
+			os.Exit(2)
+		}
+		sync = *walSyncEv
+	}
 	err := rpc.Run(rpc.Config{
 		Addr:            *addr,
 		Dir:             *dir,
@@ -87,7 +102,7 @@ func main() {
 		MaxBatch:        *maxBatch,
 		QueueDepth:      *queueDepth,
 		CompactAt:       *compactAt,
-		SyncEvery:       *syncEvery,
+		SyncEvery:       sync,
 		ReplicaOf:       *replicaOf,
 		ReconnectBase:   *reconnect,
 		ReplicaWait:     *replicaWt,

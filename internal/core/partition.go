@@ -215,27 +215,49 @@ func WithWarmStartVar(slope, spread *float64) Option {
 // result (see WithWarmStart), so plans computed with different hints are
 // interchangeable.
 func OptionsKey(opts ...Option) uint64 {
+	if len(opts) == 0 {
+		// The empty list hashes the default config, a constant; skipping
+		// the general path matters because passing &cfg to the option
+		// functions below forces cfg onto the heap, and OptionsKey sits on
+		// the per-request cache-key path.
+		return defaultOptionsKey
+	}
 	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	return optionsKeyOf(&cfg)
+}
+
+var defaultOptionsKey = func() uint64 {
+	cfg := defaultConfig()
+	return optionsKeyOf(&cfg)
+}()
+
+func optionsKeyOf(cfg *config) uint64 {
+	const offset = 0xcbf29ce484222325
 	h := uint64(offset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime
-			v >>= 8
-		}
-	}
-	mix(uint64(cfg.rule))
+	h = optionsMix(h, uint64(cfg.rule))
 	if cfg.fineTune {
-		mix(1)
+		h = optionsMix(h, 1)
 	} else {
-		mix(0)
+		h = optionsMix(h, 0)
 	}
-	mix(uint64(cfg.maxSteps))
-	mix(math.Float64bits(cfg.elasticity))
+	h = optionsMix(h, uint64(cfg.maxSteps))
+	h = optionsMix(h, math.Float64bits(cfg.elasticity))
+	return h
+}
+
+// optionsMix folds v into an FNV-1a hash byte by byte. A plain function
+// (not a closure over h) keeps OptionsKey allocation-free — it sits on
+// the per-request cache-key path.
+func optionsMix(h, v uint64) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
 	return h
 }
 

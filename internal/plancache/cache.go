@@ -290,6 +290,34 @@ const (
 	TierShared
 )
 
+// PeekInto probes for an exact hit without computing on a miss, appending
+// the cached allocation to dst (which the caller reuses across calls —
+// with enough spare capacity the probe allocates nothing). model is the
+// precomputed speed.Fingerprint of the cluster. On a hit the returned
+// Result's Alloc is dst's appended tail and the entry is refreshed in the
+// LRU, indistinguishable from a GetTier hit; on a miss nothing changes —
+// no doorkeeper state, no counters — so a caller falling back to the
+// engine costs one extra map lookup, not skewed stats.
+func (c *Cache) PeekInto(dst core.Allocation, model uint64, algo core.Algorithm, n int64, opts ...core.Option) (core.Allocation, core.Result, bool) {
+	k := key{model: model, n: n, algo: algo, opts: core.OptionsKey(opts...)}
+	sh := &c.shards[k.hash()&(numShards-1)]
+
+	sh.mu.Lock()
+	e, ok := sh.entries[k]
+	if !ok {
+		sh.mu.Unlock()
+		return dst, core.Result{}, false
+	}
+	sh.moveToFront(e)
+	start := len(dst)
+	dst = append(dst, e.res.Alloc...)
+	res := e.res
+	sh.mu.Unlock()
+	res.Alloc = dst[start:]
+	c.hits.Add(1)
+	return dst, res, true
+}
+
 // Get returns the plan for running algo over n elements on the cluster
 // described by fns with the given options, computing and caching it on a
 // miss. The returned Result owns its Alloc — callers may mutate it freely.
@@ -302,7 +330,14 @@ func (c *Cache) Get(algo core.Algorithm, n int64, fns []speed.Function, opts ...
 // callers keeping their own hit-rate accounting (the serving engine reports
 // per-algorithm rates from it).
 func (c *Cache) GetTier(algo core.Algorithm, n int64, fns []speed.Function, opts ...core.Option) (core.Result, Tier, error) {
-	k := key{model: speed.Fingerprint(fns), n: n, algo: algo, opts: core.OptionsKey(opts...)}
+	return c.GetTierFP(speed.Fingerprint(fns), algo, n, fns, opts...)
+}
+
+// GetTierFP is GetTier with the cluster fingerprint precomputed by the
+// caller — the serving path resolves models by fingerprint already, so
+// re-hashing every speed function per request would be pure waste.
+func (c *Cache) GetTierFP(model uint64, algo core.Algorithm, n int64, fns []speed.Function, opts ...core.Option) (core.Result, Tier, error) {
+	k := key{model: model, n: n, algo: algo, opts: core.OptionsKey(opts...)}
 	h := k.hash()
 	sh := &c.shards[h&(numShards-1)]
 

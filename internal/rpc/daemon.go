@@ -327,9 +327,12 @@ func (d *Daemon) newWatcher(primary string) (*watch.Detector, error) {
 // installPrimaryTaps wires the cache→store persistence path a writable
 // daemon needs: admitted plans and drift invalidations reach the WAL
 // before the response leaves, and snapshots fold the warm index in.
+// Plan inserts go through a group-commit Committer so concurrent cache
+// misses share one store lock acquisition and one kernel write.
 func (d *Daemon) installPrimaryTaps() {
 	st, cache := d.store, d.cache
-	cache.SetInsertTap(func(r plancache.PlanRecord) { _ = st.AppendPlan(r) })
+	committer := store.NewCommitter(st)
+	cache.SetInsertTap(func(r plancache.PlanRecord) { _ = committer.AppendPlan(r) })
 	cache.SetInvalidateTap(func(model uint64) { _ = st.AppendInvalidate(model) })
 	st.SetHintSource(func() []plancache.HintRecord {
 		_, hints := cache.Export()
@@ -438,6 +441,11 @@ func (d *Daemon) mirrorApply(rep store.Replicated) {
 
 // Store exposes the daemon's store (tests and stats).
 func (d *Daemon) Store() *store.Store { return d.store }
+
+// Handler exposes the daemon's HTTP surface without a listener, so
+// benchmarks can measure the handler path itself — parse, serve, encode —
+// with net/http's connection machinery excluded.
+func (d *Daemon) Handler() http.Handler { return d.srv.Handler }
 
 // Engine exposes the daemon's serving engine.
 func (d *Daemon) Engine() *serve.Engine { return d.engine }

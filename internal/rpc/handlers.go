@@ -44,7 +44,7 @@ func (d *Daemon) routes() http.Handler {
 func (d *Daemon) booting(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !d.booted.Load() {
-			httpUnavailable(w, "booting: store replaying")
+			writeStatic(w, http.StatusServiceUnavailable, bodyBooting, true)
 			return
 		}
 		h(w, r)
@@ -130,11 +130,18 @@ func (d *Daemon) handleDemote(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// httpError answers a JSON error body.
+// httpError answers a JSON error body, encoded into a pooled buffer (the
+// shape is identical to what the old map[string]string + json.Encoder
+// produced, without their per-call allocations).
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	sc := wirePool.Get().(*wireScratch)
+	sc.out = appendErrorBody(sc.out[:0], msg)
+	writeBody(w, code, sc.out)
+	releaseWire(sc)
 }
 
 // httpUnavailable answers 503 with a Retry-After hint: every transient
@@ -142,7 +149,7 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // well-behaved client should retry, and elections resolve in about a
 // second — so say so instead of making clients guess a backoff.
 func httpUnavailable(w http.ResponseWriter, format string, args ...any) {
-	w.Header().Set("Retry-After", "1")
+	w.Header()["Retry-After"] = headerRetry1
 	httpError(w, http.StatusServiceUnavailable, format, args...)
 }
 
@@ -629,24 +636,20 @@ func (d *Daemon) toServeRequest(pr partitionRequest) (serve.Request, error) {
 	return serve.Request{Algo: algo, N: pr.N, Fns: fns, Opts: opts}, nil
 }
 
-func toReply(resp serve.Response) partitionReply {
-	if resp.Err != nil {
-		return partitionReply{Error: resp.Err.Error()}
-	}
-	return partitionReply{
-		Alloc: resp.Result.Alloc,
-		Slope: resp.Result.Slope,
-		Tier:  tierName(resp.Tier),
-		Stats: resp.Result.Stats,
-	}
-}
-
-// handlePartition answers one request or a batch. Batched requests are all
-// submitted before any reply is awaited, so they land in the same engine
-// dispatch cycle and coalesce.
+// handlePartition answers one request or a batch through the pooled wire
+// codec (wire.go): the body is parsed in a single pass, batch vs single
+// decided by the first key of the top-level object, exact cache hits are
+// served synchronously past the dispatch queue, and the response is
+// encoded by hand into a pooled buffer — the warm path allocates nothing.
+//
+// Two deliberate behavior changes from the old double-decode dispatch: a
+// body whose first key is "requests" is always a batch (a malformed batch
+// is one consistent 400 instead of being silently re-tried as a single
+// request), and {"requests":[]} answers {"responses":[]} instead of
+// "missing model".
 func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		writeStatic(w, http.StatusMethodNotAllowed, bodyUsePOST, false)
 		return
 	}
 	// A syncing replica would answer from a cold, half-mirrored cache —
@@ -654,49 +657,198 @@ func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
 	// to preserve. Stay 503 until caught up (readiness), then serve reads
 	// for good.
 	if !d.ready.Load() {
-		httpUnavailable(w, "replica syncing; retry when /readyz is 200")
+		writeStatic(w, http.StatusServiceUnavailable, bodySyncing, true)
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var raw json.RawMessage
-	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+	sc := wirePool.Get().(*wireScratch)
+	defer releaseWire(sc)
+	if err := sc.readBody(r); err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			writeStatic(w, http.StatusBadRequest, bodyTooLarge, false)
+		} else {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		}
+		return
+	}
+	batch, err := sc.parsePartition()
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
-	var batch partitionBatch
-	if err := json.Unmarshal(raw, &batch); err == nil && len(batch.Requests) > 0 {
-		replies := make([]partitionReply, len(batch.Requests))
-		waits := make([]<-chan serve.Response, len(batch.Requests))
-		for i, pr := range batch.Requests {
-			req, err := d.toServeRequest(pr)
-			if err != nil {
-				replies[i] = partitionReply{Error: err.Error()}
-				continue
-			}
-			waits[i] = d.engine.Submit(req)
-		}
-		for i, ch := range waits {
-			if ch != nil {
-				replies[i] = toReply(<-ch)
-			}
-		}
-		writeJSON(w, map[string][]partitionReply{"responses": replies})
+	if batch {
+		d.servePartitionBatch(w, sc)
 		return
 	}
-	var pr partitionRequest
-	if err := json.Unmarshal(raw, &pr); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
+	d.servePartitionSingle(w, sc)
+}
+
+// wireToServe validates one parsed wire request, mirroring toServeRequest
+// over spans instead of strings so the happy path allocates nothing.
+func (d *Daemon) wireToServe(sc *wireScratch, wr *wireRequest) (serve.Request, error) {
+	model := sc.spanBytes(wr.model)
+	if len(model) == 0 {
+		return serve.Request{}, fmt.Errorf("missing model")
 	}
-	req, err := d.toServeRequest(pr)
+	if wr.n < 0 {
+		return serve.Request{}, fmt.Errorf("negative n %d", wr.n)
+	}
+	fns, fp, ok := d.resolveModelBytes(model)
+	if !ok {
+		return serve.Request{}, fmt.Errorf("unknown model %q (upload it via /v1/models)", model)
+	}
+	var algo core.Algorithm
+	switch string(sc.spanBytes(wr.algo)) {
+	case "", "combined":
+		algo = core.AlgoCombined
+	case "basic":
+		algo = core.AlgoBasic
+	case "modified":
+		algo = core.AlgoModified
+	default:
+		return serve.Request{}, fmt.Errorf("unknown algorithm %q", sc.spanBytes(wr.algo))
+	}
+	opts, err := wr.toOpts(sc)
+	if err != nil {
+		return serve.Request{}, err
+	}
+	return serve.Request{Algo: algo, N: wr.n, Fns: fns, Opts: opts, Model: fp}, nil
+}
+
+// toOpts converts the flattened wire options to core options, with the
+// same validation (and error text) requestOptions.toOpts applies. The
+// common no-options request returns nil without allocating.
+func (wr *wireRequest) toOpts(sc *wireScratch) ([]core.Option, error) {
+	bis := sc.spanBytes(wr.bisection)
+	if !wr.hasFineTune && wr.maxSteps == 0 && wr.elasticity == 0 && len(bis) == 0 {
+		return nil, nil
+	}
+	var opts []core.Option
+	if wr.hasFineTune && !wr.fineTune {
+		opts = append(opts, core.WithoutFineTune())
+	}
+	if wr.maxSteps < 0 {
+		return nil, fmt.Errorf("maxSteps must be positive")
+	}
+	if wr.maxSteps > 0 {
+		opts = append(opts, core.WithMaxSteps(wr.maxSteps))
+	}
+	if wr.elasticity < 0 {
+		return nil, fmt.Errorf("elasticity must be positive")
+	}
+	if wr.elasticity > 0 {
+		opts = append(opts, core.WithElasticityThreshold(wr.elasticity))
+	}
+	switch string(bis) {
+	case "":
+	case "tangents":
+		opts = append(opts, core.WithBisection(geometry.BisectTangents))
+	case "angles":
+		opts = append(opts, core.WithBisection(geometry.BisectAngles))
+	default:
+		return nil, fmt.Errorf("unknown bisection %q (want tangents or angles)", bis)
+	}
+	return opts, nil
+}
+
+// resolveModelBytes is resolveModel for the parser's byte spans: the
+// label lookup is a zero-copy map probe; the hex-fingerprint fallback is
+// rare and may allocate. The returned fingerprint is canonical (the store
+// re-hashes models on load and aliases legacy fingerprints), so callers
+// can use it as the cache key without re-hashing fns per request.
+func (d *Daemon) resolveModelBytes(name []byte) ([]speed.Function, uint64, bool) {
+	d.regMu.RLock()
+	if fp, ok := d.byName[string(name)]; ok {
+		fns := d.byFP[fp]
+		d.regMu.RUnlock()
+		return fns, fp, true
+	}
+	d.regMu.RUnlock()
+	if fp, err := strconv.ParseUint(strings.TrimPrefix(string(name), "0x"), 16, 64); err == nil {
+		d.regMu.RLock()
+		defer d.regMu.RUnlock()
+		if fns, ok := d.byFP[fp]; ok {
+			return fns, fp, true
+		}
+	}
+	return nil, 0, false
+}
+
+// servePartitionSingle answers sc.reqs[0]: an exact cache hit is served
+// synchronously (no queue round trip), a miss goes through the engine.
+func (d *Daemon) servePartitionSingle(w http.ResponseWriter, sc *wireScratch) {
+	req, err := d.wireToServe(sc, &sc.reqs[0])
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := <-d.engine.Submit(req)
-	if resp.Err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", resp.Err)
-		return
+	sc.arena = sc.arena[:0]
+	arena, resp, ok := d.engine.TryHit(req, sc.arena)
+	sc.arena = arena
+	if !ok {
+		resp = <-d.engine.Submit(req)
+		if resp.Err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", resp.Err)
+			return
+		}
 	}
-	writeJSON(w, toReply(resp))
+	sc.out = appendReply(sc.out[:0], resp.Result.Alloc, resp.Result.Slope, tierName(resp.Tier), &resp.Result.Stats, "")
+	sc.out = append(sc.out, '\n')
+	writeBody(w, http.StatusOK, sc.out)
+}
+
+// servePartitionBatch answers sc.reqs as one response document. Hits are
+// served synchronously into the scratch arena; every miss is submitted
+// before any reply is awaited, so misses land in the same engine dispatch
+// cycle and coalesce, exactly as before.
+func (d *Daemon) servePartitionBatch(w http.ResponseWriter, sc *wireScratch) {
+	k := len(sc.reqs)
+	if cap(sc.items) < k {
+		sc.items = make([]wireItem, k)
+	} else {
+		sc.items = sc.items[:k]
+	}
+	sc.arena = sc.arena[:0]
+	for i := range sc.reqs {
+		it := &sc.items[i]
+		*it = wireItem{}
+		req, err := d.wireToServe(sc, &sc.reqs[i])
+		if err != nil {
+			it.err = err
+			continue
+		}
+		start := len(sc.arena)
+		arena, resp, ok := d.engine.TryHit(req, sc.arena)
+		sc.arena = arena
+		if ok {
+			it.hit = true
+			it.slope = resp.Result.Slope
+			it.stats = resp.Result.Stats
+			it.allocOff, it.allocLen = start, len(sc.arena)-start
+			continue
+		}
+		it.wait = d.engine.Submit(req)
+	}
+	var zero core.Stats
+	out := append(sc.out[:0], `{"responses":[`...)
+	for i := range sc.items {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		it := &sc.items[i]
+		switch {
+		case it.err != nil:
+			out = appendReply(out, nil, 0, "", &zero, it.err.Error())
+		case it.hit:
+			out = appendReply(out, sc.arena[it.allocOff:it.allocOff+it.allocLen], it.slope, "hit", &it.stats, "")
+		default:
+			resp := <-it.wait
+			if resp.Err != nil {
+				out = appendReply(out, nil, 0, "", &zero, resp.Err.Error())
+			} else {
+				out = appendReply(out, resp.Result.Alloc, resp.Result.Slope, tierName(resp.Tier), &resp.Result.Stats, "")
+			}
+		}
+	}
+	sc.out = append(append(out, `]}`...), '\n')
+	writeBody(w, http.StatusOK, sc.out)
 }

@@ -36,6 +36,21 @@ type Request struct {
 	N    int64
 	Fns  []speed.Function
 	Opts []core.Option
+	// Model is the precomputed speed.Fingerprint of Fns; zero means
+	// unknown and the engine hashes Fns itself. Callers that already
+	// resolve models by fingerprint (the rpc daemon's registry) pass it
+	// through so the cache key costs a copy instead of re-hashing every
+	// speed function on every request.
+	Model uint64
+}
+
+// fingerprint returns the request's model fingerprint, hashing Fns only
+// when the caller did not supply it.
+func (r *Request) fingerprint() uint64 {
+	if r.Model != 0 {
+		return r.Model
+	}
+	return speed.Fingerprint(r.Fns)
 }
 
 // Response carries the plan (or the partitioner's error) back to the
@@ -178,6 +193,24 @@ func (e *Engine) Submit(req Request) <-chan Response {
 	e.queue <- p
 	e.mu.RUnlock()
 	return p.reply
+}
+
+// TryHit answers a request synchronously when its plan is an exact cache
+// hit, bypassing the dispatch queue — no pending struct, no channel, no
+// context switch, which is most of a warm request's latency. The
+// allocation is appended to dst (reused by the caller; sized to the
+// model, the probe allocates nothing) and the Response's Alloc aliases
+// dst's tail. A miss changes nothing and the caller falls back to Submit.
+// Counters stay coherent: a TryHit answer counts as a request and an
+// exact hit, same as the dispatcher would have recorded it.
+func (e *Engine) TryHit(req Request, dst core.Allocation) (core.Allocation, Response, bool) {
+	dst, res, ok := e.cache.PeekInto(dst, req.fingerprint(), req.Algo, req.N, req.Opts...)
+	if !ok {
+		return dst, Response{}, false
+	}
+	e.requests.Add(1)
+	e.algoTiers[algoRow(req.Algo)][plancache.TierHit].Add(1)
+	return dst, Response{Result: res, Tier: plancache.TierHit}, true
 }
 
 // Partition submits a request and waits for its plan.
@@ -327,7 +360,7 @@ func (e *Engine) runBatch(batch []*pending) {
 	order := make([]groupKey, 0, len(batch))
 	for _, p := range batch {
 		k := groupKey{
-			model: speed.Fingerprint(p.req.Fns),
+			model: p.req.fingerprint(),
 			n:     p.req.N,
 			algo:  p.req.Algo,
 			opts:  core.OptionsKey(p.req.Opts...),
@@ -342,7 +375,7 @@ func (e *Engine) runBatch(batch []*pending) {
 	e.pool.Run(len(order), func(i int) {
 		members := groups[order[i]]
 		first := members[0].req
-		res, tier, err := e.cache.GetTier(first.Algo, first.N, first.Fns, first.Opts...)
+		res, tier, err := e.cache.GetTierFP(order[i].model, first.Algo, first.N, first.Fns, first.Opts...)
 		if err == nil {
 			e.algoTiers[algoRow(first.Algo)][tier].Add(uint64(len(members)))
 		}

@@ -173,11 +173,17 @@ func (d *decoder) done() bool { return d.err == nil && d.off == len(d.buf) }
 // writeFrame frames the payload and writes it in one Write call, so a
 // crashed process leaves at most one partial frame at the tail.
 func writeFrame(w io.Writer, payload []byte) (int, error) {
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
-	copy(frame[8:], payload)
-	return w.Write(frame)
+	return w.Write(appendFrame(nil, payload))
+}
+
+// appendFrame appends one framed record to dst; group commit concatenates
+// frames this way so a whole batch reaches the kernel in a single write.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
 }
 
 // readFrame reads one frame, verifying length and checksum. io.EOF means a

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"heteropart/internal/plancache"
+)
+
+// Committer coalesces concurrent AppendPlan calls into group commits.
+// While one batch is inside the store writing its frames, later arrivals
+// join a forming batch and land together through AppendPlanBatch — one
+// lock acquisition and one kernel write for the whole group — when the
+// current leader hands over. A lone caller commits alone (a batch of
+// one), so coalescing never trades latency for throughput: it only kicks
+// in when there is actual contention to absorb.
+//
+// Durability semantics are exactly Store.AppendPlan's: the call returns
+// after its record has reached the kernel, and the store's SyncEvery
+// fsync cadence counts every record in the group.
+type Committer struct {
+	st *Store
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	cur  *commitBatch // batch currently forming; nil until a record arrives
+	busy bool         // a leader is inside AppendPlanBatch
+}
+
+// commitBatch is one forming group: the first record's caller leads it,
+// everyone else waits on done and shares the batch's error.
+type commitBatch struct {
+	recs []plancache.PlanRecord
+	done chan struct{}
+	err  error
+}
+
+// NewCommitter wraps st with a group-commit front. The store itself is
+// untouched — callers that want per-record writes keep using AppendPlan
+// directly.
+func NewCommitter(st *Store) *Committer {
+	c := &Committer{st: st}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// AppendPlan queues one admitted plan and returns once the record's group
+// has committed to the WAL. The first caller into a forming batch becomes
+// its leader: it waits for any in-flight batch to clear (new arrivals
+// keep joining meanwhile), detaches the group, and commits it in one
+// AppendPlanBatch call. A batch-wide failure (sealed, closed, write
+// error) is reported to every member — each would have hit the same
+// error committing alone.
+func (c *Committer) AppendPlan(r plancache.PlanRecord) error {
+	if !r.Valid() {
+		return fmt.Errorf("store: invalid plan record (n=%d, %d shares)", r.N, len(r.Alloc))
+	}
+	c.mu.Lock()
+	if c.cur == nil {
+		c.cur = &commitBatch{done: make(chan struct{})}
+	}
+	b := c.cur
+	leader := len(b.recs) == 0
+	b.recs = append(b.recs, r)
+	if !leader {
+		c.mu.Unlock()
+		<-b.done
+		return b.err
+	}
+	for c.busy {
+		c.cond.Wait()
+	}
+	// Leadership: detach the batch — everything that joined while we
+	// waited commits with us; later arrivals form the next batch.
+	c.cur = nil
+	c.busy = true
+	c.mu.Unlock()
+	b.err = c.st.AppendPlanBatch(b.recs)
+	close(b.done)
+	c.mu.Lock()
+	c.busy = false
+	c.cond.Signal()
+	c.mu.Unlock()
+	return b.err
+}

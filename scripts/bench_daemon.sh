@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_daemon.sh — run the over-HTTP daemon benchmarks (a raw keep-alive
+# client against a real listening daemon, plus the handler-only paths) and
+# emit a JSON baseline so later PRs can track the wire hot path's req/s
+# and allocation counts.
+#
+# Usage:
+#
+#	scripts/bench_daemon.sh [output.json]
+#
+# Environment:
+#
+#	BENCHTIME   value for -benchtime (default 2s; use 1x for a smoke run)
+#	BENCH       -bench pattern (default Daemon: both BenchmarkDaemonThroughput
+#	            over real HTTP and BenchmarkDaemonHandler without the socket)
+#
+# The JSON is an array of objects:
+#
+#	{"name": "...", "n": <iterations>, "ns_per_op": ..., "req_per_s": ...,
+#	 "b_per_op": ..., "allocs_per_op": ...}
+#
+# plus a leading metadata object with the host description. req_per_s is
+# null for the handler-only benchmarks (no socket, so no throughput claim).
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_daemon.json}"
+benchtime="${BENCHTIME:-2s}"
+pattern="${BENCH:-Daemon}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN { printf "[\n" }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, "", $0); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = bop = allocs = rps = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "req/s") rps = $i
+	}
+	rows[nrows++] = sprintf("{\"name\": \"%s\", \"n\": %s, \"ns_per_op\": %s, \"req_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, rps, bop, allocs)
+}
+END {
+	printf "  {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"benchtime\": \"%s\"}", goos, goarch, cpu, benchtime
+	for (i = 0; i < nrows; i++) printf ",\n  %s", rows[i]
+	printf "\n]\n"
+}' "$tmp" > "$out"
+echo "wrote $out" >&2

@@ -42,13 +42,20 @@
 #      records, validated replay, selective plan invalidation) under the
 #      race detector in both the store and the plan cache
 #  12. benchmark smoke: every kernel benchmark, every partition-serving
-#      benchmark, and the model-refresh benchmark runs once
+#      benchmark, the model-refresh benchmark, and the over-HTTP daemon
+#      benchmark (a real listening daemon driven by a raw keep-alive
+#      client) each run once
 #  13. allocation regression guard: the warm partitioner hot path must
 #      report exactly 0 allocs/op, the property the serving engine's
 #      throughput rests on (the store's persistence taps fire off the
 #      hot path, so this gate also guards the daemon's serving loop);
 #      and the near-miss warm-start path must stay within its 4 allocs/op
 #      budget
+#  14. wire-codec allocation guard: the daemon's warm single-request
+#      handler path (pooled codec + synchronous cache hit, everything
+#      above net/http) must report 0 B/op and 0 allocs/op — the ISSUE 9
+#      budget is <= 8 B/op and <= 1 alloc/op; the gate pins the achieved
+#      zero so a regression to "just one alloc" still fails loudly
 #
 # Usage: scripts/ci.sh
 set -e
@@ -93,6 +100,9 @@ echo "==> benchmark smoke: go test -run '^$' -bench PartitionThroughput -benchti
 go test -run '^$' -bench PartitionThroughput -benchtime=1x .
 echo "==> benchmark smoke: go test -run '^$' -bench ModelRefresh -benchtime=5x ." >&2
 go test -run '^$' -bench ModelRefresh -benchtime=5x .
+echo "==> benchmark smoke: BENCHTIME=1x scripts/bench_daemon.sh /tmp/bench_daemon_smoke.json" >&2
+BENCHTIME=1x scripts/bench_daemon.sh /tmp/bench_daemon_smoke.json
+rm -f /tmp/bench_daemon_smoke.json
 echo "==> allocs/op guard: warm path 0 allocs, near-miss path <= 4 allocs" >&2
 # 100x amortizes the one-time scratch growth of iteration 1; any steady-state
 # allocation pushes the reported allocs/op above the budget and fails the gate.
@@ -109,5 +119,24 @@ awk '
 END {
 	if (bad) { print "FAIL: partition path exceeds its allocs/op budget" > "/dev/stderr"; exit 1 }
 	if (!seen) { print "FAIL: no warm/nearmiss benchmark output parsed" > "/dev/stderr"; exit 1 }
+}'
+echo "==> wire-codec allocs/op guard: warm handler path 0 B/op, 0 allocs/op" >&2
+# 200x amortizes the pool warm-up allocations of the first iterations; the
+# steady-state handler path owns every byte it touches.
+go test -run '^$' -bench 'DaemonHandler/warm' -benchtime=200x -benchmem . |
+awk '
+/^BenchmarkDaemonHandler\/warm/ {
+	seen++
+	bop = allocs = "?"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	printf "    %s: %s B/op, %s allocs/op\n", $1, bop, allocs
+	if (bop == "?" || allocs == "?" || bop + 0 > 0 || allocs + 0 > 0) { bad = 1 }
+}
+END {
+	if (bad) { print "FAIL: warm wire handler path allocates" > "/dev/stderr"; exit 1 }
+	if (!seen) { print "FAIL: no DaemonHandler/warm benchmark output parsed" > "/dev/stderr"; exit 1 }
 }'
 echo "==> all gates green" >&2
