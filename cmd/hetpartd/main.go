@@ -21,10 +21,23 @@
 //	hetpartd -dir /var/lib/hp3 -addr :7413 -id c -replica-of http://127.0.0.1:7411 \
 //	         -watch -peers http://127.0.0.1:7412
 //
+// A three-node sharded serving fabric: models live in tenant namespaces
+// ("acme/lab"), each (tenant, model, n) partition request has exactly one
+// owner chosen by consistent hashing over the member list, and non-owners
+// forward to the owner so every member answers any request:
+//
+//	hetpartd -dir /var/lib/hp1 -addr :7411 -fabric-self http://127.0.0.1:7411 \
+//	         -peers http://127.0.0.1:7412,http://127.0.0.1:7413 -tenant-qps 500
+//	hetpartd -dir /var/lib/hp2 -addr :7412 -fabric-self http://127.0.0.1:7412 \
+//	         -peers http://127.0.0.1:7411,http://127.0.0.1:7413 -tenant-qps 500
+//	hetpartd -dir /var/lib/hp3 -addr :7413 -fabric-self http://127.0.0.1:7413 \
+//	         -peers http://127.0.0.1:7411,http://127.0.0.1:7412 -tenant-qps 500
+//
 // SIGTERM drains in-flight requests and folds the write-ahead log into a
 // final snapshot; SIGKILL at any moment loses at most the requests that
-// were never answered. See internal/rpc for the endpoints and internal/
-// store for the durability design (DESIGN §9, §12).
+// were never answered. See internal/rpc for the endpoints, internal/store
+// for the durability design, and internal/fabric for tenancy and
+// ownership (DESIGN §9, §12, §14).
 package main
 
 import (
@@ -59,8 +72,8 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 0, "max requests per engine dispatch cycle (0 = default)")
 		queueDepth = flag.Int("queue", 0, "request queue depth (0 = default)")
 		compactAt  = flag.Int64("compact-at", 0, "WAL bytes that trigger snapshot compaction (0 = default 4MiB)")
-		syncEvery  = flag.Int("sync-every", 0, "fsync the WAL every N records (0 = default 64, 1 = every record)")
-		walSyncEv  = flag.Int("wal-sync-every", 0, "fsync the WAL every N records, must be >= 1 (preferred spelling of -sync-every; wins when both are set)")
+		syncEvery  = flag.Int("sync-every", 0, "deprecated alias of -wal-sync-every (ignored when both are set)")
+		walSyncEv  = flag.Int("wal-sync-every", 0, "fsync the WAL every N records, must be >= 1 (0 = default 64, 1 = every record)")
 		drain      = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 		replicaOf  = flag.String("replica-of", "", "follow the primary hetpartd at this base URL (read-only until promoted)")
 		reconnect  = flag.Duration("reconnect-base", 0, "base pause of the follower's jittered reconnect backoff (0 = default 100ms)")
@@ -72,6 +85,10 @@ func main() {
 		probeTo    = flag.Duration("probe-timeout", 0, "deadline for one probe (0 = probe interval)")
 		suspectN   = flag.Int("suspect-after", 0, "consecutive probe misses before suspecting the primary (0 = default 3)")
 		handoverTo = flag.Duration("handover-timeout", 0, "planned-demotion wait for the successor to drain (0 = default 10s)")
+		fabricSelf = flag.String("fabric-self", "", "this member's base URL in the sharded serving fabric (enables ownership + forwarding over -peers)")
+		fabricTo   = flag.Duration("fabric-timeout", 0, "deadline for one forwarded partition request (0 = default 2s)")
+		tenantQPS  = flag.Float64("tenant-qps", 0, "per-tenant partition request rate limit (0 = unlimited)")
+		tenantBst  = flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = default ceil(-tenant-qps))")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -79,19 +96,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	sync := *syncEvery
-	walSyncSet := false
+	sync := *walSyncEv
+	walSyncSet, syncEverySet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "wal-sync-every" {
+		switch f.Name {
+		case "wal-sync-every":
 			walSyncSet = true
+		case "sync-every":
+			syncEverySet = true
 		}
 	})
-	if walSyncSet {
-		if *walSyncEv < 1 {
-			fmt.Fprintln(os.Stderr, "hetpartd: -wal-sync-every must be >= 1")
-			os.Exit(2)
+	if walSyncSet && *walSyncEv < 1 {
+		fmt.Fprintln(os.Stderr, "hetpartd: -wal-sync-every must be >= 1")
+		os.Exit(2)
+	}
+	if syncEverySet {
+		fmt.Fprintln(os.Stderr, "hetpartd: -sync-every is deprecated; use -wal-sync-every")
+		if !walSyncSet {
+			sync = *syncEvery
 		}
-		sync = *walSyncEv
 	}
 	err := rpc.Run(rpc.Config{
 		Addr:            *addr,
@@ -113,6 +136,10 @@ func main() {
 		ProbeTimeout:    *probeTo,
 		SuspectAfter:    *suspectN,
 		HandoverTimeout: *handoverTo,
+		FabricSelf:      *fabricSelf,
+		FabricTimeout:   *fabricTo,
+		TenantQPS:       *tenantQPS,
+		TenantBurst:     *tenantBst,
 		DrainTimeout:    *drain,
 	})
 	if err != nil {

@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Wire headers of the forwarding protocol.
+const (
+	// ForwardedHeader is the single-hop loop fence: a member answering a
+	// request that carries it always serves locally, never re-forwards —
+	// so a stale or disagreeing member list can cost one extra hop's
+	// latency but can never form a forwarding cycle. Owners also skip
+	// per-tenant quota charging under the fence (the edge that accepted
+	// the client request already charged it).
+	ForwardedHeader = "X-Hetpart-Forwarded"
+	// TierHeader is set by the owner on forwarded single requests so the
+	// forwarding edge can count remote cache hits without parsing the
+	// response body it relays verbatim.
+	TierHeader = "X-Hetpart-Tier"
+)
+
+// maxForwardBody bounds a relayed response (matches the request-side
+// body bound in rpc).
+const maxForwardBody = 64 << 20
+
+// forwarder owns the keep-alive HTTP client the fabric forwards through.
+// Connections to each member are pooled and reused, so the steady-state
+// cost of a forward is one round trip, not one handshake.
+type forwarder struct {
+	client *http.Client
+}
+
+func newForwarder(timeout time.Duration) *forwarder {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &forwarder{client: &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     60 * time.Second,
+		},
+	}}
+}
+
+// partition POSTs a raw /v1/partition body to a member with the fence
+// header set and returns the response verbatim. The body bytes are
+// passed through untouched in both directions — bit-identity of
+// forwarded answers is a property of the relay, not a re-encoding.
+func (fw *forwarder) partition(base string, body []byte) (status int, tier string, resp []byte, err error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/partition", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	res, err := fw.client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, maxForwardBody+1))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if len(data) > maxForwardBody {
+		return 0, "", nil, fmt.Errorf("fabric: response from %s exceeds %d bytes", base, maxForwardBody)
+	}
+	return res.StatusCode, res.Header.Get(TierHeader), data, nil
+}

@@ -1,0 +1,127 @@
+package fabric
+
+import "testing"
+
+func TestParseLabel(t *testing.T) {
+	cases := []struct {
+		in      string
+		tenant  string
+		model   string
+		wantErr bool
+	}{
+		{in: "m", tenant: "default", model: "m"},
+		{in: "lab", tenant: "default", model: "lab"},
+		{in: "acme/m", tenant: "acme", model: "m"},
+		{in: "a-1/model.v2", tenant: "a-1", model: "model.v2"},
+		{in: "default/m", tenant: "default", model: "m"},
+		{in: "", wantErr: true},          // empty model
+		{in: "acme/", wantErr: true},     // empty model
+		{in: "/m", wantErr: true},        // empty tenant
+		{in: "Acme/m", wantErr: true},    // uppercase tenant
+		{in: "-a/m", wantErr: true},      // leading '-'
+		{in: "a-/m", wantErr: true},      // trailing '-'
+		{in: "a_b/m", wantErr: true},     // '_' not in tenant alphabet
+		{in: "acme/a b", wantErr: true},  // space in model
+		{in: "acme/a/b", wantErr: true},  // '/' in model
+		{in: "acme/a\tb", wantErr: true}, // control byte
+		{in: "acme/café", wantErr: true}, // non-ASCII
+	}
+	for _, c := range cases {
+		l, err := ParseLabel(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseLabel(%q): want error, got %+v", c.in, l)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLabel(%q): %v", c.in, err)
+			continue
+		}
+		if l.Tenant != c.tenant || l.Model != c.model {
+			t.Errorf("ParseLabel(%q) = %+v, want {%s %s}", c.in, l, c.tenant, c.model)
+		}
+	}
+
+	long := make([]byte, maxTenantLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := ParseLabel(string(long) + "/m"); err == nil {
+		t.Errorf("overlong tenant accepted")
+	}
+	longM := make([]byte, maxModelLen+1)
+	for i := range longM {
+		longM[i] = 'm'
+	}
+	if _, err := ParseLabel(string(longM)); err == nil {
+		t.Errorf("overlong model accepted")
+	}
+}
+
+func TestCanonicalLabel(t *testing.T) {
+	cases := [][2]string{
+		{"m", "default/m"},
+		{"acme/m", "acme/m"},
+		{"default/m", "default/m"},
+		// CanonicalLabel is total: it must map even grammar-invalid
+		// labels (replayed from old store files) deterministically.
+		{"a/b/c", "a/b/c"},
+		{"", "default/"},
+	}
+	for _, c := range cases {
+		if got := CanonicalLabel(c[0]); got != c[1] {
+			t.Errorf("CanonicalLabel(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}
+
+func TestTenantSpan(t *testing.T) {
+	cases := []struct {
+		in, tenant, family string
+	}{
+		{"m", "default", "m"},
+		{"acme/m", "acme", "m"},
+		{"default/m", "default", "m"},
+		{"a/b/c", "a", "b/c"},
+	}
+	for _, c := range cases {
+		tenant, family := TenantSpan([]byte(c.in))
+		if string(tenant) != c.tenant || string(family) != c.family {
+			t.Errorf("TenantSpan(%q) = (%q, %q), want (%q, %q)",
+				c.in, tenant, family, c.tenant, c.family)
+		}
+	}
+}
+
+// FuzzTenantLabel checks the Parse∘String round-trip: any label that
+// parses must re-parse from its canonical spelling to the same value.
+func FuzzTenantLabel(f *testing.F) {
+	for _, seed := range []string{
+		"m", "acme/m", "default/m", "a-1/model.v2", "lab",
+		"/m", "acme/", "Acme/m", "a b", "a/b/c", "",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseLabel(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseLabel(l.String())
+		if err != nil {
+			t.Fatalf("ParseLabel(%q): parsed to %+v but canonical form does not re-parse: %v", s, l, err)
+		}
+		if again != l {
+			t.Fatalf("round-trip mismatch for %q: %+v -> %q -> %+v", s, l, l.String(), again)
+		}
+		// The canonical spelling must be a fixed point.
+		if again.String() != l.String() {
+			t.Fatalf("String not stable for %q: %q vs %q", s, l.String(), again.String())
+		}
+		// CanonicalLabel must agree with the parsed canonical form.
+		if CanonicalLabel(s) != l.String() {
+			t.Fatalf("CanonicalLabel(%q) = %q, ParseLabel canonical = %q", s, CanonicalLabel(s), l.String())
+		}
+	})
+}

@@ -44,13 +44,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"heteropart/internal/fabric"
 	"heteropart/internal/plancache"
 	"heteropart/internal/replica"
 	"heteropart/internal/serve"
@@ -117,6 +120,23 @@ type Config struct {
 
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+
+	// FabricSelf, when set, joins this daemon to the sharded serving
+	// fabric as the member advertised at this base URL (e.g.
+	// "http://10.0.0.1:7411"). Plan ownership is jump-hashed across
+	// FabricSelf plus Peers; non-owned /v1/partition requests are
+	// forwarded to their owner.
+	FabricSelf string
+	// FabricTimeout bounds one forwarded request (default 2s).
+	FabricTimeout time.Duration
+
+	// TenantQPS enables per-tenant token-bucket admission: each tenant
+	// gets this many /v1/partition requests per second (plus TenantBurst
+	// headroom) before the daemon answers 429 + Retry-After. 0 = no
+	// quotas.
+	TenantQPS float64
+	// TenantBurst is the bucket capacity (default: one second of TenantQPS).
+	TenantBurst int
 }
 
 // Daemon is the running server. Construct with New, start with Listen +
@@ -167,10 +187,21 @@ type Daemon struct {
 	primary atomic.Bool
 
 	// registry mirrors the store's models for lock-cheap request-time
-	// lookup by label or fingerprint.
+	// lookup by label or fingerprint. byName holds every model under its
+	// canonical tenant-qualified label, plus a bare-name alias for
+	// default-tenant models so pre-tenancy clients resolve without
+	// allocating (aliases have no '/', so they cannot collide with a
+	// canonical "tenant/model" key).
 	regMu  sync.RWMutex
 	byFP   map[uint64][]speed.Function
 	byName map[string]uint64
+
+	// tenancy is the per-tenant stats registry + optional quota
+	// controller; always non-nil.
+	tenancy *fabric.Tenancy
+	// fab is this member's view of the sharded fabric; nil unless
+	// FabricSelf was configured or EnableFabric was called.
+	fab atomic.Pointer[fabric.Fabric]
 
 	srv   *http.Server
 	ln    net.Listener
@@ -213,15 +244,24 @@ func newShell(cfg Config) (*Daemon, error) {
 	if cfg.ID == "" {
 		cfg.ID = cfg.Addr
 	}
+	if err := validatePeers(cfg.Peers, cfg.ID, cfg.Addr); err != nil {
+		return nil, err
+	}
 	d := &Daemon{
-		cfg:    cfg,
-		id:     cfg.ID,
-		byFP:   make(map[uint64][]speed.Function),
-		byName: make(map[string]uint64),
-		start:  time.Now(),
+		cfg:     cfg,
+		id:      cfg.ID,
+		byFP:    make(map[uint64][]speed.Function),
+		byName:  make(map[string]uint64),
+		tenancy: fabric.NewTenancy(cfg.TenantQPS, cfg.TenantBurst),
+		start:   time.Now(),
 	}
 	d.upstream.Store("")
 	d.SetPeers(cfg.Peers)
+	if cfg.FabricSelf != "" {
+		if err := d.EnableFabric(cfg.FabricSelf); err != nil {
+			return nil, err
+		}
+	}
 	d.srv = &http.Server{
 		Handler:           d.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -349,8 +389,19 @@ func (d *Daemon) rebuildRegistry() {
 	for _, mi := range d.store.Models() {
 		if fns, ok := d.store.Model(mi.Fingerprint); ok {
 			d.byFP[mi.Fingerprint] = fns
-			d.byName[mi.Label] = mi.Fingerprint
+			d.regSetLocked(mi.Label, mi.Fingerprint)
 		}
+	}
+}
+
+// regSetLocked maps a canonical label to its fingerprint, and — for
+// default-tenant models — also the bare model name, so untenanted request
+// spellings resolve without a canonicalizing allocation on the hot path.
+// Callers hold regMu.
+func (d *Daemon) regSetLocked(label string, fp uint64) {
+	d.byName[label] = fp
+	if tenant, model, ok := fabric.SplitLabel(label); ok && tenant == fabric.DefaultTenant {
+		d.byName[model] = fp
 	}
 }
 
@@ -382,7 +433,7 @@ func (d *Daemon) mirrorApply(rep store.Replicated) {
 				delete(d.byFP, old)
 			}
 			d.byFP[m.Fingerprint] = m.Fns
-			d.byName[m.Label] = m.Fingerprint
+			d.regSetLocked(m.Label, m.Fingerprint)
 		}
 		d.regMu.Unlock()
 	}
@@ -483,6 +534,59 @@ func (d *Daemon) peerList() []string {
 	defer d.peerMu.RUnlock()
 	return append([]string(nil), d.peers...)
 }
+
+// validatePeers rejects a -peers list that would make the fabric or the
+// watch detector talk to itself: duplicate entries, entries equal to this
+// member's ID, and entries whose host:port is this member's own listen
+// address.
+func validatePeers(peers []string, id, addr string) error {
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return fmt.Errorf("rpc: empty entry in peers list")
+		}
+		if seen[p] {
+			return fmt.Errorf("rpc: duplicate peer %q", p)
+		}
+		seen[p] = true
+		if p == id {
+			return fmt.Errorf("rpc: peer %q is this member's own ID", p)
+		}
+		if addr != "" && peerHost(p) == addr {
+			return fmt.Errorf("rpc: peer %q is this member's own listen address %q", p, addr)
+		}
+	}
+	return nil
+}
+
+// peerHost extracts the host:port from a peer base URL for self-reference
+// checks ("http://127.0.0.1:7411" -> "127.0.0.1:7411").
+func peerHost(p string) string {
+	if u, err := url.Parse(p); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return strings.TrimPrefix(strings.TrimPrefix(p, "http://"), "https://")
+}
+
+// EnableFabric joins this daemon to the sharded serving fabric as the
+// member advertised at self (a base URL the other members can reach).
+// Ownership is hashed over self plus the current peer list; every member
+// must be configured with the same total set. Tests call this after their
+// ":0" listeners publish real ports; production configures FabricSelf.
+func (d *Daemon) EnableFabric(self string) error {
+	f, err := fabric.New(self, d.peerList(), d.cfg.FabricTimeout)
+	if err != nil {
+		return err
+	}
+	d.fab.Store(f)
+	return nil
+}
+
+// Fabric returns the fabric membership, nil when not joined.
+func (d *Daemon) Fabric() *fabric.Fabric { return d.fab.Load() }
+
+// Tenancy returns the per-tenant stats/quota registry (always non-nil).
+func (d *Daemon) Tenancy() *fabric.Tenancy { return d.tenancy }
 
 // upstreamURL is the primary this daemon follows ("" when it is primary).
 func (d *Daemon) upstreamURL() string {

@@ -11,6 +11,7 @@ import (
 
 	"heteropart/internal/clusterio"
 	"heteropart/internal/core"
+	"heteropart/internal/fabric"
 	"heteropart/internal/geometry"
 	"heteropart/internal/plancache"
 	"heteropart/internal/replica"
@@ -218,12 +219,14 @@ func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
 
 // statsReply is the /v1/stats document.
 type statsReply struct {
-	Uptime      string           `json:"uptime"`
-	Engine      engineStats      `json:"engine"`
-	Cache       plancache.Stats  `json:"cache"`
-	Store       store.Stats      `json:"store"`
-	Models      int              `json:"models"`
-	Replication replicationStats `json:"replication"`
+	Uptime      string                           `json:"uptime"`
+	Engine      engineStats                      `json:"engine"`
+	Cache       plancache.Stats                  `json:"cache"`
+	Store       store.Stats                      `json:"store"`
+	Models      int                              `json:"models"`
+	Replication replicationStats                 `json:"replication"`
+	Tenants     map[string]fabric.TenantSnapshot `json:"tenants,omitempty"`
+	Fabric      *fabric.Status                   `json:"fabric,omitempty"`
 }
 
 // replicationStats reports both sides of the log: this daemon's committed
@@ -294,6 +297,15 @@ func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 			return rs
 		}(),
+		Tenants: d.tenancy.Snapshot(),
+		Fabric: func() *fabric.Status {
+			f := d.fab.Load()
+			if f == nil {
+				return nil
+			}
+			s := f.Status()
+			return &s
+		}(),
 	})
 }
 
@@ -315,6 +327,11 @@ func (d *Daemon) handleModels(w http.ResponseWriter, r *http.Request) {
 		d.regMu.RLock()
 		out := make([]modelReply, 0, len(d.byName))
 		for label, fp := range d.byName {
+			// byName also carries bare-name aliases for default-tenant
+			// models (no '/'); list each model once, canonically.
+			if _, _, ok := fabric.SplitLabel(label); !ok {
+				continue
+			}
 			out = append(out, modelReply{Label: label, Fingerprint: fpString(fp), Processors: len(d.byFP[fp])})
 		}
 		d.regMu.RUnlock()
@@ -347,6 +364,15 @@ func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing ?label=")
 		return
 	}
+	// The HTTP boundary enforces the tenant grammar strictly (the store's
+	// replay path is looser by design: it must accept whatever an older
+	// file recorded). From here on the canonical spelling is the identity.
+	parsed, err := fabric.ParseLabel(label)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad label %q: %v", label, err)
+		return
+	}
+	label = parsed.String()
 	defaultMax := 1e9
 	if s := r.URL.Query().Get("defaultMax"); s != "" {
 		v, err := strconv.ParseFloat(s, 64)
@@ -383,7 +409,7 @@ func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		delete(d.byFP, old)
 	}
 	d.byFP[fp] = fns
-	d.byName[label] = fp
+	d.regSetLocked(label, fp)
 	d.regMu.Unlock()
 	writeJSON(w, modelReply{
 		Label: label, Fingerprint: fpString(fp), Processors: len(fns),
@@ -395,12 +421,14 @@ func (d *Daemon) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 // today that is POST /v1/models/{label}/refresh.
 func (d *Daemon) handleModelSub(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
-	label, action, ok := strings.Cut(rest, "/")
-	if !ok || label == "" || action != "refresh" {
+	// Split at the LAST '/': labels may be tenant-qualified
+	// ("acme/m/refresh" is label "acme/m", action "refresh").
+	i := strings.LastIndexByte(rest, '/')
+	if i <= 0 || rest[i+1:] != "refresh" {
 		httpError(w, http.StatusNotFound, "unknown model route %q (want /v1/models/{label}/refresh)", r.URL.Path)
 		return
 	}
-	d.handleModelRefresh(w, r, label)
+	d.handleModelRefresh(w, r, rest[:i])
 }
 
 // refreshRequest replaces one processor of a stored model.
@@ -504,7 +532,7 @@ func (d *Daemon) handleModelRefresh(w http.ResponseWriter, r *http.Request, labe
 		d.regMu.Lock()
 		delete(d.byFP, oldFP)
 		d.byFP[newFP] = newFns
-		d.byName[label] = newFP
+		d.regSetLocked(fabric.CanonicalLabel(label), newFP)
 		d.regMu.Unlock()
 	}
 	writeJSON(w, reply)
@@ -676,10 +704,69 @@ func (d *Daemon) handlePartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if batch {
-		d.servePartitionBatch(w, sc)
+		d.servePartitionBatch(w, r, sc)
 		return
 	}
-	d.servePartitionSingle(w, sc)
+	d.servePartitionSingle(w, r, sc)
+}
+
+// countTier charges one answered request to its tenant's tier counters.
+func countTier(ts *fabric.TenantStats, tier plancache.Tier) {
+	switch tier {
+	case plancache.TierHit:
+		ts.Hits.Add(1)
+	case plancache.TierShared:
+		ts.Shared.Add(1)
+	default:
+		ts.Misses.Add(1)
+	}
+}
+
+// tierHeaderValue maps a tier onto its prebuilt X-Hetpart-Tier value.
+func tierHeaderValue(tier plancache.Tier) []string {
+	switch tier {
+	case plancache.TierHit:
+		return headerTierHit
+	case plancache.TierShared:
+		return headerTierShared
+	default:
+		return headerTierMiss
+	}
+}
+
+// writeQuotaError answers a token-bucket refusal: 429 with the seconds
+// until a token is available, the same retry contract the transient 503s
+// use.
+func writeQuotaError(w http.ResponseWriter, retry int) {
+	if retry <= 1 {
+		w.Header()["Retry-After"] = headerRetry1
+	} else {
+		w.Header()["Retry-After"] = []string{strconv.Itoa(retry)}
+	}
+	httpError(w, http.StatusTooManyRequests, "tenant over quota; retry after %ds", retry)
+}
+
+// forwardPartition relays the raw request body to the owning member and
+// the response back verbatim. Returns false when the owner is unreachable
+// or answering 5xx — the caller serves locally instead (every member can
+// compute every plan; an owner outage costs cache warmth, not
+// availability). 2xx-4xx relay as-is: a 400 is the same 400 this member
+// would produce.
+func (d *Daemon) forwardPartition(w http.ResponseWriter, fab *fabric.Fabric, owner int, ts *fabric.TenantStats, body []byte) bool {
+	status, tier, resp, err := fab.Forward(owner, body)
+	if err != nil || status >= 500 {
+		fab.ForwardErrors.Add(1)
+		fab.FallbackLocal.Add(1)
+		return false
+	}
+	fab.Forwarded.Add(1)
+	ts.Forwarded.Add(1)
+	if tier == "hit" {
+		fab.RemoteHits.Add(1)
+		ts.RemoteHits.Add(1)
+	}
+	writeBody(w, status, resp)
+	return true
 }
 
 // wireToServe validates one parsed wire request, mirroring toServeRequest
@@ -775,9 +862,43 @@ func (d *Daemon) resolveModelBytes(name []byte) ([]speed.Function, uint64, bool)
 
 // servePartitionSingle answers sc.reqs[0]: an exact cache hit is served
 // synchronously (no queue round trip), a miss goes through the engine.
-func (d *Daemon) servePartitionSingle(w http.ResponseWriter, sc *wireScratch) {
-	req, err := d.wireToServe(sc, &sc.reqs[0])
+// Before the local path runs, the tenant layer gets its say — the request
+// is attributed and quota-charged at the edge, and a request whose plan
+// family another fabric member owns is relayed there verbatim. A request
+// carrying the forwarding fence is always served locally (no re-forward,
+// no second quota charge) and announces its tier in a response header so
+// the relaying edge can count remote hits without parsing the body.
+func (d *Daemon) servePartitionSingle(w http.ResponseWriter, r *http.Request, sc *wireScratch) {
+	wr := &sc.reqs[0]
+	tenant, family := fabric.TenantSpan(sc.spanBytes(wr.model))
+	ts := d.tenancy.Stats(tenant)
+	ts.Requests.Add(1)
+	fab := d.fab.Load()
+	forwarded := len(r.Header[fabric.ForwardedHeader]) > 0
+	if forwarded {
+		if fab != nil {
+			fab.ForwardedIn.Add(1)
+		}
+	} else {
+		if ok, retry := d.tenancy.Allow(tenant); !ok {
+			ts.Rejected.Add(1)
+			writeQuotaError(w, retry)
+			return
+		}
+		if fab != nil && len(family) > 0 && wr.n >= 0 {
+			if owner := fab.OwnerIndex(tenant, family, wr.n); !fab.IsSelf(owner) {
+				if d.forwardPartition(w, fab, owner, ts, sc.body) {
+					return
+				}
+				// Owner down: fall through and compute locally.
+			} else {
+				fab.ServedLocal.Add(1)
+			}
+		}
+	}
+	req, err := d.wireToServe(sc, wr)
 	if err != nil {
+		ts.Errors.Add(1)
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -787,9 +908,14 @@ func (d *Daemon) servePartitionSingle(w http.ResponseWriter, sc *wireScratch) {
 	if !ok {
 		resp = <-d.engine.Submit(req)
 		if resp.Err != nil {
+			ts.Errors.Add(1)
 			httpError(w, http.StatusUnprocessableEntity, "%v", resp.Err)
 			return
 		}
+	}
+	countTier(ts, resp.Tier)
+	if forwarded {
+		w.Header()[fabric.TierHeader] = tierHeaderValue(resp.Tier)
 	}
 	sc.out = appendReply(sc.out[:0], resp.Result.Alloc, resp.Result.Slope, tierName(resp.Tier), &resp.Result.Stats, "")
 	sc.out = append(sc.out, '\n')
@@ -800,17 +926,76 @@ func (d *Daemon) servePartitionSingle(w http.ResponseWriter, sc *wireScratch) {
 // served synchronously into the scratch arena; every miss is submitted
 // before any reply is awaited, so misses land in the same engine dispatch
 // cycle and coalesce, exactly as before.
-func (d *Daemon) servePartitionBatch(w http.ResponseWriter, sc *wireScratch) {
+//
+// The tenant layer runs as a separate admission pass first: each element
+// is attributed and quota-charged, and when one remote member owns every
+// element's plan family the whole body is relayed there verbatim (mixed
+// owners serve locally — splitting a batch would break its coalescing).
+// The encode pass streams: past batchFlushBytes the buffer is flushed to
+// the client and reused, so a 100k-element batch costs O(64 KiB) of
+// response memory, not O(batch). The byte stream is identical either way.
+func (d *Daemon) servePartitionBatch(w http.ResponseWriter, r *http.Request, sc *wireScratch) {
 	k := len(sc.reqs)
 	if cap(sc.items) < k {
 		sc.items = make([]wireItem, k)
 	} else {
 		sc.items = sc.items[:k]
 	}
-	sc.arena = sc.arena[:0]
+	fab := d.fab.Load()
+	forwarded := len(r.Header[fabric.ForwardedHeader]) > 0
+	owner, uniform, rejected := -1, true, false
 	for i := range sc.reqs {
 		it := &sc.items[i]
 		*it = wireItem{}
+		wr := &sc.reqs[i]
+		tenant, family := fabric.TenantSpan(sc.spanBytes(wr.model))
+		it.ts = d.tenancy.Stats(tenant)
+		it.ts.Requests.Add(1)
+		if !forwarded {
+			if ok, retry := d.tenancy.Allow(tenant); !ok {
+				it.retry = retry
+				it.ts.Rejected.Add(1)
+				rejected = true
+				continue
+			}
+		}
+		if fab != nil && uniform && len(family) > 0 && wr.n >= 0 {
+			switch o := fab.OwnerIndex(tenant, family, wr.n); {
+			case owner == -1:
+				owner = o
+			case o != owner:
+				uniform = false
+			}
+		}
+	}
+	switch {
+	case forwarded:
+		if fab != nil {
+			fab.ForwardedIn.Add(1)
+		}
+	case fab != nil && uniform && owner >= 0 && !fab.IsSelf(owner) && !rejected:
+		// One remote owner for the whole batch: relay it verbatim so its
+		// elements coalesce in the owner's dispatch cycle and warm the
+		// owner's cache, exactly as a local batch would.
+		if status, _, resp, err := fab.Forward(owner, sc.body); err == nil && status < 500 {
+			fab.Forwarded.Add(1)
+			for i := range sc.items {
+				sc.items[i].ts.Forwarded.Add(1)
+			}
+			writeBody(w, status, resp)
+			return
+		}
+		fab.ForwardErrors.Add(1)
+		fab.FallbackLocal.Add(1)
+	case fab != nil:
+		fab.ServedLocal.Add(1)
+	}
+	sc.arena = sc.arena[:0]
+	for i := range sc.reqs {
+		it := &sc.items[i]
+		if it.retry > 0 {
+			continue
+		}
 		req, err := d.wireToServe(sc, &sc.reqs[i])
 		if err != nil {
 			it.err = err
@@ -829,6 +1014,7 @@ func (d *Daemon) servePartitionBatch(w http.ResponseWriter, sc *wireScratch) {
 		it.wait = d.engine.Submit(req)
 	}
 	var zero core.Stats
+	streaming := false
 	out := append(sc.out[:0], `{"responses":[`...)
 	for i := range sc.items {
 		if i > 0 {
@@ -836,19 +1022,40 @@ func (d *Daemon) servePartitionBatch(w http.ResponseWriter, sc *wireScratch) {
 		}
 		it := &sc.items[i]
 		switch {
+		case it.retry > 0:
+			out = appendReply(out, nil, 0, "", &zero, "tenant over quota; retry after "+strconv.Itoa(it.retry)+"s")
 		case it.err != nil:
+			it.ts.Errors.Add(1)
 			out = appendReply(out, nil, 0, "", &zero, it.err.Error())
 		case it.hit:
+			it.ts.Hits.Add(1)
 			out = appendReply(out, sc.arena[it.allocOff:it.allocOff+it.allocLen], it.slope, "hit", &it.stats, "")
 		default:
 			resp := <-it.wait
 			if resp.Err != nil {
+				it.ts.Errors.Add(1)
 				out = appendReply(out, nil, 0, "", &zero, resp.Err.Error())
 			} else {
+				countTier(it.ts, resp.Tier)
 				out = appendReply(out, resp.Result.Alloc, resp.Result.Slope, tierName(resp.Tier), &resp.Result.Stats, "")
 			}
 		}
+		if len(out) >= batchFlushBytes {
+			if !streaming {
+				w.Header()["Content-Type"] = headerJSON
+				w.WriteHeader(http.StatusOK)
+				streaming = true
+			}
+			w.Write(out)
+			out = out[:0]
+		}
 	}
-	sc.out = append(append(out, `]}`...), '\n')
+	out = append(append(out, `]}`...), '\n')
+	if streaming {
+		w.Write(out)
+		sc.out = out
+		return
+	}
+	sc.out = out
 	writeBody(w, http.StatusOK, sc.out)
 }

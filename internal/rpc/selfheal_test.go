@@ -239,7 +239,7 @@ func TestSelfPromoteAfterPrimaryKill(t *testing.T) {
 		var models []modelReply
 		getJSON(t, lbase+"/v1/models", &models)
 		for _, m := range models {
-			if m.Label == "second" {
+			if m.Label == "default/second" {
 				return true
 			}
 		}
@@ -399,7 +399,7 @@ func TestHandoverDemoteZeroDroppedReads(t *testing.T) {
 		var models []modelReply
 		getJSON(t, pbase+"/v1/models", &models)
 		for _, m := range models {
-			if m.Label == "late" {
+			if m.Label == "default/late" {
 				return true
 			}
 		}

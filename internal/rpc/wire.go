@@ -35,6 +35,7 @@ import (
 	"unicode/utf8"
 
 	"heteropart/internal/core"
+	"heteropart/internal/fabric"
 	"heteropart/internal/serve"
 )
 
@@ -47,7 +48,20 @@ const maxParseDepth = 10000
 var (
 	headerJSON   = []string{"application/json"}
 	headerRetry1 = []string{"1"}
+	// Prebuilt X-Hetpart-Tier values: the owner side of a forwarded
+	// request announces the serving tier in a header (the body is relayed
+	// verbatim by the edge, which must not parse it), and assigning these
+	// keeps the warm forwarded path allocation-free.
+	headerTierHit    = []string{"hit"}
+	headerTierShared = []string{"shared"}
+	headerTierMiss   = []string{"miss"}
 )
+
+// batchFlushBytes is the streaming threshold for batch responses: once
+// the encode buffer passes it, the bytes so far are flushed to the client
+// and the buffer reused, bounding memory at O(threshold) instead of
+// O(batch). Small batches still go out in one write with Content-Length.
+const batchFlushBytes = 64 << 10
 
 // Pre-encoded bodies for the recurring fixed responses (the trailing
 // newline matches json.Encoder.Encode).
@@ -70,8 +84,8 @@ var (
 )
 
 // wireItem is the per-request state of a batch: a validation error, a
-// synchronously served cache hit (allocation stored in the scratch arena),
-// or a pending engine submission.
+// quota rejection, a synchronously served cache hit (allocation stored in
+// the scratch arena), or a pending engine submission.
 type wireItem struct {
 	err      error
 	wait     <-chan serve.Response
@@ -80,6 +94,12 @@ type wireItem struct {
 	stats    core.Stats
 	allocOff int
 	allocLen int
+	// ts is the element's tenant counter block, resolved during the
+	// admission pass and charged during the encode pass.
+	ts *fabric.TenantStats
+	// retry > 0 marks a quota rejection: the element answers an error
+	// entry telling the tenant to retry after that many seconds.
+	retry int
 }
 
 // wireScratch is everything one request needs, pooled across requests. A

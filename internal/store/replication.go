@@ -345,7 +345,9 @@ func (s *Store) ApplyHandoff(data []byte) (Replicated, error) {
 		return rep, fmt.Errorf("store: closed")
 	}
 	if len(data) < len(snapMagic) ||
-		(string(data[:len(snapMagic)]) != snapMagic && string(data[:len(snapMagic)]) != snapMagicV1) {
+		(string(data[:len(snapMagic)]) != snapMagic &&
+			string(data[:len(snapMagic)]) != snapMagicV2 &&
+			string(data[:len(snapMagic)]) != snapMagicV1) {
 		return rep, fmt.Errorf("%w: handoff snapshot magic", ErrCorruptFrame)
 	}
 	// Fence before touching state: the meta frame leads every snapshot.

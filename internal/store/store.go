@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"heteropart/internal/core"
+	"heteropart/internal/fabric"
 	"heteropart/internal/plancache"
 	"heteropart/internal/speed"
 )
@@ -53,12 +54,17 @@ const (
 
 // 8-byte magics versioning the two file formats. v2 (delta refresh)
 // changed the model fingerprint scheme to the compositional one and added
-// the recModelDelta record; v1 files are still read — their models are
-// accepted under the legacy fingerprint and aliased to the composed one —
-// and the first compaction rewrites both files as v2.
+// the recModelDelta record. v3 (tenancy) made every stored label
+// tenant-qualified: replay canonicalizes untenanted labels into the
+// default tenant (fabric.CanonicalLabel). Older files are still read —
+// v1 models are accepted under the legacy fingerprint and aliased to the
+// composed one — and Open compacts immediately so both files are
+// rewritten in the current format with canonical labels.
 const (
-	snapMagic   = "HPSNAP2\n"
-	walMagic    = "HPWAL02\n"
+	snapMagic   = "HPSNAP3\n"
+	walMagic    = "HPWAL03\n"
+	snapMagicV2 = "HPSNAP2\n"
+	walMagicV2  = "HPWAL02\n"
 	snapMagicV1 = "HPSNAP1\n"
 	walMagicV1  = "HPWAL01\n"
 )
@@ -215,9 +221,10 @@ type Store struct {
 	quarantinedTail                              int64
 	snapQuarantined                              bool
 	loadedSnapshot                               bool
-	// upgradeV1 is set when a v1 snapshot or WAL was read; Open compacts
-	// immediately so both files are rewritten in the current format.
-	upgradeV1 bool
+	// upgradeOld is set when an older-format (v1 or v2) snapshot or WAL
+	// was read; Open compacts immediately so both files are rewritten in
+	// the current format.
+	upgradeOld bool
 
 	// sealed freezes the committed log end for a planned handover: mutators
 	// refuse with ErrSealed so the position returned by Seal stays the final
@@ -258,7 +265,7 @@ func Open(opts Options) (*Store, error) {
 	// A damaged tail, an oversized log or an old-format file folds into a
 	// fresh snapshot now, so the next crash replays from a clean base (and
 	// a v1 store is rewritten as v2 exactly once).
-	if s.quarantinedTail > 0 || s.upgradeV1 || (s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt) {
+	if s.quarantinedTail > 0 || s.upgradeOld || (s.opts.CompactAt > 0 && s.walBytes > s.opts.CompactAt) {
 		if err := s.compactLocked(); err != nil {
 			s.wal.Close()
 			return nil, err
@@ -284,6 +291,13 @@ func (s *Store) PutModel(label string, fns []speed.Function) (uint64, bool, erro
 	if len(fns) == 0 {
 		return 0, false, fmt.Errorf("store: empty model")
 	}
+	if label == "" {
+		return 0, false, fmt.Errorf("store: empty model label")
+	}
+	// Labels are stored tenant-qualified; bare names belong to the
+	// default tenant. Canonicalize before encoding so the WAL record
+	// already carries the canonical spelling.
+	label = fabric.CanonicalLabel(label)
 	payload, fp, err := encodeModelChecked(label, fns)
 	if err != nil {
 		return 0, false, err
@@ -344,6 +358,7 @@ func (s *Store) RefreshProcessor(label string, proc int, fn speed.Function) (old
 	if s.sealed {
 		return 0, 0, ErrSealed
 	}
+	label = fabric.CanonicalLabel(label)
 	fp, ok := s.labels[label]
 	if !ok {
 		return 0, 0, fmt.Errorf("store: no model labeled %q", label)
@@ -580,11 +595,12 @@ func (s *Store) Model(fp uint64) ([]speed.Function, bool) {
 	return append([]speed.Function(nil), m.fns...), true
 }
 
-// ModelByLabel returns the fingerprint a label currently maps to.
+// ModelByLabel returns the fingerprint a label currently maps to. Bare
+// and default-qualified spellings resolve identically.
 func (s *Store) ModelByLabel(label string) (uint64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fp, ok := s.labels[label]
+	fp, ok := s.labels[fabric.CanonicalLabel(label)]
 	return fp, ok
 }
 
@@ -763,12 +779,16 @@ func (s *Store) dropModelState(model uint64) {
 // installs the model under its composed fingerprint and records the alias
 // so the records that follow resolve. Returns the canonical fingerprint
 // the model was installed under.
-func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) (uint64, bool) {
+func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) (uint64, string, bool) {
 	canon := speed.Fingerprint(fns)
 	if label == "" || (fp != canon && speed.FingerprintLegacy(fns) != fp) {
 		s.quarantined++
-		return 0, false
+		return 0, "", false
 	}
+	// Pre-v3 records carry untenanted labels; fold them into the default
+	// tenant so one in-memory key space serves both spellings. After the
+	// empty check — canonicalizing "" would fabricate "default/".
+	label = fabric.CanonicalLabel(label)
 	if fp != canon {
 		s.fpAlias[fp] = canon
 	}
@@ -778,7 +798,7 @@ func (s *Store) applyModel(fp uint64, label string, fns []speed.Function) (uint6
 	s.models[canon] = &modelEntry{label: label, fns: fns}
 	s.labels[label] = canon
 	s.replayedModels++
-	return canon, true
+	return canon, label, true
 }
 
 // applyPlan validates and installs a replayed plan record.
@@ -821,8 +841,8 @@ func (s *Store) applyRecord(payload []byte, cap *Replicated) {
 			s.quarantined++
 			return
 		}
-		if canon, ok := s.applyModel(fp, label, fns); ok && cap != nil {
-			cap.Models = append(cap.Models, ReplModel{Fingerprint: canon, Label: label, Fns: fns})
+		if canon, canonLabel, ok := s.applyModel(fp, label, fns); ok && cap != nil {
+			cap.Models = append(cap.Models, ReplModel{Fingerprint: canon, Label: canonLabel, Fns: fns})
 		}
 	case recPlan:
 		r, err := decodePlan(d)
@@ -913,11 +933,12 @@ func (s *Store) openWAL() error {
 	_, magicErr := io.ReadFull(f, magic[:])
 	switch {
 	case magicErr == nil && string(magic[:]) == walMagic:
-	case magicErr == nil && string(magic[:]) == walMagicV1:
-		// Previous-format log: records decode identically, models carry
-		// legacy fingerprints (applyModel aliases them). Open compacts
-		// right after replay, rewriting the file with the v2 magic.
-		s.upgradeV1 = true
+	case magicErr == nil && (string(magic[:]) == walMagicV1 || string(magic[:]) == walMagicV2):
+		// Older-format log: records decode identically; v1 models carry
+		// legacy fingerprints (applyModel aliases them) and pre-v3 labels
+		// are untenanted (applyModel canonicalizes them). Open compacts
+		// right after replay, rewriting the file with the current magic.
+		s.upgradeOld = true
 	default:
 		// Unrecognized log: set it aside and start fresh rather than guess.
 		f.Close()
@@ -1120,11 +1141,12 @@ func (s *Store) loadSnapshot() error {
 		}
 		switch string(data[:len(snapMagic)]) {
 		case snapMagic:
-		case snapMagicV1:
-			// Previous-format snapshot: frames decode identically, models
-			// carry legacy fingerprints (applyModel aliases them); Open
-			// compacts right after replay to rewrite the file as v2.
-			s.upgradeV1 = true
+		case snapMagicV1, snapMagicV2:
+			// Older-format snapshot: frames decode identically; v1 models
+			// carry legacy fingerprints (applyModel aliases them), pre-v3
+			// labels are untenanted (applyModel canonicalizes them); Open
+			// compacts right after replay to rewrite the current format.
+			s.upgradeOld = true
 		default:
 			return false
 		}

@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_fabric.sh — run the sharded-fabric benchmarks (owned vs forwarded
+# serving through a two-member fabric, plus the quota-enabled local path)
+# and emit a JSON baseline so later PRs can track the cost of the extra
+# forwarding hop and the per-tenant admission probe.
+#
+# Usage:
+#
+#	scripts/bench_fabric.sh [output.json]
+#
+# Environment:
+#
+#	BENCHTIME   value for -benchtime (default 2s; use 1x for a smoke run)
+#	BENCH       -bench pattern (default Fabric: BenchmarkFabricForward's
+#	            local/forwarded pair and BenchmarkFabricQuota)
+#
+# The JSON is an array of objects:
+#
+#	{"name": "...", "n": <iterations>, "ns_per_op": ..., "req_per_s": ...,
+#	 "b_per_op": ..., "allocs_per_op": ...}
+#
+# plus a leading metadata object with the host description.
+set -e
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_fabric.json}"
+benchtime="${BENCHTIME:-2s}"
+pattern="${BENCH:-Fabric}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$tmp" >&2
+
+awk -v benchtime="$benchtime" '
+BEGIN { printf "[\n" }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, "", $0); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = bop = allocs = rps = "null"
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "req/s") rps = $i
+	}
+	rows[nrows++] = sprintf("{\"name\": \"%s\", \"n\": %s, \"ns_per_op\": %s, \"req_per_s\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, rps, bop, allocs)
+}
+END {
+	printf "  {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"benchtime\": \"%s\"}", goos, goarch, cpu, benchtime
+	for (i = 0; i < nrows; i++) printf ",\n  %s", rows[i]
+	printf "\n]\n"
+}' "$tmp" > "$out"
+echo "wrote $out" >&2

@@ -56,6 +56,14 @@
 #      above net/http) must report 0 B/op and 0 allocs/op — the ISSUE 9
 #      budget is <= 8 B/op and <= 1 alloc/op; the gate pins the achieved
 #      zero so a regression to "just one alloc" still fails loudly
+#  15. explicit race pass for the sharded serving fabric (fabric) —
+#      tenant stats, token buckets and forwarding counters are hit by
+#      every concurrent request path
+#  16. forwarding gate: forwarded partition requests must be bit-identical
+#      to owner-local answers, and an owner outage must degrade to local
+#      compute instead of an error
+#  17. fabric benchmark smoke: the owned/forwarded/quota paths each run
+#      once over real loopback HTTP
 #
 # Usage: scripts/ci.sh
 set -e
@@ -139,4 +147,11 @@ END {
 	if (bad) { print "FAIL: warm wire handler path allocates" > "/dev/stderr"; exit 1 }
 	if (!seen) { print "FAIL: no DaemonHandler/warm benchmark output parsed" > "/dev/stderr"; exit 1 }
 }'
+echo "==> go test -race ./internal/fabric/... (fabric gate)" >&2
+go test -race ./internal/fabric/...
+echo "==> forwarding gate: go test -race -run 'FabricForward|FabricOwnerDown' ./internal/rpc/" >&2
+go test -race -count=1 -run 'FabricForward|FabricOwnerDown' ./internal/rpc/
+echo "==> benchmark smoke: BENCHTIME=1x scripts/bench_fabric.sh /tmp/bench_fabric_smoke.json" >&2
+BENCHTIME=1x scripts/bench_fabric.sh /tmp/bench_fabric_smoke.json
+rm -f /tmp/bench_fabric_smoke.json
 echo "==> all gates green" >&2
